@@ -1,0 +1,167 @@
+#ifndef CQP_BENCH_BENCH_UTIL_H_
+#define CQP_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "cqp/algorithm.h"
+#include "workload/experiment.h"
+
+namespace cqp::bench {
+
+/// Evaluation setting shared by the figure benches: scaled so that the
+/// paper's default cmax = 400 ms sits in the interesting 20-50% band of the
+/// Supreme Cost at K = 20 (see EXPERIMENTS.md).
+inline workload::ExperimentConfig DefaultConfig() {
+  workload::ExperimentConfig config;
+  config.db.n_movies = 5000;
+  config.db.n_directors = 500;
+  config.db.n_actors = 1000;
+  config.n_profiles = 5;
+  config.query.n_queries = 4;
+  return config;
+}
+
+/// Per-run resource caps applied to every bench solve. A run that hits a
+/// cap is counted and flagged (the figure marks the cell with '*'); the
+/// paper's slowest configurations (doi-space algorithms at K = 40) would
+/// otherwise take hours and tens of GB here, as they did in 2005.
+inline constexpr uint64_t kStateLimitPerRun = 2'000'000;
+inline constexpr size_t kMemoryLimitPerRun = 512ull << 20;  // 512 MiB
+
+/// One measured cell of a figure: an algorithm at one sweep point.
+struct Cell {
+  double mean_wall_ms = 0.0;
+  double mean_peak_kbytes = 0.0;
+  double mean_states = 0.0;
+  double mean_quality_diff = 0.0;
+  size_t runs = 0;
+  size_t planned = 0;
+  size_t truncated_runs = 0;
+  /// Runs that had a (provably optimal) reference doi to compare against.
+  size_t scored_runs = 0;
+  bool truncated() const { return runs < planned || truncated_runs > 0; }
+};
+
+/// Runs `algorithm` over all instances with per-instance problems, stopping
+/// early when `budget_seconds` of cumulative solve time is exceeded (the
+/// cell is then marked truncated — printed explicitly, never silent).
+/// `reference_dois[i] < 0` means "no reference for instance i".
+inline Cell RunCell(const std::string& algorithm,
+                    const std::vector<workload::Instance>& instances,
+                    const std::vector<cqp::ProblemSpec>& problems,
+                    const std::vector<double>& reference_dois,
+                    double budget_seconds) {
+  Cell cell;
+  cell.planned = instances.size();
+  const cqp::Algorithm* algo = *cqp::GetAlgorithm(algorithm);
+  Stopwatch budget;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (budget.ElapsedSeconds() > budget_seconds) break;
+    cqp::SearchMetrics metrics;
+    metrics.state_limit = kStateLimitPerRun;
+    metrics.memory_limit_bytes = kMemoryLimitPerRun;
+    auto sol = algo->Solve(instances[i].space, problems[i], &metrics);
+    if (!sol.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algorithm.c_str(),
+                   sol.status().ToString().c_str());
+      continue;
+    }
+    cell.mean_wall_ms += metrics.wall_ms;
+    cell.mean_peak_kbytes += metrics.memory.peak_kbytes();
+    cell.mean_states += static_cast<double>(metrics.states_examined);
+    if (metrics.truncated) ++cell.truncated_runs;
+    if (sol->feasible && reference_dois[i] >= 0.0) {
+      double diff = reference_dois[i] - sol->params.doi;
+      // doi is accumulated in different orders by different algorithms;
+      // clamp last-bit float noise so "heuristic == optimum" prints as 0.
+      if (std::abs(diff) < 1e-12) diff = 0.0;
+      cell.mean_quality_diff += diff;
+      ++cell.scored_runs;
+    }
+    ++cell.runs;
+  }
+  if (cell.runs > 0) {
+    double n = static_cast<double>(cell.runs);
+    cell.mean_wall_ms /= n;
+    cell.mean_peak_kbytes /= n;
+    cell.mean_states /= n;
+  }
+  if (cell.scored_runs > 0) {
+    cell.mean_quality_diff /= static_cast<double>(cell.scored_runs);
+  }
+  return cell;
+}
+
+/// Solves the reference (exact) algorithm per instance; -1 where it fails.
+/// Stops early (remaining entries stay -1) once `budget_seconds` of
+/// cumulative reference time is spent — truncated or missing references are
+/// excluded from quality means, so this only reduces sample counts.
+inline std::vector<double> ReferenceDois(
+    const std::string& reference,
+    const std::vector<workload::Instance>& instances,
+    const std::vector<cqp::ProblemSpec>& problems,
+    double budget_seconds = 30.0) {
+  std::vector<double> dois(instances.size(), -1.0);
+  if (reference.empty()) return dois;
+  const cqp::Algorithm* algo = *cqp::GetAlgorithm(reference);
+  Stopwatch budget;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (budget.ElapsedSeconds() > budget_seconds) break;
+    cqp::SearchMetrics metrics;
+    // The reference must be provably optimal to be useful, so it gets a
+    // substantially higher cap than the measured runs.
+    metrics.state_limit = 5 * kStateLimitPerRun;
+    metrics.memory_limit_bytes = 2 * kMemoryLimitPerRun;
+    auto sol = algo->Solve(instances[i].space, problems[i], &metrics);
+    // A truncated reference is no longer provably optimal; drop it rather
+    // than report a bogus quality difference.
+    if (sol.ok() && sol->feasible && !metrics.truncated) {
+      dois[i] = sol->params.doi;
+    }
+  }
+  return dois;
+}
+
+/// Problems with a fixed absolute cost bound (K sweeps, cmax = 400 ms).
+inline std::vector<cqp::ProblemSpec> FixedCmaxProblems(
+    const std::vector<workload::Instance>& instances, double cmax_ms) {
+  return std::vector<cqp::ProblemSpec>(instances.size(),
+                                       cqp::ProblemSpec::Problem2(cmax_ms));
+}
+
+/// Problems at a fraction of each instance's Supreme Cost (cmax sweeps).
+inline std::vector<cqp::ProblemSpec> FractionProblems(
+    const std::vector<workload::Instance>& instances, double fraction) {
+  std::vector<cqp::ProblemSpec> problems;
+  problems.reserve(instances.size());
+  for (const auto& inst : instances) {
+    problems.push_back(
+        cqp::ProblemSpec::Problem2(fraction * inst.supreme_cost_ms));
+  }
+  return problems;
+}
+
+/// Prints one row of a figure table; appends '*' when truncated.
+inline std::string FormatCell(double value, const Cell& cell) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%12.3f%s", value,
+                cell.truncated() ? "*" : " ");
+  return buf;
+}
+
+inline const std::vector<std::string>& PaperAlgorithms() {
+  static const std::vector<std::string>& algos =
+      *new std::vector<std::string>{"D-MaxDoi", "D-SingleMaxDoi",
+                                    "C-Boundaries", "C-MaxBounds",
+                                    "D-HeurDoi"};
+  return algos;
+}
+
+}  // namespace cqp::bench
+
+#endif  // CQP_BENCH_BENCH_UTIL_H_

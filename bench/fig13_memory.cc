@@ -1,0 +1,73 @@
+// Reproduces Figure 13 of the paper: maximum memory used by the CQP
+// algorithms during search (logical working-set accounting: queues,
+// visited sets and boundary lists; see cqp::MemoryMeter).
+//
+//   (a) peak memory [KB] vs K (cmax = 400 ms);
+//   (b) peak memory [KB] vs cmax as % of Supreme Cost (K = 20).
+//
+// Cells marked '*' hit the per-cell time budget and average fewer runs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace cqp::bench;  // NOLINT
+
+constexpr double kCellBudgetSeconds = 10.0;
+
+int Run() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("Figure 13 — memory requirements (mean peak KBytes)\n");
+  auto ctx_or = cqp::workload::ExperimentContext::Create(DefaultConfig());
+  if (!ctx_or.ok()) {
+    std::fprintf(stderr, "%s\n", ctx_or.status().ToString().c_str());
+    return 1;
+  }
+  auto ctx = *std::move(ctx_or);
+
+  std::printf("\n(a) peak memory [KB] vs K (cmax = 400 ms)\n");
+  std::printf("%4s", "K");
+  for (const auto& name : PaperAlgorithms()) std::printf(" %13s", name.c_str());
+  std::printf("\n");
+
+  std::vector<cqp::workload::Instance> k20_instances;
+  for (int k : {10, 20, 30, 40}) {
+    auto instances_or =
+        cqp::workload::BuildInstances(ctx, static_cast<size_t>(k));
+    if (!instances_or.ok()) continue;
+    auto instances = *std::move(instances_or);
+    auto problems = FixedCmaxProblems(instances, 400.0);
+    std::vector<double> no_ref(instances.size(), -1.0);
+    std::printf("%4d", k);
+    for (const auto& name : PaperAlgorithms()) {
+      Cell cell =
+          RunCell(name, instances, problems, no_ref, kCellBudgetSeconds);
+      std::printf(" %s", FormatCell(cell.mean_peak_kbytes, cell).c_str());
+    }
+    std::printf("\n");
+    if (k == 20) k20_instances = std::move(instances);
+  }
+
+  std::printf("\n(b) peak memory [KB] vs cmax (%% of Supreme Cost, K=20)\n");
+  std::printf("%5s", "%sup");
+  for (const auto& name : PaperAlgorithms()) std::printf(" %13s", name.c_str());
+  std::printf("\n");
+  for (int pct = 10; pct <= 100; pct += 10) {
+    auto problems = FractionProblems(k20_instances, pct / 100.0);
+    std::vector<double> no_ref(k20_instances.size(), -1.0);
+    std::printf("%5d", pct);
+    for (const auto& name : PaperAlgorithms()) {
+      Cell cell = RunCell(name, k20_instances, problems, no_ref,
+                          kCellBudgetSeconds);
+      std::printf(" %s", FormatCell(cell.mean_peak_kbytes, cell).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,85 @@
+// Reproduces Figure 14 of the paper: quality of the heuristic algorithms,
+// measured as Quality = doi_optimal - doi_found (×1e7 in the tables below,
+// matching the paper's y-axis scaling), with D-MaxDoi as the provably
+// correct reference.
+//
+//   (a) quality difference vs K (cmax = 400 ms);
+//   (b) quality difference vs cmax as % of Supreme Cost (K = 20).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace cqp::bench;  // NOLINT
+
+constexpr double kCellBudgetSeconds = 20.0;
+const char* const kHeuristics[] = {"D-HeurDoi", "C-MaxBounds",
+                                   "D-SingleMaxDoi"};
+
+int Run() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf(
+      "Figure 14 — quality of heuristic solutions\n"
+      "Quality = (doi_optimal - doi_found) x 1e7, optimum from D-MaxDoi\n");
+  auto ctx_or = cqp::workload::ExperimentContext::Create(DefaultConfig());
+  if (!ctx_or.ok()) {
+    std::fprintf(stderr, "%s\n", ctx_or.status().ToString().c_str());
+    return 1;
+  }
+  auto ctx = *std::move(ctx_or);
+
+  std::printf("\n(a) quality difference (x 1e-7) vs K (cmax = 400 ms)\n");
+  std::printf("%4s %13s %13s %13s\n", "K", kHeuristics[0], kHeuristics[1],
+              kHeuristics[2]);
+  std::vector<cqp::workload::Instance> k20_instances;
+  for (int k : {10, 20, 30, 40}) {
+    auto instances_or =
+        cqp::workload::BuildInstances(ctx, static_cast<size_t>(k));
+    if (!instances_or.ok()) continue;
+    auto instances = *std::move(instances_or);
+    auto problems = FixedCmaxProblems(instances, 400.0);
+    auto reference = ReferenceDois("D-MaxDoi", instances, problems);
+    std::printf("%4d", k);
+    for (const char* name : kHeuristics) {
+      Cell cell =
+          RunCell(name, instances, problems, reference, kCellBudgetSeconds);
+      if (cell.scored_runs == 0) {
+        std::printf(" %12s ", "n/a");  // exact reference never completed
+      } else {
+        std::printf(" %s",
+                    FormatCell(cell.mean_quality_diff * 1e7, cell).c_str());
+      }
+    }
+    std::printf("\n");
+    if (k == 20) k20_instances = std::move(instances);
+  }
+
+  std::printf(
+      "\n(b) quality difference (x 1e-7) vs cmax (%% of Supreme Cost, "
+      "K=20)\n");
+  std::printf("%5s %13s %13s %13s\n", "%sup", kHeuristics[0], kHeuristics[1],
+              kHeuristics[2]);
+  for (int pct = 10; pct <= 100; pct += 10) {
+    auto problems = FractionProblems(k20_instances, pct / 100.0);
+    auto reference = ReferenceDois("D-MaxDoi", k20_instances, problems);
+    std::printf("%5d", pct);
+    for (const char* name : kHeuristics) {
+      Cell cell = RunCell(name, k20_instances, problems, reference,
+                          kCellBudgetSeconds);
+      if (cell.scored_runs == 0) {
+        std::printf(" %12s ", "n/a");
+      } else {
+        std::printf(" %s",
+                    FormatCell(cell.mean_quality_diff * 1e7, cell).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,92 @@
+// Reproduces Figure 15 of the paper: validation of the simplified query
+// cost model. For each K, the personalized query integrating ALL K
+// preferences is (1) estimated via Formula 6 / §7.1 and (2) actually
+// executed on the engine, whose simulated clock charges b = 1 ms per block
+// read plus a small CPU term per tuple.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "construct/query_builder.h"
+#include "exec/executor.h"
+#include "exec/personalized_exec.h"
+
+namespace {
+
+using namespace cqp::bench;  // NOLINT
+
+int Run() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf(
+      "Figure 15 — personalized query cost prediction\n"
+      "(estimated Formula-6 cost vs simulated execution time, full-K "
+      "query)\n\n");
+  auto config = DefaultConfig();
+  config.n_profiles = 3;
+  config.query.n_queries = 3;
+  auto ctx_or = cqp::workload::ExperimentContext::Create(config);
+  if (!ctx_or.ok()) {
+    std::fprintf(stderr, "%s\n", ctx_or.status().ToString().c_str());
+    return 1;
+  }
+  auto ctx = *std::move(ctx_or);
+  cqp::exec::Executor executor(&ctx.db());
+
+  std::printf("%4s %18s %18s %10s\n", "K", "estimated [ms]", "measured [ms]",
+              "ratio");
+  for (int k : {10, 20, 30, 40}) {
+    auto instances_or =
+        cqp::workload::BuildInstances(ctx, static_cast<size_t>(k));
+    if (!instances_or.ok()) {
+      std::fprintf(stderr, "K=%d: %s\n", k,
+                   instances_or.status().ToString().c_str());
+      continue;
+    }
+    auto instances = *std::move(instances_or);
+
+    double est_sum = 0.0, real_sum = 0.0;
+    size_t runs = 0;
+    for (const auto& inst : instances) {
+      // The "supreme" personalized query: all K preferences.
+      std::vector<int32_t> all;
+      for (size_t i = 0; i < inst.space.K(); ++i) {
+        all.push_back(static_cast<int32_t>(i));
+      }
+      auto evaluator = inst.space.MakeEvaluator();
+      double estimated = evaluator.SupremeState().cost_ms;
+
+      auto pq_or = cqp::construct::BuildPersonalizedQuery(
+          ctx.db(), inst.space.query, inst.space.prefs,
+          cqp::IndexSet::FromUnsorted(all));
+      if (!pq_or.ok()) {
+        std::fprintf(stderr, "build: %s\n",
+                     pq_or.status().ToString().c_str());
+        continue;
+      }
+      cqp::exec::ExecStats stats;
+      auto rows = cqp::exec::ExecutePersonalized(
+          executor, pq_or->subqueries, pq_or->dois,
+          cqp::exec::CombineMode::kIntersection, &stats);
+      if (!rows.ok()) {
+        std::fprintf(stderr, "exec: %s\n", rows.status().ToString().c_str());
+        continue;
+      }
+      est_sum += estimated;
+      real_sum += stats.SimulatedMillis(cqp::exec::CostModelParams());
+      ++runs;
+    }
+    if (runs == 0) continue;
+    double est = est_sum / static_cast<double>(runs);
+    double real = real_sum / static_cast<double>(runs);
+    std::printf("%4d %18.1f %18.1f %10.3f\n", k, est, real, est / real);
+  }
+  std::printf(
+      "\nThe estimate charges block I/O only; the measured time adds the\n"
+      "per-tuple CPU term, so ratios slightly below 1.0 reproduce the\n"
+      "paper's 'estimated close to real' claim.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the design choices DESIGN.md
+// calls out: index-set transitions, incremental vs from-scratch parameter
+// evaluation, and preference-space extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cqp/search_space.h"
+#include "cqp/search_util.h"
+#include "cqp/transitions.h"
+#include "sql/parser.h"
+#include "estimation/evaluator.h"
+#include "prefs/graph.h"
+#include "space/preference_space.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+cqp::space::PreferenceSpaceResult MakeSpace(size_t k) {
+  cqp::Rng rng(99);
+  cqp::space::PreferenceSpaceResult result;
+  result.base.cost_ms = 100;
+  result.base.size = 10000;
+  std::vector<double> dois;
+  for (size_t i = 0; i < k; ++i) dois.push_back(rng.UniformDouble(0.05, 0.95));
+  std::sort(dois.begin(), dois.end(), std::greater<double>());
+  for (size_t i = 0; i < k; ++i) {
+    cqp::estimation::ScoredPreference p;
+    p.doi = dois[i];
+    p.cost_ms = 100 + rng.UniformDouble(5, 300);
+    p.selectivity = rng.UniformDouble(0.02, 0.9);
+    p.size = result.base.size * p.selectivity;
+    result.prefs.push_back(p);
+    result.D.push_back(static_cast<int32_t>(i));
+  }
+  result.C = result.D;
+  std::sort(result.C.begin(), result.C.end(), [&](int32_t a, int32_t b) {
+    return result.prefs[a].cost_ms > result.prefs[b].cost_ms;
+  });
+  result.S = result.D;
+  std::sort(result.S.begin(), result.S.end(), [&](int32_t a, int32_t b) {
+    return result.prefs[a].size < result.prefs[b].size;
+  });
+  return result;
+}
+
+cqp::IndexSet MakeState(size_t k, double density, uint64_t seed) {
+  cqp::Rng rng(seed);
+  std::vector<int32_t> members;
+  for (int32_t i = 0; i < static_cast<int32_t>(k); ++i) {
+    if (rng.Bernoulli(density)) members.push_back(i);
+  }
+  if (members.empty()) members.push_back(0);
+  return cqp::IndexSet::FromUnsorted(std::move(members));
+}
+
+void BM_HorizontalTransition(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  cqp::IndexSet s = MakeState(k, 0.3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqp::cqp::Horizontal(s, k));
+  }
+}
+BENCHMARK(BM_HorizontalTransition)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_VerticalNeighbors(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  cqp::IndexSet s = MakeState(k, 0.3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqp::cqp::VerticalNeighbors(s, k));
+  }
+}
+BENCHMARK(BM_VerticalNeighbors)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EvaluateFromScratch(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  auto space = MakeSpace(k);
+  auto evaluator = space.MakeEvaluator();
+  cqp::IndexSet s = MakeState(k, 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(s));
+  }
+}
+BENCHMARK(BM_EvaluateFromScratch)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EvaluateIncremental(benchmark::State& state) {
+  // The ablation DESIGN.md promises: incremental O(1) extension vs the
+  // O(|state|) from-scratch evaluation above.
+  size_t k = static_cast<size_t>(state.range(0));
+  auto space = MakeSpace(k);
+  auto evaluator = space.MakeEvaluator();
+  cqp::IndexSet s = MakeState(k, 0.5, 4);
+  cqp::estimation::StateParams params = evaluator.Evaluate(s);
+  int32_t extension = -1;
+  for (int32_t i = 0; i < static_cast<int32_t>(k); ++i) {
+    if (!s.Contains(i)) {
+      extension = i;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.ExtendWith(params, extension));
+  }
+}
+BENCHMARK(BM_EvaluateIncremental)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GreedyMaxDoiBelow(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  auto space = MakeSpace(k);
+  auto evaluator = space.MakeEvaluator();
+  auto problem = cqp::cqp::ProblemSpec::Problem2(1e9);
+  cqp::cqp::SpaceView view = cqp::cqp::SpaceView::ForKind(
+      &evaluator, &problem, cqp::cqp::SpaceKind::kCost, space);
+  cqp::IndexSet boundary = MakeState(k, 0.4, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqp::cqp::GreedyMaxDoiBelow(view, boundary));
+  }
+}
+BENCHMARK(BM_GreedyMaxDoiBelow)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PreferenceSpaceExtraction(benchmark::State& state) {
+  cqp::workload::MovieDbConfig config;
+  config.n_movies = 2000;
+  config.n_directors = 200;
+  config.n_actors = 400;
+  static cqp::storage::Database* db =
+      new cqp::storage::Database(*cqp::workload::BuildMovieDatabase(config));
+  static cqp::prefs::PersonalizationGraph* graph =
+      new cqp::prefs::PersonalizationGraph(
+          *cqp::prefs::PersonalizationGraph::Build(
+              *cqp::workload::GenerateProfile(
+                  cqp::workload::ProfileGenConfig{}, config),
+              *db));
+  cqp::estimation::ParameterEstimator estimator(db);
+  auto query = *cqp::sql::ParseSelect("SELECT title FROM MOVIE");
+  auto problem = cqp::cqp::ProblemSpec::Problem2(1e9);
+  cqp::space::PreferenceSpaceOptions options;
+  options.max_k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = cqp::space::ExtractPreferenceSpace(query, *graph, estimator,
+                                                     problem, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PreferenceSpaceExtraction)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

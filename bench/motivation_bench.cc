@@ -1,0 +1,122 @@
+// Quantifies the paper's §1 motivation: naively integrating every related
+// preference ("over-personalization") produces queries that are expensive
+// and — because the §4.2 rewriting intersects all preferences — frequently
+// return nothing. CQP's constrained formulations fix both.
+//
+// For each (profile, query) instance the personalized query is actually
+// constructed and executed on the engine under three strategies:
+//   * All-Preferences  — the strawman: every related preference;
+//   * Problem 2        — MAX doi under cost <= 400 ms;
+//   * Problem 3        — MAX doi under cost <= 400 ms and 1 <= size <= 100.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "construct/query_builder.h"
+#include "exec/executor.h"
+#include "exec/personalized_exec.h"
+
+namespace {
+
+using namespace cqp::bench;  // NOLINT
+
+struct Strategy {
+  const char* label;
+  const char* algorithm;
+  bool constrained;
+  cqp::cqp::ProblemSpec problem;
+};
+
+int Run() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf(
+      "Motivation (§1): over-personalization vs constrained "
+      "personalization\n\n");
+  auto config = DefaultConfig();
+  config.n_profiles = 4;
+  config.query.n_queries = 4;
+  auto ctx_or = cqp::workload::ExperimentContext::Create(config);
+  if (!ctx_or.ok()) {
+    std::fprintf(stderr, "%s\n", ctx_or.status().ToString().c_str());
+    return 1;
+  }
+  auto ctx = *std::move(ctx_or);
+  auto instances_or = cqp::workload::BuildInstances(ctx, 12);
+  if (!instances_or.ok()) {
+    std::fprintf(stderr, "%s\n", instances_or.status().ToString().c_str());
+    return 1;
+  }
+  auto instances = *std::move(instances_or);
+  cqp::exec::Executor executor(&ctx.db());
+
+  Strategy strategies[] = {
+      {"All-Preferences (strawman)", "All-Preferences", false,
+       cqp::cqp::ProblemSpec::Problem2(1e18)},
+      {"Problem 2 (cost <= 400ms)", "C-Boundaries", true,
+       cqp::cqp::ProblemSpec::Problem2(400)},
+      {"Problem 3 (+ 1 <= size <= 100)", "C-Boundaries", true,
+       cqp::cqp::ProblemSpec::Problem3(400, 1, 100)},
+  };
+
+  std::printf("%-32s %10s %10s %10s %8s %8s\n", "strategy", "mean|Px|",
+              "exec[ms]", "rows", "%empty", "doi");
+  for (const Strategy& strategy : strategies) {
+    double mean_px = 0, mean_ms = 0, mean_rows = 0, mean_doi = 0;
+    size_t empty = 0, runs = 0;
+    for (const auto& inst : instances) {
+      const cqp::cqp::Algorithm* algo =
+          *cqp::cqp::GetAlgorithm(strategy.algorithm);
+      cqp::cqp::SearchMetrics metrics;
+      auto sol = algo->Solve(inst.space, strategy.problem, &metrics);
+      if (!sol.ok()) continue;
+      // The strawman integrates everything regardless of feasibility; the
+      // constrained strategies fall back to the plain query if infeasible.
+      cqp::IndexSet chosen =
+          (strategy.constrained && !sol->feasible) ? cqp::IndexSet()
+                                                   : sol->chosen;
+      auto pq = cqp::construct::BuildPersonalizedQuery(
+          ctx.db(), inst.space.query, inst.space.prefs, chosen);
+      if (!pq.ok()) continue;
+
+      cqp::exec::ExecStats stats;
+      size_t rows = 0;
+      double doi = 0;
+      if (pq->subqueries.empty()) {
+        auto rs = executor.Execute(pq->base, &stats);
+        if (!rs.ok()) continue;
+        rows = rs->row_count();
+      } else {
+        auto rs = cqp::exec::ExecutePersonalized(
+            executor, pq->subqueries, pq->dois,
+            cqp::exec::CombineMode::kIntersection, &stats);
+        if (!rs.ok()) continue;
+        rows = rs->rows.size();
+        if (!rs->rows.empty()) doi = rs->rows.front().doi;
+      }
+      mean_px += static_cast<double>(chosen.size());
+      mean_ms += stats.SimulatedMillis(cqp::exec::CostModelParams());
+      mean_rows += static_cast<double>(rows);
+      mean_doi += doi;
+      if (rows == 0) ++empty;
+      ++runs;
+    }
+    if (runs == 0) continue;
+    double n = static_cast<double>(runs);
+    std::printf("%-32s %10.1f %10.1f %10.1f %7.0f%% %8.3f\n", strategy.label,
+                mean_px / n, mean_ms / n, mean_rows / n,
+                100.0 * static_cast<double>(empty) / n, mean_doi / n);
+  }
+  std::printf(
+      "\nExpected shape: the strawman burns the most execution time and\n"
+      "returns an empty answer for (nearly) every query; Problem 2 meets\n"
+      "the cost budget but still over-personalizes into emptiness; the\n"
+      "Problem 3 size bound integrates far fewer preferences and sharply\n"
+      "reduces empty answers — the residual empties measure the gap\n"
+      "between the independence-assumption size *estimate* and the true\n"
+      "intersection cardinality (§4.3's 'relaxed accuracy requirements').\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

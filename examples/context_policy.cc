@@ -1,0 +1,162 @@
+// Mapping a search context to a CQP problem.
+//
+// The paper deliberately leaves the "which problem when" policy out of
+// scope (§1, §8: ongoing work). This example ships a small, transparent
+// policy as an extension: device class, network quality and user urgency
+// are mapped to one of the Table 1 problems with concrete bounds, and the
+// resulting personalized queries are compared.
+//
+// Run:  ./context_policy
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "construct/personalizer.h"
+#include "prefs/graph.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+
+namespace {
+
+using cqp::construct::PersonalizeRequest;
+using cqp::construct::Personalizer;
+using cqp::cqp::ProblemSpec;
+
+/// The runtime factors the paper's §1 example mentions.
+struct SearchContext {
+  enum class Device { kDesktop, kLaptop, kPhone };
+  enum class Network { kBroadband, kMobile, kPoor };
+
+  Device device = Device::kDesktop;
+  Network network = Network::kBroadband;
+  bool user_in_a_hurry = false;
+  /// Explicit user ask ("up to three restaurants"), 0 = unspecified.
+  int requested_results = 0;
+};
+
+/// Policy: derive the CQP problem from the context.
+///
+/// * Poor connectivity or small screens bound result size.
+/// * Slow links and urgency bound (or minimize) execution cost.
+/// * Otherwise maximize interest under a device-dependent cost budget.
+ProblemSpec ProblemForContext(const SearchContext& context) {
+  double cmax = 5000.0;
+  switch (context.network) {
+    case SearchContext::Network::kBroadband:
+      cmax = 5000.0;
+      break;
+    case SearchContext::Network::kMobile:
+      cmax = 800.0;
+      break;
+    case SearchContext::Network::kPoor:
+      cmax = 250.0;
+      break;
+  }
+  if (context.user_in_a_hurry) cmax /= 4.0;
+
+  double smax = 0.0;  // 0 = unbounded
+  if (context.device == SearchContext::Device::kPhone) smax = 20.0;
+  if (context.requested_results > 0) {
+    smax = static_cast<double>(context.requested_results);
+  }
+
+  if (context.user_in_a_hurry && smax > 0.0) {
+    // Urgent and bounded output: get the cheapest acceptable answer.
+    return ProblemSpec::Problem6(1.0, smax);
+  }
+  if (smax > 0.0) return ProblemSpec::Problem3(cmax, 1.0, smax);
+  return ProblemSpec::Problem2(cmax);
+}
+
+const char* DeviceName(SearchContext::Device d) {
+  switch (d) {
+    case SearchContext::Device::kDesktop:
+      return "desktop";
+    case SearchContext::Device::kLaptop:
+      return "laptop";
+    case SearchContext::Device::kPhone:
+      return "phone";
+  }
+  return "?";
+}
+
+const char* NetworkName(SearchContext::Network n) {
+  switch (n) {
+    case SearchContext::Network::kBroadband:
+      return "broadband";
+    case SearchContext::Network::kMobile:
+      return "mobile";
+    case SearchContext::Network::kPoor:
+      return "poor";
+  }
+  return "?";
+}
+
+int Run() {
+  cqp::workload::MovieDbConfig db_config;
+  db_config.n_movies = 5000;
+  db_config.n_directors = 300;
+  db_config.n_actors = 800;
+  auto db_or = cqp::workload::BuildMovieDatabase(db_config);
+  if (!db_or.ok()) return 1;
+  cqp::storage::Database db = *std::move(db_or);
+
+  cqp::workload::ProfileGenConfig pc;
+  auto graph_or = cqp::prefs::PersonalizationGraph::Build(
+      *cqp::workload::GenerateProfile(pc, db_config), db);
+  cqp::prefs::PersonalizationGraph graph = *std::move(graph_or);
+  Personalizer personalizer(&db, &graph);
+
+  std::vector<SearchContext> contexts(4);
+  contexts[0] = {};  // desktop / broadband
+  contexts[1].device = SearchContext::Device::kPhone;
+  contexts[1].network = SearchContext::Network::kMobile;
+  contexts[2].device = SearchContext::Device::kPhone;
+  contexts[2].network = SearchContext::Network::kPoor;
+  contexts[2].requested_results = 3;
+  contexts[3].device = SearchContext::Device::kPhone;
+  contexts[3].network = SearchContext::Network::kPoor;
+  contexts[3].user_in_a_hurry = true;
+  contexts[3].requested_results = 3;
+
+  std::printf("query: SELECT title FROM MOVIE\n\n");
+  for (const SearchContext& context : contexts) {
+    ProblemSpec problem = ProblemForContext(context);
+    std::printf("context: %-7s / %-9s%s%s\n", DeviceName(context.device),
+                NetworkName(context.network),
+                context.user_in_a_hurry ? " / in a hurry" : "",
+                context.requested_results
+                    ? (" / wants " + std::to_string(context.requested_results))
+                          .c_str()
+                    : "");
+    std::printf("  -> problem %d: %s\n", problem.ProblemNumber(),
+                problem.ToString().c_str());
+
+    PersonalizeRequest request;
+    request.sql = "SELECT title FROM MOVIE";
+    request.problem = problem;
+    request.algorithm = problem.objective == cqp::cqp::Objective::kMaximizeDoi
+                            ? "C-Boundaries"
+                            : "MinCost-BB";
+    request.space_options.max_k = 12;
+    auto result = personalizer.Personalize(request);
+    if (!result.ok()) {
+      std::printf("  -> error: %s\n\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->solution.feasible) {
+      std::printf("  -> infeasible; original query runs unchanged\n\n");
+      continue;
+    }
+    std::printf("  -> |Px|=%zu doi=%.3f cost=%.0fms size=%.0f\n\n",
+                result->solution.chosen.size(), result->solution.params.doi,
+                result->solution.params.cost_ms,
+                result->solution.params.size);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

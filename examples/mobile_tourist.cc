@@ -1,0 +1,107 @@
+// The paper's §1 motivating scenario: Al and the tourist-information
+// service.
+//
+// The same user asks the same question ("restaurants, please") in two
+// search contexts:
+//   * office laptop, fast link  -> CQP Problem 2 with a generous cost bound;
+//   * palmtop in Pisa's old town -> CQP Problem 3: tight cost bound and at
+//     most three results (smax = 3).
+//
+// Run:  ./mobile_tourist
+
+#include <cstdio>
+
+#include "construct/personalizer.h"
+#include "prefs/graph.h"
+#include "workload/tourist_gen.h"
+
+namespace {
+
+using cqp::construct::PersonalizeRequest;
+using cqp::construct::Personalizer;
+
+void Report(const char* context, const Personalizer& personalizer,
+            const cqp::construct::PersonalizeResult& result) {
+  std::printf("=== %s ===\n", context);
+  if (!result.solution.feasible) {
+    std::printf("no personalized query satisfies the constraints; the\n"
+                "original query would run unchanged.\n\n");
+    return;
+  }
+  std::printf("integrated preferences:\n");
+  for (int32_t i : result.solution.chosen) {
+    const auto& p = result.space.prefs[static_cast<size_t>(i)];
+    std::printf("  doi=%.2f  %s\n", p.doi, p.pref.ConditionString().c_str());
+  }
+  std::printf("estimates: doi=%.3f cost=%.1fms size=%.1f\n",
+              result.solution.params.doi, result.solution.params.cost_ms,
+              result.solution.params.size);
+  std::printf("SQL:\n%s\n", result.final_sql.c_str());
+
+  cqp::exec::ExecStats stats;
+  auto rows = personalizer.Execute(result, &stats);
+  if (!rows.ok()) {
+    std::printf("execution failed: %s\n", rows.status().ToString().c_str());
+    return;
+  }
+  std::printf("answer (%zu rows, simulated %.1f ms):\n", rows->rows.size(),
+              stats.SimulatedMillis(cqp::exec::CostModelParams()));
+  size_t shown = 0;
+  for (const auto& row : rows->rows) {
+    if (shown++ >= 5) {
+      std::printf("  ...\n");
+      break;
+    }
+    std::printf("  doi=%.3f  %s\n", row.doi, row.row.ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  auto db_or =
+      cqp::workload::BuildTouristDatabase(cqp::workload::TouristDbConfig{});
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "db: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  cqp::storage::Database db = *std::move(db_or);
+
+  auto profile_or = cqp::workload::BuildAlProfile();
+  auto graph_or =
+      cqp::prefs::PersonalizationGraph::Build(*std::move(profile_or), db);
+  cqp::prefs::PersonalizationGraph graph = *std::move(graph_or);
+
+  Personalizer personalizer(&db, &graph);
+
+  PersonalizeRequest request;
+  request.sql = "SELECT name FROM RESTAURANT";
+  request.algorithm = "C-Boundaries";
+
+  // Context 1: laptop + broadband. Expensive queries and long answers are
+  // fine; maximize interest under a loose cost bound.
+  request.problem = cqp::cqp::ProblemSpec::Problem2(/*cmax_ms=*/5000.0);
+  auto laptop = personalizer.Personalize(request);
+  if (!laptop.ok()) {
+    std::fprintf(stderr, "%s\n", laptop.status().ToString().c_str());
+    return 1;
+  }
+  Report("office laptop, broadband (Problem 2, cmax=5000ms)", personalizer,
+         *laptop);
+
+  // Context 2: palmtop in Pisa. Tight response time, a handful of answers.
+  request.problem = cqp::cqp::ProblemSpec::Problem3(/*cmax_ms=*/320.0,
+                                                    /*smin=*/1.0,
+                                                    /*smax=*/12.0);
+  auto palmtop = personalizer.Personalize(request);
+  if (!palmtop.ok()) {
+    std::fprintf(stderr, "%s\n", palmtop.status().ToString().c_str());
+    return 1;
+  }
+  Report("palmtop in Pisa, low bandwidth (Problem 3, cmax=320ms, smax=12)",
+         personalizer, *palmtop);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

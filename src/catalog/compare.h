@@ -1,0 +1,21 @@
+#ifndef CQP_CATALOG_COMPARE_H_
+#define CQP_CATALOG_COMPARE_H_
+
+#include <string>
+
+#include "catalog/value.h"
+
+namespace cqp::catalog {
+
+/// Comparison operators usable in selection and join conditions.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// SQL spelling of `op` ("=", "<>", "<", "<=", ">", ">=").
+const char* CompareOpSql(CompareOp op);
+
+/// Evaluates `lhs op rhs`. Values must have the same type.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+}  // namespace cqp::catalog
+
+#endif  // CQP_CATALOG_COMPARE_H_

@@ -1,0 +1,29 @@
+#include "catalog/schema.h"
+
+#include "common/str_util.h"
+
+namespace cqp::catalog {
+
+StatusOr<int> RelationDef::AttributeIndex(const std::string& attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, attribute)) {
+      return static_cast<int>(i);
+    }
+  }
+  return NotFound("attribute " + attribute + " in relation " + name_);
+}
+
+bool RelationDef::HasAttribute(const std::string& attribute) const {
+  return AttributeIndex(attribute).ok();
+}
+
+std::string RelationDef::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(attributes_.size());
+  for (const AttributeDef& a : attributes_) {
+    cols.push_back(a.name + " " + ValueTypeName(a.type));
+  }
+  return name_ + "(" + Join(cols, ", ") + ")";
+}
+
+}  // namespace cqp::catalog

@@ -1,0 +1,44 @@
+#ifndef CQP_CATALOG_SCHEMA_H_
+#define CQP_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace cqp::catalog {
+
+/// A column definition.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+/// A relation (table) definition: name plus ordered attribute list.
+class RelationDef {
+ public:
+  RelationDef() = default;
+  RelationDef(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Position of `attribute` within the relation, or NotFound.
+  StatusOr<int> AttributeIndex(const std::string& attribute) const;
+  bool HasAttribute(const std::string& attribute) const;
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// "MOVIE(mid INT, title STRING, ...)"
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace cqp::catalog
+
+#endif  // CQP_CATALOG_SCHEMA_H_

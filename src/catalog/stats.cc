@@ -1,0 +1,85 @@
+#include "catalog/stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cqp::catalog {
+
+AttributeStats::AttributeStats(uint64_t row_count, uint64_t ndv,
+                               std::optional<double> min_numeric,
+                               std::optional<double> max_numeric,
+                               std::vector<McvEntry> mcvs)
+    : row_count_(row_count),
+      ndv_(ndv),
+      min_numeric_(min_numeric),
+      max_numeric_(max_numeric),
+      mcvs_(std::move(mcvs)) {
+  mcv_total_ = 0;
+  for (const McvEntry& e : mcvs_) mcv_total_ += e.count;
+  CQP_CHECK_LE(mcv_total_, row_count_);
+  CQP_CHECK_LE(mcvs_.size(), ndv_);
+}
+
+double AttributeStats::EqualitySelectivity(const Value& v) const {
+  if (row_count_ == 0 || ndv_ == 0) return 0.0;
+  for (const McvEntry& e : mcvs_) {
+    if (e.value == v) {
+      return static_cast<double>(e.count) / static_cast<double>(row_count_);
+    }
+  }
+  // Uniform tail: remaining mass spread over the non-MCV distinct values.
+  uint64_t tail_ndv = ndv_ - mcvs_.size();
+  if (tail_ndv == 0) {
+    // All values are in the MCV list, so an unseen literal matches nothing.
+    return 0.0;
+  }
+  double tail_mass = static_cast<double>(row_count_ - mcv_total_) /
+                     static_cast<double>(row_count_);
+  return tail_mass / static_cast<double>(tail_ndv);
+}
+
+double AttributeStats::RangeSelectivity(CompareOp op, const Value& v) const {
+  if (row_count_ == 0) return 0.0;
+  if (!min_numeric_ || !max_numeric_ || v.type() == ValueType::kString) {
+    // Non-numeric attribute: fall back to the classic 1/3 magic fraction.
+    return 1.0 / 3.0;
+  }
+  double lo = *min_numeric_;
+  double hi = *max_numeric_;
+  double x = v.AsNumeric();
+  double width = hi - lo;
+  double frac_below;  // estimated fraction of rows with value < x
+  if (width <= 0.0) {
+    frac_below = x > lo ? 1.0 : 0.0;
+  } else {
+    frac_below = std::clamp((x - lo) / width, 0.0, 1.0);
+  }
+  double eq = EqualitySelectivity(v);
+  switch (op) {
+    case CompareOp::kLt:
+      return frac_below;
+    case CompareOp::kLe:
+      return std::clamp(frac_below + eq, 0.0, 1.0);
+    case CompareOp::kGt:
+      return std::clamp(1.0 - frac_below - eq, 0.0, 1.0);
+    case CompareOp::kGe:
+      return std::clamp(1.0 - frac_below, 0.0, 1.0);
+    default:
+      break;
+  }
+  return 1.0 / 3.0;
+}
+
+double AttributeStats::Selectivity(CompareOp op, const Value& v) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return EqualitySelectivity(v);
+    case CompareOp::kNe:
+      return std::clamp(1.0 - EqualitySelectivity(v), 0.0, 1.0);
+    default:
+      return RangeSelectivity(op, v);
+  }
+}
+
+}  // namespace cqp::catalog

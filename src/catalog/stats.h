@@ -1,0 +1,66 @@
+#ifndef CQP_CATALOG_STATS_H_
+#define CQP_CATALOG_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "catalog/compare.h"
+#include "catalog/value.h"
+
+namespace cqp::catalog {
+
+/// A most-common-value histogram entry.
+struct McvEntry {
+  Value value;
+  uint64_t count = 0;
+};
+
+/// Per-attribute statistics used by the CQP parameter-estimation module.
+///
+/// CQP deliberately uses a much less detailed cost/cardinality model than a
+/// full query optimizer (paper §2, §4.3): equality selectivity comes from an
+/// MCV list with a uniform tail, range selectivity from min/max
+/// interpolation. Statistics are produced by storage::Database::Analyze().
+class AttributeStats {
+ public:
+  AttributeStats() = default;
+  AttributeStats(uint64_t row_count, uint64_t ndv,
+                 std::optional<double> min_numeric,
+                 std::optional<double> max_numeric,
+                 std::vector<McvEntry> mcvs);
+
+  uint64_t row_count() const { return row_count_; }
+  uint64_t ndv() const { return ndv_; }
+  std::optional<double> min_numeric() const { return min_numeric_; }
+  std::optional<double> max_numeric() const { return max_numeric_; }
+  const std::vector<McvEntry>& mcvs() const { return mcvs_; }
+
+  /// Estimated fraction of rows with attribute == v.
+  double EqualitySelectivity(const Value& v) const;
+
+  /// Estimated fraction of rows satisfying `attribute op v`.
+  double Selectivity(CompareOp op, const Value& v) const;
+
+ private:
+  double RangeSelectivity(CompareOp op, const Value& v) const;
+
+  uint64_t row_count_ = 0;
+  uint64_t ndv_ = 0;
+  std::optional<double> min_numeric_;
+  std::optional<double> max_numeric_;
+  std::vector<McvEntry> mcvs_;  // sorted by count, descending
+  uint64_t mcv_total_ = 0;
+};
+
+/// Per-relation statistics: cardinality, block count (8 KiB block model) and
+/// one AttributeStats per column (parallel to the relation's attributes).
+struct RelationStats {
+  uint64_t row_count = 0;
+  uint64_t blocks = 0;
+  std::vector<AttributeStats> attributes;
+};
+
+}  // namespace cqp::catalog
+
+#endif  // CQP_CATALOG_STATS_H_

@@ -1,0 +1,121 @@
+#include "catalog/value.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace cqp::catalog {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kInt;
+    case 1:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+int64_t Value::AsInt() const {
+  CQP_CHECK(type() == ValueType::kInt) << "not an int";
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  CQP_CHECK(type() == ValueType::kDouble) << "not a double";
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  CQP_CHECK(type() == ValueType::kString) << "not a string";
+  return std::get<std::string>(rep_);
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(rep_));
+    case ValueType::kDouble:
+      return std::get<double>(rep_);
+    case ValueType::kString:
+      CQP_CHECK(false) << "string value is not numeric";
+  }
+  return 0.0;
+}
+
+bool Value::operator<(const Value& other) const {
+  CQP_CHECK(type() == other.type())
+      << "comparing " << ValueTypeName(type()) << " with "
+      << ValueTypeName(other.type());
+  return rep_ < other.rep_;
+}
+
+bool Value::operator<=(const Value& other) const {
+  CQP_CHECK(type() == other.type());
+  return rep_ <= other.rep_;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::hash<int64_t>()(std::get<int64_t>(rep_)) * 3 + 1;
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(rep_)) * 3 + 2;
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(rep_)) * 3;
+  }
+  return 0;
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 4 + std::get<std::string>(rep_).size();
+  }
+  return 8;
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() == ValueType::kString) {
+    std::string out = "'";
+    for (char c : std::get<std::string>(rep_)) {
+      out += c;
+      if (c == '\'') out += '\'';  // SQL escaping: double the quote
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kDouble: {
+      std::string s = std::to_string(std::get<double>(rep_));
+      return s;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(rep_);
+  }
+  return "";
+}
+
+}  // namespace cqp::catalog

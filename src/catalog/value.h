@@ -1,0 +1,68 @@
+#ifndef CQP_CATALOG_VALUE_H_
+#define CQP_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cqp::catalog {
+
+/// Column types supported by the engine.
+enum class ValueType {
+  kInt,     ///< 64-bit signed integer
+  kDouble,  ///< IEEE-754 binary64
+  kString,  ///< variable-length byte string
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A typed scalar cell. Values are totally ordered within a type; comparing
+/// across types is a programming error (checked).
+class Value {
+ public:
+  /// Default-constructs the integer 0 (used for resizable tuple buffers).
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  /// Convenience for string literals.
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  ValueType type() const;
+
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: ints widen to double. Checked for strings.
+  double AsNumeric() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return rep_ != other.rep_; }
+  /// Ordering within the same type only (checked).
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const;
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return other <= *this; }
+
+  size_t Hash() const;
+
+  /// Approximate in-memory footprint, used for the block layout model.
+  size_t ByteSize() const;
+
+  /// SQL-literal rendering: 42, 4.5, 'text' (single quotes doubled).
+  std::string ToSqlLiteral() const;
+  /// Plain rendering without quotes, for table output.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace cqp::catalog
+
+#endif  // CQP_CATALOG_VALUE_H_

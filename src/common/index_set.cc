@@ -1,0 +1,117 @@
+#include "common/index_set.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cqp {
+
+IndexSet::IndexSet(std::initializer_list<int32_t> indices)
+    : indices_(indices) {
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    CQP_CHECK_GE(indices_[i], 0);
+    if (i > 0) {
+      CQP_CHECK_LT(indices_[i - 1], indices_[i])
+          << "IndexSet initializer must be strictly increasing";
+    }
+  }
+}
+
+IndexSet IndexSet::FromUnsorted(std::vector<int32_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  IndexSet set;
+  set.indices_ = std::move(indices);
+  if (!set.indices_.empty()) CQP_CHECK_GE(set.indices_.front(), 0);
+  return set;
+}
+
+int32_t IndexSet::Max() const {
+  CQP_CHECK(!empty());
+  return indices_.back();
+}
+
+int32_t IndexSet::Min() const {
+  CQP_CHECK(!empty());
+  return indices_.front();
+}
+
+bool IndexSet::Contains(int32_t index) const {
+  return std::binary_search(indices_.begin(), indices_.end(), index);
+}
+
+IndexSet IndexSet::WithAdded(int32_t index) const {
+  CQP_CHECK(!Contains(index)) << "duplicate index " << index;
+  IndexSet out;
+  out.indices_.reserve(indices_.size() + 1);
+  auto pos = std::lower_bound(indices_.begin(), indices_.end(), index);
+  out.indices_.assign(indices_.begin(), pos);
+  out.indices_.push_back(index);
+  out.indices_.insert(out.indices_.end(), pos, indices_.end());
+  return out;
+}
+
+IndexSet IndexSet::WithRemoved(int32_t index) const {
+  CQP_CHECK(Contains(index)) << "missing index " << index;
+  IndexSet out;
+  out.indices_.reserve(indices_.size() - 1);
+  for (int32_t v : indices_) {
+    if (v != index) out.indices_.push_back(v);
+  }
+  return out;
+}
+
+IndexSet IndexSet::WithReplaced(int32_t from, int32_t to) const {
+  return WithRemoved(from).WithAdded(to);
+}
+
+IndexSet IndexSet::Prefix(size_t n) const {
+  CQP_CHECK_LE(n, indices_.size());
+  IndexSet out;
+  out.indices_.assign(indices_.begin(), indices_.begin() + n);
+  return out;
+}
+
+bool IndexSet::IsSubsetOf(const IndexSet& other) const {
+  return std::includes(other.indices_.begin(), other.indices_.end(),
+                       indices_.begin(), indices_.end());
+}
+
+bool IndexSet::Dominates(const IndexSet& other) const {
+  if (size() != other.size()) return false;
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (indices_[i] > other.indices_[i]) return false;
+  }
+  return true;
+}
+
+uint64_t IndexSet::Bits() const {
+  uint64_t bits = 0;
+  for (int32_t v : indices_) {
+    CQP_CHECK_LT(v, 64) << "IndexSet::Bits requires members < 64";
+    bits |= uint64_t{1} << v;
+  }
+  return bits;
+}
+
+size_t IndexSet::Hash() const {
+  // FNV-1a over the index sequence.
+  uint64_t h = 1469598103934665603ull;
+  for (int32_t v : indices_) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string IndexSet::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(indices_[i]);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace cqp

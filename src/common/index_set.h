@@ -1,0 +1,98 @@
+#ifndef CQP_COMMON_INDEX_SET_H_
+#define CQP_COMMON_INDEX_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cqp {
+
+/// A sorted set of small non-negative indices.
+///
+/// CQP states are subsets of a pointer vector (C, D or S in the paper); we
+/// represent the state `R` as the strictly increasing sequence of 0-based
+/// member indices, exactly mirroring the index sets used by the paper's
+/// pseudocode (which is 1-based). The ordering invariant makes the
+/// Vertical-reachability test a componentwise comparison (Dominates).
+class IndexSet {
+ public:
+  using value_type = int32_t;
+  using const_iterator = std::vector<int32_t>::const_iterator;
+
+  IndexSet() = default;
+  /// Builds a set from `indices`; they must be strictly increasing.
+  IndexSet(std::initializer_list<int32_t> indices);
+  /// Builds a set from an arbitrary vector, which is sorted and deduped.
+  static IndexSet FromUnsorted(std::vector<int32_t> indices);
+
+  bool empty() const { return indices_.empty(); }
+  size_t size() const { return indices_.size(); }
+  const_iterator begin() const { return indices_.begin(); }
+  const_iterator end() const { return indices_.end(); }
+
+  /// The i-th smallest member (0-based position).
+  int32_t operator[](size_t pos) const { return indices_[pos]; }
+
+  /// Largest member; set must be non-empty.
+  int32_t Max() const;
+  /// Smallest member; set must be non-empty.
+  int32_t Min() const;
+
+  bool Contains(int32_t index) const;
+
+  /// Returns a copy with `index` inserted. `index` must not be a member.
+  IndexSet WithAdded(int32_t index) const;
+  /// Returns a copy with `index` removed. `index` must be a member.
+  IndexSet WithRemoved(int32_t index) const;
+  /// Returns a copy where member `from` is replaced by non-member `to`.
+  IndexSet WithReplaced(int32_t from, int32_t to) const;
+  /// Returns the prefix with the first `n` (smallest) members.
+  IndexSet Prefix(size_t n) const;
+
+  /// True if every member of this set is also a member of `other`.
+  bool IsSubsetOf(const IndexSet& other) const;
+
+  /// Componentwise domination over equal-size sets: true iff
+  /// (*this)[j] <= other[j] for all j. In a CQP state space this is
+  /// equivalent to "other is reachable from *this via Vertical transitions",
+  /// i.e. `other` lies below `*this` (Propositions 2-4 in the paper).
+  bool Dominates(const IndexSet& other) const;
+
+  bool operator==(const IndexSet& other) const {
+    return indices_ == other.indices_;
+  }
+  bool operator!=(const IndexSet& other) const { return !(*this == other); }
+  /// Lexicographic order, for use in ordered containers.
+  bool operator<(const IndexSet& other) const {
+    return indices_ < other.indices_;
+  }
+
+  /// Bitmask of the members; every member must be < 64 (checked). CQP
+  /// preference spaces satisfy this (K is bounded by PreferenceSpaceOptions
+  /// and stays far below 64), and the mask makes subset tests one AND.
+  uint64_t Bits() const;
+
+  /// Stable hash of the member sequence.
+  size_t Hash() const;
+
+  /// Approximate heap footprint in bytes, used by MemoryMeter accounting.
+  size_t MemoryBytes() const {
+    return sizeof(IndexSet) + indices_.capacity() * sizeof(int32_t);
+  }
+
+  /// "{0,2,5}" rendering for logs and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<int32_t> indices_;
+};
+
+struct IndexSetHash {
+  size_t operator()(const IndexSet& s) const { return s.Hash(); }
+};
+
+}  // namespace cqp
+
+#endif  // CQP_COMMON_INDEX_SET_H_

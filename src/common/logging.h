@@ -1,0 +1,66 @@
+#ifndef CQP_COMMON_LOGGING_H_
+#define CQP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cqp {
+
+namespace internal_logging {
+
+/// Aborts the process after printing `msg` with source location context.
+[[noreturn]] inline void DieCheckFailed(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+/// Stream collector so CQP_CHECK(x) << "detail" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() {
+    DieCheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace cqp
+
+/// Fatal assertion used for internal invariants. Unlike assert(), it is
+/// active in all build types: a violated invariant in a search algorithm
+/// would otherwise silently produce a wrong "optimal" query.
+#define CQP_CHECK(cond)                                       \
+  while (!(cond))                                             \
+  ::cqp::internal_logging::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define CQP_CHECK_EQ(a, b) CQP_CHECK((a) == (b))
+#define CQP_CHECK_NE(a, b) CQP_CHECK((a) != (b))
+#define CQP_CHECK_LT(a, b) CQP_CHECK((a) < (b))
+#define CQP_CHECK_LE(a, b) CQP_CHECK((a) <= (b))
+#define CQP_CHECK_GT(a, b) CQP_CHECK((a) > (b))
+#define CQP_CHECK_GE(a, b) CQP_CHECK((a) >= (b))
+
+#endif  // CQP_COMMON_LOGGING_H_

@@ -1,0 +1,50 @@
+#ifndef CQP_COMMON_MEMORY_METER_H_
+#define CQP_COMMON_MEMORY_METER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace cqp {
+
+/// Tracks the working-set size of a CQP search algorithm.
+///
+/// The paper (Fig. 13) reports the maximum memory used by an algorithm during
+/// its execution. The search algorithms account every queue entry, boundary
+/// and visited-set entry against a MemoryMeter; peak_bytes() is the reported
+/// figure. Accounting is logical (container payload sizes), which makes the
+/// measurement deterministic and allocator-independent.
+class MemoryMeter {
+ public:
+  MemoryMeter() = default;
+
+  /// Registers `bytes` newly held by the algorithm.
+  void Allocate(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Releases `bytes` previously registered with Allocate().
+  void Release(size_t bytes) {
+    CQP_CHECK_GE(current_, bytes);
+    current_ -= bytes;
+  }
+
+  size_t current_bytes() const { return current_; }
+  size_t peak_bytes() const { return peak_; }
+  double peak_kbytes() const { return static_cast<double>(peak_) / 1024.0; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace cqp
+
+#endif  // CQP_COMMON_MEMORY_METER_H_

@@ -1,0 +1,129 @@
+#ifndef CQP_COMMON_STATUS_H_
+#define CQP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cqp {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kInfeasible,  ///< A CQP problem instance has no feasible personalized query.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantics error carrier, modeled after absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status OutOfRange(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+Status Infeasible(std::string msg);
+
+/// Either a value of T or an error Status. Accessing the value of an
+/// error-holding StatusOr is a fatal error (CQP_CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value and from a non-OK Status keeps call
+  /// sites readable: `return value;` / `return InvalidArgument(...)`.
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CQP_CHECK(!status_.ok()) << "StatusOr(Status) requires an error status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CQP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CQP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CQP_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && {
+    CQP_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define CQP_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::cqp::Status cqp_status_ = (expr);      \
+    if (!cqp_status_.ok()) return cqp_status_; \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns its status, otherwise
+/// assigns the value to `lhs` (which must be a declaration or lvalue).
+#define CQP_ASSIGN_OR_RETURN(lhs, expr)               \
+  CQP_ASSIGN_OR_RETURN_IMPL_(                         \
+      CQP_STATUS_CONCAT_(statusor_, __LINE__), lhs, expr)
+
+#define CQP_STATUS_CONCAT_INNER_(a, b) a##b
+#define CQP_STATUS_CONCAT_(a, b) CQP_STATUS_CONCAT_INNER_(a, b)
+#define CQP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace cqp
+
+#endif  // CQP_COMMON_STATUS_H_

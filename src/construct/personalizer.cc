@@ -1,0 +1,90 @@
+#include "construct/personalizer.h"
+
+#include "common/str_util.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace cqp::construct {
+
+Personalizer::Personalizer(const storage::Database* db,
+                           const prefs::PersonalizationGraph* graph,
+                           exec::CostModelParams cost_params)
+    : db_(db), graph_(graph), cost_params_(cost_params) {
+  CQP_CHECK(db_ != nullptr);
+  CQP_CHECK(graph_ != nullptr);
+}
+
+StatusOr<PersonalizeResult> Personalizer::Personalize(
+    const PersonalizeRequest& request) const {
+  sql::SelectQuery query = request.query;
+  if (query.from.empty()) {
+    CQP_ASSIGN_OR_RETURN(query, sql::ParseSelect(request.sql));
+  }
+  CQP_RETURN_IF_ERROR(request.problem.Validate());
+  // "auto": the exact boundary algorithm for doi maximization, the exact
+  // branch-and-bound for cost minimization.
+  std::string algorithm_name = request.algorithm;
+  if (EqualsIgnoreCase(algorithm_name, "auto")) {
+    algorithm_name =
+        request.problem.objective == cqp::Objective::kMaximizeDoi
+            ? "C-Boundaries"
+            : "MinCost-BB";
+  }
+  CQP_ASSIGN_OR_RETURN(const cqp::Algorithm* algorithm,
+                       cqp::GetAlgorithm(algorithm_name));
+  if (!algorithm->Supports(request.problem)) {
+    return FailedPrecondition(std::string(algorithm->name()) +
+                              " does not support problem: " +
+                              request.problem.ToString());
+  }
+
+  estimation::ParameterEstimator estimator(db_, cost_params_);
+
+  PersonalizeResult result;
+  CQP_ASSIGN_OR_RETURN(
+      result.space,
+      space::ExtractPreferenceSpace(query, *graph_, estimator,
+                                    request.problem, request.space_options));
+  CQP_ASSIGN_OR_RETURN(
+      result.solution,
+      algorithm->Solve(result.space, request.problem, &result.metrics));
+
+  CQP_ASSIGN_OR_RETURN(
+      result.personalized,
+      BuildPersonalizedQuery(*db_, query, result.space.prefs,
+                             result.solution.feasible ? result.solution.chosen
+                                                      : IndexSet(),
+                             request.build_options));
+  result.final_sql = result.personalized.ToSql();
+  return result;
+}
+
+StatusOr<exec::PersonalizedResultSet> Personalizer::Execute(
+    const PersonalizeResult& result, exec::ExecStats* stats) const {
+  exec::Executor executor(db_, cost_params_);
+  if (result.personalized.subqueries.empty()) {
+    // No preference integrated: run the (canonicalized) original query.
+    CQP_ASSIGN_OR_RETURN(exec::RowSet rows,
+                         executor.Execute(result.personalized.base, stats));
+    exec::PersonalizedResultSet out;
+    out.column_names = rows.column_names();
+    out.rows.reserve(rows.row_count());
+    for (const storage::Tuple& row : rows.rows()) {
+      out.rows.push_back(exec::PersonalizedRow{row, IndexSet(), 0.0});
+    }
+    return out;
+  }
+  CQP_ASSIGN_OR_RETURN(
+      exec::PersonalizedResultSet rows,
+      exec::ExecutePersonalized(executor, result.personalized.subqueries,
+                                result.personalized.dois,
+                                exec::CombineMode::kIntersection, stats));
+  // A LIMIT on the original query caps the doi-ranked delivery.
+  if (result.personalized.base.limit.has_value()) {
+    size_t cap = static_cast<size_t>(*result.personalized.base.limit);
+    if (rows.rows.size() > cap) rows.rows.resize(cap);
+  }
+  return rows;
+}
+
+}  // namespace cqp::construct

@@ -1,0 +1,75 @@
+#ifndef CQP_CONSTRUCT_PERSONALIZER_H_
+#define CQP_CONSTRUCT_PERSONALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "construct/query_builder.h"
+#include "cqp/algorithm.h"
+#include "cqp/problem.h"
+#include "exec/personalized_exec.h"
+#include "prefs/graph.h"
+#include "space/preference_space.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace cqp::construct {
+
+/// One end-to-end personalization request.
+struct PersonalizeRequest {
+  /// The original query, as SQL text. Ignored if `query` is set.
+  std::string sql;
+  /// Alternatively, the parsed query (used when from is non-empty).
+  sql::SelectQuery query;
+  /// The CQP problem derived from the search context.
+  cqp::ProblemSpec problem;
+  /// Search algorithm name (see cqp::AlgorithmNames()), or "auto" to pick
+  /// the exact solver matching the problem's objective.
+  std::string algorithm = "C-MaxBounds";
+  space::PreferenceSpaceOptions space_options;
+  BuildOptions build_options;
+};
+
+/// Everything a caller needs from a personalization run.
+struct PersonalizeResult {
+  space::PreferenceSpaceResult space;  ///< extracted preference space
+  cqp::Solution solution;              ///< chosen subset of P
+  cqp::SearchMetrics metrics;          ///< search instrumentation
+  PersonalizedQuery personalized;      ///< constructed rewriting
+  std::string final_sql;               ///< rendered SQL text
+};
+
+/// Facade wiring the full §4.2 architecture: Preference Space → CQP State
+/// Space Search → Personalized Query Construction (execution is exposed
+/// separately so callers can inspect the query first).
+class Personalizer {
+ public:
+  /// `db` must be Analyze()d and outlive the personalizer; `graph` is the
+  /// user's personalization graph.
+  Personalizer(const storage::Database* db,
+               const prefs::PersonalizationGraph* graph,
+               exec::CostModelParams cost_params = exec::CostModelParams());
+
+  /// Runs preference extraction, search and query construction.
+  /// When no feasible personalized query exists (not even the original
+  /// query satisfies the constraints), the result's solution.feasible is
+  /// false and the original query is returned unmodified.
+  StatusOr<PersonalizeResult> Personalize(
+      const PersonalizeRequest& request) const;
+
+  /// Executes a personalization result against the database, returning
+  /// doi-ranked rows. Runs the plain query when no preference was chosen.
+  StatusOr<exec::PersonalizedResultSet> Execute(
+      const PersonalizeResult& result, exec::ExecStats* stats) const;
+
+  const storage::Database& db() const { return *db_; }
+
+ private:
+  const storage::Database* db_;
+  const prefs::PersonalizationGraph* graph_;
+  exec::CostModelParams cost_params_;
+};
+
+}  // namespace cqp::construct
+
+#endif  // CQP_CONSTRUCT_PERSONALIZER_H_

@@ -1,0 +1,59 @@
+#ifndef CQP_CQP_ALGORITHM_H_
+#define CQP_CQP_ALGORITHM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/index_set.h"
+#include "common/status.h"
+#include "cqp/metrics.h"
+#include "cqp/problem.h"
+#include "estimation/evaluator.h"
+#include "space/preference_space.h"
+
+namespace cqp::cqp {
+
+/// The outcome of a CQP search: the subset of P to integrate into Q.
+struct Solution {
+  /// False when no personalized query (not even the original query, i.e.
+  /// the empty subset) satisfies the problem's constraints.
+  bool feasible = false;
+  /// Chosen preferences as indices into PreferenceSpaceResult::prefs.
+  IndexSet chosen;
+  /// Estimated parameters of the chosen state.
+  estimation::StateParams params;
+};
+
+/// A CQP state-space search algorithm (paper §5.2).
+///
+/// Implementations are stateless; a single instance may be shared.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Paper name, e.g. "C-Boundaries".
+  virtual const char* name() const = 0;
+
+  /// True if Solve() can handle `problem` (possibly heuristically).
+  virtual bool Supports(const ProblemSpec& problem) const = 0;
+
+  /// True if Solve() is guaranteed to return the optimum for `problem`.
+  virtual bool IsExactFor(const ProblemSpec& problem) const = 0;
+
+  /// Searches the preference space. `metrics` may be nullptr.
+  /// Returns a Solution with feasible == false when no state (including
+  /// the empty one) satisfies the constraints.
+  virtual StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
+                                   const ProblemSpec& problem,
+                                   SearchMetrics* metrics) const = 0;
+};
+
+/// Names of all registered algorithms, in a stable presentation order.
+std::vector<std::string> AlgorithmNames();
+
+/// Looks up a registered algorithm by (case-insensitive) name.
+StatusOr<const Algorithm*> GetAlgorithm(const std::string& name);
+
+}  // namespace cqp::cqp
+
+#endif  // CQP_CQP_ALGORITHM_H_

@@ -1,0 +1,75 @@
+#include "common/stopwatch.h"
+#include "cqp/algorithms.h"
+#include "cqp/search_util.h"
+#include "cqp/transitions.h"
+
+namespace cqp::cqp {
+
+bool CBoundariesAlgorithm::Supports(const ProblemSpec& problem) const {
+  return problem.Validate().ok() &&
+         problem.objective == Objective::kMaximizeDoi &&
+         BoundSpaceKindFor(problem).ok();
+}
+
+bool CBoundariesAlgorithm::IsExactFor(const ProblemSpec& problem) const {
+  // Exact for all doi-maximization problems: phase 2 uses the exact greedy
+  // slot-swap when feasibility coincides with the binding bound, and a full
+  // region scan of the dominated cones otherwise.
+  return Supports(problem);
+}
+
+StatusOr<Solution> CBoundariesAlgorithm::Solve(
+    const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
+    SearchMetrics* metrics) const {
+  CQP_RETURN_IF_ERROR(problem.Validate());
+  CQP_ASSIGN_OR_RETURN(SpaceKind kind, BoundSpaceKindFor(problem));
+  Stopwatch timer;
+  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  SpaceView view = SpaceView::ForKind(&evaluator, &problem, kind, space);
+  const size_t k = view.K();
+
+  // ---- Phase 1: FINDBOUNDARY (paper Fig. 5) ----
+  // Breadth-first over groups: Vertical neighbors are pushed to the front
+  // (finish the current group), Horizontal successors to the back (start
+  // the next group).
+  BoundaryStore boundaries(metrics);
+  if (k > 0) {
+    VisitedSet visited(metrics);
+    StateQueue queue(metrics);
+    IndexSet first({0});
+    visited.CheckAndInsert(first);
+    queue.PushBack(std::move(first));
+
+    while (!queue.empty()) {
+      if (HitResourceLimit(metrics)) break;
+      IndexSet state = queue.PopFront();
+      // prune(): nodes below an already-found boundary of the same group
+      // satisfy the bound but are covered by phase 2 (paper's c2c5 case).
+      if (boundaries.DominatesAny(state)) continue;
+      estimation::StateParams params = view.Evaluate(state, metrics);
+      if (view.WithinBound(params)) {
+        boundaries.Add(state);
+        if (metrics != nullptr) ++metrics->transitions;
+        if (std::optional<IndexSet> h = Horizontal(state, k)) {
+          if (!visited.CheckAndInsert(*h)) queue.PushBack(std::move(*h));
+        }
+      } else {
+        for (IndexSet& v : VerticalNeighbors(state, k)) {
+          if (metrics != nullptr) ++metrics->transitions;
+          if (visited.CheckAndInsert(v)) continue;
+          if (boundaries.DominatesAny(v)) continue;
+          queue.PushFront(std::move(v));
+        }
+      }
+    }
+  }
+
+  // ---- Phase 2: C_FINDMAXDOI ----
+  Solution best = BestFeasibleBelowBoundaries(
+      view, boundaries.DescendingBySize(), metrics);
+
+  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  return best;
+}
+
+}  // namespace cqp::cqp

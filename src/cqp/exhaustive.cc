@@ -1,0 +1,80 @@
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "cqp/algorithms.h"
+#include "cqp/search_util.h"
+
+namespace cqp::cqp {
+
+namespace {
+
+/// 2^K grows past interactive use beyond this; callers wanting larger K
+/// should use the boundary or chain algorithms.
+constexpr size_t kMaxExhaustiveK = 25;
+
+struct ExhaustiveContext {
+  const estimation::StateEvaluator* evaluator;
+  const ProblemSpec* problem;
+  SearchMetrics* metrics;
+  Solution best;
+  std::vector<int32_t> current;
+};
+
+void Recurse(ExhaustiveContext& ctx, size_t i,
+             const estimation::StateParams& params) {
+  if (i >= ctx.evaluator->K()) {
+    // Each subset of P reaches this point exactly once.
+    if (ctx.metrics != nullptr) ++ctx.metrics->states_examined;
+    if (ctx.problem->IsFeasible(params) &&
+        (!ctx.best.feasible || ctx.problem->Better(params, ctx.best.params))) {
+      ctx.best.feasible = true;
+      ctx.best.params = params;
+      ctx.best.chosen = IndexSet::FromUnsorted(ctx.current);
+    }
+    return;
+  }
+  // Exclude preference i.
+  Recurse(ctx, i + 1, params);
+  // Include preference i.
+  ctx.current.push_back(static_cast<int32_t>(i));
+  Recurse(ctx, i + 1,
+          ctx.evaluator->ExtendWith(params, static_cast<int32_t>(i)));
+  ctx.current.pop_back();
+}
+
+}  // namespace
+
+bool ExhaustiveAlgorithm::Supports(const ProblemSpec& problem) const {
+  return problem.Validate().ok();
+}
+
+bool ExhaustiveAlgorithm::IsExactFor(const ProblemSpec& problem) const {
+  return Supports(problem);
+}
+
+StatusOr<Solution> ExhaustiveAlgorithm::Solve(
+    const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
+    SearchMetrics* metrics) const {
+  CQP_RETURN_IF_ERROR(problem.Validate());
+  if (space.K() > kMaxExhaustiveK) {
+    return FailedPrecondition(
+        "Exhaustive search refuses K > 25 (exponential state space)");
+  }
+  Stopwatch timer;
+  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+
+  ExhaustiveContext ctx;
+  ctx.evaluator = &evaluator;
+  ctx.problem = &problem;
+  ctx.metrics = metrics;
+  ctx.best = InfeasibleSolution(evaluator);
+  // Note: Recurse visits states once each, evaluating incrementally; it
+  // visits the empty state first, so the fallback "original query" is
+  // always considered.
+  Recurse(ctx, 0, evaluator.EmptyState());
+
+  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  return ctx.best;
+}
+
+}  // namespace cqp::cqp

@@ -1,0 +1,55 @@
+#ifndef CQP_CQP_METRICS_H_
+#define CQP_CQP_METRICS_H_
+
+#include <cstdint>
+
+#include "common/memory_meter.h"
+
+namespace cqp::cqp {
+
+/// Instrumentation of one search-algorithm run, feeding the Fig. 12/13
+/// reproductions. Also carries optional *input* resource limits: a search
+/// that hits one stops early, keeps its best solution so far and sets
+/// `truncated` — truncation is always explicit, never silent.
+struct SearchMetrics {
+  // ---- inputs ----
+  /// Stop after this many state evaluations (0 = unlimited).
+  uint64_t state_limit = 0;
+  /// Stop when the tracked working set exceeds this (0 = unlimited).
+  size_t memory_limit_bytes = 0;
+
+  // ---- outputs ----
+  /// True when a limit stopped the search before completion; exact
+  /// algorithms lose their optimality guarantee on truncated runs.
+  bool truncated = false;
+  /// Number of states whose parameters were evaluated.
+  uint64_t states_examined = 0;
+  /// Number of transitions generated (Horizontal + Vertical + Horizontal2
+  /// extensions attempted).
+  uint64_t transitions = 0;
+  /// Boundaries / maximal boundaries / chain solutions found in phase 1.
+  uint64_t boundaries_found = 0;
+  /// Wall-clock time of Solve(), milliseconds.
+  double wall_ms = 0.0;
+  /// Logical working-set accounting (queues, visited sets, boundary lists).
+  MemoryMeter memory;
+
+  void Reset() { *this = SearchMetrics{}; }
+};
+
+/// True when `metrics` (may be nullptr) has exceeded one of its resource
+/// limits; marks the run truncated. Search loops call this at their heads
+/// and stop — keeping whatever solution they have — when it fires.
+inline bool HitResourceLimit(SearchMetrics* metrics) {
+  if (metrics == nullptr) return false;
+  bool hit = (metrics->state_limit != 0 &&
+              metrics->states_examined >= metrics->state_limit) ||
+             (metrics->memory_limit_bytes != 0 &&
+              metrics->memory.current_bytes() >= metrics->memory_limit_bytes);
+  if (hit) metrics->truncated = true;
+  return hit;
+}
+
+}  // namespace cqp::cqp
+
+#endif  // CQP_CQP_METRICS_H_

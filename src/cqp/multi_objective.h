@@ -1,0 +1,83 @@
+#ifndef CQP_CQP_MULTI_OBJECTIVE_H_
+#define CQP_CQP_MULTI_OBJECTIVE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/index_set.h"
+#include "common/status.h"
+#include "cqp/algorithm.h"
+#include "cqp/metrics.h"
+#include "space/preference_space.h"
+
+namespace cqp::cqp {
+
+/// Multi-objective constrained query personalization — the future-work
+/// direction the paper names in §8 ("more than one query parameter may be
+/// optimized simultaneously"), implemented here as an extension.
+///
+/// Two complementary tools are provided:
+///  * ParetoFront() enumerates the personalized queries that are
+///    Pareto-optimal in (doi ↑, cost ↓) under optional size constraints —
+///    the full interest/latency trade-off curve a context policy can pick
+///    from;
+///  * SolveScalarized() maximizes a weighted combination of the parameters
+///    with an exact branch-and-bound.
+
+/// A weighted-sum objective over the three query parameters. Cost and size
+/// enter normalized (divide by the scale fields) so the weights are
+/// comparable to doi's [0, 1] range:
+///
+///   score(s) = doi_weight·doi(s) − cost_weight·cost(s)/cost_scale
+///                                − size_weight·size(s)/size_scale
+struct MultiObjectiveSpec {
+  double doi_weight = 1.0;
+  double cost_weight = 0.0;
+  double size_weight = 0.0;
+  /// Normalizers; sensible defaults are the Supreme Cost and size(Q).
+  double cost_scale = 1.0;
+  double size_scale = 1.0;
+
+  /// Optional hard constraints, same semantics as ProblemSpec.
+  std::optional<double> cmax_ms;
+  std::optional<double> dmin;
+  std::optional<double> smin;
+  std::optional<double> smax;
+
+  /// Weights must be non-negative with at least one positive; scales
+  /// must be positive.
+  Status Validate() const;
+
+  double Score(const estimation::StateParams& params) const;
+  bool IsFeasible(const estimation::StateParams& params) const;
+
+  std::string ToString() const;
+};
+
+/// One point of the trade-off curve.
+struct ParetoPoint {
+  IndexSet chosen;  ///< P indices
+  estimation::StateParams params;
+};
+
+/// Enumerates all feasible states that are Pareto-optimal in
+/// (doi maximal, cost minimal), subject to the spec's hard constraints.
+/// Exhaustive over 2^K states; refuses K > 20. Points are returned in
+/// increasing cost (hence increasing doi) order; ties on both parameters
+/// keep one representative.
+StatusOr<std::vector<ParetoPoint>> ParetoFront(
+    const space::PreferenceSpaceResult& space, const MultiObjectiveSpec& spec,
+    SearchMetrics* metrics);
+
+/// Maximizes spec.Score over all feasible states. Exact branch-and-bound:
+/// the admissible bound combines the best doi still reachable (suffix
+/// combination) with the facts that cost only grows and size only shrinks
+/// along extensions.
+StatusOr<Solution> SolveScalarized(const space::PreferenceSpaceResult& space,
+                                   const MultiObjectiveSpec& spec,
+                                   SearchMetrics* metrics);
+
+}  // namespace cqp::cqp
+
+#endif  // CQP_CQP_MULTI_OBJECTIVE_H_

@@ -1,0 +1,128 @@
+#include "cqp/problem.h"
+
+#include "common/str_util.h"
+
+namespace cqp::cqp {
+
+ProblemSpec ProblemSpec::Problem1(double smin, double smax) {
+  ProblemSpec s;
+  s.objective = Objective::kMaximizeDoi;
+  s.smin = smin;
+  s.smax = smax;
+  return s;
+}
+
+ProblemSpec ProblemSpec::Problem2(double cmax_ms) {
+  ProblemSpec s;
+  s.objective = Objective::kMaximizeDoi;
+  s.cmax_ms = cmax_ms;
+  return s;
+}
+
+ProblemSpec ProblemSpec::Problem3(double cmax_ms, double smin, double smax) {
+  ProblemSpec s;
+  s.objective = Objective::kMaximizeDoi;
+  s.cmax_ms = cmax_ms;
+  s.smin = smin;
+  s.smax = smax;
+  return s;
+}
+
+ProblemSpec ProblemSpec::Problem4(double dmin) {
+  ProblemSpec s;
+  s.objective = Objective::kMinimizeCost;
+  s.dmin = dmin;
+  return s;
+}
+
+ProblemSpec ProblemSpec::Problem5(double dmin, double smin, double smax) {
+  ProblemSpec s;
+  s.objective = Objective::kMinimizeCost;
+  s.dmin = dmin;
+  s.smin = smin;
+  s.smax = smax;
+  return s;
+}
+
+ProblemSpec ProblemSpec::Problem6(double smin, double smax) {
+  ProblemSpec s;
+  s.objective = Objective::kMinimizeCost;
+  s.smin = smin;
+  s.smax = smax;
+  return s;
+}
+
+int ProblemSpec::ProblemNumber() const {
+  bool size = smin.has_value() || smax.has_value();
+  if (objective == Objective::kMaximizeDoi) {
+    if (dmin.has_value()) return 0;  // redundant doi bound
+    if (!cmax_ms && size) return 1;
+    if (cmax_ms && !size) return 2;
+    if (cmax_ms && size) return 3;
+    return 0;  // unconstrained maximization: take all of P (trivial)
+  }
+  // kMinimizeCost
+  if (cmax_ms.has_value()) return 0;  // redundant cost bound
+  if (dmin && !size) return 4;
+  if (dmin && size) return 5;
+  if (!dmin && size) return 6;
+  return 0;  // unconstrained minimization: empty Px (trivial)
+}
+
+Status ProblemSpec::Validate() const {
+  if (smin && *smin < 0.0) return InvalidArgument("smin must be >= 0");
+  if (smax && *smax < 0.0) return InvalidArgument("smax must be >= 0");
+  if (smin && smax && *smin > *smax) {
+    return InvalidArgument("smin must be <= smax");
+  }
+  if (cmax_ms && *cmax_ms < 0.0) return InvalidArgument("cmax must be >= 0");
+  if (dmin && (*dmin < 0.0 || *dmin > 1.0)) {
+    return InvalidArgument("dmin must be in [0,1]");
+  }
+  if (ProblemNumber() == 0) {
+    return InvalidArgument(
+        "objective/constraint combination is not a meaningful CQP problem "
+        "(Table 1): " +
+        ToString());
+  }
+  return Status::OK();
+}
+
+bool ProblemSpec::IsFeasible(const estimation::StateParams& p) const {
+  if (cmax_ms && p.cost_ms > *cmax_ms) return false;
+  if (dmin && p.doi < *dmin) return false;
+  if (smin && p.size < *smin) return false;
+  if (smax && p.size > *smax) return false;
+  return true;
+}
+
+bool ProblemSpec::Better(const estimation::StateParams& a,
+                         const estimation::StateParams& b) const {
+  return ObjectiveValue(a) > ObjectiveValue(b);
+}
+
+double ProblemSpec::ObjectiveValue(const estimation::StateParams& p) const {
+  switch (objective) {
+    case Objective::kMaximizeDoi:
+      return p.doi;
+    case Objective::kMinimizeCost:
+      return -p.cost_ms;
+  }
+  return 0.0;
+}
+
+std::string ProblemSpec::ToString() const {
+  std::string out = objective == Objective::kMaximizeDoi ? "MAX doi" : "MIN cost";
+  if (cmax_ms) out += StrFormat(", cost <= %.3fms", *cmax_ms);
+  if (dmin) out += StrFormat(", doi >= %.4f", *dmin);
+  if (smin && smax) {
+    out += StrFormat(", %.1f <= size <= %.1f", *smin, *smax);
+  } else if (smin) {
+    out += StrFormat(", size >= %.1f", *smin);
+  } else if (smax) {
+    out += StrFormat(", size <= %.1f", *smax);
+  }
+  return out;
+}
+
+}  // namespace cqp::cqp

@@ -1,0 +1,62 @@
+#ifndef CQP_CQP_PROBLEM_H_
+#define CQP_CQP_PROBLEM_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "estimation/evaluator.h"
+
+namespace cqp::cqp {
+
+/// Which query parameter a CQP problem optimizes (Table 1).
+enum class Objective {
+  kMaximizeDoi,
+  kMinimizeCost,
+};
+
+/// A Constrained Query Personalization problem instance: one objective plus
+/// range constraints on the remaining query parameters (paper §4.1,
+/// Table 1). Per the parameter properties, doi may only be maximized or
+/// lower-bounded, cost minimized or upper-bounded, and size kept within
+/// [smin, smax] (smin defaults to 1: empty answers are always undesirable).
+struct ProblemSpec {
+  Objective objective = Objective::kMaximizeDoi;
+  std::optional<double> cmax_ms;  ///< upper bound on execution cost
+  std::optional<double> dmin;     ///< lower bound on doi
+  std::optional<double> smin;     ///< lower bound on result size
+  std::optional<double> smax;     ///< upper bound on result size
+
+  /// Table 1 constructors.
+  static ProblemSpec Problem1(double smin, double smax);
+  static ProblemSpec Problem2(double cmax_ms);
+  static ProblemSpec Problem3(double cmax_ms, double smin, double smax);
+  static ProblemSpec Problem4(double dmin);
+  static ProblemSpec Problem5(double dmin, double smin, double smax);
+  static ProblemSpec Problem6(double smin, double smax);
+
+  /// Classifies the spec as one of Table 1's problems (1-6), or 0 if the
+  /// combination does not match a row of the table.
+  int ProblemNumber() const;
+
+  /// Rejects meaningless combinations (e.g. maximizing doi while also
+  /// lower-bounding it is redundant; minimizing cost with no constraint at
+  /// all has the trivial solution "empty Px").
+  Status Validate() const;
+
+  /// True iff a state with parameters `p` satisfies every constraint.
+  bool IsFeasible(const estimation::StateParams& p) const;
+
+  /// True iff `a` is strictly better than `b` under the objective.
+  bool Better(const estimation::StateParams& a,
+              const estimation::StateParams& b) const;
+
+  /// Objective value (doi, or negated cost so that larger is better).
+  double ObjectiveValue(const estimation::StateParams& p) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace cqp::cqp
+
+#endif  // CQP_CQP_PROBLEM_H_

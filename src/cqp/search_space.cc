@@ -1,0 +1,128 @@
+#include "cqp/search_space.h"
+
+#include "common/logging.h"
+
+namespace cqp::cqp {
+
+const char* SpaceKindName(SpaceKind kind) {
+  switch (kind) {
+    case SpaceKind::kCost:
+      return "cost";
+    case SpaceKind::kDoi:
+      return "doi";
+    case SpaceKind::kSize:
+      return "size";
+  }
+  return "?";
+}
+
+SpaceView::SpaceView(const estimation::StateEvaluator* evaluator,
+                     const ProblemSpec* problem, SpaceKind kind,
+                     std::vector<int32_t> order)
+    : evaluator_(evaluator),
+      problem_(problem),
+      kind_(kind),
+      order_(std::move(order)) {
+  CQP_CHECK(evaluator_ != nullptr);
+  CQP_CHECK(problem_ != nullptr);
+  CQP_CHECK_EQ(order_.size(), evaluator_->K());
+}
+
+SpaceView SpaceView::ForKind(const estimation::StateEvaluator* evaluator,
+                             const ProblemSpec* problem, SpaceKind kind,
+                             const space::PreferenceSpaceResult& result) {
+  switch (kind) {
+    case SpaceKind::kCost:
+      CQP_CHECK_EQ(result.C.size(), result.prefs.size())
+          << "cost vector missing: extract with build_cost_size_vectors";
+      return SpaceView(evaluator, problem, kind, result.C);
+    case SpaceKind::kDoi:
+      return SpaceView(evaluator, problem, kind, result.D);
+    case SpaceKind::kSize:
+      CQP_CHECK_EQ(result.S.size(), result.prefs.size())
+          << "size vector missing: extract with build_cost_size_vectors";
+      return SpaceView(evaluator, problem, kind, result.S);
+  }
+  CQP_CHECK(false) << "unreachable";
+  return SpaceView(evaluator, problem, kind, {});
+}
+
+IndexSet SpaceView::ToPrefIndices(const IndexSet& positions) const {
+  std::vector<int32_t> indices;
+  indices.reserve(positions.size());
+  for (int32_t pos : positions) {
+    indices.push_back(order_[static_cast<size_t>(pos)]);
+  }
+  return IndexSet::FromUnsorted(std::move(indices));
+}
+
+estimation::StateParams SpaceView::Evaluate(const IndexSet& positions,
+                                            SearchMetrics* metrics) const {
+  if (metrics != nullptr) ++metrics->states_examined;
+  estimation::StateParams params = evaluator_->EmptyState();
+  for (int32_t pos : positions) {
+    params = evaluator_->ExtendWith(params, order_[static_cast<size_t>(pos)]);
+  }
+  return params;
+}
+
+estimation::StateParams SpaceView::ExtendWith(
+    const estimation::StateParams& parent, int32_t position,
+    SearchMetrics* metrics) const {
+  if (metrics != nullptr) {
+    ++metrics->states_examined;
+    ++metrics->transitions;
+  }
+  return evaluator_->ExtendWith(parent,
+                                order_[static_cast<size_t>(position)]);
+}
+
+bool SpaceView::WithinBound(const estimation::StateParams& params) const {
+  switch (kind_) {
+    case SpaceKind::kCost:
+      // Phase-1 boundary search in the cost space is steered by the cost
+      // bound only; other constraints are checked in phase 2, because
+      // Vertical moves in this space have a known effect on cost alone.
+      return !problem_->cmax_ms || params.cost_ms <= *problem_->cmax_ms;
+    case SpaceKind::kSize:
+      return !problem_->smin || params.size >= *problem_->smin;
+    case SpaceKind::kDoi:
+      // The doi-space chain algorithms only rely on the bound degrading
+      // monotonically along Horizontal moves, which holds for the
+      // conjunction of both degrading constraints.
+      if (problem_->cmax_ms && params.cost_ms > *problem_->cmax_ms) {
+        return false;
+      }
+      if (problem_->smin && params.size < *problem_->smin) return false;
+      return true;
+  }
+  return true;
+}
+
+bool SpaceView::GreedyPhase2Exact() const {
+  // The slot-swap scan below a boundary (C_FINDMAXDOI) relies on every swap
+  // preserving the bound, which is only guaranteed for the space's own key
+  // parameter. Constraints on other parameters force a region scan.
+  switch (kind_) {
+    case SpaceKind::kCost:
+      return !problem_->smin.has_value() && !problem_->smax.has_value();
+    case SpaceKind::kSize:
+      return !problem_->cmax_ms.has_value() && !problem_->smax.has_value();
+    case SpaceKind::kDoi:
+      return false;  // phase-2 swaps are not used in the doi space
+  }
+  return false;
+}
+
+double SpaceView::BestExpectedDoi(size_t n) const {
+  estimation::StateParams params = evaluator_->EmptyState();
+  size_t limit = std::min(n, evaluator_->K());
+  // P is sorted by doi descending, so the first `limit` P-indices are the
+  // best preferences.
+  for (size_t i = 0; i < limit; ++i) {
+    params = evaluator_->ExtendWith(params, static_cast<int32_t>(i));
+  }
+  return params.doi;
+}
+
+}  // namespace cqp::cqp

@@ -1,0 +1,172 @@
+#include "cqp/search_util.h"
+
+#include <algorithm>
+
+#include "cqp/transitions.h"
+
+namespace cqp::cqp {
+
+IndexSet GreedyMaxDoiBelow(const SpaceView& view, const IndexSet& boundary) {
+  const int32_t k = static_cast<int32_t>(view.K());
+  std::vector<int32_t> chosen;
+  chosen.reserve(boundary.size());
+  std::vector<bool> used(static_cast<size_t>(k), false);
+  // Slots in decreasing position order: the most constrained candidate set
+  // {j >= position} first. Candidate sets are nested, so taking the best
+  // remaining doi per slot is exact (exchange argument).
+  for (size_t i = boundary.size(); i-- > 0;) {
+    int32_t slot = boundary[i];
+    int32_t best_j = -1;
+    int32_t best_pref = INT32_MAX;
+    for (int32_t j = slot; j < k; ++j) {
+      if (used[static_cast<size_t>(j)]) continue;
+      // P is doi-sorted, so the smallest P index has the highest doi.
+      int32_t pref = view.PrefIndexAt(j);
+      if (pref < best_pref) {
+        best_pref = pref;
+        best_j = j;
+      }
+    }
+    CQP_CHECK_GE(best_j, 0);
+    used[static_cast<size_t>(best_j)] = true;
+    chosen.push_back(best_j);
+  }
+  return IndexSet::FromUnsorted(std::move(chosen));
+}
+
+Solution MakeSolution(const SpaceView& view, const IndexSet& positions,
+                      const estimation::StateParams& params) {
+  Solution s;
+  s.feasible = true;
+  s.chosen = view.ToPrefIndices(positions);
+  s.params = params;
+  return s;
+}
+
+Solution InfeasibleSolution(const estimation::StateEvaluator& evaluator) {
+  Solution s;
+  s.feasible = false;
+  s.params = evaluator.EmptyState();
+  return s;
+}
+
+StatusOr<SpaceKind> BoundSpaceKindFor(const ProblemSpec& problem) {
+  if (problem.cmax_ms.has_value()) return SpaceKind::kCost;
+  if (problem.smin.has_value()) return SpaceKind::kSize;
+  return FailedPrecondition(
+      "boundary algorithms need a cost or size lower-bound constraint: " +
+      problem.ToString());
+}
+
+FillResult GreedyFill(const SpaceView& view, IndexSet state,
+                      estimation::StateParams params,
+                      const std::vector<bool>* banned,
+                      SearchMetrics* metrics) {
+  bool extended = true;
+  while (extended) {
+    extended = false;
+    for (int32_t j : Horizontal2Candidates(state, view.K())) {
+      if (banned != nullptr && (*banned)[static_cast<size_t>(j)]) continue;
+      estimation::StateParams next = view.ExtendWith(params, j, metrics);
+      if (view.WithinBound(next)) {
+        state = state.WithAdded(j);
+        params = next;
+        extended = true;
+        break;
+      }
+    }
+  }
+  return FillResult{std::move(state), params};
+}
+
+namespace {
+
+/// Exhaustively scans the dominated cone of `boundary` for feasible states,
+/// updating `best`. `visited` is shared across boundaries so overlapping
+/// cones are not re-scanned.
+void RegionScan(const SpaceView& view, const IndexSet& boundary,
+                VisitedSet& visited, SearchMetrics* metrics, Solution* best) {
+  StateQueue queue(metrics);
+  if (visited.CheckAndInsert(boundary)) return;  // cone already scanned
+  queue.PushBack(boundary);
+  while (!queue.empty()) {
+    if (HitResourceLimit(metrics)) break;
+    IndexSet state = queue.PopFront();
+    estimation::StateParams params = view.Evaluate(state, metrics);
+    if (view.Feasible(params)) {
+      if (!best->feasible || view.problem().Better(params, best->params)) {
+        *best = MakeSolution(view, state, params);
+      }
+    }
+    for (IndexSet& v : VerticalNeighbors(state, view.K())) {
+      if (metrics != nullptr) ++metrics->transitions;
+      if (visited.CheckAndInsert(v)) continue;
+      queue.PushBack(std::move(v));
+    }
+  }
+}
+
+}  // namespace
+
+Solution BestFeasibleBelowBoundaries(const SpaceView& view,
+                                     const std::vector<IndexSet>& boundaries,
+                                     SearchMetrics* metrics) {
+  CQP_CHECK(view.problem().objective == Objective::kMaximizeDoi)
+      << "phase-2 boundary scan maximizes doi";
+  Solution best = InfeasibleSolution(view.evaluator());
+  // The empty state (the original query) is always a candidate.
+  {
+    estimation::StateParams empty = view.evaluator().EmptyState();
+    if (metrics != nullptr) ++metrics->states_examined;
+    if (view.problem().IsFeasible(empty)) {
+      best.feasible = true;
+      best.chosen = IndexSet();
+      best.params = empty;
+    }
+  }
+
+  std::vector<IndexSet> ordered = boundaries;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const IndexSet& a, const IndexSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+
+  const bool greedy_exact = view.GreedyPhase2Exact();
+  VisitedSet region_visited(metrics);
+  size_t current_group = SIZE_MAX;
+  double group_bound = 1.0;
+
+  for (const IndexSet& boundary : ordered) {
+    if (boundary.empty()) continue;
+    if (boundary.size() != current_group) {
+      current_group = boundary.size();
+      // Upper bound on the doi of any state in this or a smaller group
+      // (BestExpectedDoi in the paper's C_FINDMAXDOI).
+      group_bound = view.BestExpectedDoi(current_group);
+      if (best.feasible && best.params.doi >= group_bound) break;
+    }
+    if (greedy_exact) {
+      IndexSet candidate = GreedyMaxDoiBelow(view, boundary);
+      estimation::StateParams params = view.Evaluate(candidate, metrics);
+      CQP_CHECK(view.WithinBound(params))
+          << "slot-swap left the binding bound: " << candidate.ToString();
+      if (view.Feasible(params) &&
+          (!best.feasible || view.problem().Better(params, best.params))) {
+        best = MakeSolution(view, candidate, params);
+      }
+      continue;
+    }
+    // Constraints beyond the space key exist: the greedy result still upper
+    // bounds the doi below this boundary, letting us skip hopeless cones.
+    IndexSet greedy = GreedyMaxDoiBelow(view, boundary);
+    estimation::StateParams greedy_params = view.Evaluate(greedy, metrics);
+    if (best.feasible && !view.problem().Better(greedy_params, best.params)) {
+      continue;
+    }
+    RegionScan(view, boundary, region_visited, metrics, &best);
+  }
+  return best;
+}
+
+}  // namespace cqp::cqp

@@ -1,0 +1,171 @@
+#ifndef CQP_CQP_SEARCH_UTIL_H_
+#define CQP_CQP_SEARCH_UTIL_H_
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/index_set.h"
+#include "cqp/algorithm.h"
+#include "cqp/metrics.h"
+#include "cqp/search_space.h"
+
+namespace cqp::cqp {
+
+/// Visited-state set with MemoryMeter accounting.
+class VisitedSet {
+ public:
+  explicit VisitedSet(SearchMetrics* metrics) : metrics_(metrics) {}
+
+  /// Returns true if `state` was already present; inserts it otherwise.
+  bool CheckAndInsert(const IndexSet& state) {
+    auto [it, inserted] = set_.insert(state);
+    if (inserted && metrics_ != nullptr) {
+      metrics_->memory.Allocate(state.MemoryBytes());
+    }
+    return !inserted;
+  }
+
+  bool Contains(const IndexSet& state) const { return set_.count(state) > 0; }
+  size_t size() const { return set_.size(); }
+
+ private:
+  std::unordered_set<IndexSet, IndexSetHash> set_;
+  SearchMetrics* metrics_;
+};
+
+/// FIFO/LIFO hybrid work queue (Vertical neighbors go to the front so a
+/// group is exhausted before the next one starts), with memory accounting.
+class StateQueue {
+ public:
+  explicit StateQueue(SearchMetrics* metrics) : metrics_(metrics) {}
+
+  void PushBack(IndexSet state) {
+    Account(state);
+    queue_.push_back(std::move(state));
+  }
+  void PushFront(IndexSet state) {
+    Account(state);
+    queue_.push_front(std::move(state));
+  }
+  IndexSet PopFront() {
+    IndexSet out = std::move(queue_.front());
+    queue_.pop_front();
+    if (metrics_ != nullptr) metrics_->memory.Release(out.MemoryBytes());
+    return out;
+  }
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+ private:
+  void Account(const IndexSet& state) {
+    if (metrics_ != nullptr) metrics_->memory.Allocate(state.MemoryBytes());
+  }
+
+  std::deque<IndexSet> queue_;
+  SearchMetrics* metrics_;
+};
+
+/// Boundaries found during phase 1, grouped by group size, with domination
+/// queries used by prune() (paper: nodes below an already-found boundary
+/// need not be visited).
+class BoundaryStore {
+ public:
+  explicit BoundaryStore(SearchMetrics* metrics) : metrics_(metrics) {}
+
+  /// Stores `boundary`, dropping previously stored boundaries of the same
+  /// group it dominates: their cones are subsets of the new one (domination
+  /// is transitive), so they are redundant for both pruning and phase 2.
+  /// This keeps only the maximal boundaries without changing which states
+  /// the search visits.
+  void Add(const IndexSet& boundary) {
+    std::vector<IndexSet>& group = by_size_[boundary.size()];
+    for (size_t i = group.size(); i-- > 0;) {
+      if (boundary.Dominates(group[i])) {
+        if (metrics_ != nullptr) {
+          metrics_->memory.Release(group[i].MemoryBytes());
+        }
+        group.erase(group.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+    group.push_back(boundary);
+    if (metrics_ != nullptr) {
+      metrics_->memory.Allocate(boundary.MemoryBytes());
+      ++metrics_->boundaries_found;
+    }
+  }
+
+  /// True if some stored boundary of the same group dominates `state`
+  /// (i.e. `state` is reachable from it via Vertical transitions).
+  bool DominatesAny(const IndexSet& state) const {
+    auto it = by_size_.find(state.size());
+    if (it == by_size_.end()) return false;
+    for (const IndexSet& b : it->second) {
+      if (b == state) continue;
+      if (b.Dominates(state)) return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return by_size_.empty(); }
+
+  /// All boundaries ordered by decreasing group size (phase-2 order).
+  std::vector<IndexSet> DescendingBySize() const {
+    std::vector<IndexSet> out;
+    for (auto it = by_size_.rbegin(); it != by_size_.rend(); ++it) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    return out;
+  }
+
+ private:
+  std::map<size_t, std::vector<IndexSet>> by_size_;
+  SearchMetrics* metrics_;
+};
+
+/// The paper's C_FINDMAXDOI slot-swap: the maximum-doi state dominated by
+/// `boundary` (positions), exact under SpaceView::GreedyPhase2Exact().
+/// Returns a position-set.
+IndexSet GreedyMaxDoiBelow(const SpaceView& view, const IndexSet& boundary);
+
+/// Phase 2 for doi-maximization problems: the best feasible state at or
+/// below any of `boundaries` (position-sets), also considering the empty
+/// state. Uses the greedy slot-swap when exact for the view, otherwise an
+/// exhaustive region scan of each boundary's dominated cone (needed when
+/// constraints beyond the space's key exist, e.g. smax — the paper's
+/// Up/Low-boundary enhancement of §6 generalized).
+Solution BestFeasibleBelowBoundaries(const SpaceView& view,
+                                     const std::vector<IndexSet>& boundaries,
+                                     SearchMetrics* metrics);
+
+/// Wraps a position-set solution into P-index form.
+Solution MakeSolution(const SpaceView& view, const IndexSet& positions,
+                      const estimation::StateParams& params);
+
+/// Space the boundary (C-family) algorithms search for `problem`: the cost
+/// space when a cost bound exists, otherwise the size space (paper §6).
+/// Fails for problems without a degrading bound.
+StatusOr<SpaceKind> BoundSpaceKindFor(const ProblemSpec& problem);
+
+/// Result of a greedy Horizontal2 fill.
+struct FillResult {
+  IndexSet state;
+  estimation::StateParams params;
+};
+
+/// Extends `state` by repeatedly adding the first Horizontal2 candidate (in
+/// increasing position order, i.e. decreasing key order) that keeps the
+/// binding bound, until none fits. `banned`, if non-null, marks positions
+/// that must not be added (used by D-HeurDoi's refinement).
+FillResult GreedyFill(const SpaceView& view, IndexSet state,
+                      estimation::StateParams params,
+                      const std::vector<bool>* banned,
+                      SearchMetrics* metrics);
+
+/// The infeasible sentinel (no state satisfies the constraints).
+Solution InfeasibleSolution(const estimation::StateEvaluator& evaluator);
+
+}  // namespace cqp::cqp
+
+#endif  // CQP_CQP_SEARCH_UTIL_H_

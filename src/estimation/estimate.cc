@@ -1,0 +1,152 @@
+#include "estimation/estimate.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace cqp::estimation {
+
+namespace {
+
+using catalog::RelationStats;
+
+/// Equi-join selectivity 1 / max(ndv(a), ndv(b)) (System-R).
+double JoinSelectivity(const catalog::AttributeStats& a,
+                       const catalog::AttributeStats& b) {
+  uint64_t ndv = std::max<uint64_t>(std::max(a.ndv(), b.ndv()), 1);
+  return 1.0 / static_cast<double>(ndv);
+}
+
+}  // namespace
+
+ParameterEstimator::ParameterEstimator(const storage::Database* db,
+                                       exec::CostModelParams params)
+    : db_(db), params_(params) {
+  CQP_CHECK(db_ != nullptr);
+}
+
+StatusOr<const RelationStats*> ParameterEstimator::StatsFor(
+    const std::string& relation) const {
+  return db_->GetStats(relation);
+}
+
+StatusOr<QueryBaseEstimate> ParameterEstimator::EstimateBase(
+    const sql::SelectQuery& q) const {
+  if (q.from.empty()) return InvalidArgument("query has no FROM clause");
+
+  QueryBaseEstimate out;
+  double card = 1.0;
+  // Stats per FROM entry, aligned with q.from.
+  std::vector<const RelationStats*> stats;
+  stats.reserve(q.from.size());
+  for (const sql::TableRef& t : q.from) {
+    CQP_ASSIGN_OR_RETURN(const RelationStats* s, StatsFor(t.relation));
+    stats.push_back(s);
+    out.cost_ms += static_cast<double>(s->blocks) * params_.millis_per_block;
+    card *= static_cast<double>(s->row_count);
+  }
+
+  // Resolve a column reference to (from-index, attribute stats).
+  auto resolve = [&](const sql::ColumnRef& col)
+      -> StatusOr<const catalog::AttributeStats*> {
+    for (size_t t = 0; t < q.from.size(); ++t) {
+      if (!col.qualifier.empty() &&
+          !EqualsIgnoreCase(q.from[t].EffectiveAlias(), col.qualifier)) {
+        continue;
+      }
+      CQP_ASSIGN_OR_RETURN(const storage::Table* table,
+                           db_->GetTable(q.from[t].relation));
+      auto idx = table->schema().AttributeIndex(col.attribute);
+      if (!idx.ok()) {
+        if (!col.qualifier.empty()) return idx.status();
+        continue;
+      }
+      return &stats[t]->attributes[static_cast<size_t>(*idx)];
+    }
+    return NotFound("column " + col.ToSql());
+  };
+
+  for (const sql::Predicate& p : q.where) {
+    if (p.kind == sql::Predicate::Kind::kSelection) {
+      CQP_ASSIGN_OR_RETURN(const catalog::AttributeStats* s, resolve(p.lhs));
+      card *= s->Selectivity(p.op, p.literal);
+    } else {
+      CQP_ASSIGN_OR_RETURN(const catalog::AttributeStats* l, resolve(p.lhs));
+      CQP_ASSIGN_OR_RETURN(const catalog::AttributeStats* r, resolve(p.rhs));
+      if (p.op == catalog::CompareOp::kEq) {
+        card *= JoinSelectivity(*l, *r);
+      } else {
+        card *= 1.0 / 3.0;  // theta join magic fraction
+      }
+    }
+  }
+  out.size = std::max(card, 0.0);
+  return out;
+}
+
+StatusOr<PreferenceEstimate> ParameterEstimator::EstimatePreference(
+    const QueryBaseEstimate& base,
+    const prefs::ImplicitPreference& pref) const {
+  PreferenceEstimate out;
+
+  // Cost: the sub-query re-scans all of Q's relations plus every relation
+  // the preference path introduces (each under a fresh alias).
+  CQP_ASSIGN_OR_RETURN(out.cost_ms, PathCost(base, pref.joins));
+
+  // Selectivity: walk the path accumulating join fan-out, then apply the
+  // final selection. The product is capped at 1 because the rewriting
+  // intersects with Q's (distinct) result, which can only shrink it
+  // (Formula 8 requires monotonicity).
+  double factor = 1.0;
+  for (const prefs::AtomicJoin& j : pref.joins) {
+    CQP_ASSIGN_OR_RETURN(const storage::Table* from,
+                         db_->GetTable(j.from_relation));
+    CQP_ASSIGN_OR_RETURN(const RelationStats* from_stats,
+                         StatsFor(j.from_relation));
+    CQP_ASSIGN_OR_RETURN(const storage::Table* to,
+                         db_->GetTable(j.to_relation));
+    CQP_ASSIGN_OR_RETURN(const RelationStats* to_stats,
+                         StatsFor(j.to_relation));
+    CQP_ASSIGN_OR_RETURN(int fi,
+                         from->schema().AttributeIndex(j.from_attribute));
+    CQP_ASSIGN_OR_RETURN(int ti, to->schema().AttributeIndex(j.to_attribute));
+    const catalog::AttributeStats& fs =
+        from_stats->attributes[static_cast<size_t>(fi)];
+    const catalog::AttributeStats& ts =
+        to_stats->attributes[static_cast<size_t>(ti)];
+    // Expected matches per source row: |to| × joinsel.
+    factor *= static_cast<double>(to_stats->row_count) *
+              JoinSelectivity(fs, ts);
+  }
+  CQP_ASSIGN_OR_RETURN(
+      double sel, SelectionSelectivity(pref.selection.relation,
+                                       pref.selection.attribute,
+                                       pref.selection.op,
+                                       pref.selection.value));
+  factor *= sel;
+  out.selectivity = std::clamp(factor, 0.0, 1.0);
+  out.size = base.size * out.selectivity;
+  return out;
+}
+
+StatusOr<double> ParameterEstimator::PathCost(
+    const QueryBaseEstimate& base,
+    const std::vector<prefs::AtomicJoin>& joins) const {
+  double cost = base.cost_ms;
+  for (const prefs::AtomicJoin& j : joins) {
+    CQP_ASSIGN_OR_RETURN(const RelationStats* s, StatsFor(j.to_relation));
+    cost += static_cast<double>(s->blocks) * params_.millis_per_block;
+  }
+  return cost;
+}
+
+StatusOr<double> ParameterEstimator::SelectionSelectivity(
+    const std::string& relation, const std::string& attribute,
+    catalog::CompareOp op, const catalog::Value& value) const {
+  CQP_ASSIGN_OR_RETURN(const storage::Table* table, db_->GetTable(relation));
+  CQP_ASSIGN_OR_RETURN(const RelationStats* stats, StatsFor(relation));
+  CQP_ASSIGN_OR_RETURN(int idx, table->schema().AttributeIndex(attribute));
+  return stats->attributes[static_cast<size_t>(idx)].Selectivity(op, value);
+}
+
+}  // namespace cqp::estimation

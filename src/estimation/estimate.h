@@ -1,0 +1,74 @@
+#ifndef CQP_ESTIMATION_ESTIMATE_H_
+#define CQP_ESTIMATION_ESTIMATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_stats.h"
+#include "prefs/preference.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace cqp::estimation {
+
+/// Estimated parameters of the original query Q.
+struct QueryBaseEstimate {
+  double cost_ms = 0.0;  ///< b × Σ blocks of Q's relations (Formula in §7.1)
+  double size = 0.0;     ///< estimated result cardinality of Q
+};
+
+/// Estimated parameters of one candidate preference p relative to Q.
+struct PreferenceEstimate {
+  double cost_ms = 0.0;      ///< cost(Q ∧ p): one sub-query of the rewriting
+  double size = 0.0;         ///< size(Q ∧ p) = size(Q) × selectivity
+  double selectivity = 1.0;  ///< fraction of Q's rows satisfying p, in (0,1]
+};
+
+/// Cardinality/cost estimation for queries and preference sub-queries.
+///
+/// Deliberately coarse (paper §2/§4.3): CQP "can afford a much less detailed
+/// cost model than a typical query optimizer". Cost is block I/O only
+/// (Formula 6 + §7.1); cardinalities use uniform-tail MCV selectivities and
+/// 1/max(ndv) equi-join selectivity with independence between conjuncts.
+class ParameterEstimator {
+ public:
+  /// `db` must be Analyze()d and must outlive the estimator.
+  ParameterEstimator(const storage::Database* db,
+                     exec::CostModelParams params = exec::CostModelParams());
+
+  /// Estimates cost and result size of the plain query `q`.
+  StatusOr<QueryBaseEstimate> EstimateBase(const sql::SelectQuery& q) const;
+
+  /// Estimates cost/size/selectivity of integrating `pref` into a query
+  /// with base estimate `base`.
+  StatusOr<PreferenceEstimate> EstimatePreference(
+      const QueryBaseEstimate& base,
+      const prefs::ImplicitPreference& pref) const;
+
+  /// Cost of a sub-query consisting of the base query plus the relations
+  /// introduced by `joins` (the cost part of Formula 6/§7.1). Used by the
+  /// Preference Space module to prune partial join paths.
+  StatusOr<double> PathCost(const QueryBaseEstimate& base,
+                            const std::vector<prefs::AtomicJoin>& joins) const;
+
+  /// Selectivity of one selection predicate against the stats of its
+  /// relation (exposed for tests).
+  StatusOr<double> SelectionSelectivity(const std::string& relation,
+                                        const std::string& attribute,
+                                        catalog::CompareOp op,
+                                        const catalog::Value& value) const;
+
+  const exec::CostModelParams& cost_params() const { return params_; }
+
+ private:
+  StatusOr<const catalog::RelationStats*> StatsFor(
+      const std::string& relation) const;
+
+  const storage::Database* db_;
+  exec::CostModelParams params_;
+};
+
+}  // namespace cqp::estimation
+
+#endif  // CQP_ESTIMATION_ESTIMATE_H_

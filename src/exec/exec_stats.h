@@ -1,0 +1,42 @@
+#ifndef CQP_EXEC_EXEC_STATS_H_
+#define CQP_EXEC_EXEC_STATS_H_
+
+#include <cstdint>
+
+namespace cqp::exec {
+
+/// Knobs of the simulated execution clock.
+///
+/// The paper's evaluation (§7.1) charges `b = 1 ms` per block read and
+/// assumes I/O-dominated cost; we additionally charge a small per-tuple CPU
+/// term so that the *measured* time of a personalized query is close to, but
+/// not identical with, the block-only estimate (this is the gap Fig. 15
+/// visualizes).
+struct CostModelParams {
+  double millis_per_block = 1.0;  ///< `b` in the paper
+  double micros_per_tuple = 0.2;  ///< CPU charge per tuple processed
+};
+
+/// Counters accumulated while executing a query.
+struct ExecStats {
+  uint64_t blocks_read = 0;
+  uint64_t tuples_processed = 0;
+
+  /// Simulated wall time under `params`.
+  double SimulatedMillis(const CostModelParams& params) const {
+    return static_cast<double>(blocks_read) * params.millis_per_block +
+           static_cast<double>(tuples_processed) * params.micros_per_tuple /
+               1000.0;
+  }
+
+  void Add(const ExecStats& other) {
+    blocks_read += other.blocks_read;
+    tuples_processed += other.tuples_processed;
+  }
+
+  void Reset() { *this = ExecStats{}; }
+};
+
+}  // namespace cqp::exec
+
+#endif  // CQP_EXEC_EXEC_STATS_H_

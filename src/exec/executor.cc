@@ -1,0 +1,442 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "catalog/compare.h"
+#include "common/str_util.h"
+
+namespace cqp::exec {
+
+namespace {
+
+using catalog::Value;
+using sql::ColumnRef;
+using sql::Predicate;
+using sql::SelectQuery;
+using sql::TableRef;
+using storage::Table;
+using storage::Tuple;
+
+/// A FROM entry bound to its storage table.
+struct BoundTable {
+  const TableRef* ref = nullptr;
+  const Table* table = nullptr;
+};
+
+/// Fully resolved side of a predicate: which FROM entry, which column.
+struct ResolvedColumn {
+  int table_index = -1;   // index into the bound FROM list
+  int column_index = -1;  // attribute position within that table
+};
+
+/// Resolves `col` against the bound FROM list. Qualified references match
+/// the table alias; unqualified ones must match a unique attribute.
+StatusOr<ResolvedColumn> Resolve(const ColumnRef& col,
+                                 const std::vector<BoundTable>& tables) {
+  ResolvedColumn out;
+  if (!col.qualifier.empty()) {
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (!EqualsIgnoreCase(tables[t].ref->EffectiveAlias(), col.qualifier)) {
+        continue;
+      }
+      CQP_ASSIGN_OR_RETURN(int idx,
+                           tables[t].table->schema().AttributeIndex(
+                               col.attribute));
+      out.table_index = static_cast<int>(t);
+      out.column_index = idx;
+      return out;
+    }
+    return NotFound("table alias " + col.qualifier);
+  }
+  for (size_t t = 0; t < tables.size(); ++t) {
+    auto idx = tables[t].table->schema().AttributeIndex(col.attribute);
+    if (!idx.ok()) continue;
+    if (out.table_index >= 0) {
+      return InvalidArgument("ambiguous column " + col.attribute);
+    }
+    out.table_index = static_cast<int>(t);
+    out.column_index = *idx;
+  }
+  if (out.table_index < 0) return NotFound("column " + col.attribute);
+  return out;
+}
+
+/// A predicate with both sides resolved.
+struct ResolvedPredicate {
+  const Predicate* pred = nullptr;
+  ResolvedColumn lhs;
+  ResolvedColumn rhs;  // join predicates only
+  bool applied = false;
+};
+
+/// Computes a 64-bit key for hash-join build/probe.
+size_t HashValues(const Tuple& row, const std::vector<int>& cols) {
+  size_t h = 1469598103934665603ull;
+  for (int c : cols) {
+    h ^= row.at(static_cast<size_t>(c)).Hash() + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysEqual(const Tuple& a, const std::vector<int>& acols, const Tuple& b,
+               const std::vector<int>& bcols) {
+  for (size_t i = 0; i < acols.size(); ++i) {
+    if (a.at(static_cast<size_t>(acols[i])) !=
+        b.at(static_cast<size_t>(bcols[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Executor::Executor(const storage::Database* db, CostModelParams params)
+    : db_(db), params_(params) {
+  CQP_CHECK(db_ != nullptr);
+}
+
+StatusOr<RowSet> Executor::Execute(const SelectQuery& query,
+                                   ExecStats* stats) const {
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+
+  if (query.from.empty()) {
+    return InvalidArgument("query has no FROM clause");
+  }
+
+  // Bind tables and check alias uniqueness.
+  std::vector<BoundTable> tables;
+  tables.reserve(query.from.size());
+  std::unordered_set<std::string> aliases;
+  for (const TableRef& ref : query.from) {
+    CQP_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.relation));
+    std::string alias = ToUpper(ref.EffectiveAlias());
+    if (!aliases.insert(alias).second) {
+      return InvalidArgument("duplicate table alias " + ref.EffectiveAlias());
+    }
+    tables.push_back({&ref, table});
+  }
+
+  // Resolve all predicates up front.
+  std::vector<ResolvedPredicate> preds;
+  preds.reserve(query.where.size());
+  for (const Predicate& p : query.where) {
+    ResolvedPredicate rp;
+    rp.pred = &p;
+    CQP_ASSIGN_OR_RETURN(rp.lhs, Resolve(p.lhs, tables));
+    if (p.kind == Predicate::Kind::kJoin) {
+      CQP_ASSIGN_OR_RETURN(rp.rhs, Resolve(p.rhs, tables));
+      // Type agreement keeps EvalCompare well-defined.
+      const auto& lt = tables[rp.lhs.table_index].table->schema()
+                           .attribute(rp.lhs.column_index).type;
+      const auto& rt = tables[rp.rhs.table_index].table->schema()
+                           .attribute(rp.rhs.column_index).type;
+      if (lt != rt) {
+        return InvalidArgument("join compares incompatible types: " +
+                               p.ToSql());
+      }
+    } else {
+      const auto& lt = tables[rp.lhs.table_index].table->schema()
+                           .attribute(rp.lhs.column_index).type;
+      if (lt != p.literal.type()) {
+        return InvalidArgument("selection compares incompatible types: " +
+                               p.ToSql());
+      }
+    }
+    preds.push_back(rp);
+  }
+
+  // Incrementally build the join result, one FROM entry at a time.
+  // `offset_of[t]` is the first output column of table t once included.
+  std::vector<int> offset_of(tables.size(), -1);
+  RowSet current;
+
+  auto scan_into_rowset = [&](size_t t) -> RowSet {
+    const Table& table = *tables[t].table;
+    st->blocks_read += table.blocks();
+    RowSet out;
+    const std::string& alias = tables[t].ref->EffectiveAlias();
+    for (size_t c = 0; c < table.schema().arity(); ++c) {
+      out.AddColumnName(alias + "." + table.schema().attribute(c).name);
+    }
+    // Single-table selections on t are applied during the scan.
+    std::vector<const ResolvedPredicate*> local;
+    for (ResolvedPredicate& rp : preds) {
+      if (rp.applied) continue;
+      if (rp.pred->kind == Predicate::Kind::kSelection &&
+          rp.lhs.table_index == static_cast<int>(t)) {
+        local.push_back(&rp);
+        rp.applied = true;
+      } else if (rp.pred->kind == Predicate::Kind::kJoin &&
+                 rp.lhs.table_index == static_cast<int>(t) &&
+                 rp.rhs.table_index == static_cast<int>(t)) {
+        local.push_back(&rp);
+        rp.applied = true;
+      }
+    }
+    for (const Tuple& row : table.rows()) {
+      ++st->tuples_processed;
+      bool keep = true;
+      for (const ResolvedPredicate* rp : local) {
+        if (rp->pred->kind == Predicate::Kind::kSelection) {
+          if (!catalog::EvalCompare(
+                  row.at(static_cast<size_t>(rp->lhs.column_index)),
+                  rp->pred->op, rp->pred->literal)) {
+            keep = false;
+            break;
+          }
+        } else {
+          if (!catalog::EvalCompare(
+                  row.at(static_cast<size_t>(rp->lhs.column_index)),
+                  rp->pred->op,
+                  row.at(static_cast<size_t>(rp->rhs.column_index)))) {
+            keep = false;
+            break;
+          }
+        }
+      }
+      if (keep) out.AddRow(row);
+    }
+    return out;
+  };
+
+  current = scan_into_rowset(0);
+  offset_of[0] = 0;
+  int current_arity = static_cast<int>(tables[0].table->schema().arity());
+
+  for (size_t t = 1; t < tables.size(); ++t) {
+    RowSet next = scan_into_rowset(t);
+
+    // Split unapplied cross predicates between `current` and table t into
+    // equality keys (hash join) and residual theta predicates.
+    struct CrossPred {
+      const ResolvedPredicate* rp;
+      int left_col;   // column in `current`
+      int right_col;  // column in `next`
+    };
+    std::vector<CrossPred> eq_keys;
+    std::vector<CrossPred> residual;
+    for (ResolvedPredicate& rp : preds) {
+      if (rp.applied || rp.pred->kind != Predicate::Kind::kJoin) continue;
+      int lt = rp.lhs.table_index, rt = rp.rhs.table_index;
+      bool l_in_cur = lt != static_cast<int>(t) && offset_of[lt] >= 0;
+      bool r_in_cur = rt != static_cast<int>(t) && offset_of[rt] >= 0;
+      CrossPred cp{&rp, -1, -1};
+      if (l_in_cur && rt == static_cast<int>(t)) {
+        cp.left_col = offset_of[lt] + rp.lhs.column_index;
+        cp.right_col = rp.rhs.column_index;
+      } else if (r_in_cur && lt == static_cast<int>(t)) {
+        cp.left_col = offset_of[rt] + rp.rhs.column_index;
+        cp.right_col = rp.lhs.column_index;
+      } else {
+        continue;  // involves a table not yet joined
+      }
+      rp.applied = true;
+      // A reversed non-symmetric operator must stay residual with correct
+      // orientation; only keep kEq in the hash keys.
+      if (rp.pred->op == catalog::CompareOp::kEq) {
+        eq_keys.push_back(cp);
+      } else {
+        residual.push_back(cp);
+      }
+    }
+
+    RowSet joined;
+    for (const std::string& name : current.column_names()) {
+      joined.AddColumnName(name);
+    }
+    for (const std::string& name : next.column_names()) {
+      joined.AddColumnName(name);
+    }
+
+    auto eval_residual = [&](const Tuple& left, const Tuple& right) {
+      for (const CrossPred& cp : residual) {
+        const Value& lv = left.at(static_cast<size_t>(cp.left_col));
+        const Value& rv = right.at(static_cast<size_t>(cp.right_col));
+        // Orientation: the stored op applies as lhs-op-rhs of the original
+        // predicate. left_col always holds the side living in `current`.
+        bool original_lhs_in_current =
+            cp.rp->lhs.table_index != static_cast<int>(t);
+        bool ok = original_lhs_in_current
+                      ? catalog::EvalCompare(lv, cp.rp->pred->op, rv)
+                      : catalog::EvalCompare(rv, cp.rp->pred->op, lv);
+        if (!ok) return false;
+      }
+      return true;
+    };
+
+    if (!eq_keys.empty()) {
+      // Hash join: build on `next` (typically the smaller side has been
+      // filtered already; simplicity over micro-optimality).
+      std::vector<int> build_cols, probe_cols;
+      for (const CrossPred& cp : eq_keys) {
+        build_cols.push_back(cp.right_col);
+        probe_cols.push_back(cp.left_col);
+      }
+      std::unordered_multimap<size_t, const Tuple*> ht;
+      ht.reserve(next.row_count());
+      for (const Tuple& row : next.rows()) {
+        ht.emplace(HashValues(row, build_cols), &row);
+      }
+      for (const Tuple& left : current.rows()) {
+        size_t h = HashValues(left, probe_cols);
+        auto range = ht.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+          const Tuple& right = *it->second;
+          if (!KeysEqual(left, probe_cols, right, build_cols)) continue;
+          if (!eval_residual(left, right)) continue;
+          ++st->tuples_processed;
+          joined.AddRow(Tuple::Concat(left, right));
+        }
+      }
+    } else {
+      // Filtered nested-loop product.
+      for (const Tuple& left : current.rows()) {
+        for (const Tuple& right : next.rows()) {
+          if (!eval_residual(left, right)) continue;
+          ++st->tuples_processed;
+          joined.AddRow(Tuple::Concat(left, right));
+        }
+      }
+    }
+
+    offset_of[t] = current_arity;
+    current_arity += static_cast<int>(tables[t].table->schema().arity());
+    current = std::move(joined);
+  }
+
+  // Any predicate still unapplied references a single table through two
+  // aliases handled above, so this indicates an internal inconsistency.
+  for (const ResolvedPredicate& rp : preds) {
+    if (!rp.applied) {
+      return Internal("predicate not applied: " + rp.pred->ToSql());
+    }
+  }
+
+  // Projection.
+  RowSet projected;
+  if (query.select_list.empty()) {
+    projected = std::move(current);
+  } else {
+    std::vector<int> positions;
+    positions.reserve(query.select_list.size());
+    for (const ColumnRef& col : query.select_list) {
+      CQP_ASSIGN_OR_RETURN(int pos, current.ResolveColumn(col));
+      positions.push_back(pos);
+      projected.AddColumnName(col.qualifier.empty()
+                                  ? col.attribute
+                                  : col.qualifier + "." + col.attribute);
+    }
+    for (const Tuple& row : current.rows()) {
+      projected.AddRow(row.Project(positions));
+    }
+    st->tuples_processed += current.row_count();
+  }
+
+  if (query.distinct) {
+    std::vector<Tuple> unique;
+    // Buckets hold indices into `unique` (stable across reallocation).
+    std::unordered_multimap<size_t, size_t> buckets;
+    for (const Tuple& row : projected.rows()) {
+      ++st->tuples_processed;
+      size_t h = row.Hash();
+      bool duplicate = false;
+      auto range = buckets.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (unique[it->second] == row) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        buckets.emplace(h, unique.size());
+        unique.push_back(row);
+      }
+    }
+    projected = RowSet(projected.column_names(), std::move(unique));
+  }
+
+  if (!query.order_by.empty()) {
+    // ORDER BY keys resolve against the projected columns.
+    std::vector<std::pair<int, bool>> keys;  // (column, descending)
+    keys.reserve(query.order_by.size());
+    for (const sql::OrderItem& item : query.order_by) {
+      CQP_ASSIGN_OR_RETURN(int pos, projected.ResolveColumn(item.column));
+      keys.emplace_back(pos, item.descending);
+    }
+    st->tuples_processed += projected.row_count();
+    std::stable_sort(projected.mutable_rows().begin(),
+                     projected.mutable_rows().end(),
+                     [&keys](const Tuple& a, const Tuple& b) {
+                       for (const auto& [pos, descending] : keys) {
+                         const Value& va = a.at(static_cast<size_t>(pos));
+                         const Value& vb = b.at(static_cast<size_t>(pos));
+                         if (va == vb) continue;
+                         return descending ? vb < va : va < vb;
+                       }
+                       return false;
+                     });
+  }
+
+  if (query.limit.has_value()) {
+    size_t cap = static_cast<size_t>(*query.limit);
+    if (projected.row_count() > cap) {
+      projected.mutable_rows().resize(cap);
+    }
+  }
+
+  return projected;
+}
+
+StatusOr<RowSet> Executor::ExecuteUnionGroup(const sql::UnionGroupQuery& query,
+                                             ExecStats* stats) const {
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+  if (query.branches.empty()) {
+    return InvalidArgument("union has no branches");
+  }
+  if (query.having_count < 1 ||
+      query.having_count > static_cast<int64_t>(query.branches.size())) {
+    return InvalidArgument("HAVING COUNT(*) outside [1, #branches]");
+  }
+
+  // GROUP BY the full projected row over the concatenated branch outputs.
+  std::unordered_map<Tuple, int64_t, storage::TupleHash> groups;
+  size_t arity = 0;
+  for (size_t b = 0; b < query.branches.size(); ++b) {
+    CQP_ASSIGN_OR_RETURN(RowSet rows, Execute(query.branches[b], st));
+    if (b == 0) {
+      arity = rows.arity();
+      if (arity != query.select_list.size()) {
+        return InvalidArgument(
+            "outer select list arity does not match the branches");
+      }
+    } else if (rows.arity() != arity) {
+      return InvalidArgument("union branches project different arities");
+    }
+    for (const Tuple& row : rows.rows()) {
+      ++st->tuples_processed;  // group-by insertion work
+      ++groups[row];
+    }
+  }
+
+  RowSet out;
+  for (const sql::ColumnRef& col : query.select_list) {
+    out.AddColumnName(col.attribute);
+  }
+  for (const auto& [row, count] : groups) {
+    if (count == query.having_count) out.AddRow(row);
+  }
+  // Deterministic output order (hash-map iteration is not).
+  std::sort(out.mutable_rows().begin(), out.mutable_rows().end(),
+            [](const Tuple& a, const Tuple& b) {
+              return a.ToString() < b.ToString();
+            });
+  return out;
+}
+
+}  // namespace cqp::exec

@@ -1,0 +1,81 @@
+#include "exec/personalized_exec.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "storage/tuple.h"
+
+namespace cqp::exec {
+
+namespace {
+
+using storage::Tuple;
+using storage::TupleHash;
+
+double ConjunctionDoi(const IndexSet& satisfied,
+                      const std::vector<double>& dois) {
+  double miss = 1.0;
+  for (int32_t i : satisfied) {
+    miss *= 1.0 - dois[static_cast<size_t>(i)];
+  }
+  return 1.0 - miss;
+}
+
+}  // namespace
+
+StatusOr<PersonalizedResultSet> ExecutePersonalized(
+    const Executor& executor, const std::vector<sql::SelectQuery>& subqueries,
+    const std::vector<double>& dois, CombineMode mode, ExecStats* stats) {
+  if (subqueries.empty()) {
+    return InvalidArgument("personalized execution needs >= 1 sub-query");
+  }
+  if (dois.size() != subqueries.size()) {
+    return InvalidArgument("dois must parallel subqueries");
+  }
+
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+
+  PersonalizedResultSet result;
+  // Map projected row -> set of sub-queries that produced it.
+  std::unordered_map<Tuple, std::vector<int32_t>, TupleHash> groups;
+
+  for (size_t s = 0; s < subqueries.size(); ++s) {
+    // DISTINCT per sub-query: exact intersection semantics for the
+    // HAVING COUNT(*) = L grouping (see header).
+    sql::SelectQuery sub = subqueries[s];
+    sub.distinct = true;
+    CQP_ASSIGN_OR_RETURN(RowSet rows, executor.Execute(sub, st));
+    if (s == 0) {
+      result.column_names = rows.column_names();
+    } else if (rows.arity() != result.column_names.size()) {
+      return InvalidArgument("sub-queries project different arities");
+    }
+    for (const Tuple& row : rows.rows()) {
+      ++st->tuples_processed;  // group-by insertion work
+      groups[row].push_back(static_cast<int32_t>(s));
+    }
+  }
+
+  const size_t want = subqueries.size();
+  for (auto& [row, members] : groups) {
+    if (mode == CombineMode::kIntersection && members.size() != want) {
+      continue;
+    }
+    PersonalizedRow out;
+    out.row = row;
+    out.satisfied = IndexSet::FromUnsorted(members);
+    out.doi = ConjunctionDoi(out.satisfied, dois);
+    result.rows.push_back(std::move(out));
+  }
+
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const PersonalizedRow& a, const PersonalizedRow& b) {
+              if (a.doi != b.doi) return a.doi > b.doi;
+              // Deterministic tie-break on the row rendering.
+              return a.row.ToString() < b.row.ToString();
+            });
+  return result;
+}
+
+}  // namespace cqp::exec

@@ -1,0 +1,55 @@
+#include "exec/row_set.h"
+
+#include "common/str_util.h"
+
+namespace cqp::exec {
+
+StatusOr<int> RowSet::ResolveColumn(const sql::ColumnRef& ref) const {
+  if (!ref.qualifier.empty()) {
+    std::string wanted = ref.qualifier + "." + ref.attribute;
+    for (size_t i = 0; i < column_names_.size(); ++i) {
+      if (EqualsIgnoreCase(column_names_[i], wanted)) {
+        return static_cast<int>(i);
+      }
+    }
+    return NotFound("column " + wanted);
+  }
+  int found = -1;
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    std::string_view name = column_names_[i];
+    size_t dot = name.rfind('.');
+    std::string_view attr = dot == std::string_view::npos
+                                ? name
+                                : name.substr(dot + 1);
+    if (EqualsIgnoreCase(attr, ref.attribute)) {
+      if (found >= 0) {
+        return InvalidArgument("ambiguous column " + ref.attribute);
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return NotFound("column " + ref.attribute);
+  return found;
+}
+
+std::string RowSet::ToString(size_t max_rows) const {
+  std::string out = Join(column_names_, " | ");
+  out += "\n";
+  size_t shown = 0;
+  for (const storage::Tuple& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu more rows)\n", rows_.size() - max_rows);
+      break;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.arity());
+    for (size_t i = 0; i < row.arity(); ++i) {
+      cells.push_back(row.at(i).ToString());
+    }
+    out += Join(cells, " | ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cqp::exec

@@ -1,0 +1,50 @@
+#ifndef CQP_EXEC_ROW_SET_H_
+#define CQP_EXEC_ROW_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/tuple.h"
+
+namespace cqp::exec {
+
+/// A materialized intermediate or final result: qualified column names plus
+/// rows. Column names are "alias.attribute".
+class RowSet {
+ public:
+  RowSet() = default;
+  RowSet(std::vector<std::string> column_names,
+         std::vector<storage::Tuple> rows)
+      : column_names_(std::move(column_names)), rows_(std::move(rows)) {}
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  const std::vector<storage::Tuple>& rows() const { return rows_; }
+  std::vector<storage::Tuple>& mutable_rows() { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+  size_t arity() const { return column_names_.size(); }
+
+  void AddColumnName(std::string name) {
+    column_names_.push_back(std::move(name));
+  }
+  void AddRow(storage::Tuple row) { rows_.push_back(std::move(row)); }
+
+  /// Resolves a column reference against the qualified column names.
+  /// Qualified refs match "qualifier.attribute" exactly (case-insensitive);
+  /// unqualified refs must match exactly one column's attribute part.
+  StatusOr<int> ResolveColumn(const sql::ColumnRef& ref) const;
+
+  /// Pretty-prints up to `max_rows` rows with a header (for examples).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<storage::Tuple> rows_;
+};
+
+}  // namespace cqp::exec
+
+#endif  // CQP_EXEC_ROW_SET_H_

@@ -1,0 +1,55 @@
+#include "prefs/doi.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cqp::prefs {
+
+bool IsValidDoi(double d) { return d >= 0.0 && d <= 1.0; }
+
+double ComposePathDoi(const std::vector<double>& dois, PathComposition mode) {
+  CQP_CHECK(!dois.empty());
+  double out = 1.0;
+  switch (mode) {
+    case PathComposition::kProduct:
+      for (double d : dois) {
+        CQP_CHECK(IsValidDoi(d));
+        out *= d;
+      }
+      return out;
+    case PathComposition::kMin:
+      out = dois.front();
+      for (double d : dois) {
+        CQP_CHECK(IsValidDoi(d));
+        out = std::min(out, d);
+      }
+      return out;
+  }
+  return out;
+}
+
+double CombineConjunctionDoi(const std::vector<double>& dois,
+                             ConjunctionModel model) {
+  switch (model) {
+    case ConjunctionModel::kNoisyOr: {
+      double miss = 1.0;
+      for (double d : dois) {
+        CQP_CHECK(IsValidDoi(d));
+        miss *= 1.0 - d;
+      }
+      return 1.0 - miss;
+    }
+    case ConjunctionModel::kSumCapped: {
+      double sum = 0.0;
+      for (double d : dois) {
+        CQP_CHECK(IsValidDoi(d));
+        sum += d;
+      }
+      return std::min(1.0, sum);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace cqp::prefs

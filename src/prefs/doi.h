@@ -1,0 +1,36 @@
+#ifndef CQP_PREFS_DOI_H_
+#define CQP_PREFS_DOI_H_
+
+#include <vector>
+
+namespace cqp::prefs {
+
+/// Degree-of-interest composition along a personalization-graph path
+/// (Formula 1/9). Both options satisfy the model requirement (Formula 2)
+/// that the composed doi never exceeds the minimum constituent doi.
+enum class PathComposition {
+  kProduct,  ///< doi(p) = Π doi(p_i) — the paper's choice (Formula 9)
+  kMin,      ///< doi(p) = min doi(p_i) — extension/ablation
+};
+
+/// Degree-of-interest combination for a conjunction of (non-adjacent)
+/// preferences (Formula 3/10). Both options are monotone non-decreasing
+/// under set inclusion (Formula 4), which the CQP partial orders rely on.
+enum class ConjunctionModel {
+  kNoisyOr,    ///< doi(Px) = 1 - Π(1 - doi(p_i)) — the paper's choice
+  kSumCapped,  ///< doi(Px) = min(1, Σ doi(p_i)) — extension/ablation
+};
+
+/// True iff `d` is a valid degree of interest (in [0, 1]).
+bool IsValidDoi(double d);
+
+/// Composes the dois of adjacent atomic preferences along a path.
+double ComposePathDoi(const std::vector<double>& dois, PathComposition mode);
+
+/// Combines the dois of a set of preferences satisfied together.
+double CombineConjunctionDoi(const std::vector<double>& dois,
+                             ConjunctionModel model);
+
+}  // namespace cqp::prefs
+
+#endif  // CQP_PREFS_DOI_H_

@@ -1,0 +1,79 @@
+#include "prefs/graph.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace cqp::prefs {
+
+namespace {
+const std::vector<const AtomicSelection*> kNoSelections;
+const std::vector<const AtomicJoin*> kNoJoins;
+}  // namespace
+
+StatusOr<PersonalizationGraph> PersonalizationGraph::Build(
+    Profile profile, const storage::Database& db) {
+  CQP_RETURN_IF_ERROR(profile.ValidateAgainst(db));
+  PersonalizationGraph g;
+  g.profile_ = std::move(profile);
+  for (const AtomicSelection& p : g.profile_.selections()) {
+    g.selections_by_rel_[ToUpper(p.relation)].push_back(&p);
+  }
+  for (const AtomicJoin& p : g.profile_.joins()) {
+    g.joins_by_rel_[ToUpper(p.from_relation)].push_back(&p);
+  }
+  return g;
+}
+
+const std::vector<const AtomicSelection*>& PersonalizationGraph::SelectionsFrom(
+    const std::string& relation) const {
+  auto it = selections_by_rel_.find(ToUpper(relation));
+  if (it == selections_by_rel_.end()) return kNoSelections;
+  return it->second;
+}
+
+const std::vector<const AtomicJoin*>& PersonalizationGraph::JoinsFrom(
+    const std::string& relation) const {
+  auto it = joins_by_rel_.find(ToUpper(relation));
+  if (it == joins_by_rel_.end()) return kNoJoins;
+  return it->second;
+}
+
+std::vector<std::string> PersonalizationGraph::Relations() const {
+  std::set<std::string> rels;
+  for (const AtomicSelection& p : profile_.selections()) {
+    rels.insert(ToUpper(p.relation));
+  }
+  for (const AtomicJoin& p : profile_.joins()) {
+    rels.insert(ToUpper(p.from_relation));
+    rels.insert(ToUpper(p.to_relation));
+  }
+  return std::vector<std::string>(rels.begin(), rels.end());
+}
+
+GraphCounts PersonalizationGraph::Counts() const {
+  GraphCounts c;
+  std::set<std::string> rels;
+  std::set<std::string> attrs;
+  std::set<std::string> values;
+  for (const AtomicSelection& p : profile_.selections()) {
+    rels.insert(ToUpper(p.relation));
+    attrs.insert(ToUpper(p.relation + "." + p.attribute));
+    values.insert(ToUpper(p.relation + "." + p.attribute) + "=" +
+                  p.value.ToSqlLiteral());
+    ++c.selection_edges;
+  }
+  for (const AtomicJoin& p : profile_.joins()) {
+    rels.insert(ToUpper(p.from_relation));
+    rels.insert(ToUpper(p.to_relation));
+    attrs.insert(ToUpper(p.from_relation + "." + p.from_attribute));
+    attrs.insert(ToUpper(p.to_relation + "." + p.to_attribute));
+    ++c.join_edges;
+  }
+  c.relation_nodes = rels.size();
+  c.attribute_nodes = attrs.size();
+  c.value_nodes = values.size();
+  return c;
+}
+
+}  // namespace cqp::prefs

@@ -1,0 +1,65 @@
+#ifndef CQP_PREFS_GRAPH_H_
+#define CQP_PREFS_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "prefs/profile.h"
+
+namespace cqp::prefs {
+
+/// Node/edge counts of the personalization graph (paper §3).
+struct GraphCounts {
+  size_t relation_nodes = 0;
+  size_t attribute_nodes = 0;
+  size_t value_nodes = 0;
+  size_t selection_edges = 0;
+  size_t join_edges = 0;
+};
+
+/// A user's personalization graph: the database schema graph extended with
+/// the user's value nodes, selection edges and (directed) join edges.
+///
+/// Built from a Profile validated against a Database; owns a copy of the
+/// profile so the adjacency pointers remain stable.
+class PersonalizationGraph {
+ public:
+  /// Validates `profile` against `db` and builds adjacency indexes.
+  static StatusOr<PersonalizationGraph> Build(Profile profile,
+                                              const storage::Database& db);
+
+  /// Move-only: the adjacency indexes point into the owned profile's
+  /// vectors (stable under move, not under copy).
+  PersonalizationGraph(PersonalizationGraph&&) = default;
+  PersonalizationGraph& operator=(PersonalizationGraph&&) = default;
+  PersonalizationGraph(const PersonalizationGraph&) = delete;
+  PersonalizationGraph& operator=(const PersonalizationGraph&) = delete;
+
+  const Profile& profile() const { return profile_; }
+
+  /// Selection edges anchored at `relation` (empty vector if none).
+  const std::vector<const AtomicSelection*>& SelectionsFrom(
+      const std::string& relation) const;
+
+  /// Join edges leaving `relation` (empty vector if none).
+  const std::vector<const AtomicJoin*>& JoinsFrom(
+      const std::string& relation) const;
+
+  /// Relations that appear in the profile (sorted, upper-cased).
+  std::vector<std::string> Relations() const;
+
+  GraphCounts Counts() const;
+
+ private:
+  PersonalizationGraph() = default;
+
+  Profile profile_;
+  std::map<std::string, std::vector<const AtomicSelection*>> selections_by_rel_;
+  std::map<std::string, std::vector<const AtomicJoin*>> joins_by_rel_;
+};
+
+}  // namespace cqp::prefs
+
+#endif  // CQP_PREFS_GRAPH_H_

@@ -1,0 +1,76 @@
+#include "prefs/preference.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace cqp::prefs {
+
+std::string AtomicSelection::ConditionString() const {
+  return relation + "." + attribute + " " + catalog::CompareOpSql(op) + " " +
+         value.ToSqlLiteral();
+}
+
+bool AtomicSelection::SameCondition(const AtomicSelection& other) const {
+  return EqualsIgnoreCase(relation, other.relation) &&
+         EqualsIgnoreCase(attribute, other.attribute) && op == other.op &&
+         value == other.value;
+}
+
+std::string AtomicJoin::ConditionString() const {
+  return from_relation + "." + from_attribute + " = " + to_relation + "." +
+         to_attribute;
+}
+
+bool AtomicJoin::SameCondition(const AtomicJoin& other) const {
+  return EqualsIgnoreCase(from_relation, other.from_relation) &&
+         EqualsIgnoreCase(from_attribute, other.from_attribute) &&
+         EqualsIgnoreCase(to_relation, other.to_relation) &&
+         EqualsIgnoreCase(to_attribute, other.to_attribute);
+}
+
+const std::string& ImplicitPreference::AnchorRelation() const {
+  if (!joins.empty()) return joins.front().from_relation;
+  return selection.relation;
+}
+
+std::vector<std::string> ImplicitPreference::PathRelations() const {
+  std::vector<std::string> rels;
+  rels.reserve(joins.size() + 1);
+  if (joins.empty()) {
+    rels.push_back(selection.relation);
+    return rels;
+  }
+  rels.push_back(joins.front().from_relation);
+  for (const AtomicJoin& j : joins) rels.push_back(j.to_relation);
+  return rels;
+}
+
+bool ImplicitPreference::CanExtendWith(const AtomicJoin& join) const {
+  // The extension must leave the current tail relation...
+  const std::string& tail =
+      joins.empty() ? selection.relation : joins.back().to_relation;
+  if (!EqualsIgnoreCase(join.from_relation, tail)) return false;
+  // ... and must not revisit a relation already on the path (acyclicity).
+  for (const std::string& rel : PathRelations()) {
+    if (EqualsIgnoreCase(rel, join.to_relation)) return false;
+  }
+  return true;
+}
+
+std::string ImplicitPreference::ConditionString() const {
+  std::vector<std::string> parts;
+  parts.reserve(joins.size() + 1);
+  for (const AtomicJoin& j : joins) parts.push_back(j.ConditionString());
+  parts.push_back(selection.ConditionString());
+  return Join(parts, " and ");
+}
+
+double ImplicitPreference::ComputeDoi(PathComposition mode) const {
+  std::vector<double> dois;
+  dois.reserve(joins.size() + 1);
+  for (const AtomicJoin& j : joins) dois.push_back(j.doi);
+  dois.push_back(selection.doi);
+  return ComposePathDoi(dois, mode);
+}
+
+}  // namespace cqp::prefs

@@ -1,0 +1,75 @@
+#ifndef CQP_PREFS_PREFERENCE_H_
+#define CQP_PREFS_PREFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/compare.h"
+#include "catalog/value.h"
+#include "prefs/doi.h"
+
+namespace cqp::prefs {
+
+/// An atomic selection preference: interest in `relation.attribute op value`
+/// (a selection edge of the personalization graph).
+struct AtomicSelection {
+  std::string relation;
+  std::string attribute;
+  catalog::CompareOp op = catalog::CompareOp::kEq;
+  catalog::Value value;
+  double doi = 0.0;
+
+  /// "GENRE.genre = 'musical'".
+  std::string ConditionString() const;
+  bool SameCondition(const AtomicSelection& other) const;
+};
+
+/// An atomic join preference: a *directed* join edge expressing how
+/// preferences on `to_relation` influence `from_relation`.
+struct AtomicJoin {
+  std::string from_relation;
+  std::string from_attribute;
+  std::string to_relation;
+  std::string to_attribute;
+  double doi = 0.0;
+
+  /// "MOVIE.did = DIRECTOR.did".
+  std::string ConditionString() const;
+  bool SameCondition(const AtomicJoin& other) const;
+};
+
+/// An implicit (or atomic, when `joins` is empty) selection preference: an
+/// acyclic directed path of join edges ending in a selection edge.
+///
+/// The anchor relation — joins.front().from_relation, or selection.relation
+/// when there are no joins — must appear in the query being personalized for
+/// the preference to be "related to Q" (§4.4).
+struct ImplicitPreference {
+  std::vector<AtomicJoin> joins;
+  AtomicSelection selection;
+  /// Composed doi (f⊗ over the constituent dois, Formula 1).
+  double doi = 0.0;
+
+  /// Relation the path is attached to.
+  const std::string& AnchorRelation() const;
+
+  /// Number of atomic preferences on the path (joins + 1).
+  size_t Length() const { return joins.size() + 1; }
+
+  /// All relations on the path including the anchor, in path order.
+  std::vector<std::string> PathRelations() const;
+
+  /// True if extending with `join` keeps the path acyclic and connected
+  /// (join must leave the current tail relation and reach a new relation).
+  bool CanExtendWith(const AtomicJoin& join) const;
+
+  /// Condition string "j1 and j2 and sel" identifying the preference.
+  std::string ConditionString() const;
+
+  /// Recomputes `doi` from the constituent dois under `mode`.
+  double ComputeDoi(PathComposition mode) const;
+};
+
+}  // namespace cqp::prefs
+
+#endif  // CQP_PREFS_PREFERENCE_H_

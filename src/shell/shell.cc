@@ -1,0 +1,427 @@
+#include "shell/shell.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "construct/personalizer.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+#include "workload/movie_gen.h"
+#include "workload/tourist_gen.h"
+
+namespace cqp::shell {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  .help                       this text
+  .gen movies [n]             generate the synthetic movie database
+  .gen tourist                generate the tourist database
+  .load REL(a INT, ...) FILE  load a CSV file as a new table
+  .tables                     list tables
+  .schema REL                 show one table's schema
+  .profile add LINE           add "doi(...) = d" preference
+  .profile load FILE          load a profile file
+  .profile show               print the current profile
+  .profile clear              drop all preferences
+  .problem N key=value...     pick the CQP problem (Table 1), e.g.
+                                .problem 2 cmax=400
+                                .problem 3 cmax=400 smin=1 smax=50
+                                .problem 4 dmin=0.8
+  .algorithm NAME             pick the search algorithm
+  .algorithms                 list algorithms
+  .k N                        preference-space size cap
+  .settings                   show problem/algorithm/K
+  .sql QUERY                  run QUERY without personalization
+  .explain QUERY              personalize, show plan only
+  QUERY                       personalize QUERY and execute
+  .quit                       exit
+)";
+
+/// Splits "cmd rest" at the first whitespace.
+std::pair<std::string, std::string> SplitCommand(std::string_view line) {
+  size_t space = line.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    return {std::string(line), ""};
+  }
+  return {std::string(line.substr(0, space)),
+          std::string(StripWhitespace(line.substr(space + 1)))};
+}
+
+/// Parses "REL(a INT, b STRING, ...)" into a RelationDef.
+StatusOr<catalog::RelationDef> ParseSchemaSpec(const std::string& spec) {
+  size_t open = spec.find('(');
+  size_t close = spec.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return InvalidArgument("schema must look like REL(a INT, b STRING)");
+  }
+  std::string name(StripWhitespace(spec.substr(0, open)));
+  if (name.empty()) return InvalidArgument("missing relation name");
+  std::vector<catalog::AttributeDef> attrs;
+  for (const std::string& part :
+       Split(spec.substr(open + 1, close - open - 1), ',')) {
+    std::string_view trimmed = StripWhitespace(part);
+    if (trimmed.empty()) continue;
+    size_t space = trimmed.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return InvalidArgument("column needs a type: " + std::string(trimmed));
+    }
+    std::string col(StripWhitespace(trimmed.substr(0, space)));
+    std::string type_name(StripWhitespace(trimmed.substr(space + 1)));
+    catalog::ValueType type;
+    if (EqualsIgnoreCase(type_name, "INT")) {
+      type = catalog::ValueType::kInt;
+    } else if (EqualsIgnoreCase(type_name, "DOUBLE")) {
+      type = catalog::ValueType::kDouble;
+    } else if (EqualsIgnoreCase(type_name, "STRING")) {
+      type = catalog::ValueType::kString;
+    } else {
+      return InvalidArgument("unknown type " + type_name);
+    }
+    attrs.push_back({col, type});
+  }
+  if (attrs.empty()) return InvalidArgument("schema has no columns");
+  return catalog::RelationDef(name, std::move(attrs));
+}
+
+/// Locale-independent strict number parsing (no exceptions).
+bool ParseIntStrict(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses "key=value" pairs into a map.
+StatusOr<std::map<std::string, double>> ParseKeyValues(
+    const std::string& args) {
+  std::map<std::string, double> out;
+  for (const std::string& part : Split(args, ' ')) {
+    std::string_view trimmed = StripWhitespace(part);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgument("expected key=value, got " +
+                             std::string(trimmed));
+    }
+    std::string key = ToLower(trimmed.substr(0, eq));
+    double value = 0;
+    if (!ParseDoubleStrict(std::string(trimmed.substr(eq + 1)), &value)) {
+      return InvalidArgument("bad number in " + std::string(trimmed));
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+}  // namespace
+
+CqpShell::CqpShell() {
+  problem_ = cqp::ProblemSpec::Problem2(400.0);
+  space_options_.max_k = 20;
+}
+
+bool CqpShell::ProcessLine(const std::string& raw, std::ostream& out) {
+  std::string line(StripWhitespace(raw));
+  if (line.empty() || line[0] == '#') return true;
+  if (EqualsIgnoreCase(line, ".quit") || EqualsIgnoreCase(line, ".exit")) {
+    return false;
+  }
+  Status status = HandleCommand(line, out);
+  if (!status.ok()) out << "error: " << status.ToString() << "\n";
+  return true;
+}
+
+Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
+  if (line[0] != '.') {
+    return HandleQuery(line, /*execute=*/true, out);
+  }
+  auto [cmd, args] = SplitCommand(line);
+  std::string command = ToLower(cmd);
+
+  if (command == ".help") {
+    out << kHelp;
+    return Status::OK();
+  }
+  if (command == ".gen") return HandleGen(args);
+  if (command == ".load") return HandleLoad(args);
+  if (command == ".tables") {
+    if (db_ == nullptr) return FailedPrecondition("no database loaded");
+    for (const std::string& name : db_->TableNames()) {
+      const storage::Table* table = *db_->GetTable(name);
+      out << StrFormat("%-12s %8llu rows %6llu blocks\n", name.c_str(),
+                       static_cast<unsigned long long>(table->row_count()),
+                       static_cast<unsigned long long>(table->blocks()));
+    }
+    return Status::OK();
+  }
+  if (command == ".schema") {
+    if (db_ == nullptr) return FailedPrecondition("no database loaded");
+    CQP_ASSIGN_OR_RETURN(const storage::Table* table, db_->GetTable(args));
+    out << table->schema().ToString() << "\n";
+    return Status::OK();
+  }
+  if (command == ".profile") return HandleProfile(args, out);
+  if (command == ".problem") return HandleProblem(args);
+  if (command == ".algorithm") {
+    CQP_ASSIGN_OR_RETURN(const cqp::Algorithm* algorithm,
+                         cqp::GetAlgorithm(args));
+    algorithm_ = algorithm->name();
+    return Status::OK();
+  }
+  if (command == ".algorithms") {
+    for (const std::string& name : cqp::AlgorithmNames()) {
+      out << "  " << name << "\n";
+    }
+    return Status::OK();
+  }
+  if (command == ".k") {
+    int64_t k = 0;
+    if (!ParseIntStrict(args, &k)) {
+      return InvalidArgument(".k expects an integer");
+    }
+    if (k <= 0 || k >= 64) return InvalidArgument("K must be in [1, 63]");
+    space_options_.max_k = static_cast<size_t>(k);
+    return Status::OK();
+  }
+  if (command == ".settings") {
+    out << "problem   : " << problem_.ToString() << "\n";
+    out << "algorithm : " << algorithm_ << "\n";
+    out << "K         : " << space_options_.max_k << "\n";
+    return Status::OK();
+  }
+  if (command == ".sql") return HandleRawSql(args, out);
+  if (command == ".explain") {
+    return HandleQuery(args, /*execute=*/false, out);
+  }
+  return InvalidArgument("unknown command " + command + " (try .help)");
+}
+
+Status CqpShell::HandleGen(const std::string& args) {
+  auto [kind, rest] = SplitCommand(args);
+  if (EqualsIgnoreCase(kind, "movies")) {
+    workload::MovieDbConfig config;
+    config.n_movies = 5000;
+    config.n_directors = 500;
+    config.n_actors = 1000;
+    if (!rest.empty()) {
+      if (!ParseIntStrict(rest, &config.n_movies)) {
+        return InvalidArgument(".gen movies expects a row count");
+      }
+      config.n_directors = std::max<int64_t>(10, config.n_movies / 10);
+      config.n_actors = std::max<int64_t>(20, config.n_movies / 5);
+    }
+    CQP_ASSIGN_OR_RETURN(storage::Database db,
+                         workload::BuildMovieDatabase(config));
+    db_ = std::make_unique<storage::Database>(std::move(db));
+    return RebuildGraph();
+  }
+  if (EqualsIgnoreCase(kind, "tourist")) {
+    CQP_ASSIGN_OR_RETURN(storage::Database db,
+                         workload::BuildTouristDatabase({}));
+    db_ = std::make_unique<storage::Database>(std::move(db));
+    return RebuildGraph();
+  }
+  return InvalidArgument(".gen expects 'movies [n]' or 'tourist'");
+}
+
+Status CqpShell::HandleLoad(const std::string& args) {
+  size_t close = args.rfind(')');
+  if (close == std::string::npos) {
+    return InvalidArgument(".load REL(a INT, ...) file.csv");
+  }
+  CQP_ASSIGN_OR_RETURN(catalog::RelationDef schema,
+                       ParseSchemaSpec(args.substr(0, close + 1)));
+  std::string path(StripWhitespace(args.substr(close + 1)));
+  if (path.empty()) return InvalidArgument("missing CSV path");
+  if (db_ == nullptr) db_ = std::make_unique<storage::Database>();
+  CQP_ASSIGN_OR_RETURN(storage::Table * table,
+                       storage::LoadCsvFile(db_.get(), schema, path));
+  (void)table;
+  db_->Analyze();
+  return RebuildGraph();
+}
+
+Status CqpShell::HandleProfile(const std::string& args, std::ostream& out) {
+  auto [sub, rest] = SplitCommand(args);
+  if (EqualsIgnoreCase(sub, "show")) {
+    out << profile_.ToText();
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(sub, "clear")) {
+    profile_ = prefs::Profile();
+    graph_.reset();
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(sub, "add")) {
+    CQP_ASSIGN_OR_RETURN(prefs::Profile parsed, prefs::Profile::Parse(rest));
+    for (const prefs::AtomicSelection& p : parsed.selections()) {
+      CQP_RETURN_IF_ERROR(profile_.AddSelection(p));
+    }
+    for (const prefs::AtomicJoin& p : parsed.joins()) {
+      CQP_RETURN_IF_ERROR(profile_.AddJoin(p));
+    }
+    return RebuildGraph();
+  }
+  if (EqualsIgnoreCase(sub, "load")) {
+    std::ifstream in(rest);
+    if (!in) return NotFound("cannot open " + rest);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    CQP_ASSIGN_OR_RETURN(profile_, prefs::Profile::Parse(buffer.str()));
+    return RebuildGraph();
+  }
+  return InvalidArgument(".profile expects show|clear|add|load");
+}
+
+Status CqpShell::HandleProblem(const std::string& args) {
+  auto [number_text, rest] = SplitCommand(args);
+  int64_t number = 0;
+  if (!ParseIntStrict(number_text, &number)) {
+    return InvalidArgument(".problem expects a problem number 1-6");
+  }
+  CQP_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(rest));
+  auto get = [&](const char* key, double fallback) {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  };
+  cqp::ProblemSpec spec;
+  switch (number) {
+    case 1:
+      spec = cqp::ProblemSpec::Problem1(get("smin", 1), get("smax", 100));
+      break;
+    case 2:
+      spec = cqp::ProblemSpec::Problem2(get("cmax", 400));
+      break;
+    case 3:
+      spec = cqp::ProblemSpec::Problem3(get("cmax", 400), get("smin", 1),
+                                        get("smax", 100));
+      break;
+    case 4:
+      spec = cqp::ProblemSpec::Problem4(get("dmin", 0.8));
+      break;
+    case 5:
+      spec = cqp::ProblemSpec::Problem5(get("dmin", 0.8), get("smin", 1),
+                                        get("smax", 100));
+      break;
+    case 6:
+      spec = cqp::ProblemSpec::Problem6(get("smin", 1), get("smax", 100));
+      break;
+    default:
+      return InvalidArgument("problem number must be 1-6");
+  }
+  CQP_RETURN_IF_ERROR(spec.Validate());
+  problem_ = spec;
+  return Status::OK();
+}
+
+Status CqpShell::RebuildGraph() {
+  graph_.reset();
+  if (db_ == nullptr || profile_.empty()) return Status::OK();
+  CQP_ASSIGN_OR_RETURN(
+      prefs::PersonalizationGraph graph,
+      prefs::PersonalizationGraph::Build(profile_, *db_));
+  graph_ = std::make_unique<prefs::PersonalizationGraph>(std::move(graph));
+  return Status::OK();
+}
+
+Status CqpShell::HandleRawSql(const std::string& sql, std::ostream& out) {
+  if (db_ == nullptr) return FailedPrecondition("no database loaded");
+  exec::Executor executor(db_.get());
+  exec::ExecStats stats;
+  exec::RowSet rows;
+  auto select = sql::ParseSelect(sql);
+  if (select.ok()) {
+    CQP_ASSIGN_OR_RETURN(rows, executor.Execute(*select, &stats));
+  } else {
+    // Maybe it is a personalized-query statement (the §4.2 shape that
+    // .explain prints) — those execute too.
+    auto union_group = sql::ParseUnionGroup(sql);
+    if (!union_group.ok()) return select.status();  // original diagnostics
+    CQP_ASSIGN_OR_RETURN(rows,
+                         executor.ExecuteUnionGroup(*union_group, &stats));
+  }
+  out << rows.ToString(20);
+  out << StrFormat("(%zu rows, %llu blocks, simulated %.1f ms)\n",
+                   rows.row_count(),
+                   static_cast<unsigned long long>(stats.blocks_read),
+                   stats.SimulatedMillis(exec::CostModelParams()));
+  return Status::OK();
+}
+
+Status CqpShell::HandleQuery(const std::string& sql, bool execute,
+                             std::ostream& out) {
+  if (db_ == nullptr) {
+    return FailedPrecondition("no database loaded (.gen or .load first)");
+  }
+  if (graph_ == nullptr) {
+    out << "note: empty profile; running the query unpersonalized\n";
+    return HandleRawSql(sql, out);
+  }
+  construct::Personalizer personalizer(db_.get(), graph_.get());
+  construct::PersonalizeRequest request;
+  request.sql = sql;
+  request.problem = problem_;
+  request.algorithm = algorithm_;
+  request.space_options = space_options_;
+  CQP_ASSIGN_OR_RETURN(construct::PersonalizeResult result,
+                       personalizer.Personalize(request));
+
+  out << "preference space: K=" << result.space.K() << "\n";
+  if (!result.solution.feasible) {
+    out << "no feasible personalized query; the original query applies\n";
+  } else {
+    out << "chosen preferences:\n";
+    for (int32_t i : result.solution.chosen) {
+      const auto& p = result.space.prefs[static_cast<size_t>(i)];
+      out << StrFormat("  doi=%.3f cost=%.1fms  %s\n", p.doi, p.cost_ms,
+                       p.pref.ConditionString().c_str());
+    }
+    out << StrFormat("estimates: doi=%.3f cost=%.1fms size=%.1f  (%llu states, %.2f ms search)\n",
+                     result.solution.params.doi,
+                     result.solution.params.cost_ms,
+                     result.solution.params.size,
+                     static_cast<unsigned long long>(
+                         result.metrics.states_examined),
+                     result.metrics.wall_ms);
+  }
+  out << "sql:\n" << result.final_sql << "\n";
+  if (!execute) return Status::OK();
+
+  exec::ExecStats stats;
+  CQP_ASSIGN_OR_RETURN(exec::PersonalizedResultSet rows,
+                       personalizer.Execute(result, &stats));
+  size_t shown = 0;
+  for (const exec::PersonalizedRow& row : rows.rows) {
+    if (shown++ >= 20) {
+      out << StrFormat("  ... (%zu more)\n", rows.rows.size() - 20);
+      break;
+    }
+    out << StrFormat("  doi=%.3f  %s\n", row.doi, row.row.ToString().c_str());
+  }
+  out << StrFormat("(%zu rows, %llu blocks, simulated %.1f ms)\n",
+                   rows.rows.size(),
+                   static_cast<unsigned long long>(stats.blocks_read),
+                   stats.SimulatedMillis(exec::CostModelParams()));
+  return Status::OK();
+}
+
+}  // namespace cqp::shell

@@ -1,0 +1,73 @@
+#ifndef CQP_SHELL_SHELL_H_
+#define CQP_SHELL_SHELL_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "cqp/problem.h"
+#include "prefs/graph.h"
+#include "space/preference_space.h"
+#include "storage/database.h"
+
+namespace cqp::shell {
+
+/// The interactive CQP shell's engine: owns a database, a profile and the
+/// personalization settings, and interprets one command line at a time.
+/// The cqpsh binary wraps it in a stdin loop; tests drive ProcessLine
+/// directly.
+///
+/// Commands (also listed by `.help`):
+///   .help                       show command reference
+///   .gen movies [n]             generate the synthetic movie database
+///   .gen tourist                generate the tourist database
+///   .load REL(a INT, ...) FILE  load a CSV file as a new table
+///   .tables                     list tables with cardinalities/blocks
+///   .schema REL                 show one table's schema
+///   .profile add LINE           add "doi(...) = d" preference
+///   .profile load FILE          load a profile file
+///   .profile show               print the current profile
+///   .profile clear              drop all preferences
+///   .problem N args...          choose the CQP problem, e.g.
+///                               .problem 2 cmax=400
+///                               .problem 3 cmax=400 smin=1 smax=50
+///   .algorithm NAME             choose the search algorithm
+///   .algorithms                 list available algorithms
+///   .k N                        cap the preference space size
+///   .settings                   show problem/algorithm/K
+///   .sql QUERY                  run QUERY directly (no personalization)
+///   .explain QUERY              personalize QUERY, show the plan only
+///   QUERY                       personalize QUERY and execute it
+///   .quit                       leave the shell
+class CqpShell {
+ public:
+  CqpShell();
+
+  /// Interprets one line; output goes to `out`. Returns false when the
+  /// shell should exit (.quit / .exit), true otherwise. Errors are printed,
+  /// never thrown; the shell survives any input.
+  bool ProcessLine(const std::string& line, std::ostream& out);
+
+  bool has_database() const { return db_ != nullptr; }
+
+ private:
+  Status HandleCommand(const std::string& line, std::ostream& out);
+  Status HandleGen(const std::string& args);
+  Status HandleLoad(const std::string& args);
+  Status HandleProfile(const std::string& args, std::ostream& out);
+  Status HandleProblem(const std::string& args);
+  Status HandleQuery(const std::string& sql, bool execute, std::ostream& out);
+  Status HandleRawSql(const std::string& sql, std::ostream& out);
+  Status RebuildGraph();
+
+  std::unique_ptr<storage::Database> db_;
+  prefs::Profile profile_;
+  std::unique_ptr<prefs::PersonalizationGraph> graph_;
+  cqp::ProblemSpec problem_;
+  std::string algorithm_ = "C-Boundaries";
+  space::PreferenceSpaceOptions space_options_;
+};
+
+}  // namespace cqp::shell
+
+#endif  // CQP_SHELL_SHELL_H_

@@ -1,0 +1,93 @@
+#ifndef CQP_SPACE_PREFERENCE_SPACE_H_
+#define CQP_SPACE_PREFERENCE_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "cqp/problem.h"
+#include "estimation/estimate.h"
+#include "estimation/evaluator.h"
+#include "prefs/graph.h"
+#include "sql/ast.h"
+
+namespace cqp::space {
+
+/// Tuning knobs of the preference-space extraction.
+struct PreferenceSpaceOptions {
+  /// Maximum number of preferences extracted (the paper's K).
+  size_t max_k = 20;
+  /// Maximum number of join edges on an implicit-preference path.
+  size_t max_path_joins = 3;
+  /// How dois compose along a path (Formula 1; paper uses product).
+  prefs::PathComposition path_composition = prefs::PathComposition::kProduct;
+  /// How dois of conjunctions combine (Formula 3; paper uses Formula 10).
+  /// Recorded in the result so downstream state evaluation agrees.
+  prefs::ConjunctionModel conjunction_model =
+      prefs::ConjunctionModel::kNoisyOr;
+  /// Preferences with doi <= this are never extracted (doi 0 expresses
+  /// "no interest" in the model).
+  double min_doi = 0.0;
+  /// If false, only the doi vector D is produced (the paper's
+  /// D_PrefSelTime configuration in Fig. 12(b)); if true, the cost and
+  /// size vectors C and S are ranked as well (C_PrefSelTime).
+  bool build_cost_size_vectors = true;
+};
+
+/// The output of the Preference Space module (paper Fig. 3): the set P of
+/// candidate preferences related to Q, with the pointer vectors D, C, S.
+struct PreferenceSpaceResult {
+  sql::SelectQuery query;                 ///< the original query Q
+  estimation::QueryBaseEstimate base;     ///< estimated cost/size of Q
+  std::vector<estimation::ScoredPreference> prefs;  ///< P, doi-descending
+  /// Conjunction model the space was extracted under (used by evaluators).
+  prefs::ConjunctionModel conjunction_model =
+      prefs::ConjunctionModel::kNoisyOr;
+
+  /// Builds a StateEvaluator over this preference space.
+  estimation::StateEvaluator MakeEvaluator() const {
+    return estimation::StateEvaluator(base, prefs, conjunction_model);
+  }
+
+  /// Pointer vectors (0-based indices into `prefs`):
+  /// D: doi descending (identity by construction, kept for symmetry),
+  /// C: cost(Q ∧ p) descending, S: size(Q ∧ p) ascending.
+  std::vector<int32_t> D;
+  std::vector<int32_t> C;
+  std::vector<int32_t> S;
+
+  size_t K() const { return prefs.size(); }
+};
+
+/// Builds the pointer vectors of §4.4 for a preference list:
+/// D by doi descending, C by cost(Q ∧ p) descending, S by size(Q ∧ p)
+/// ascending (ties broken by P index for determinism). Reproduces the
+/// paper's Table 2 example exactly (see space_test). Note: the search
+/// algorithms additionally require P itself to be doi-sorted (D =
+/// identity), which ExtractPreferenceSpace guarantees; this function also
+/// accepts unsorted lists for testing the vectors in isolation.
+void BuildPointerVectors(const std::vector<estimation::ScoredPreference>& prefs,
+                         std::vector<int32_t>* d, std::vector<int32_t>* c,
+                         std::vector<int32_t>* s);
+
+/// Extracts the preference space for query `q` from `graph`.
+///
+/// Implements the best-first traversal of Fig. 3: candidates are expanded in
+/// decreasing doi order (valid because f⊗ is non-increasing in path length,
+/// Formula 2), join paths are kept acyclic, and candidates that can never
+/// appear in a feasible personalized query under `problem`'s constraints are
+/// pruned (cost(Q∧p) > cmax, or size(Q∧p) < smin — both monotone).
+///
+/// Deviation from the paper's pseudocode: a candidate failing the
+/// constraints is *skipped* rather than terminating extraction, because cost
+/// and size are not monotone in doi (the queue order); the paper leaves
+/// these "details of such optimizations" unspecified.
+StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
+    const sql::SelectQuery& q, const prefs::PersonalizationGraph& graph,
+    const estimation::ParameterEstimator& estimator,
+    const cqp::ProblemSpec& problem,
+    const PreferenceSpaceOptions& options = PreferenceSpaceOptions());
+
+}  // namespace cqp::space
+
+#endif  // CQP_SPACE_PREFERENCE_SPACE_H_

@@ -1,0 +1,121 @@
+#include "sql/ast.h"
+
+#include "common/str_util.h"
+
+namespace cqp::sql {
+
+std::string ColumnRef::ToSql() const {
+  if (qualifier.empty()) return attribute;
+  return qualifier + "." + attribute;
+}
+
+bool ColumnRef::operator==(const ColumnRef& other) const {
+  return EqualsIgnoreCase(qualifier, other.qualifier) &&
+         EqualsIgnoreCase(attribute, other.attribute);
+}
+
+std::string TableRef::ToSql() const {
+  if (alias.empty() || EqualsIgnoreCase(alias, relation)) return relation;
+  return relation + " " + alias;
+}
+
+Predicate Predicate::Selection(ColumnRef col, catalog::CompareOp op,
+                               catalog::Value literal) {
+  Predicate p;
+  p.kind = Kind::kSelection;
+  p.lhs = std::move(col);
+  p.op = op;
+  p.literal = std::move(literal);
+  return p;
+}
+
+Predicate Predicate::Join(ColumnRef lhs, catalog::CompareOp op,
+                          ColumnRef rhs) {
+  Predicate p;
+  p.kind = Kind::kJoin;
+  p.lhs = std::move(lhs);
+  p.op = op;
+  p.rhs = std::move(rhs);
+  return p;
+}
+
+std::string Predicate::ToSql() const {
+  std::string out = lhs.ToSql();
+  out += " ";
+  out += catalog::CompareOpSql(op);
+  out += " ";
+  if (kind == Kind::kSelection) {
+    out += literal.ToSqlLiteral();
+  } else {
+    out += rhs.ToSql();
+  }
+  return out;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  if (kind != other.kind || op != other.op || !(lhs == other.lhs)) {
+    return false;
+  }
+  if (kind == Kind::kSelection) return literal == other.literal;
+  return rhs == other.rhs;
+}
+
+std::string OrderItem::ToSql() const {
+  std::string out = column.ToSql();
+  if (descending) out += " DESC";
+  return out;
+}
+
+std::string SelectQuery::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_list.empty()) {
+    out += "*";
+  } else {
+    std::vector<std::string> cols;
+    cols.reserve(select_list.size());
+    for (const ColumnRef& c : select_list) cols.push_back(c.ToSql());
+    out += Join(cols, ", ");
+  }
+  out += " FROM ";
+  std::vector<std::string> tables;
+  tables.reserve(from.size());
+  for (const TableRef& t : from) tables.push_back(t.ToSql());
+  out += Join(tables, ", ");
+  if (!where.empty()) {
+    out += " WHERE ";
+    std::vector<std::string> preds;
+    preds.reserve(where.size());
+    for (const Predicate& p : where) preds.push_back(p.ToSql());
+    out += Join(preds, " AND ");
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    std::vector<std::string> keys;
+    keys.reserve(order_by.size());
+    for (const OrderItem& o : order_by) keys.push_back(o.ToSql());
+    out += Join(keys, ", ");
+  }
+  if (limit.has_value()) {
+    out += " LIMIT " + std::to_string(*limit);
+  }
+  return out;
+}
+
+std::string UnionGroupQuery::ToSql() const {
+  std::vector<std::string> cols;
+  cols.reserve(select_list.size());
+  for (const ColumnRef& c : select_list) cols.push_back(c.ToSql());
+  std::string col_text = Join(cols, ", ");
+
+  std::string out = "SELECT " + col_text + " FROM (\n";
+  for (size_t i = 0; i < branches.size(); ++i) {
+    if (i > 0) out += "\n  UNION ALL\n";
+    out += "  " + branches[i].ToSql();
+  }
+  out += "\n) GROUP BY " + col_text +
+         " HAVING COUNT(*) = " + std::to_string(having_count);
+  return out;
+}
+
+}  // namespace cqp::sql

@@ -1,0 +1,102 @@
+#ifndef CQP_SQL_AST_H_
+#define CQP_SQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/compare.h"
+#include "catalog/value.h"
+
+namespace cqp::sql {
+
+/// A possibly-qualified column reference ("m.title" or "title").
+struct ColumnRef {
+  std::string qualifier;  ///< table name or alias; empty if unqualified
+  std::string attribute;
+
+  std::string ToSql() const;
+  bool operator==(const ColumnRef& other) const;
+};
+
+/// A FROM-clause entry with optional alias.
+struct TableRef {
+  std::string relation;
+  std::string alias;  ///< empty means "no alias"
+
+  /// Alias if present, otherwise the relation name.
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? relation : alias;
+  }
+  std::string ToSql() const;
+};
+
+/// A conjunct of the WHERE clause: either a selection (`col op literal`) or
+/// an equi/theta join (`col op col`).
+struct Predicate {
+  enum class Kind { kSelection, kJoin };
+
+  Kind kind = Kind::kSelection;
+  ColumnRef lhs;
+  catalog::CompareOp op = catalog::CompareOp::kEq;
+  catalog::Value literal;  ///< meaningful when kind == kSelection
+  ColumnRef rhs;           ///< meaningful when kind == kJoin
+
+  static Predicate Selection(ColumnRef col, catalog::CompareOp op,
+                             catalog::Value literal);
+  static Predicate Join(ColumnRef lhs, catalog::CompareOp op, ColumnRef rhs);
+
+  std::string ToSql() const;
+  bool operator==(const Predicate& other) const;
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  ColumnRef column;
+  bool descending = false;
+
+  std::string ToSql() const;
+};
+
+/// A conjunctive select-project-join query, optionally ordered and limited.
+///
+/// This is the query class the paper personalizes: SELECT (no aggregates)
+/// over a list of relations with a conjunctive WHERE clause. The
+/// UNION ALL + GROUP BY/HAVING rewriting of §4.2 is represented separately
+/// by construct::PersonalizedQuery. ORDER BY / LIMIT are engine extensions
+/// (the paper's §2 contrasts CQP's size *bounds* with top-k's fixed k; the
+/// executor supports both styles).
+struct SelectQuery {
+  bool distinct = false;
+  std::vector<ColumnRef> select_list;  ///< empty means SELECT *
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::string ToSql() const;
+};
+
+/// The §4.2 rewriting as a first-class SQL statement:
+///
+///   SELECT col[, col...] FROM (
+///     branch1 UNION ALL branch2 ...
+///   ) GROUP BY col[, col...] HAVING COUNT(*) = n
+///
+/// The outer select list and the GROUP BY list must coincide (the paper
+/// groups by the entire projected row). Branch select lists must have the
+/// same arity. This makes the text printed by
+/// construct::PersonalizedQuery::ToSql() parseable and executable by the
+/// engine itself (exec::ExecuteUnionGroup).
+struct UnionGroupQuery {
+  std::vector<ColumnRef> select_list;  ///< unqualified output columns
+  std::vector<SelectQuery> branches;   ///< the UNION ALL inputs
+  int64_t having_count = 0;            ///< COUNT(*) = having_count
+
+  std::string ToSql() const;
+};
+
+}  // namespace cqp::sql
+
+#endif  // CQP_SQL_AST_H_

@@ -1,0 +1,40 @@
+#ifndef CQP_SQL_LEXER_H_
+#define CQP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cqp::sql {
+
+/// Token categories of the SQL subset.
+enum class TokenKind {
+  kIdentifier,  ///< bare word that is not a keyword
+  kKeyword,     ///< SELECT, DISTINCT, FROM, WHERE, AND, AS, ORDER, BY,
+                ///< ASC, DESC, LIMIT
+  kString,      ///< 'text' (quote doubling supported)
+  kInt,         ///< 42
+  kDouble,      ///< 4.5
+  kSymbol,      ///< , . * ( ) ; = <> < <= > >=
+  kEnd,         ///< end of input sentinel
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< raw text; keywords upper-cased
+  int64_t int_value = 0;   ///< for kInt
+  double double_value = 0; ///< for kDouble
+  size_t offset = 0;       ///< byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// Tokenizes `input`. On success the final token is kEnd.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace cqp::sql
+
+#endif  // CQP_SQL_LEXER_H_

@@ -1,0 +1,293 @@
+#include "sql/parser.h"
+
+#include <vector>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace cqp::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectQuery> ParseQuery() {
+    CQP_ASSIGN_OR_RETURN(SelectQuery q, ParseQueryBody());
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return q;
+  }
+
+  /// One SELECT without the trailing-input check; stops at tokens owned by
+  /// an enclosing construct (UNION, ')', ';', end).
+  StatusOr<SelectQuery> ParseQueryBody() {
+    SelectQuery q;
+    CQP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      q.distinct = true;
+    }
+    if (Peek().IsSymbol("*")) {
+      Advance();
+    } else {
+      CQP_ASSIGN_OR_RETURN(ColumnRef first, ParseColumnRef());
+      q.select_list.push_back(std::move(first));
+      while (Peek().IsSymbol(",")) {
+        Advance();
+        CQP_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+        q.select_list.push_back(std::move(col));
+      }
+    }
+    CQP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    CQP_ASSIGN_OR_RETURN(TableRef first_table, ParseTableRef());
+    q.from.push_back(std::move(first_table));
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      CQP_ASSIGN_OR_RETURN(TableRef table, ParseTableRef());
+      q.from.push_back(std::move(table));
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      CQP_ASSIGN_OR_RETURN(Predicate first_pred, ParsePredicate());
+      q.where.push_back(std::move(first_pred));
+      while (Peek().IsKeyword("AND")) {
+        Advance();
+        CQP_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+        q.where.push_back(std::move(pred));
+      }
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      CQP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        CQP_ASSIGN_OR_RETURN(OrderItem item, ParseOrderItem());
+        q.order_by.push_back(std::move(item));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInt || Peek().int_value < 0) {
+        return Error("LIMIT expects a non-negative integer");
+      }
+      q.limit = Advance().int_value;
+    }
+    return q;
+  }
+
+  StatusOr<UnionGroupQuery> ParseUnionGroupQuery() {
+    UnionGroupQuery q;
+    CQP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    CQP_ASSIGN_OR_RETURN(ColumnRef first_col, ParseColumnRef());
+    q.select_list.push_back(std::move(first_col));
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      CQP_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+      q.select_list.push_back(std::move(col));
+    }
+    CQP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (!Peek().IsSymbol("(")) return Error("expected ( starting the union");
+    Advance();
+    CQP_ASSIGN_OR_RETURN(SelectQuery first_branch, ParseQueryBody());
+    q.branches.push_back(std::move(first_branch));
+    while (Peek().IsKeyword("UNION")) {
+      Advance();
+      CQP_RETURN_IF_ERROR(ExpectKeyword("ALL"));
+      CQP_ASSIGN_OR_RETURN(SelectQuery branch, ParseQueryBody());
+      q.branches.push_back(std::move(branch));
+    }
+    if (!Peek().IsSymbol(")")) return Error("expected ) closing the union");
+    Advance();
+    CQP_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+    CQP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    std::vector<ColumnRef> group_by;
+    CQP_ASSIGN_OR_RETURN(ColumnRef first_key, ParseColumnRef());
+    group_by.push_back(std::move(first_key));
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      CQP_ASSIGN_OR_RETURN(ColumnRef key, ParseColumnRef());
+      group_by.push_back(std::move(key));
+    }
+    CQP_RETURN_IF_ERROR(ExpectKeyword("HAVING"));
+    CQP_RETURN_IF_ERROR(ExpectKeyword("COUNT"));
+    if (!Peek().IsSymbol("(")) return Error("expected COUNT(*)");
+    Advance();
+    if (!Peek().IsSymbol("*")) return Error("expected COUNT(*)");
+    Advance();
+    if (!Peek().IsSymbol(")")) return Error("expected COUNT(*)");
+    Advance();
+    if (!Peek().IsSymbol("=")) return Error("expected = after COUNT(*)");
+    Advance();
+    if (Peek().kind != TokenKind::kInt || Peek().int_value < 1) {
+      return Error("HAVING COUNT(*) expects a positive integer");
+    }
+    q.having_count = Advance().int_value;
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+
+    // Shape checks (§4.2): GROUP BY == outer select list; branch arities
+    // match the outer arity.
+    if (group_by.size() != q.select_list.size()) {
+      return InvalidArgument("GROUP BY must repeat the outer select list");
+    }
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (!(group_by[i] == q.select_list[i])) {
+        return InvalidArgument("GROUP BY must repeat the outer select list");
+      }
+    }
+    for (const SelectQuery& branch : q.branches) {
+      if (branch.select_list.size() != q.select_list.size()) {
+        return InvalidArgument(
+            "union branches must project the same number of columns as the "
+            "outer query");
+      }
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t lookahead = 0) const {
+    size_t i = pos_ + lookahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return InvalidArgument(StrFormat("%s at offset %zu (near \"%s\")",
+                                     msg.c_str(), Peek().offset,
+                                     Peek().text.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return Error(std::string("expected ") + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<ColumnRef> ParseColumnRef() {
+    CQP_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    ColumnRef col;
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      CQP_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+      col.qualifier = std::move(first);
+      col.attribute = std::move(attr);
+    } else {
+      col.attribute = std::move(first);
+    }
+    return col;
+  }
+
+  StatusOr<TableRef> ParseTableRef() {
+    CQP_ASSIGN_OR_RETURN(std::string rel, ExpectIdentifier());
+    TableRef t;
+    t.relation = std::move(rel);
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      CQP_ASSIGN_OR_RETURN(std::string alias, ExpectIdentifier());
+      t.alias = std::move(alias);
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      t.alias = Advance().text;
+    }
+    return t;
+  }
+
+  StatusOr<OrderItem> ParseOrderItem() {
+    OrderItem item;
+    CQP_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    if (Peek().IsKeyword("DESC")) {
+      Advance();
+      item.descending = true;
+    } else if (Peek().IsKeyword("ASC")) {
+      Advance();
+    }
+    return item;
+  }
+
+  StatusOr<catalog::CompareOp> ParseCompareOp() {
+    const Token& tok = Peek();
+    if (tok.kind != TokenKind::kSymbol) return Error("expected comparison");
+    catalog::CompareOp op;
+    if (tok.text == "=") {
+      op = catalog::CompareOp::kEq;
+    } else if (tok.text == "<>") {
+      op = catalog::CompareOp::kNe;
+    } else if (tok.text == "<") {
+      op = catalog::CompareOp::kLt;
+    } else if (tok.text == "<=") {
+      op = catalog::CompareOp::kLe;
+    } else if (tok.text == ">") {
+      op = catalog::CompareOp::kGt;
+    } else if (tok.text == ">=") {
+      op = catalog::CompareOp::kGe;
+    } else {
+      return Error("expected comparison operator");
+    }
+    Advance();
+    return op;
+  }
+
+  StatusOr<Predicate> ParsePredicate() {
+    CQP_ASSIGN_OR_RETURN(ColumnRef lhs, ParseColumnRef());
+    CQP_ASSIGN_OR_RETURN(catalog::CompareOp op, ParseCompareOp());
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return Predicate::Selection(std::move(lhs), op,
+                                    catalog::Value(tok.int_value));
+      }
+      case TokenKind::kDouble: {
+        Advance();
+        return Predicate::Selection(std::move(lhs), op,
+                                    catalog::Value(tok.double_value));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Predicate::Selection(std::move(lhs), op,
+                                    catalog::Value(tok.text));
+      }
+      case TokenKind::kIdentifier: {
+        CQP_ASSIGN_OR_RETURN(ColumnRef rhs, ParseColumnRef());
+        return Predicate::Join(std::move(lhs), op, std::move(rhs));
+      }
+      default:
+        return Error("expected literal or column reference");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectQuery> ParseSelect(const std::string& text) {
+  CQP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+StatusOr<UnionGroupQuery> ParseUnionGroup(const std::string& text) {
+  CQP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseUnionGroupQuery();
+}
+
+}  // namespace cqp::sql

@@ -1,0 +1,34 @@
+#ifndef CQP_SQL_PARSER_H_
+#define CQP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace cqp::sql {
+
+/// Parses one SPJ query of the supported SQL subset:
+///
+///   SELECT [DISTINCT] (* | col[, col...])
+///   FROM rel [[AS] alias][, rel [[AS] alias]...]
+///   [WHERE pred AND pred ...]
+///   [ORDER BY col [ASC|DESC][, ...]]  [LIMIT n]  [;]
+///
+/// where `col` is `[qualifier.]attribute` and `pred` is
+/// `col op (literal | col)` with op in {=, <>, !=, <, <=, >, >=}.
+/// ORDER BY keys must be part of the projected columns.
+StatusOr<SelectQuery> ParseSelect(const std::string& text);
+
+/// Parses the §4.2 personalized-query shape (see sql::UnionGroupQuery):
+///
+///   SELECT cols FROM ( q1 UNION ALL q2 ... )
+///   GROUP BY cols HAVING COUNT(*) = n
+///
+/// Validates that GROUP BY repeats the outer select list and that every
+/// branch projects the same arity.
+StatusOr<UnionGroupQuery> ParseUnionGroup(const std::string& text);
+
+}  // namespace cqp::sql
+
+#endif  // CQP_SQL_PARSER_H_

@@ -1,0 +1,184 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace cqp::storage {
+
+namespace {
+
+using catalog::Value;
+using catalog::ValueType;
+
+/// Quotes a field when it contains separator, quote or newline characters.
+std::string QuoteField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV record (no embedded newlines across records supported at
+/// the record level; quoted fields may contain commas and escaped quotes).
+StatusOr<std::vector<std::string>> ParseRecord(const std::string& line,
+                                               size_t line_no) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return InvalidArgument(
+            StrFormat("line %zu: quote inside unquoted field", line_no));
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgument(StrFormat("line %zu: unterminated quote", line_no));
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+StatusOr<Value> ParseCell(const std::string& field, ValueType type,
+                          size_t line_no) {
+  switch (type) {
+    case ValueType::kInt: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (field.empty() || end != field.c_str() + field.size() ||
+          errno == ERANGE) {
+        return InvalidArgument(
+            StrFormat("line %zu: '%s' is not an INT", line_no,
+                      field.c_str()));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (field.empty() || end != field.c_str() + field.size() ||
+          errno == ERANGE) {
+        return InvalidArgument(StrFormat("line %zu: '%s' is not a DOUBLE",
+                                         line_no, field.c_str()));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(field);
+  }
+  return Internal("unknown value type");
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const catalog::RelationDef& schema = table.schema();
+  for (size_t c = 0; c < schema.arity(); ++c) {
+    if (c > 0) out += ',';
+    out += QuoteField(schema.attribute(c).name);
+  }
+  out += '\n';
+  for (const Tuple& row : table.rows()) {
+    for (size_t c = 0; c < row.arity(); ++c) {
+      if (c > 0) out += ',';
+      out += QuoteField(row.at(c).ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<Table*> LoadCsvTable(Database* db, const catalog::RelationDef& schema,
+                              const std::string& csv) {
+  CQP_CHECK(db != nullptr);
+  std::vector<std::string> lines = Split(csv, '\n');
+  if (lines.empty() || StripWhitespace(lines[0]).empty()) {
+    return InvalidArgument("CSV is empty (missing header)");
+  }
+  CQP_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       ParseRecord(lines[0], 1));
+  if (header.size() != schema.arity()) {
+    return InvalidArgument(
+        StrFormat("header has %zu columns, schema %s has %zu", header.size(),
+                  schema.name().c_str(), schema.arity()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (!EqualsIgnoreCase(StripWhitespace(header[c]),
+                          schema.attribute(c).name)) {
+      return InvalidArgument(StrFormat(
+          "header column %zu is '%s', schema expects '%s'", c,
+          header[c].c_str(), schema.attribute(c).name.c_str()));
+    }
+  }
+
+  CQP_ASSIGN_OR_RETURN(Table * table, db->CreateTable(schema));
+  for (size_t l = 1; l < lines.size(); ++l) {
+    if (StripWhitespace(lines[l]).empty()) continue;
+    CQP_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseRecord(lines[l], l + 1));
+    if (fields.size() != schema.arity()) {
+      return InvalidArgument(StrFormat("line %zu: expected %zu fields, got %zu",
+                                       l + 1, schema.arity(), fields.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      CQP_ASSIGN_OR_RETURN(
+          Value v, ParseCell(fields[c], schema.attribute(c).type, l + 1));
+      values.push_back(std::move(v));
+    }
+    CQP_RETURN_IF_ERROR(table->Insert(Tuple(std::move(values))));
+  }
+  return table;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return InvalidArgument("cannot open " + path + " for writing");
+  out << TableToCsv(table);
+  if (!out.good()) return Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<Table*> LoadCsvFile(Database* db, const catalog::RelationDef& schema,
+                             const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvTable(db, schema, buffer.str());
+}
+
+}  // namespace cqp::storage

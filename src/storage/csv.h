@@ -1,0 +1,37 @@
+#ifndef CQP_STORAGE_CSV_H_
+#define CQP_STORAGE_CSV_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace cqp::storage {
+
+/// CSV interchange for tables, so users can load their own data instead of
+/// the synthetic generators.
+///
+/// Dialect: comma separator, double-quote quoting with "" escaping, first
+/// line is the header. Types come from the supplied schema; INT and DOUBLE
+/// cells are parsed strictly (the whole field must be numeric).
+
+/// Serializes `table` (header + all rows).
+std::string TableToCsv(const Table& table);
+
+/// Parses `csv` and appends the rows to a fresh table created in `db` with
+/// `schema`. The header must match the schema's attribute names
+/// (case-insensitive, same order).
+StatusOr<Table*> LoadCsvTable(Database* db, const catalog::RelationDef& schema,
+                              const std::string& csv);
+
+/// Writes `table` to `path` (truncating). Convenience over TableToCsv.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Reads `path` and loads it via LoadCsvTable.
+StatusOr<Table*> LoadCsvFile(Database* db, const catalog::RelationDef& schema,
+                             const std::string& path);
+
+}  // namespace cqp::storage
+
+#endif  // CQP_STORAGE_CSV_H_

@@ -1,0 +1,43 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace cqp::storage {
+
+Table::Table(catalog::RelationDef schema) : schema_(std::move(schema)) {}
+
+Status Table::Insert(Tuple row) {
+  if (row.arity() != schema_.arity()) {
+    return InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %zu of %s",
+                  row.arity(), schema_.arity(), schema_.name().c_str()));
+  }
+  for (size_t i = 0; i < row.arity(); ++i) {
+    if (row.at(i).type() != schema_.attribute(i).type) {
+      return InvalidArgument(StrFormat(
+          "column %s.%s expects %s", schema_.name().c_str(),
+          schema_.attribute(i).name.c_str(),
+          catalog::ValueTypeName(schema_.attribute(i).type)));
+    }
+  }
+
+  uint64_t bytes = row.ByteSize();
+  // A row never spans blocks; oversized rows get a block of their own.
+  if (blocks_ == 0 || current_block_fill_ + bytes > kBlockSizeBytes) {
+    ++blocks_;
+    current_block_fill_ = 0;
+  }
+  current_block_fill_ += bytes;
+  if (current_block_fill_ > kBlockSizeBytes) {
+    // Row larger than one block: account the overflow as full blocks.
+    uint64_t extra = (current_block_fill_ - 1) / kBlockSizeBytes;
+    blocks_ += extra;
+    current_block_fill_ = current_block_fill_ % kBlockSizeBytes;
+    if (current_block_fill_ == 0) current_block_fill_ = kBlockSizeBytes;
+  }
+  data_bytes_ += bytes;
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace cqp::storage

@@ -1,0 +1,58 @@
+#ifndef CQP_STORAGE_TABLE_H_
+#define CQP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace cqp::storage {
+
+/// Fixed block size of the storage model, matching typical DBMS pages.
+inline constexpr uint64_t kBlockSizeBytes = 8192;
+
+/// A heap table: rows packed into fixed-size blocks.
+///
+/// The engine is memory resident, but every table keeps an exact block
+/// layout (rows are assigned to 8 KiB blocks in insertion order, never
+/// splitting a row across blocks). Sequential scans report the number of
+/// blocks touched, which drives the simulated I/O clock — the paper's cost
+/// unit is "blocks read × b" with b = 1 ms (§7.1).
+class Table {
+ public:
+  explicit Table(catalog::RelationDef schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const catalog::RelationDef& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  /// Appends a row; arity and column types must match the schema.
+  Status Insert(Tuple row);
+
+  uint64_t row_count() const { return rows_.size(); }
+
+  /// Number of 8 KiB blocks occupied by the table (>= 1 once non-empty).
+  uint64_t blocks() const { return blocks_; }
+
+  /// Total payload bytes (row data only; no per-block header modeled).
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  catalog::RelationDef schema_;
+  std::vector<Tuple> rows_;
+  uint64_t data_bytes_ = 0;
+  uint64_t blocks_ = 0;
+  uint64_t current_block_fill_ = 0;  // bytes used in the last block
+};
+
+}  // namespace cqp::storage
+
+#endif  // CQP_STORAGE_TABLE_H_

@@ -1,0 +1,116 @@
+#include "workload/movie_gen.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace cqp::workload {
+
+namespace {
+
+using catalog::AttributeDef;
+using catalog::RelationDef;
+using catalog::Value;
+using catalog::ValueType;
+using storage::Table;
+using storage::Tuple;
+
+}  // namespace
+
+const std::vector<std::string>& GenreVocabulary() {
+  static const std::vector<std::string>& kGenres =
+      *new std::vector<std::string>{
+          "action",    "adventure", "animation", "biography", "comedy",
+          "crime",     "documentary", "drama",   "family",    "fantasy",
+          "film-noir", "history",   "horror",    "musical",   "mystery",
+          "romance",   "sci-fi",    "short",     "sport",     "thriller",
+          "war",       "western",   "news",      "adult"};
+  return kGenres;
+}
+
+StatusOr<storage::Database> BuildMovieDatabase(const MovieDbConfig& config) {
+  if (config.n_movies <= 0 || config.n_directors <= 0 ||
+      config.n_actors <= 0) {
+    return InvalidArgument("movie db config requires positive cardinalities");
+  }
+  Rng rng(config.seed);
+  storage::Database db;
+
+  CQP_ASSIGN_OR_RETURN(
+      Table * director,
+      db.CreateTable(RelationDef(
+          "DIRECTOR", {AttributeDef{"did", ValueType::kInt},
+                       AttributeDef{"name", ValueType::kString}})));
+  for (int64_t d = 0; d < config.n_directors; ++d) {
+    CQP_RETURN_IF_ERROR(director->Insert(
+        Tuple({Value(d), Value(StrFormat("Director %05ld", d))})));
+  }
+
+  CQP_ASSIGN_OR_RETURN(
+      Table * actor,
+      db.CreateTable(RelationDef("ACTOR",
+                                 {AttributeDef{"aid", ValueType::kInt},
+                                  AttributeDef{"name", ValueType::kString}})));
+  for (int64_t a = 0; a < config.n_actors; ++a) {
+    CQP_RETURN_IF_ERROR(
+        actor->Insert(Tuple({Value(a), Value(StrFormat("Actor %05ld", a))})));
+  }
+
+  CQP_ASSIGN_OR_RETURN(
+      Table * movie,
+      db.CreateTable(RelationDef(
+          "MOVIE", {AttributeDef{"mid", ValueType::kInt},
+                    AttributeDef{"title", ValueType::kString},
+                    AttributeDef{"year", ValueType::kInt},
+                    AttributeDef{"duration", ValueType::kInt},
+                    AttributeDef{"did", ValueType::kInt}})));
+  CQP_ASSIGN_OR_RETURN(
+      Table * genre,
+      db.CreateTable(RelationDef("GENRE",
+                                 {AttributeDef{"mid", ValueType::kInt},
+                                  AttributeDef{"genre", ValueType::kString}})));
+  CQP_ASSIGN_OR_RETURN(
+      Table * casts,
+      db.CreateTable(RelationDef("CASTS",
+                                 {AttributeDef{"mid", ValueType::kInt},
+                                  AttributeDef{"aid", ValueType::kInt},
+                                  AttributeDef{"role", ValueType::kString}})));
+
+  const std::vector<std::string>& genres = GenreVocabulary();
+  static const char* const kRoles[] = {"lead",  "support", "cameo",
+                                       "voice", "extra",   "narrator"};
+  for (int64_t m = 0; m < config.n_movies; ++m) {
+    int64_t did = rng.Zipf(config.n_directors, config.popularity_skew);
+    int64_t year = rng.Uniform(config.min_year, config.max_year);
+    int64_t duration = rng.Uniform(60, 240);
+    CQP_RETURN_IF_ERROR(movie->Insert(
+        Tuple({Value(m), Value(StrFormat("Movie %06ld", m)), Value(year),
+               Value(duration), Value(did)})));
+
+    // 1 .. 2*avg-1 genres, distinct per movie.
+    int64_t n_genres =
+        rng.Uniform(1, std::max<int64_t>(1, 2 * config.genres_per_movie - 1));
+    std::vector<int64_t> chosen;
+    for (int64_t g = 0; g < n_genres; ++g) {
+      int64_t gi = rng.Zipf(static_cast<int64_t>(genres.size()),
+                            config.popularity_skew);
+      bool dup = false;
+      for (int64_t c : chosen) dup = dup || c == gi;
+      if (dup) continue;
+      chosen.push_back(gi);
+      CQP_RETURN_IF_ERROR(genre->Insert(
+          Tuple({Value(m), Value(genres[static_cast<size_t>(gi)])})));
+    }
+
+    for (int64_t c = 0; c < config.cast_per_movie; ++c) {
+      int64_t aid = rng.Zipf(config.n_actors, config.popularity_skew);
+      const char* role = kRoles[rng.Uniform(0, 5)];
+      CQP_RETURN_IF_ERROR(
+          casts->Insert(Tuple({Value(m), Value(aid), Value(role)})));
+    }
+  }
+
+  db.Analyze();
+  return db;
+}
+
+}  // namespace cqp::workload

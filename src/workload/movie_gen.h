@@ -1,0 +1,48 @@
+#ifndef CQP_WORKLOAD_MOVIE_GEN_H_
+#define CQP_WORKLOAD_MOVIE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace cqp::workload {
+
+/// Configuration of the synthetic IMDb-like database (the paper evaluated
+/// on data from the Internet Movies Database [7]; see DESIGN.md for the
+/// substitution rationale).
+///
+/// Schema:
+///   MOVIE(mid, title, year, duration, did)
+///   DIRECTOR(did, name)
+///   GENRE(mid, genre)
+///   ACTOR(aid, name)
+///   CASTS(mid, aid, role)
+struct MovieDbConfig {
+  uint64_t seed = 42;
+  int64_t n_movies = 20000;
+  int64_t n_directors = 1000;
+  int64_t n_actors = 4000;
+  /// Average genre rows per movie (each movie gets 1..2*avg-1 genres).
+  int64_t genres_per_movie = 2;
+  /// Cast rows per movie.
+  int64_t cast_per_movie = 4;
+  int64_t min_year = 1930;
+  int64_t max_year = 2005;
+  /// Zipf skew of director/actor/genre popularity (0 = uniform).
+  double popularity_skew = 0.8;
+};
+
+/// Genre vocabulary used by the generator (24 entries, mirroring IMDb's
+/// genre list size).
+const std::vector<std::string>& GenreVocabulary();
+
+/// Builds and Analyze()s the synthetic movie database. Deterministic in
+/// `config.seed`.
+StatusOr<storage::Database> BuildMovieDatabase(const MovieDbConfig& config);
+
+}  // namespace cqp::workload
+
+#endif  // CQP_WORKLOAD_MOVIE_GEN_H_

@@ -1,0 +1,116 @@
+#include "workload/profile_gen.h"
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace cqp::workload {
+
+namespace {
+
+using catalog::CompareOp;
+using catalog::Value;
+using prefs::AtomicJoin;
+using prefs::AtomicSelection;
+
+}  // namespace
+
+StatusOr<prefs::Profile> GenerateProfile(const ProfileGenConfig& config,
+                                         const MovieDbConfig& movie_config) {
+  Rng rng(config.seed);
+  prefs::Profile profile;
+
+  auto doi = [&]() { return rng.UniformDouble(config.doi_lo, config.doi_hi); };
+  auto join_doi = [&]() {
+    return rng.UniformDouble(config.join_doi_lo, config.join_doi_hi);
+  };
+
+  // Join preferences: the four schema join edges, directed as "preferences
+  // on the right-hand relation influence the left-hand one" (§3).
+  CQP_RETURN_IF_ERROR(
+      profile.AddJoin(AtomicJoin{"MOVIE", "mid", "GENRE", "mid", join_doi()}));
+  CQP_RETURN_IF_ERROR(profile.AddJoin(
+      AtomicJoin{"MOVIE", "did", "DIRECTOR", "did", join_doi()}));
+  CQP_RETURN_IF_ERROR(
+      profile.AddJoin(AtomicJoin{"MOVIE", "mid", "CASTS", "mid", join_doi()}));
+  CQP_RETURN_IF_ERROR(
+      profile.AddJoin(AtomicJoin{"CASTS", "aid", "ACTOR", "aid", join_doi()}));
+
+  // Genre selections (distinct values).
+  {
+    const auto& genres = GenreVocabulary();
+    std::set<int64_t> used;
+    int added = 0;
+    while (added < config.n_genre_prefs &&
+           used.size() < genres.size()) {
+      int64_t g = rng.Zipf(static_cast<int64_t>(genres.size()),
+                           movie_config.popularity_skew);
+      if (!used.insert(g).second) continue;
+      CQP_RETURN_IF_ERROR(profile.AddSelection(
+          AtomicSelection{"GENRE", "genre", CompareOp::kEq,
+                          Value(genres[static_cast<size_t>(g)]), doi()}));
+      ++added;
+    }
+  }
+
+  // Director / actor selections (popular entities, distinct).
+  auto add_name_prefs = [&](const char* relation, const char* prefix,
+                            int64_t domain, int count) -> Status {
+    std::set<int64_t> used;
+    int added = 0;
+    int guard = 0;
+    while (added < count && guard++ < count * 50) {
+      int64_t id = rng.Zipf(domain, movie_config.popularity_skew);
+      if (!used.insert(id).second) continue;
+      CQP_RETURN_IF_ERROR(profile.AddSelection(
+          AtomicSelection{relation, "name", CompareOp::kEq,
+                          Value(StrFormat("%s %05ld", prefix, id)), doi()}));
+      ++added;
+    }
+    return Status::OK();
+  };
+  CQP_RETURN_IF_ERROR(add_name_prefs("DIRECTOR", "Director",
+                                     movie_config.n_directors,
+                                     config.n_director_prefs));
+  CQP_RETURN_IF_ERROR(add_name_prefs("ACTOR", "Actor", movie_config.n_actors,
+                                     config.n_actor_prefs));
+
+  // Year selections: mix of equality and range conditions.
+  {
+    std::set<std::string> used;
+    int added = 0;
+    int guard = 0;
+    while (added < config.n_year_prefs && guard++ < config.n_year_prefs * 50) {
+      int64_t year =
+          rng.Uniform(movie_config.min_year, movie_config.max_year);
+      CompareOp op = rng.Bernoulli(0.5) ? CompareOp::kEq
+                     : rng.Bernoulli(0.5) ? CompareOp::kGe
+                                          : CompareOp::kLt;
+      AtomicSelection sel{"MOVIE", "year", op, Value(year), doi()};
+      if (!used.insert(sel.ConditionString()).second) continue;
+      CQP_RETURN_IF_ERROR(profile.AddSelection(std::move(sel)));
+      ++added;
+    }
+  }
+
+  // Duration selections: range conditions ("short movies", "epics", ...).
+  {
+    std::set<std::string> used;
+    int added = 0;
+    int guard = 0;
+    while (added < config.n_duration_prefs &&
+           guard++ < config.n_duration_prefs * 50) {
+      int64_t minutes = rng.Uniform(70, 220);
+      CompareOp op = rng.Bernoulli(0.5) ? CompareOp::kLe : CompareOp::kGt;
+      AtomicSelection sel{"MOVIE", "duration", op, Value(minutes), doi()};
+      if (!used.insert(sel.ConditionString()).second) continue;
+      CQP_RETURN_IF_ERROR(profile.AddSelection(std::move(sel)));
+      ++added;
+    }
+  }
+
+  return profile;
+}
+
+}  // namespace cqp::workload

@@ -1,0 +1,39 @@
+#ifndef CQP_WORKLOAD_PROFILE_GEN_H_
+#define CQP_WORKLOAD_PROFILE_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "prefs/profile.h"
+#include "workload/movie_gen.h"
+
+namespace cqp::workload {
+
+/// Configuration of synthetic user profiles over the movie schema,
+/// following the evaluation setting of [12] adopted by the paper (broad
+/// range of doi values and deviations).
+struct ProfileGenConfig {
+  uint64_t seed = 7;
+  /// Selection-preference counts per attribute family. The defaults give
+  /// ~55 selection edges so that preference spaces up to K = 40 exist.
+  int n_genre_prefs = 12;
+  int n_director_prefs = 15;
+  int n_actor_prefs = 15;
+  int n_year_prefs = 8;
+  int n_duration_prefs = 6;
+  /// Selection dois are drawn uniformly from [doi_lo, doi_hi].
+  double doi_lo = 0.05;
+  double doi_hi = 0.95;
+  /// Join-preference dois (high, as in the paper's Fig. 1 example).
+  double join_doi_lo = 0.80;
+  double join_doi_hi = 1.00;
+};
+
+/// Generates one profile. Deterministic in `config.seed`; pass distinct
+/// seeds for distinct users. `movie_config` supplies value domains.
+StatusOr<prefs::Profile> GenerateProfile(const ProfileGenConfig& config,
+                                         const MovieDbConfig& movie_config);
+
+}  // namespace cqp::workload
+
+#endif  // CQP_WORKLOAD_PROFILE_GEN_H_

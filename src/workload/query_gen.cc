@@ -1,0 +1,55 @@
+#include "workload/query_gen.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace cqp::workload {
+
+StatusOr<std::vector<sql::SelectQuery>> GenerateQueries(
+    const QueryGenConfig& config, const MovieDbConfig& movie_config) {
+  Rng rng(config.seed);
+  std::vector<sql::SelectQuery> queries;
+  queries.reserve(config.n_queries);
+
+  const auto& genres = GenreVocabulary();
+  for (size_t i = 0; i < config.n_queries; ++i) {
+    std::string text;
+    switch (i % 5) {
+      case 0:
+        text = "SELECT title FROM MOVIE";
+        break;
+      case 1: {
+        int64_t year = rng.Uniform(movie_config.min_year + 10,
+                                   movie_config.max_year - 5);
+        text = StrFormat("SELECT title, year FROM MOVIE WHERE year >= %ld",
+                         year);
+        break;
+      }
+      case 2: {
+        int64_t g = rng.Uniform(0, static_cast<int64_t>(genres.size()) - 1);
+        text = StrFormat(
+            "SELECT M.title FROM MOVIE M, GENRE G "
+            "WHERE M.mid = G.mid AND G.genre = '%s'",
+            genres[static_cast<size_t>(g)].c_str());
+        break;
+      }
+      case 3:
+        text =
+            "SELECT M.title, D.name FROM MOVIE M, DIRECTOR D "
+            "WHERE M.did = D.did";
+        break;
+      default: {
+        int64_t cap = rng.Uniform(90, 180);
+        text = StrFormat(
+            "SELECT title, duration FROM MOVIE WHERE duration <= %ld", cap);
+        break;
+      }
+    }
+    CQP_ASSIGN_OR_RETURN(sql::SelectQuery q, sql::ParseSelect(text));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace cqp::workload

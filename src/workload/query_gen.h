@@ -1,0 +1,28 @@
+#ifndef CQP_WORKLOAD_QUERY_GEN_H_
+#define CQP_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "workload/movie_gen.h"
+
+namespace cqp::workload {
+
+/// Configuration of the synthetic query workload. All queries anchor on
+/// MOVIE (the entity users of the motivating service ask about), matching
+/// the paper's example queries.
+struct QueryGenConfig {
+  uint64_t seed = 11;
+  size_t n_queries = 10;
+};
+
+/// Generates a mix of SPJ queries over the movie schema: plain projections,
+/// selections on year/duration, and joins with GENRE or DIRECTOR.
+StatusOr<std::vector<sql::SelectQuery>> GenerateQueries(
+    const QueryGenConfig& config, const MovieDbConfig& movie_config);
+
+}  // namespace cqp::workload
+
+#endif  // CQP_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,116 @@
+#include "workload/tourist_gen.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace cqp::workload {
+
+namespace {
+
+using catalog::AttributeDef;
+using catalog::CompareOp;
+using catalog::RelationDef;
+using catalog::Value;
+using catalog::ValueType;
+using prefs::AtomicJoin;
+using prefs::AtomicSelection;
+using storage::Table;
+using storage::Tuple;
+
+const char* const kNamedCities[] = {"Pisa",   "Athens", "Baltimore",
+                                    "Rome",   "Paris",  "Florence",
+                                    "Madrid", "Lisbon"};
+const char* const kCuisines[] = {"italian", "greek",  "french", "spanish",
+                                 "indian",  "thai",   "mexican", "japanese",
+                                 "local",   "fusion"};
+const char* const kKinds[] = {"museum", "monument", "park",
+                              "gallery", "church",  "tower"};
+
+}  // namespace
+
+StatusOr<storage::Database> BuildTouristDatabase(
+    const TouristDbConfig& config) {
+  if (config.n_cities < 8) {
+    return InvalidArgument("tourist db needs at least 8 cities");
+  }
+  Rng rng(config.seed);
+  storage::Database db;
+
+  CQP_ASSIGN_OR_RETURN(
+      Table * city,
+      db.CreateTable(RelationDef(
+          "CITY", {AttributeDef{"cid", ValueType::kInt},
+                   AttributeDef{"name", ValueType::kString},
+                   AttributeDef{"country", ValueType::kString}})));
+  for (int64_t c = 0; c < config.n_cities; ++c) {
+    std::string name = c < 8 ? kNamedCities[c]
+                             : StrFormat("City %04ld", c);
+    CQP_RETURN_IF_ERROR(city->Insert(
+        Tuple({Value(c), Value(name),
+               Value(StrFormat("Country %02ld", c % 20))})));
+  }
+
+  CQP_ASSIGN_OR_RETURN(
+      Table * restaurant,
+      db.CreateTable(RelationDef(
+          "RESTAURANT", {AttributeDef{"rid", ValueType::kInt},
+                         AttributeDef{"name", ValueType::kString},
+                         AttributeDef{"cid", ValueType::kInt},
+                         AttributeDef{"cuisine", ValueType::kString},
+                         AttributeDef{"price", ValueType::kInt}})));
+  for (int64_t r = 0; r < config.n_restaurants; ++r) {
+    // Cities are assigned uniformly so that a city preference is sharply
+    // selective (~1/n_cities), as in the paper's "three restaurants in
+    // Pisa" scenario.
+    CQP_RETURN_IF_ERROR(restaurant->Insert(
+        Tuple({Value(r), Value(StrFormat("Restaurant %05ld", r)),
+               Value(rng.Uniform(0, config.n_cities - 1)),
+               Value(std::string(kCuisines[rng.Uniform(0, 9)])),
+               Value(rng.Uniform(1, 4))})));
+  }
+
+  CQP_ASSIGN_OR_RETURN(
+      Table * attraction,
+      db.CreateTable(RelationDef(
+          "ATTRACTION", {AttributeDef{"aid", ValueType::kInt},
+                         AttributeDef{"name", ValueType::kString},
+                         AttributeDef{"cid", ValueType::kInt},
+                         AttributeDef{"kind", ValueType::kString},
+                         AttributeDef{"fee", ValueType::kInt}})));
+  for (int64_t a = 0; a < config.n_attractions; ++a) {
+    CQP_RETURN_IF_ERROR(attraction->Insert(
+        Tuple({Value(a), Value(StrFormat("Attraction %05ld", a)),
+               Value(rng.Uniform(0, config.n_cities - 1)),
+               Value(std::string(kKinds[rng.Uniform(0, 5)])),
+               Value(rng.Uniform(0, 30))})));
+  }
+
+  db.Analyze();
+  return db;
+}
+
+StatusOr<prefs::Profile> BuildAlProfile() {
+  prefs::Profile profile;
+  // Join edges: city preferences influence restaurants and attractions.
+  CQP_RETURN_IF_ERROR(profile.AddJoin(
+      AtomicJoin{"RESTAURANT", "cid", "CITY", "cid", 0.95}));
+  CQP_RETURN_IF_ERROR(profile.AddJoin(
+      AtomicJoin{"ATTRACTION", "cid", "CITY", "cid", 0.90}));
+
+  // Al's tastes. (Note: no second cuisine preference — the §4.2 rewriting
+  // intersects all integrated preferences, and a row cannot satisfy two
+  // different equality conditions on the same attribute.)
+  CQP_RETURN_IF_ERROR(profile.AddSelection(AtomicSelection{
+      "RESTAURANT", "cuisine", CompareOp::kEq, Value("italian"), 0.85}));
+  CQP_RETURN_IF_ERROR(profile.AddSelection(AtomicSelection{
+      "RESTAURANT", "price", CompareOp::kLe, Value(int64_t{2}), 0.75}));
+  CQP_RETURN_IF_ERROR(profile.AddSelection(AtomicSelection{
+      "CITY", "name", CompareOp::kEq, Value("Pisa"), 0.80}));
+  CQP_RETURN_IF_ERROR(profile.AddSelection(AtomicSelection{
+      "ATTRACTION", "kind", CompareOp::kEq, Value("museum"), 0.65}));
+  CQP_RETURN_IF_ERROR(profile.AddSelection(AtomicSelection{
+      "ATTRACTION", "fee", CompareOp::kLe, Value(int64_t{10}), 0.55}));
+  return profile;
+}
+
+}  // namespace cqp::workload

@@ -1,0 +1,36 @@
+#ifndef CQP_WORKLOAD_TOURIST_GEN_H_
+#define CQP_WORKLOAD_TOURIST_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "prefs/profile.h"
+#include "storage/database.h"
+
+namespace cqp::workload {
+
+/// Configuration of the tourist-information database used by the paper's
+/// motivating example (Al planning his trip to Pisa, §1).
+///
+/// Schema:
+///   CITY(cid, name, country)
+///   RESTAURANT(rid, name, cid, cuisine, price)
+///   ATTRACTION(aid, name, cid, kind, fee)
+struct TouristDbConfig {
+  uint64_t seed = 21;
+  int64_t n_cities = 200;
+  int64_t n_restaurants = 20000;
+  int64_t n_attractions = 8000;
+};
+
+/// Builds and Analyze()s the tourist database. The city roster includes a
+/// few real names ("Pisa", "Athens", ...) so examples read naturally.
+StatusOr<storage::Database> BuildTouristDatabase(const TouristDbConfig& config);
+
+/// Builds "Al"'s profile: cuisine/price/city preferences with high-doi join
+/// edges, mirroring the example of §1.
+StatusOr<prefs::Profile> BuildAlProfile();
+
+}  // namespace cqp::workload
+
+#endif  // CQP_WORKLOAD_TOURIST_GEN_H_

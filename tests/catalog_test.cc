@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "catalog/compare.h"
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "catalog/value.h"
+
+namespace cqp::catalog {
+namespace {
+
+// ---------- Value ----------
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(4.5);
+  Value s("abc");
+  EXPECT_EQ(i.type(), ValueType::kInt);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 4.5);
+  EXPECT_EQ(s.AsString(), "abc");
+  EXPECT_DOUBLE_EQ(i.AsNumeric(), 42.0);
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LE(Value(1.5), Value(1.5));
+  EXPECT_GT(Value(int64_t{5}), Value(int64_t{3}));
+}
+
+TEST(ValueTest, EqualityAcrossTypesIsFalse) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+}
+
+TEST(ValueTest, SqlLiteralEscapesQuotes) {
+  EXPECT_EQ(Value("O'Hara").ToSqlLiteral(), "'O''Hara'");
+  EXPECT_EQ(Value(int64_t{3}).ToSqlLiteral(), "3");
+}
+
+TEST(ValueTest, ByteSizeModel) {
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_EQ(Value("abcd").ByteSize(), 8u);  // 4 + len
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_EQ(Value(int64_t{9}).Hash(), Value(int64_t{9}).Hash());
+}
+
+// ---------- CompareOp ----------
+
+TEST(CompareTest, EvalAllOps) {
+  Value a(int64_t{3}), b(int64_t{5});
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kNe, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kEq, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kGt, b));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGe, b));
+}
+
+TEST(CompareTest, SqlSpelling) {
+  EXPECT_STREQ(CompareOpSql(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpSql(CompareOp::kNe), "<>");
+  EXPECT_STREQ(CompareOpSql(CompareOp::kLe), "<=");
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, AttributeLookupIsCaseInsensitive) {
+  RelationDef rel("MOVIE", {{"mid", ValueType::kInt},
+                            {"title", ValueType::kString}});
+  ASSERT_TRUE(rel.AttributeIndex("TITLE").ok());
+  EXPECT_EQ(*rel.AttributeIndex("TITLE"), 1);
+  EXPECT_TRUE(rel.HasAttribute("mid"));
+  EXPECT_FALSE(rel.HasAttribute("director"));
+  EXPECT_FALSE(rel.AttributeIndex("nope").ok());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  RelationDef rel("R", {{"a", ValueType::kInt}, {"b", ValueType::kDouble}});
+  EXPECT_EQ(rel.ToString(), "R(a INT, b DOUBLE)");
+}
+
+// ---------- AttributeStats ----------
+
+AttributeStats MakeStats() {
+  // 100 rows, 10 distinct values; MCVs: 7 -> 40 rows, 3 -> 20 rows.
+  return AttributeStats(
+      100, 10, 0.0, 9.0,
+      {{Value(int64_t{7}), 40}, {Value(int64_t{3}), 20}});
+}
+
+TEST(StatsTest, EqualityUsesMcv) {
+  AttributeStats s = MakeStats();
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(Value(int64_t{7})), 0.4);
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(Value(int64_t{3})), 0.2);
+}
+
+TEST(StatsTest, EqualityUniformTail) {
+  AttributeStats s = MakeStats();
+  // Remaining mass 0.4 over 8 unseen distinct values.
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(Value(int64_t{1})), 0.4 / 8);
+}
+
+TEST(StatsTest, AllValuesInMcvMeansUnseenMatchesNothing) {
+  AttributeStats s(60, 2, std::nullopt, std::nullopt,
+                   {{Value("a"), 40}, {Value("b"), 20}});
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(Value("c")), 0.0);
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(Value("a")), 40.0 / 60.0);
+}
+
+TEST(StatsTest, RangeInterpolates) {
+  AttributeStats s = MakeStats();
+  // values span [0, 9]; x = 4.5 sits midway.
+  EXPECT_NEAR(s.Selectivity(CompareOp::kLt, Value(4.5)), 0.5, 1e-9);
+  EXPECT_NEAR(s.Selectivity(CompareOp::kGe, Value(4.5)), 0.5, 1e-9);
+}
+
+TEST(StatsTest, RangeClampsOutOfDomain) {
+  AttributeStats s = MakeStats();
+  EXPECT_DOUBLE_EQ(s.Selectivity(CompareOp::kLt, Value(-3.0)), 0.0);
+  EXPECT_DOUBLE_EQ(s.Selectivity(CompareOp::kLt, Value(100.0)), 1.0);
+}
+
+TEST(StatsTest, NotEqualsIsComplement) {
+  AttributeStats s = MakeStats();
+  EXPECT_DOUBLE_EQ(s.Selectivity(CompareOp::kNe, Value(int64_t{7})), 0.6);
+}
+
+TEST(StatsTest, StringRangeFallsBackToMagicFraction) {
+  AttributeStats s(100, 10, std::nullopt, std::nullopt, {});
+  EXPECT_NEAR(s.Selectivity(CompareOp::kLt, Value("m")), 1.0 / 3.0, 1e-9);
+}
+
+TEST(StatsTest, EmptyRelationSelectsNothing) {
+  AttributeStats s(0, 0, std::nullopt, std::nullopt, {});
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(Value(int64_t{1})), 0.0);
+}
+
+}  // namespace
+}  // namespace cqp::catalog

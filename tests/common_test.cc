@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/index_set.h"
+#include "common/memory_meter.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace cqp {
+namespace {
+
+// ---------- Status / StatusOr ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Infeasible("x").code(), StatusCode::kInfeasible);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("nothing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MacroPropagatesError) {
+  auto inner = []() -> StatusOr<int> { return NotFound("inner"); };
+  auto outer = [&]() -> StatusOr<int> {
+    CQP_ASSIGN_OR_RETURN(int x, inner());
+    return x + 1;
+  };
+  StatusOr<int> got = outer();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().message(), "inner");
+}
+
+TEST(StatusOrTest, MacroAssignsValue) {
+  auto inner = []() -> StatusOr<int> { return 41; };
+  auto outer = [&]() -> StatusOr<int> {
+    CQP_ASSIGN_OR_RETURN(int x, inner());
+    return x + 1;
+  };
+  StatusOr<int> got = outer();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 42);
+}
+
+// ---------- IndexSet ----------
+
+TEST(IndexSetTest, BasicMembership) {
+  IndexSet s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.Min(), 0);
+  EXPECT_EQ(s.Max(), 5);
+  EXPECT_EQ(s.ToString(), "{0,2,5}");
+}
+
+TEST(IndexSetTest, FromUnsortedSortsAndDedupes) {
+  IndexSet s = IndexSet::FromUnsorted({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.ToString(), "{1,3,5}");
+}
+
+TEST(IndexSetTest, WithAddedKeepsOrder) {
+  IndexSet s{1, 4};
+  EXPECT_EQ(s.WithAdded(2).ToString(), "{1,2,4}");
+  EXPECT_EQ(s.WithAdded(0).ToString(), "{0,1,4}");
+  EXPECT_EQ(s.WithAdded(9).ToString(), "{1,4,9}");
+}
+
+TEST(IndexSetTest, WithRemovedAndReplaced) {
+  IndexSet s{1, 2, 4};
+  EXPECT_EQ(s.WithRemoved(2).ToString(), "{1,4}");
+  EXPECT_EQ(s.WithReplaced(2, 3).ToString(), "{1,3,4}");
+}
+
+TEST(IndexSetTest, PrefixTakesSmallest) {
+  IndexSet s{1, 2, 4};
+  EXPECT_EQ(s.Prefix(0).ToString(), "{}");
+  EXPECT_EQ(s.Prefix(2).ToString(), "{1,2}");
+}
+
+TEST(IndexSetTest, SubsetOf) {
+  IndexSet sub{1, 4};
+  IndexSet super{0, 1, 4, 6};
+  EXPECT_TRUE(sub.IsSubsetOf(super));
+  EXPECT_FALSE(super.IsSubsetOf(sub));
+  EXPECT_TRUE(IndexSet().IsSubsetOf(sub));
+}
+
+TEST(IndexSetTest, DominationIsComponentwise) {
+  // {0,2} dominates {1,3}: 0<=1, 2<=3 — {1,3} is Vertical-reachable.
+  EXPECT_TRUE((IndexSet{0, 2}).Dominates(IndexSet{1, 3}));
+  EXPECT_TRUE((IndexSet{0, 2}).Dominates(IndexSet{0, 2}));
+  // {0,3} vs {1,2}: 0<=1 but 3>2 — incomparable (the paper's two maximal
+  // boundaries scenario).
+  EXPECT_FALSE((IndexSet{0, 3}).Dominates(IndexSet{1, 2}));
+  EXPECT_FALSE((IndexSet{1, 2}).Dominates(IndexSet{0, 3}));
+  // Different group sizes never dominate.
+  EXPECT_FALSE((IndexSet{0}).Dominates(IndexSet{0, 1}));
+}
+
+TEST(IndexSetTest, BitsMaskMatchesMembership) {
+  IndexSet s{0, 2, 5, 63};
+  uint64_t bits = s.Bits();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ((bits >> i) & 1, s.Contains(i) ? 1u : 0u) << i;
+  }
+  EXPECT_EQ(IndexSet().Bits(), 0u);
+  // Subset test via masks agrees with IsSubsetOf.
+  IndexSet sub{2, 5};
+  EXPECT_EQ((sub.Bits() & ~s.Bits()), 0u);
+  EXPECT_TRUE(sub.IsSubsetOf(s));
+}
+
+TEST(IndexSetTest, HashDistinguishesAndMatches) {
+  IndexSet a{1, 2};
+  IndexSet b = IndexSet::FromUnsorted({2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, IndexSet({1, 3}));
+}
+
+// ---------- MemoryMeter ----------
+
+TEST(MemoryMeterTest, TracksPeak) {
+  MemoryMeter m;
+  m.Allocate(100);
+  m.Allocate(50);
+  EXPECT_EQ(m.current_bytes(), 150u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.Release(120);
+  EXPECT_EQ(m.current_bytes(), 30u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.Allocate(40);
+  EXPECT_EQ(m.peak_bytes(), 150u);  // still below old peak
+  m.Allocate(200);
+  EXPECT_EQ(m.peak_bytes(), 270u);
+}
+
+TEST(MemoryMeterTest, ResetClears) {
+  MemoryMeter m;
+  m.Allocate(64);
+  m.Reset();
+  EXPECT_EQ(m.current_bytes(), 0u);
+  EXPECT_EQ(m.peak_bytes(), 0u);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(17);
+  int lows = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.0) < 10) ++lows;
+  }
+  // Under uniform, ~10% fall below rank 10; Zipf(s=1) should be far above.
+  EXPECT_GT(lows, n / 4);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(18);
+  int lows = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++lows;
+  }
+  EXPECT_NEAR(lows, n / 10, n / 20);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  rng.Shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 6u);
+}
+
+// ---------- String utilities ----------
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtilTest, CaseConversionsAndCompare) {
+  EXPECT_EQ(ToUpper("MoViE"), "MOVIE");
+  EXPECT_EQ(ToLower("MoViE"), "movie");
+  EXPECT_TRUE(EqualsIgnoreCase("Movie", "MOVIE"));
+  EXPECT_FALSE(EqualsIgnoreCase("Movie", "Movies"));
+}
+
+TEST(StrUtilTest, StripAndAffixes) {
+  EXPECT_EQ(StripWhitespace("  x y \t"), "x y");
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_TRUE(EndsWith("query.sql", ".sql"));
+  EXPECT_FALSE(StartsWith("x", "xy"));
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+}  // namespace
+}  // namespace cqp

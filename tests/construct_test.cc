@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "construct/personalizer.h"
+#include "construct/query_builder.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace cqp::construct {
+namespace {
+
+using catalog::CompareOp;
+using catalog::Value;
+using prefs::AtomicJoin;
+using prefs::AtomicSelection;
+using prefs::ImplicitPreference;
+using sql::ParseSelect;
+
+class QueryBuilderTest : public ::testing::Test {
+ protected:
+  QueryBuilderTest() : db_(::cqp::testing::MakeTinyMovieDb()) {}
+
+  ImplicitPreference AllenPref() {
+    ImplicitPreference p;
+    p.joins = {AtomicJoin{"MOVIE", "did", "DIRECTOR", "did", 1.0}};
+    p.selection = AtomicSelection{"DIRECTOR", "name", CompareOp::kEq,
+                                  Value("W. Allen"), 0.8};
+    p.doi = 0.8;
+    return p;
+  }
+
+  ImplicitPreference MusicalPref() {
+    ImplicitPreference p;
+    p.joins = {AtomicJoin{"MOVIE", "mid", "GENRE", "mid", 0.9}};
+    p.selection = AtomicSelection{"GENRE", "genre", CompareOp::kEq,
+                                  Value("musical"), 0.5};
+    p.doi = 0.45;
+    return p;
+  }
+
+  ImplicitPreference YearPref() {
+    ImplicitPreference p;
+    p.selection = AtomicSelection{"MOVIE", "year", CompareOp::kGe,
+                                  Value(int64_t{1970}), 0.6};
+    p.doi = 0.6;
+    return p;
+  }
+
+  storage::Database db_;
+};
+
+TEST_F(QueryBuilderTest, CanonicalizeQualifiesColumns) {
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  auto canon = *CanonicalizeSelectList(db_, base);
+  ASSERT_EQ(canon.select_list.size(), 1u);
+  EXPECT_EQ(canon.select_list[0].qualifier, "MOVIE");
+}
+
+TEST_F(QueryBuilderTest, CanonicalizeExpandsStar) {
+  auto base = *ParseSelect("SELECT * FROM DIRECTOR");
+  auto canon = *CanonicalizeSelectList(db_, base);
+  ASSERT_EQ(canon.select_list.size(), 2u);
+  EXPECT_EQ(canon.select_list[0].attribute, "did");
+  EXPECT_EQ(canon.select_list[1].attribute, "name");
+}
+
+TEST_F(QueryBuilderTest, CanonicalizeRejectsUnknownColumn) {
+  auto base = *ParseSelect("SELECT rating FROM MOVIE");
+  EXPECT_FALSE(CanonicalizeSelectList(db_, base).ok());
+}
+
+TEST_F(QueryBuilderTest, SubQueryAddsPathRelations) {
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  auto sub = *BuildSubQuery(db_, base, AllenPref(), 1);
+  ASSERT_EQ(sub.from.size(), 2u);
+  EXPECT_EQ(sub.from[1].relation, "DIRECTOR");
+  EXPECT_EQ(sub.from[1].alias, "p1_director");
+  ASSERT_EQ(sub.where.size(), 2u);
+  EXPECT_EQ(sub.where[0].kind, sql::Predicate::Kind::kJoin);
+  EXPECT_EQ(sub.where[1].kind, sql::Predicate::Kind::kSelection);
+  EXPECT_EQ(sub.where[1].literal.AsString(), "W. Allen");
+}
+
+TEST_F(QueryBuilderTest, SubQueryKeepsBaseConditions) {
+  auto base = *ParseSelect("SELECT title FROM MOVIE WHERE MOVIE.year >= 1960");
+  auto sub = *BuildSubQuery(db_, base, MusicalPref(), 2);
+  // original selection + join + preference selection
+  EXPECT_EQ(sub.where.size(), 3u);
+  EXPECT_EQ(sub.from[1].alias, "p2_genre");
+}
+
+TEST_F(QueryBuilderTest, SubQueryFailsWhenAnchorMissing) {
+  auto base = *ParseSelect("SELECT name FROM DIRECTOR");
+  EXPECT_FALSE(BuildSubQuery(db_, base, MusicalPref(), 1).ok());
+}
+
+TEST_F(QueryBuilderTest, SubQueryIsExecutable) {
+  exec::Executor executor(&db_);
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  auto sub = *BuildSubQuery(db_, base, AllenPref(), 1);
+  auto rows = executor.Execute(sub, nullptr);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->row_count(), 2u);  // two Allen movies
+}
+
+TEST_F(QueryBuilderTest, PersonalizedQueryMatchesPaperExample) {
+  // §4.2: query on movies + Allen preference + musical preference.
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  std::vector<estimation::ScoredPreference> prefs(2);
+  prefs[0].pref = AllenPref();
+  prefs[0].doi = 0.8;
+  prefs[1].pref = MusicalPref();
+  prefs[1].doi = 0.45;
+
+  auto pq = *BuildPersonalizedQuery(db_, base, prefs, IndexSet{0, 1});
+  EXPECT_EQ(pq.L(), 2u);
+  std::string sql = pq.ToSql();
+  EXPECT_NE(sql.find("UNION ALL"), std::string::npos);
+  EXPECT_NE(sql.find("HAVING COUNT(*) = 2"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY title"), std::string::npos);
+}
+
+TEST_F(QueryBuilderTest, EmptyChoiceYieldsOriginalQuery) {
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  std::vector<estimation::ScoredPreference> prefs;
+  auto pq = *BuildPersonalizedQuery(db_, base, prefs, IndexSet());
+  EXPECT_EQ(pq.L(), 0u);
+  EXPECT_NE(pq.ToSql().find("SELECT"), std::string::npos);
+  EXPECT_EQ(pq.ToSql().find("UNION"), std::string::npos);
+}
+
+TEST_F(QueryBuilderTest, MergeCompatibleCollapsesJoinFreePrefs) {
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  std::vector<estimation::ScoredPreference> prefs(3);
+  prefs[0].pref = YearPref();
+  prefs[0].doi = 0.6;
+  prefs[1].pref.selection = AtomicSelection{
+      "MOVIE", "duration", CompareOp::kLe, Value(int64_t{130}), 0.3};
+  prefs[1].doi = 0.3;
+  prefs[2].pref = AllenPref();
+  prefs[2].doi = 0.8;
+
+  BuildOptions options;
+  options.merge_compatible = true;
+  auto pq = *BuildPersonalizedQuery(db_, base, prefs, IndexSet{0, 1, 2},
+                                    options);
+  // Allen stays alone; the two MOVIE selections merge.
+  EXPECT_EQ(pq.L(), 2u);
+  // Merged group doi combines both constituents.
+  bool found_merged = false;
+  for (size_t i = 0; i < pq.L(); ++i) {
+    if (pq.subquery_prefs[i].size() == 2) {
+      found_merged = true;
+      EXPECT_NEAR(pq.dois[i], 1.0 - 0.4 * 0.7, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_merged);
+}
+
+TEST_F(QueryBuilderTest, MergedExecutionEqualsUnmerged) {
+  exec::Executor executor(&db_);
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  std::vector<estimation::ScoredPreference> prefs(2);
+  prefs[0].pref = YearPref();
+  prefs[0].doi = 0.6;
+  prefs[1].pref.selection = AtomicSelection{
+      "MOVIE", "duration", CompareOp::kLe, Value(int64_t{130}), 0.3};
+  prefs[1].doi = 0.3;
+
+  auto plain = *BuildPersonalizedQuery(db_, base, prefs, IndexSet{0, 1});
+  BuildOptions merged_opts;
+  merged_opts.merge_compatible = true;
+  auto merged =
+      *BuildPersonalizedQuery(db_, base, prefs, IndexSet{0, 1}, merged_opts);
+
+  auto run = [&](const PersonalizedQuery& pq) {
+    auto result = *exec::ExecutePersonalized(
+        executor, pq.subqueries, pq.dois, exec::CombineMode::kIntersection,
+        nullptr);
+    std::set<std::string> titles;
+    for (const auto& row : result.rows) {
+      titles.insert(row.row.at(0).AsString());
+    }
+    return titles;
+  };
+  EXPECT_EQ(run(plain), run(merged));
+  EXPECT_EQ(merged.L(), 1u);
+  EXPECT_EQ(plain.L(), 2u);
+}
+
+TEST_F(QueryBuilderTest, PersonalizedSqlRoundTripsThroughTheEngine) {
+  // The printed SQL must parse back and execute to exactly the same rows
+  // as the structured personalized execution.
+  exec::Executor executor(&db_);
+  auto base = *ParseSelect("SELECT title FROM MOVIE");
+  std::vector<estimation::ScoredPreference> prefs(3);
+  prefs[0].pref = AllenPref();
+  prefs[0].doi = 0.8;
+  prefs[1].pref = MusicalPref();
+  prefs[1].doi = 0.45;
+  prefs[2].pref = YearPref();
+  prefs[2].doi = 0.6;
+
+  for (const IndexSet& chosen :
+       {IndexSet{0}, IndexSet{0, 1}, IndexSet{0, 2}, IndexSet{0, 1, 2}}) {
+    auto pq = *BuildPersonalizedQuery(db_, base, prefs, chosen);
+
+    // Structured execution.
+    auto structured = *exec::ExecutePersonalized(
+        executor, pq.subqueries, pq.dois, exec::CombineMode::kIntersection,
+        nullptr);
+    std::multiset<std::string> structured_rows;
+    for (const auto& row : structured.rows) {
+      structured_rows.insert(row.row.ToString());
+    }
+
+    // Text → parse → ExecuteUnionGroup.
+    std::string sql_text = pq.ToSql();
+    auto parsed = sql::ParseUnionGroup(sql_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n"
+                             << sql_text;
+    EXPECT_EQ(parsed->branches.size(), pq.L());
+    auto executed = executor.ExecuteUnionGroup(*parsed, nullptr);
+    ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+    std::multiset<std::string> sql_rows;
+    for (const auto& row : executed->rows()) sql_rows.insert(row.ToString());
+
+    EXPECT_EQ(sql_rows, structured_rows) << sql_text;
+  }
+}
+
+// ---------- Personalizer facade ----------
+
+class PersonalizerTest : public ::testing::Test {
+ protected:
+  PersonalizerTest() : db_(::cqp::testing::MakeTinyMovieDb()) {
+    auto profile = *prefs::Profile::Parse(R"(
+        doi(GENRE.genre = 'musical') = 0.5
+        doi(GENRE.genre = 'comedy') = 0.4
+        doi(MOVIE.mid = GENRE.mid) = 0.9
+        doi(MOVIE.did = DIRECTOR.did) = 1.0
+        doi(DIRECTOR.name = 'W. Allen') = 0.8
+        doi(MOVIE.year >= 1970) = 0.6
+    )");
+    graph_ = std::make_unique<prefs::PersonalizationGraph>(
+        *prefs::PersonalizationGraph::Build(std::move(profile), db_));
+  }
+
+  storage::Database db_;
+  std::unique_ptr<prefs::PersonalizationGraph> graph_;
+};
+
+TEST_F(PersonalizerTest, EndToEndProblem2) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem2(1e9);
+  request.algorithm = "C-Boundaries";
+  auto result = personalizer.Personalize(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->solution.feasible);
+  EXPECT_GT(result->solution.chosen.size(), 0u);
+  EXPECT_GT(result->space.K(), 0u);
+  EXPECT_NE(result->final_sql.find("SELECT"), std::string::npos);
+
+  exec::ExecStats stats;
+  auto rows = personalizer.Execute(*result, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT(stats.blocks_read, 0u);
+}
+
+TEST_F(PersonalizerTest, InfeasibleFallsBackToOriginalQuery) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem2(1e-6);  // below cost(Q)
+  auto result = personalizer.Personalize(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->solution.feasible);
+  EXPECT_EQ(result->personalized.L(), 0u);
+  exec::ExecStats stats;
+  auto rows = personalizer.Execute(*result, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 6u);  // all movies, doi 0
+}
+
+TEST_F(PersonalizerTest, RejectsUnsupportedAlgorithmProblemPair) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem4(0.5);
+  request.algorithm = "C-Boundaries";
+  EXPECT_FALSE(personalizer.Personalize(request).ok());
+}
+
+TEST_F(PersonalizerTest, RejectsUnknownAlgorithm) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem2(1000);
+  request.algorithm = "Quantum";
+  EXPECT_FALSE(personalizer.Personalize(request).ok());
+}
+
+TEST_F(PersonalizerTest, RejectsBadSql) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELEC title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem2(1000);
+  EXPECT_FALSE(personalizer.Personalize(request).ok());
+}
+
+TEST_F(PersonalizerTest, AutoPicksExactSolverPerObjective) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.algorithm = "auto";
+  request.problem = cqp::ProblemSpec::Problem2(1e9);
+  auto max_doi = personalizer.Personalize(request);
+  ASSERT_TRUE(max_doi.ok()) << max_doi.status().ToString();
+  EXPECT_TRUE(max_doi->solution.feasible);
+
+  request.problem = cqp::ProblemSpec::Problem4(0.5);
+  auto min_cost = personalizer.Personalize(request);
+  ASSERT_TRUE(min_cost.ok()) << min_cost.status().ToString();
+  EXPECT_TRUE(min_cost->solution.feasible);
+  EXPECT_GE(min_cost->solution.params.doi, 0.5);
+}
+
+TEST_F(PersonalizerTest, BaseLimitCapsRankedDelivery) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE LIMIT 1";
+  request.problem = cqp::ProblemSpec::Problem2(1e9);
+  request.algorithm = "C-Boundaries";
+  auto result = *personalizer.Personalize(request);
+  ASSERT_TRUE(result.solution.feasible);
+  // Sub-queries must not inherit the LIMIT (it would break intersection).
+  for (const auto& sub : result.personalized.subqueries) {
+    EXPECT_FALSE(sub.limit.has_value());
+  }
+  exec::ExecStats stats;
+  auto rows = *personalizer.Execute(result, &stats);
+  EXPECT_LE(rows.rows.size(), 1u);
+}
+
+TEST_F(PersonalizerTest, ExecutedRowsSatisfyChosenPreferences) {
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem2(1e9);
+  auto result = *personalizer.Personalize(request);
+  ASSERT_TRUE(result.solution.feasible);
+
+  exec::ExecStats stats;
+  auto rows = *personalizer.Execute(result, &stats);
+  // Every returned row satisfies every sub-query (intersection semantics).
+  for (const auto& row : rows.rows) {
+    EXPECT_EQ(row.satisfied.size(), result.personalized.L());
+  }
+}
+
+}  // namespace
+}  // namespace cqp::construct

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/csv.h"
+#include "test_util.h"
+
+namespace cqp::storage {
+namespace {
+
+using catalog::AttributeDef;
+using catalog::RelationDef;
+using catalog::Value;
+using catalog::ValueType;
+
+RelationDef PeopleSchema() {
+  return RelationDef("PEOPLE", {AttributeDef{"id", ValueType::kInt},
+                                AttributeDef{"name", ValueType::kString},
+                                AttributeDef{"score", ValueType::kDouble}});
+}
+
+TEST(CsvTest, RoundTrip) {
+  Database db;
+  Table* t = *db.CreateTable(PeopleSchema());
+  ASSERT_TRUE(
+      t->Insert(Tuple({Value(int64_t{1}), Value("Ada"), Value(9.5)})).ok());
+  ASSERT_TRUE(
+      t->Insert(Tuple({Value(int64_t{2}), Value("Bob"), Value(7.25)})).ok());
+
+  std::string csv = TableToCsv(*t);
+  Database db2;
+  Table* loaded = *LoadCsvTable(&db2, PeopleSchema(), csv);
+  ASSERT_EQ(loaded->row_count(), 2u);
+  EXPECT_EQ(loaded->rows()[0].at(1).AsString(), "Ada");
+  EXPECT_DOUBLE_EQ(loaded->rows()[1].at(2).AsDouble(), 7.25);
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  Database db;
+  Table* t = *db.CreateTable(PeopleSchema());
+  ASSERT_TRUE(t->Insert(Tuple({Value(int64_t{1}), Value("O'Hara, \"Kit\""),
+                               Value(1.0)}))
+                  .ok());
+  std::string csv = TableToCsv(*t);
+  EXPECT_NE(csv.find("\"O'Hara, \"\"Kit\"\"\""), std::string::npos);
+  Database db2;
+  Table* loaded = *LoadCsvTable(&db2, PeopleSchema(), csv);
+  EXPECT_EQ(loaded->rows()[0].at(1).AsString(), "O'Hara, \"Kit\"");
+}
+
+TEST(CsvTest, HeaderIsCaseInsensitive) {
+  Database db;
+  auto loaded = LoadCsvTable(&db, PeopleSchema(),
+                             "ID,Name,SCORE\n3,Cyd,1.5\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->row_count(), 1u);
+}
+
+TEST(CsvTest, RejectsWrongHeader) {
+  Database db;
+  EXPECT_FALSE(LoadCsvTable(&db, PeopleSchema(),
+                            "id,fullname,score\n1,A,1.0\n")
+                   .ok());
+  Database db2;
+  EXPECT_FALSE(LoadCsvTable(&db2, PeopleSchema(), "id,name\n1,A\n").ok());
+  Database db3;
+  EXPECT_FALSE(LoadCsvTable(&db3, PeopleSchema(), "").ok());
+}
+
+TEST(CsvTest, RejectsBadCells) {
+  Database db;
+  EXPECT_FALSE(
+      LoadCsvTable(&db, PeopleSchema(), "id,name,score\nx,A,1.0\n").ok());
+  Database db2;
+  EXPECT_FALSE(
+      LoadCsvTable(&db2, PeopleSchema(), "id,name,score\n1,A,notnum\n").ok());
+  Database db3;
+  EXPECT_FALSE(
+      LoadCsvTable(&db3, PeopleSchema(), "id,name,score\n1,A\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  Database db;
+  EXPECT_FALSE(
+      LoadCsvTable(&db, PeopleSchema(), "id,name,score\n1,\"oops,1.0\n").ok());
+}
+
+TEST(CsvTest, SkipsBlankLinesAndToleratesCrlf) {
+  Database db;
+  auto loaded = LoadCsvTable(&db, PeopleSchema(),
+                             "id,name,score\r\n1,A,1.0\r\n\n2,B,2.0\n\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->row_count(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Database db;
+  Table* t = *db.CreateTable(PeopleSchema());
+  ASSERT_TRUE(
+      t->Insert(Tuple({Value(int64_t{7}), Value("Eve"), Value(3.5)})).ok());
+  std::string path = ::testing::TempDir() + "/cqp_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*t, path).ok());
+  Database db2;
+  auto loaded = LoadCsvFile(&db2, PeopleSchema(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->row_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Database db;
+  auto loaded = LoadCsvFile(&db, PeopleSchema(), "/nonexistent/x.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, LoadedTableIsQueryable) {
+  Database db;
+  ASSERT_TRUE(LoadCsvTable(&db, PeopleSchema(),
+                           "id,name,score\n1,A,1.0\n2,B,2.0\n3,C,3.0\n")
+                  .ok());
+  db.Analyze();
+  EXPECT_TRUE(db.GetStats("PEOPLE").ok());
+  EXPECT_EQ((*db.GetStats("PEOPLE"))->row_count, 3u);
+}
+
+}  // namespace
+}  // namespace cqp::storage

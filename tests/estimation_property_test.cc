@@ -1,0 +1,213 @@
+// Property sweeps for the estimation module over randomized databases:
+// every estimate must stay inside its mathematical range and respect the
+// monotonicity the CQP partial orders (Formulas 4/7/8) depend on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "estimation/estimate.h"
+#include "estimation/evaluator.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "test_util.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+
+namespace cqp::estimation {
+namespace {
+
+using catalog::CompareOp;
+using catalog::Value;
+
+class StatsSweep : public ::testing::TestWithParam<int> {
+ protected:
+  storage::Database MakeDb(Rng& rng) {
+    storage::Database db;
+    storage::Table* t = *db.CreateTable(catalog::RelationDef(
+        "R", {{"a", catalog::ValueType::kInt},
+              {"b", catalog::ValueType::kDouble},
+              {"c", catalog::ValueType::kString}}));
+    int rows = static_cast<int>(rng.Uniform(1, 300));
+    for (int i = 0; i < rows; ++i) {
+      CQP_CHECK(t->Insert(storage::Tuple(
+                              {Value(rng.Uniform(-20, 20)),
+                               Value(rng.UniformDouble(-5, 5)),
+                               Value("s" + std::to_string(rng.Uniform(0, 9)))}))
+                    .ok());
+    }
+    db.Analyze(static_cast<size_t>(rng.Uniform(1, 20)));
+    return db;
+  }
+};
+
+TEST_P(StatsSweep, SelectivityAlwaysInUnitInterval) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101);
+  storage::Database db = MakeDb(rng);
+  ParameterEstimator estimator(&db);
+  static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                   CompareOp::kLt, CompareOp::kLe,
+                                   CompareOp::kGt, CompareOp::kGe};
+  for (int trial = 0; trial < 200; ++trial) {
+    CompareOp op = kOps[rng.Uniform(0, 5)];
+    int which = static_cast<int>(rng.Uniform(0, 2));
+    StatusOr<double> sel = InvalidArgument("unset");
+    if (which == 0) {
+      sel = estimator.SelectionSelectivity("R", "a", op,
+                                           Value(rng.Uniform(-30, 30)));
+    } else if (which == 1) {
+      sel = estimator.SelectionSelectivity(
+          "R", "b", op, Value(rng.UniformDouble(-10, 10)));
+    } else {
+      sel = estimator.SelectionSelectivity(
+          "R", "c", op, Value("s" + std::to_string(rng.Uniform(0, 15))));
+    }
+    ASSERT_TRUE(sel.ok());
+    EXPECT_GE(*sel, 0.0);
+    EXPECT_LE(*sel, 1.0);
+  }
+}
+
+TEST_P(StatsSweep, EqAndNeAreComplements) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 211);
+  storage::Database db = MakeDb(rng);
+  ParameterEstimator estimator(&db);
+  for (int trial = 0; trial < 100; ++trial) {
+    Value v(rng.Uniform(-25, 25));
+    double eq = *estimator.SelectionSelectivity("R", "a", CompareOp::kEq, v);
+    double ne = *estimator.SelectionSelectivity("R", "a", CompareOp::kNe, v);
+    EXPECT_NEAR(eq + ne, 1.0, 1e-9);
+  }
+}
+
+TEST_P(StatsSweep, McvMassSumsToAtMostOne) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 307);
+  storage::Database db = MakeDb(rng);
+  const catalog::RelationStats* stats = *db.GetStats("R");
+  for (const catalog::AttributeStats& attr : stats->attributes) {
+    double total = 0;
+    for (const catalog::McvEntry& e : attr.mcvs()) {
+      total += attr.EqualitySelectivity(e.value);
+    }
+    EXPECT_LE(total, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(StatsSweep, RangeSelectivityMonotoneInThreshold) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 401);
+  storage::Database db = MakeDb(rng);
+  ParameterEstimator estimator(&db);
+  double prev = -1;
+  for (int x = -25; x <= 25; x += 2) {
+    double sel = *estimator.SelectionSelectivity("R", "a", CompareOp::kLt,
+                                                 Value(int64_t{x}));
+    EXPECT_GE(sel, prev - 1e-12) << "kLt selectivity must grow with x";
+    prev = sel;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- estimation on the movie workload ----------
+
+class MovieEstimates : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::MovieDbConfig config;
+    config.n_movies = 1500;
+    config.n_directors = 120;
+    config.n_actors = 300;
+    db_ = new storage::Database(*workload::BuildMovieDatabase(config));
+  }
+  static storage::Database* db_;
+};
+storage::Database* MovieEstimates::db_ = nullptr;
+
+TEST_F(MovieEstimates, BaseEstimatesBoundedByCartesianProduct) {
+  ParameterEstimator estimator(db_);
+  const char* queries[] = {
+      "SELECT title FROM MOVIE",
+      "SELECT title FROM MOVIE WHERE MOVIE.year >= 1980",
+      "SELECT M.title FROM MOVIE M, GENRE G WHERE M.mid = G.mid",
+      "SELECT M.title FROM MOVIE M, DIRECTOR D, GENRE G "
+      "WHERE M.did = D.did AND M.mid = G.mid",
+  };
+  for (const char* text : queries) {
+    auto q = *sql::ParseSelect(text);
+    auto est = *estimator.EstimateBase(q);
+    EXPECT_GT(est.cost_ms, 0.0) << text;
+    double cartesian = 1.0;
+    for (const auto& t : q.from) {
+      cartesian *= static_cast<double>((*db_->GetTable(t.relation))
+                                           ->row_count());
+    }
+    EXPECT_GE(est.size, 0.0) << text;
+    EXPECT_LE(est.size, cartesian + 1e-6) << text;
+  }
+}
+
+TEST_F(MovieEstimates, PreferenceEstimatesRespectPartialOrders) {
+  ParameterEstimator estimator(db_);
+  workload::MovieDbConfig config;
+  config.n_movies = 1500;
+  config.n_directors = 120;
+  config.n_actors = 300;
+  auto profile = *workload::GenerateProfile({}, config);
+  auto q = *sql::ParseSelect("SELECT title FROM MOVIE");
+  auto base = *estimator.EstimateBase(q);
+
+  // Every atomic-selection preference on MOVIE and every 1-join path.
+  int checked = 0;
+  for (const prefs::AtomicSelection& sel : profile.selections()) {
+    prefs::ImplicitPreference pref;
+    if (EqualsIgnoreCase(sel.relation, "MOVIE")) {
+      pref.selection = sel;
+    } else {
+      // Find a join edge reaching the selection's relation.
+      bool found = false;
+      for (const prefs::AtomicJoin& join : profile.joins()) {
+        if (EqualsIgnoreCase(join.to_relation, sel.relation) &&
+            EqualsIgnoreCase(join.from_relation, "MOVIE")) {
+          pref.joins = {join};
+          pref.selection = sel;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+    }
+    auto est = estimator.EstimatePreference(base, pref);
+    ASSERT_TRUE(est.ok()) << pref.ConditionString();
+    EXPECT_GE(est->cost_ms, base.cost_ms) << pref.ConditionString();
+    EXPECT_GE(est->selectivity, 0.0);
+    EXPECT_LE(est->selectivity, 1.0);
+    EXPECT_LE(est->size, base.size + 1e-9) << pref.ConditionString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(MovieEstimates, EvaluatorMonotoneOverRandomChains) {
+  // Random inclusion chains ∅ ⊂ S1 ⊂ S2 ⊂ ... must have monotone
+  // doi/cost/size per Formulas 4, 7, 8.
+  Rng rng(99);
+  auto space = ::cqp::testing::MakeRandomSpace(rng, 14);
+  StateEvaluator eval = space.MakeEvaluator();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int32_t> order;
+    for (int32_t i = 0; i < 14; ++i) order.push_back(i);
+    rng.Shuffle(order);
+    StateParams prev = eval.EmptyState();
+    for (int32_t i : order) {
+      StateParams next = eval.ExtendWith(prev, i);
+      EXPECT_GE(next.doi, prev.doi - 1e-12);
+      EXPECT_GE(next.cost_ms, prev.cost_ms - 1e-9);
+      EXPECT_LE(next.size, prev.size + 1e-9);
+      prev = next;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqp::estimation

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cqp/multi_objective.h"
+#include "test_util.h"
+
+namespace cqp::cqp {
+namespace {
+
+using ::cqp::testing::MakeRandomSpace;
+
+MultiObjectiveSpec BasicSpec(const space::PreferenceSpaceResult& space,
+                             double wd, double wc, double ws) {
+  MultiObjectiveSpec spec;
+  spec.doi_weight = wd;
+  spec.cost_weight = wc;
+  spec.size_weight = ws;
+  spec.cost_scale = space.MakeEvaluator().SupremeState().cost_ms;
+  spec.size_scale = std::max(space.base.size, 1.0);
+  return spec;
+}
+
+TEST(MultiObjectiveSpecTest, Validation) {
+  Rng rng(1);
+  auto space = MakeRandomSpace(rng, 4);
+  MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.doi_weight = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = BasicSpec(space, 0, 0, 0);
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = BasicSpec(space, 1, 0, 0);
+  spec.cost_scale = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = BasicSpec(space, 1, 0, 0);
+  spec.smin = 10;
+  spec.smax = 5;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(MultiObjectiveSpecTest, ScoreArithmetic) {
+  Rng rng(2);
+  auto space = MakeRandomSpace(rng, 4);
+  MultiObjectiveSpec spec = BasicSpec(space, 2, 1, 1);
+  estimation::StateParams p;
+  p.doi = 0.5;
+  p.cost_ms = spec.cost_scale / 2;
+  p.size = spec.size_scale / 4;
+  EXPECT_NEAR(spec.Score(p), 2 * 0.5 - 0.5 - 0.25, 1e-12);
+}
+
+// ---------- Pareto front ----------
+
+class ParetoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoTest, FrontIsUndominatedAndComplete) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto space = MakeRandomSpace(rng, 10);
+  MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
+  SearchMetrics metrics;
+  auto front = *ParetoFront(space, spec, &metrics);
+  ASSERT_FALSE(front.empty());
+
+  // Monotone: increasing cost and strictly increasing doi.
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].params.cost_ms, front[i - 1].params.cost_ms);
+    EXPECT_GT(front[i].params.doi, front[i - 1].params.doi);
+  }
+
+  // No enumerated state dominates any front point (spot-checked against a
+  // fresh exhaustive enumeration).
+  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  std::vector<estimation::StateParams> all;
+  std::vector<int32_t> current;
+  auto recurse = [&](auto&& self, size_t i,
+                     const estimation::StateParams& params) -> void {
+    if (i == evaluator.K()) {
+      all.push_back(params);
+      return;
+    }
+    self(self, i + 1, params);
+    self(self, i + 1, evaluator.ExtendWith(params, static_cast<int32_t>(i)));
+  };
+  recurse(recurse, 0, evaluator.EmptyState());
+  for (const ParetoPoint& p : front) {
+    for (const auto& other : all) {
+      bool dominates = other.doi > p.params.doi + 1e-12 &&
+                       other.cost_ms < p.params.cost_ms - 1e-9;
+      EXPECT_FALSE(dominates)
+          << "front point doi=" << p.params.doi
+          << " cost=" << p.params.cost_ms << " dominated by doi="
+          << other.doi << " cost=" << other.cost_ms;
+    }
+  }
+}
+
+TEST_P(ParetoTest, ScalarizedOptimumTouchesTheFront) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  auto space = MakeRandomSpace(rng, 9);
+  for (double wc : {0.1, 1.0, 5.0}) {
+    MultiObjectiveSpec spec = BasicSpec(space, 1, wc, 0);
+    SearchMetrics m1, m2;
+    Solution best = *SolveScalarized(space, spec, &m1);
+    ASSERT_TRUE(best.feasible);
+    auto front = *ParetoFront(space, spec, &m2);
+    // The scalarized optimum's score equals the best score over the front
+    // (a positive weighted sum is always maximized on the Pareto front).
+    double best_front = -1e18;
+    for (const ParetoPoint& p : front) {
+      best_front = std::max(best_front, spec.Score(p.params));
+    }
+    EXPECT_NEAR(spec.Score(best.params), best_front, 1e-9) << "wc=" << wc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ParetoTest, ConstraintsFilterTheFront) {
+  Rng rng(42);
+  auto space = MakeRandomSpace(rng, 10);
+  MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
+  auto unconstrained = *ParetoFront(space, spec, nullptr);
+  spec.cmax_ms = space.MakeEvaluator().SupremeState().cost_ms * 0.4;
+  auto constrained = *ParetoFront(space, spec, nullptr);
+  EXPECT_LE(constrained.size(), unconstrained.size());
+  for (const ParetoPoint& p : constrained) {
+    EXPECT_LE(p.params.cost_ms, *spec.cmax_ms);
+  }
+}
+
+TEST(ParetoTest, RefusesHugeK) {
+  Rng rng(7);
+  auto space = MakeRandomSpace(rng, 21);
+  MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
+  EXPECT_FALSE(ParetoFront(space, spec, nullptr).ok());
+}
+
+// ---------- Scalarized branch-and-bound ----------
+
+class ScalarizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarizedTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  auto space = MakeRandomSpace(rng, 10);
+  MultiObjectiveSpec spec =
+      BasicSpec(space, rng.UniformDouble(0.5, 2), rng.UniformDouble(0, 2),
+                rng.UniformDouble(0, 1));
+  if (rng.Bernoulli(0.5)) {
+    spec.cmax_ms = space.MakeEvaluator().SupremeState().cost_ms *
+                   rng.UniformDouble(0.3, 1.0);
+  }
+
+  SearchMetrics metrics;
+  Solution got = *SolveScalarized(space, spec, &metrics);
+
+  // Brute force.
+  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  double best = -1e18;
+  bool any = false;
+  auto recurse = [&](auto&& self, size_t i,
+                     const estimation::StateParams& params) -> void {
+    if (i == evaluator.K()) {
+      if (spec.IsFeasible(params)) {
+        any = true;
+        best = std::max(best, spec.Score(params));
+      }
+      return;
+    }
+    self(self, i + 1, params);
+    self(self, i + 1, evaluator.ExtendWith(params, static_cast<int32_t>(i)));
+  };
+  recurse(recurse, 0, evaluator.EmptyState());
+
+  ASSERT_EQ(got.feasible, any);
+  if (any) {
+    EXPECT_NEAR(spec.Score(got.params), best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalarizedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ScalarizedTest, PureDoiWeightReducesToProblem2) {
+  Rng rng(11);
+  auto space = MakeRandomSpace(rng, 10);
+  double supreme = space.MakeEvaluator().SupremeState().cost_ms;
+  MultiObjectiveSpec spec = BasicSpec(space, 1, 0, 0);
+  spec.cmax_ms = 0.5 * supreme;
+  Solution scalarized = *SolveScalarized(space, spec, nullptr);
+
+  ProblemSpec p2 = ProblemSpec::Problem2(0.5 * supreme);
+  SearchMetrics m;
+  Solution classic = *(*GetAlgorithm("Exhaustive"))->Solve(space, p2, &m);
+  ASSERT_TRUE(scalarized.feasible);
+  EXPECT_NEAR(scalarized.params.doi, classic.params.doi, 1e-9);
+}
+
+TEST(ScalarizedTest, SizeWeightPullsTowardSmallerAnswers) {
+  Rng rng(13);
+  auto space = MakeRandomSpace(rng, 10);
+  MultiObjectiveSpec light = BasicSpec(space, 1, 0, 0.1);
+  MultiObjectiveSpec heavy = BasicSpec(space, 1, 0, 10.0);
+  Solution a = *SolveScalarized(space, light, nullptr);
+  Solution b = *SolveScalarized(space, heavy, nullptr);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(b.params.size, a.params.size + 1e-9);
+}
+
+TEST(ScalarizedTest, HardConstraintsRespected) {
+  Rng rng(14);
+  auto space = MakeRandomSpace(rng, 10);
+  MultiObjectiveSpec spec = BasicSpec(space, 1, 0.2, 0);
+  spec.dmin = 0.8;
+  spec.smax = space.base.size * 0.5;
+  SearchMetrics metrics;
+  Solution sol = *SolveScalarized(space, spec, &metrics);
+  if (sol.feasible) {
+    EXPECT_GE(sol.params.doi, 0.8);
+    EXPECT_LE(sol.params.size, *spec.smax + 1e-9);
+  }
+}
+
+TEST(ScalarizedTest, CostWeightPullsTowardCheaperQueries) {
+  Rng rng(12);
+  auto space = MakeRandomSpace(rng, 10);
+  MultiObjectiveSpec light = BasicSpec(space, 1, 0.1, 0);
+  MultiObjectiveSpec heavy = BasicSpec(space, 1, 10.0, 0);
+  Solution a = *SolveScalarized(space, light, nullptr);
+  Solution b = *SolveScalarized(space, heavy, nullptr);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(b.params.cost_ms, a.params.cost_ms);
+}
+
+}  // namespace
+}  // namespace cqp::cqp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "cqp/problem.h"
+
+namespace cqp::cqp {
+namespace {
+
+using estimation::StateParams;
+
+StateParams Params(double doi, double cost, double size) {
+  StateParams p;
+  p.doi = doi;
+  p.cost_ms = cost;
+  p.size = size;
+  return p;
+}
+
+TEST(ProblemSpecTest, Table1Classification) {
+  EXPECT_EQ(ProblemSpec::Problem1(1, 100).ProblemNumber(), 1);
+  EXPECT_EQ(ProblemSpec::Problem2(400).ProblemNumber(), 2);
+  EXPECT_EQ(ProblemSpec::Problem3(400, 1, 100).ProblemNumber(), 3);
+  EXPECT_EQ(ProblemSpec::Problem4(0.8).ProblemNumber(), 4);
+  EXPECT_EQ(ProblemSpec::Problem5(0.8, 1, 100).ProblemNumber(), 5);
+  EXPECT_EQ(ProblemSpec::Problem6(1, 100).ProblemNumber(), 6);
+}
+
+TEST(ProblemSpecTest, AllTable1ProblemsValidate) {
+  EXPECT_TRUE(ProblemSpec::Problem1(1, 100).Validate().ok());
+  EXPECT_TRUE(ProblemSpec::Problem2(400).Validate().ok());
+  EXPECT_TRUE(ProblemSpec::Problem3(400, 1, 100).Validate().ok());
+  EXPECT_TRUE(ProblemSpec::Problem4(0.8).Validate().ok());
+  EXPECT_TRUE(ProblemSpec::Problem5(0.8, 1, 100).Validate().ok());
+  EXPECT_TRUE(ProblemSpec::Problem6(1, 100).Validate().ok());
+}
+
+TEST(ProblemSpecTest, MeaninglessCombosRejected) {
+  // Maximizing doi with a doi lower bound is not a Table 1 problem.
+  ProblemSpec s = ProblemSpec::Problem2(400);
+  s.dmin = 0.5;
+  EXPECT_FALSE(s.Validate().ok());
+  // Minimizing cost with a cost bound is redundant.
+  ProblemSpec t = ProblemSpec::Problem4(0.5);
+  t.cmax_ms = 100;
+  EXPECT_FALSE(t.Validate().ok());
+  // Fully unconstrained problems are trivial.
+  ProblemSpec u;
+  EXPECT_FALSE(u.Validate().ok());
+}
+
+TEST(ProblemSpecTest, RejectsBadRanges) {
+  ProblemSpec s = ProblemSpec::Problem1(100, 1);  // smin > smax
+  EXPECT_FALSE(s.Validate().ok());
+  ProblemSpec t = ProblemSpec::Problem4(1.5);  // dmin > 1
+  EXPECT_FALSE(t.Validate().ok());
+  ProblemSpec u = ProblemSpec::Problem2(-1);  // negative cost bound
+  EXPECT_FALSE(u.Validate().ok());
+}
+
+TEST(ProblemSpecTest, FeasibilityChecksEveryBound) {
+  ProblemSpec s = ProblemSpec::Problem3(400, 5, 50);
+  EXPECT_TRUE(s.IsFeasible(Params(0.5, 400, 25)));
+  EXPECT_FALSE(s.IsFeasible(Params(0.5, 401, 25)));  // cost
+  EXPECT_FALSE(s.IsFeasible(Params(0.5, 100, 4)));   // size < smin
+  EXPECT_FALSE(s.IsFeasible(Params(0.5, 100, 51)));  // size > smax
+  ProblemSpec t = ProblemSpec::Problem4(0.7);
+  EXPECT_FALSE(t.IsFeasible(Params(0.6, 10, 10)));
+  EXPECT_TRUE(t.IsFeasible(Params(0.7, 10, 10)));
+}
+
+TEST(ProblemSpecTest, ObjectiveDirection) {
+  ProblemSpec max_doi = ProblemSpec::Problem2(400);
+  EXPECT_TRUE(max_doi.Better(Params(0.9, 1, 1), Params(0.8, 1, 1)));
+  EXPECT_FALSE(max_doi.Better(Params(0.8, 1, 1), Params(0.8, 1, 1)));
+
+  ProblemSpec min_cost = ProblemSpec::Problem4(0.5);
+  EXPECT_TRUE(min_cost.Better(Params(0.5, 100, 1), Params(0.9, 200, 1)));
+  EXPECT_FALSE(min_cost.Better(Params(0.5, 200, 1), Params(0.9, 100, 1)));
+}
+
+TEST(ProblemSpecTest, ToStringMentionsBounds) {
+  std::string s = ProblemSpec::Problem3(400, 1, 10).ToString();
+  EXPECT_NE(s.find("MAX doi"), std::string::npos);
+  EXPECT_NE(s.find("cost"), std::string::npos);
+  EXPECT_NE(s.find("size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqp::cqp

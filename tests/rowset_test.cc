@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "exec/row_set.h"
+
+namespace cqp::exec {
+namespace {
+
+using catalog::Value;
+using storage::Tuple;
+
+RowSet MakeRowSet() {
+  RowSet rows({"M.title", "M.year", "D.name"}, {});
+  rows.AddRow(Tuple({Value("Vertigo"), Value(int64_t{1958}),
+                     Value("A. Hitchcock")}));
+  rows.AddRow(Tuple({Value("Psycho"), Value(int64_t{1960}),
+                     Value("A. Hitchcock")}));
+  return rows;
+}
+
+TEST(RowSetTest, ResolveQualified) {
+  RowSet rows = MakeRowSet();
+  EXPECT_EQ(*rows.ResolveColumn({"M", "year"}), 1);
+  EXPECT_EQ(*rows.ResolveColumn({"D", "name"}), 2);
+  // Case-insensitive.
+  EXPECT_EQ(*rows.ResolveColumn({"m", "YEAR"}), 1);
+}
+
+TEST(RowSetTest, ResolveUnqualifiedUnique) {
+  RowSet rows = MakeRowSet();
+  EXPECT_EQ(*rows.ResolveColumn({"", "title"}), 0);
+  EXPECT_EQ(*rows.ResolveColumn({"", "name"}), 2);
+}
+
+TEST(RowSetTest, ResolveFailures) {
+  RowSet rows({"A.x", "B.x"}, {});
+  auto ambiguous = rows.ResolveColumn({"", "x"});
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(rows.ResolveColumn({"C", "x"}).ok());
+  EXPECT_FALSE(rows.ResolveColumn({"", "y"}).ok());
+}
+
+TEST(RowSetTest, UnqualifiedNameWithoutDotMatchesWholeName) {
+  RowSet rows({"title"}, {});
+  EXPECT_EQ(*rows.ResolveColumn({"", "title"}), 0);
+}
+
+TEST(RowSetTest, ToStringTruncates) {
+  RowSet rows({"v"}, {});
+  for (int i = 0; i < 30; ++i) {
+    rows.AddRow(Tuple({Value(static_cast<int64_t>(i))}));
+  }
+  std::string text = rows.ToString(/*max_rows=*/5);
+  EXPECT_NE(text.find("v\n"), std::string::npos);
+  EXPECT_NE(text.find("(25 more rows)"), std::string::npos);
+}
+
+TEST(RowSetTest, ToStringHeaderOnlyWhenEmpty) {
+  RowSet rows({"a", "b"}, {});
+  EXPECT_EQ(rows.ToString(), "a | b\n");
+}
+
+}  // namespace
+}  // namespace cqp::exec

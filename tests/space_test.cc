@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "space/preference_space.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace cqp::space {
+namespace {
+
+class PreferenceSpaceTest : public ::testing::Test {
+ protected:
+  PreferenceSpaceTest()
+      : db_(::cqp::testing::MakeTinyMovieDb()), estimator_(&db_) {
+    auto profile = *prefs::Profile::Parse(R"(
+        doi(GENRE.genre = 'musical') = 0.5
+        doi(GENRE.genre = 'comedy') = 0.4
+        doi(GENRE.genre = 'horror') = 0.1
+        doi(MOVIE.mid = GENRE.mid) = 0.9
+        doi(MOVIE.did = DIRECTOR.did) = 1.0
+        doi(DIRECTOR.name = 'W. Allen') = 0.8
+        doi(DIRECTOR.name = 'S. Kubrick') = 0.3
+        doi(MOVIE.year >= 1970) = 0.6
+        doi(MOVIE.duration <= 120) = 0.2
+    )");
+    graph_ = std::make_unique<prefs::PersonalizationGraph>(
+        *prefs::PersonalizationGraph::Build(std::move(profile), db_));
+  }
+
+  PreferenceSpaceResult Extract(
+      const std::string& sql, const cqp::ProblemSpec& problem,
+      PreferenceSpaceOptions options = PreferenceSpaceOptions()) {
+    auto q = *::cqp::sql::ParseSelect(sql);
+    auto result =
+        ExtractPreferenceSpace(q, *graph_, estimator_, problem, options);
+    CQP_CHECK(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  }
+
+  storage::Database db_;
+  estimation::ParameterEstimator estimator_;
+  std::unique_ptr<prefs::PersonalizationGraph> graph_;
+};
+
+TEST_F(PreferenceSpaceTest, ExtractsAllRelatedPreferences) {
+  auto space =
+      Extract("SELECT title FROM MOVIE", cqp::ProblemSpec::Problem2(1e9));
+  // 2 direct MOVIE selections + 2 director paths + 3 genre paths.
+  EXPECT_EQ(space.K(), 7u);
+}
+
+TEST_F(PreferenceSpaceTest, PrefsSortedByDecreasingDoi) {
+  auto space =
+      Extract("SELECT title FROM MOVIE", cqp::ProblemSpec::Problem2(1e9));
+  for (size_t i = 1; i < space.K(); ++i) {
+    EXPECT_GE(space.prefs[i - 1].doi, space.prefs[i].doi);
+  }
+  // Top preference: the Allen path with doi 1.0 * 0.8 = 0.8.
+  EXPECT_NEAR(space.prefs[0].doi, 0.8, 1e-12);
+}
+
+TEST_F(PreferenceSpaceTest, ImplicitDoisComposedByProduct) {
+  auto space =
+      Extract("SELECT title FROM MOVIE", cqp::ProblemSpec::Problem2(1e9));
+  for (const auto& p : space.prefs) {
+    if (p.pref.selection.value == catalog::Value("musical")) {
+      EXPECT_NEAR(p.doi, 0.9 * 0.5, 1e-12);  // Figure 1 composition
+    }
+  }
+}
+
+TEST_F(PreferenceSpaceTest, VectorsOrderCorrectly) {
+  auto space =
+      Extract("SELECT title FROM MOVIE", cqp::ProblemSpec::Problem2(1e9));
+  ASSERT_EQ(space.C.size(), space.K());
+  ASSERT_EQ(space.S.size(), space.K());
+  for (size_t i = 1; i < space.K(); ++i) {
+    EXPECT_GE(space.prefs[space.C[i - 1]].cost_ms,
+              space.prefs[space.C[i]].cost_ms)
+        << "C must be cost-descending";
+    EXPECT_LE(space.prefs[space.S[i - 1]].size, space.prefs[space.S[i]].size)
+        << "S must be size-ascending";
+    EXPECT_EQ(space.D[i], static_cast<int32_t>(i)) << "D is identity";
+  }
+}
+
+TEST_F(PreferenceSpaceTest, MaxKCapsExtractionToTopDois) {
+  PreferenceSpaceOptions options;
+  options.max_k = 3;
+  auto space = Extract("SELECT title FROM MOVIE",
+                       cqp::ProblemSpec::Problem2(1e9), options);
+  EXPECT_EQ(space.K(), 3u);
+  // The kept three must be the three highest dois overall (0.8, 0.6, 0.45).
+  EXPECT_NEAR(space.prefs[0].doi, 0.8, 1e-12);
+  EXPECT_NEAR(space.prefs[1].doi, 0.6, 1e-12);
+  EXPECT_NEAR(space.prefs[2].doi, 0.45, 1e-12);
+}
+
+TEST_F(PreferenceSpaceTest, MinDoiFloorDropsWeakPreferences) {
+  PreferenceSpaceOptions options;
+  options.min_doi = 0.25;
+  auto space = Extract("SELECT title FROM MOVIE",
+                       cqp::ProblemSpec::Problem2(1e9), options);
+  for (const auto& p : space.prefs) EXPECT_GT(p.doi, 0.25);
+  // Kept: 0.8 (Allen), 0.6 (year), 0.45 (musical), 0.36 (comedy),
+  // 0.3 (Kubrick); dropped: 0.2 (duration), 0.09 (horror).
+  EXPECT_EQ(space.K(), 5u);
+}
+
+TEST_F(PreferenceSpaceTest, CostConstraintPrunesExpensivePaths) {
+  // cmax barely above the base cost: join preferences (which re-scan
+  // DIRECTOR/GENRE) are pruned, join-free MOVIE selections survive.
+  auto q = *::cqp::sql::ParseSelect("SELECT title FROM MOVIE");
+  auto base_est = *estimator_.EstimateBase(q);
+  auto space = Extract("SELECT title FROM MOVIE",
+                       cqp::ProblemSpec::Problem2(base_est.cost_ms + 0.01));
+  for (const auto& p : space.prefs) {
+    EXPECT_TRUE(p.pref.joins.empty())
+        << "path preference should have been pruned: "
+        << p.pref.ConditionString();
+  }
+  EXPECT_EQ(space.K(), 2u);  // year + duration prefs
+}
+
+TEST_F(PreferenceSpaceTest, SminPrunesOverSelectivePreferences) {
+  // smin equal to the base size: any preference that filters at all is
+  // pruned (its sub-query result undershoots smin).
+  auto q = *::cqp::sql::ParseSelect("SELECT title FROM MOVIE");
+  auto base_est = *estimator_.EstimateBase(q);
+  auto space = Extract(
+      "SELECT title FROM MOVIE",
+      cqp::ProblemSpec::Problem1(base_est.size, base_est.size * 10));
+  EXPECT_EQ(space.K(), 0u);
+}
+
+TEST_F(PreferenceSpaceTest, QueriesOnOtherRelationsAnchorThere) {
+  auto space = Extract("SELECT name FROM DIRECTOR",
+                       cqp::ProblemSpec::Problem2(1e9));
+  // Only the two DIRECTOR.name selections are related (no join leaves
+  // DIRECTOR in this profile).
+  EXPECT_EQ(space.K(), 2u);
+  for (const auto& p : space.prefs) {
+    EXPECT_EQ(p.pref.AnchorRelation(), "DIRECTOR");
+  }
+}
+
+TEST_F(PreferenceSpaceTest, JoinQueryGetsPreferencesFromBothAnchors) {
+  auto space = Extract(
+      "SELECT M.title FROM MOVIE M, GENRE G WHERE M.mid = G.mid",
+      cqp::ProblemSpec::Problem2(1e9));
+  // GENRE selections now both as direct (anchored at GENRE) preferences —
+  // plus everything reachable from MOVIE.
+  size_t direct_genre = 0;
+  for (const auto& p : space.prefs) {
+    if (p.pref.joins.empty() &&
+        prefs::IsValidDoi(p.doi) &&
+        p.pref.selection.relation == "GENRE") {
+      ++direct_genre;
+    }
+  }
+  EXPECT_EQ(direct_genre, 3u);
+}
+
+TEST_F(PreferenceSpaceTest, DuplicateConditionsKeepHighestDoi) {
+  // In the join query above, GENRE.genre='musical' is reachable both
+  // directly (doi 0.5) and via MOVIE→GENRE (doi 0.45); only the direct
+  // (higher-doi) variant may be kept for the same *condition string*, but
+  // note the two differ in path, hence both appear. Equal conditions with
+  // equal paths are deduplicated.
+  auto space = Extract(
+      "SELECT M.title FROM MOVIE M, GENRE G WHERE M.mid = G.mid",
+      cqp::ProblemSpec::Problem2(1e9));
+  std::set<std::string> conditions;
+  for (const auto& p : space.prefs) {
+    EXPECT_TRUE(conditions.insert(p.pref.ConditionString()).second)
+        << "duplicate " << p.pref.ConditionString();
+  }
+}
+
+TEST(PointerVectorTest, PaperTable2Example) {
+  // §4.4, Table 2: P = {p1, p2, p3} with
+  //   p1: doi 0.5, cost 10, size 3
+  //   p2: doi 0.8, cost  5, size 2
+  //   p3: doi 0.7, cost 12, size 10
+  // gives D = {2,3,1}, C = {3,1,2}, S = {2,1,3} (1-based in the paper).
+  std::vector<estimation::ScoredPreference> prefs(3);
+  prefs[0].doi = 0.5;
+  prefs[0].cost_ms = 10;
+  prefs[0].size = 3;
+  prefs[1].doi = 0.8;
+  prefs[1].cost_ms = 5;
+  prefs[1].size = 2;
+  prefs[2].doi = 0.7;
+  prefs[2].cost_ms = 12;
+  prefs[2].size = 10;
+
+  std::vector<int32_t> d, c, s;
+  BuildPointerVectors(prefs, &d, &c, &s);
+  EXPECT_EQ(d, (std::vector<int32_t>{1, 2, 0}));  // {2,3,1} 0-based
+  EXPECT_EQ(c, (std::vector<int32_t>{2, 0, 1}));  // {3,1,2}
+  EXPECT_EQ(s, (std::vector<int32_t>{1, 0, 2}));  // {2,1,3}
+}
+
+TEST(PointerVectorTest, TiesBreakByIndex) {
+  std::vector<estimation::ScoredPreference> prefs(3);
+  for (auto& p : prefs) {
+    p.doi = 0.5;
+    p.cost_ms = 10;
+    p.size = 3;
+  }
+  std::vector<int32_t> d, c, s;
+  BuildPointerVectors(prefs, &d, &c, &s);
+  EXPECT_EQ(d, (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(c, (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(s, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST_F(PreferenceSpaceTest, BuildVectorsFlagSkipsCAndS) {
+  PreferenceSpaceOptions options;
+  options.build_cost_size_vectors = false;
+  auto space = Extract("SELECT title FROM MOVIE",
+                       cqp::ProblemSpec::Problem2(1e9), options);
+  EXPECT_TRUE(space.C.empty());
+  EXPECT_TRUE(space.S.empty());
+  EXPECT_EQ(space.D.size(), space.K());
+}
+
+TEST_F(PreferenceSpaceTest, PathLengthGuardRespected) {
+  PreferenceSpaceOptions options;
+  options.max_path_joins = 0;
+  auto space = Extract("SELECT title FROM MOVIE",
+                       cqp::ProblemSpec::Problem2(1e9), options);
+  for (const auto& p : space.prefs) EXPECT_TRUE(p.pref.joins.empty());
+}
+
+}  // namespace
+}  // namespace cqp::space

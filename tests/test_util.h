@@ -1,0 +1,130 @@
+#ifndef CQP_TESTS_TEST_UTIL_H_
+#define CQP_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "space/preference_space.h"
+#include "storage/database.h"
+
+namespace cqp::testing {
+
+/// Builds a synthetic preference space for algorithm tests without a
+/// database: K preferences with dois sorted descending and random
+/// cost/selectivity, plus the C/S pointer vectors.
+inline space::PreferenceSpaceResult MakeRandomSpace(Rng& rng, size_t k,
+                                                    double base_cost_ms = 100,
+                                                    double base_size = 1000) {
+  space::PreferenceSpaceResult result;
+  result.base.cost_ms = base_cost_ms;
+  result.base.size = base_size;
+  std::vector<double> dois;
+  dois.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    dois.push_back(rng.UniformDouble(0.05, 0.95));
+  }
+  std::sort(dois.begin(), dois.end(), std::greater<double>());
+  for (size_t i = 0; i < k; ++i) {
+    estimation::ScoredPreference p;
+    p.doi = dois[i];
+    p.cost_ms = base_cost_ms + rng.UniformDouble(5, 300);
+    p.selectivity = rng.UniformDouble(0.02, 0.9);
+    p.size = base_size * p.selectivity;
+    p.pref.selection.relation = "R";
+    p.pref.selection.attribute = "a" + std::to_string(i);
+    p.pref.selection.value = catalog::Value(static_cast<int64_t>(i));
+    p.pref.selection.doi = p.doi;
+    result.prefs.push_back(std::move(p));
+  }
+  result.D.resize(k);
+  for (size_t i = 0; i < k; ++i) result.D[i] = static_cast<int32_t>(i);
+  result.C = result.D;
+  std::sort(result.C.begin(), result.C.end(), [&](int32_t a, int32_t b) {
+    double ca = result.prefs[static_cast<size_t>(a)].cost_ms;
+    double cb = result.prefs[static_cast<size_t>(b)].cost_ms;
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  result.S = result.D;
+  std::sort(result.S.begin(), result.S.end(), [&](int32_t a, int32_t b) {
+    double sa = result.prefs[static_cast<size_t>(a)].size;
+    double sb = result.prefs[static_cast<size_t>(b)].size;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  return result;
+}
+
+/// A small movies database with hand-authored rows, used by SQL/exec and
+/// construction tests. Schema follows the paper's §3 example plus year and
+/// duration columns.
+inline storage::Database MakeTinyMovieDb() {
+  using catalog::AttributeDef;
+  using catalog::RelationDef;
+  using catalog::Value;
+  using catalog::ValueType;
+  using storage::Tuple;
+
+  storage::Database db;
+  storage::Table* movie =
+      db.CreateTable(RelationDef("MOVIE",
+                                 {AttributeDef{"mid", ValueType::kInt},
+                                  AttributeDef{"title", ValueType::kString},
+                                  AttributeDef{"year", ValueType::kInt},
+                                  AttributeDef{"duration", ValueType::kInt},
+                                  AttributeDef{"did", ValueType::kInt}}))
+          .value();
+  storage::Table* director =
+      db.CreateTable(RelationDef("DIRECTOR",
+                                 {AttributeDef{"did", ValueType::kInt},
+                                  AttributeDef{"name", ValueType::kString}}))
+          .value();
+  storage::Table* genre =
+      db.CreateTable(RelationDef("GENRE",
+                                 {AttributeDef{"mid", ValueType::kInt},
+                                  AttributeDef{"genre", ValueType::kString}}))
+          .value();
+
+  auto mv = [&](int64_t mid, const char* title, int64_t year, int64_t dur,
+                int64_t did) {
+    CQP_CHECK(movie
+                  ->Insert(Tuple({Value(mid), Value(title), Value(year),
+                                  Value(dur), Value(did)}))
+                  .ok());
+  };
+  auto dr = [&](int64_t did, const char* name) {
+    CQP_CHECK(director->Insert(Tuple({Value(did), Value(name)})).ok());
+  };
+  auto gn = [&](int64_t mid, const char* g) {
+    CQP_CHECK(genre->Insert(Tuple({Value(mid), Value(g)})).ok());
+  };
+
+  dr(1, "W. Allen");
+  dr(2, "S. Kubrick");
+  dr(3, "A. Hitchcock");
+  mv(1, "Everyone Says I Love You", 1996, 101, 1);
+  mv(2, "Manhattan", 1979, 96, 1);
+  mv(3, "2001: A Space Odyssey", 1968, 142, 2);
+  mv(4, "The Shining", 1980, 146, 2);
+  mv(5, "Psycho", 1960, 109, 3);
+  mv(6, "Vertigo", 1958, 128, 3);
+  gn(1, "musical");
+  gn(1, "comedy");
+  gn(2, "comedy");
+  gn(2, "romance");
+  gn(3, "sci-fi");
+  gn(4, "horror");
+  gn(5, "horror");
+  gn(5, "thriller");
+  gn(6, "thriller");
+  db.Analyze();
+  return db;
+}
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTS_TEST_UTIL_H_

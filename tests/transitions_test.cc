@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "cqp/search_space.h"
+#include "cqp/search_util.h"
+#include "cqp/transitions.h"
+#include "test_util.h"
+
+namespace cqp::cqp {
+namespace {
+
+// ---------- Horizontal ----------
+
+TEST(HorizontalTest, AddsSuccessorOfMax) {
+  auto h = Horizontal(IndexSet{0, 2}, 5);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->ToString(), "{0,2,3}");
+}
+
+TEST(HorizontalTest, NoneAtLastPosition) {
+  EXPECT_FALSE(Horizontal(IndexSet{1, 4}, 5).has_value());
+}
+
+TEST(HorizontalTest, PaperFigure4Example) {
+  // Horizontal(c1c3) = c1c3c4 (paper's 1-based example, 0-based here).
+  auto h = Horizontal(IndexSet{0, 2}, 4);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, (IndexSet{0, 2, 3}));
+}
+
+// ---------- Vertical ----------
+
+TEST(VerticalTest, ReplacesEachMemberWithSuccessor) {
+  // Vertical(c1c3) = {c1c4, c2c3} in the paper's Figure 4.
+  auto vs = VerticalNeighbors(IndexSet{0, 2}, 4);
+  ASSERT_EQ(vs.size(), 2u);
+  std::set<std::string> got;
+  for (const auto& v : vs) got.insert(v.ToString());
+  EXPECT_TRUE(got.count("{1,2}"));  // c2c3
+  EXPECT_TRUE(got.count("{0,3}"));  // c1c4
+}
+
+TEST(VerticalTest, SkipsOccupiedSuccessor) {
+  auto vs = VerticalNeighbors(IndexSet{0, 1}, 4);
+  // 0 -> 1 occupied; only 1 -> 2 remains.
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].ToString(), "{0,2}");
+}
+
+TEST(VerticalTest, EmptyAtBottom) {
+  EXPECT_TRUE(VerticalNeighbors(IndexSet{2, 3}, 4).empty());
+}
+
+TEST(VerticalTest, KeepsGroupSize) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = 8;
+    std::vector<int32_t> members;
+    for (int32_t i = 0; i < static_cast<int32_t>(k); ++i) {
+      if (rng.Bernoulli(0.4)) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    IndexSet state = IndexSet::FromUnsorted(members);
+    for (const IndexSet& v : VerticalNeighbors(state, k)) {
+      EXPECT_EQ(v.size(), state.size());
+      EXPECT_TRUE(state.Dominates(v));  // verticals move "down"
+    }
+  }
+}
+
+// ---------- Horizontal2 ----------
+
+TEST(Horizontal2Test, ListsNonMembersInOrder) {
+  auto cands = Horizontal2Candidates(IndexSet{1, 3}, 5);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0], 0);
+  EXPECT_EQ(cands[1], 2);
+  EXPECT_EQ(cands[2], 4);
+}
+
+TEST(Horizontal2Test, EmptyStateListsAll) {
+  EXPECT_EQ(Horizontal2Candidates(IndexSet(), 3).size(), 3u);
+}
+
+TEST(Horizontal2Test, FullStateListsNone) {
+  EXPECT_TRUE(Horizontal2Candidates(IndexSet{0, 1, 2}, 3).empty());
+}
+
+// ---------- Proposition 1 & Table 4 directions ----------
+
+class DirectionTest : public ::testing::Test {
+ protected:
+  DirectionTest()
+      : rng_(7),
+        space_(::cqp::testing::MakeRandomSpace(rng_, 10)),
+        evaluator_(space_.MakeEvaluator()),
+        problem_(ProblemSpec::Problem2(1e12)),
+        view_(SpaceView::ForKind(&evaluator_, &problem_, SpaceKind::kCost,
+                                 space_)) {}
+
+  Rng rng_;
+  space::PreferenceSpaceResult space_;
+  estimation::StateEvaluator evaluator_;
+  ProblemSpec problem_;
+  SpaceView view_;
+};
+
+TEST_F(DirectionTest, HorizontalIncreasesCostAndDoi) {
+  // Table 4: Horizontal moves to higher cost and higher doi.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int32_t> members;
+    for (int32_t i = 0; i < 9; ++i) {
+      if (rng.Bernoulli(0.5)) members.push_back(i);
+    }
+    if (members.empty()) members.push_back(0);
+    IndexSet state = IndexSet::FromUnsorted(members);
+    auto h = Horizontal(state, view_.K());
+    if (!h) continue;
+    estimation::StateParams a = view_.Evaluate(state, nullptr);
+    estimation::StateParams b = view_.Evaluate(*h, nullptr);
+    EXPECT_GT(b.cost_ms, a.cost_ms);
+    EXPECT_GE(b.doi, a.doi);
+  }
+}
+
+TEST_F(DirectionTest, VerticalDecreasesCostInCostSpace) {
+  // Table 4: Vertical moves to lower cost (doi unknown).
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int32_t> members;
+    for (int32_t i = 0; i < 10; ++i) {
+      if (rng.Bernoulli(0.4)) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    IndexSet state = IndexSet::FromUnsorted(members);
+    estimation::StateParams a = view_.Evaluate(state, nullptr);
+    for (const IndexSet& v : VerticalNeighbors(state, view_.K())) {
+      estimation::StateParams b = view_.Evaluate(v, nullptr);
+      EXPECT_LE(b.cost_ms, a.cost_ms)
+          << state.ToString() << " -> " << v.ToString();
+    }
+  }
+}
+
+TEST_F(DirectionTest, ToPrefIndicesMapsThroughOrder) {
+  IndexSet positions{0, 1};
+  IndexSet prefs = view_.ToPrefIndices(positions);
+  EXPECT_EQ(prefs.size(), 2u);
+  EXPECT_TRUE(prefs.Contains(space_.C[0]));
+  EXPECT_TRUE(prefs.Contains(space_.C[1]));
+}
+
+TEST_F(DirectionTest, BestExpectedDoiIsTopPrefixDoi) {
+  double b2 = view_.BestExpectedDoi(2);
+  double expect =
+      1.0 - (1.0 - space_.prefs[0].doi) * (1.0 - space_.prefs[1].doi);
+  EXPECT_NEAR(b2, expect, 1e-12);
+  EXPECT_GE(view_.BestExpectedDoi(5), b2);
+}
+
+// ---------- GreedyMaxDoiBelow (C_FINDMAXDOI core) ----------
+
+TEST_F(DirectionTest, GreedySwapDominatedAndOptimal) {
+  // For every boundary, the greedy result must (a) be dominated by the
+  // boundary, (b) match the best doi among ALL dominated states
+  // (brute-forced here).
+  Rng rng(11);
+  const size_t k = view_.K();
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int32_t> members;
+    for (int32_t i = 0; i < static_cast<int32_t>(k); ++i) {
+      if (rng.Bernoulli(0.3)) members.push_back(i);
+    }
+    if (members.empty() || members.size() > 4) continue;
+    IndexSet boundary = IndexSet::FromUnsorted(members);
+
+    IndexSet greedy = GreedyMaxDoiBelow(view_, boundary);
+    EXPECT_TRUE(boundary.Dominates(greedy));
+
+    // Brute force all dominated states of the same group size.
+    double best = -1.0;
+    std::vector<int32_t> stack;
+    std::function<void(size_t)> rec = [&](size_t slot) {
+      if (slot == boundary.size()) {
+        IndexSet candidate = IndexSet::FromUnsorted(stack);
+        if (candidate.size() != boundary.size()) return;
+        if (!boundary.Dominates(candidate)) return;
+        double doi = view_.Evaluate(candidate, nullptr).doi;
+        if (doi > best) best = doi;
+        return;
+      }
+      for (int32_t j = boundary[slot]; j < static_cast<int32_t>(k); ++j) {
+        stack.push_back(j);
+        rec(slot + 1);
+        stack.pop_back();
+      }
+    };
+    rec(0);
+    double got = view_.Evaluate(greedy, nullptr).doi;
+    EXPECT_NEAR(got, best, 1e-12) << "boundary " << boundary.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cqp::cqp

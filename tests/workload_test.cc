@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+#include "workload/query_gen.h"
+#include "workload/tourist_gen.h"
+
+namespace cqp::workload {
+namespace {
+
+MovieDbConfig SmallDb() {
+  MovieDbConfig config;
+  config.n_movies = 800;
+  config.n_directors = 60;
+  config.n_actors = 150;
+  return config;
+}
+
+TEST(MovieGenTest, SchemaAndCardinalities) {
+  auto db = *BuildMovieDatabase(SmallDb());
+  ASSERT_TRUE(db.HasTable("MOVIE"));
+  ASSERT_TRUE(db.HasTable("DIRECTOR"));
+  ASSERT_TRUE(db.HasTable("GENRE"));
+  ASSERT_TRUE(db.HasTable("ACTOR"));
+  ASSERT_TRUE(db.HasTable("CASTS"));
+  EXPECT_EQ((*db.GetTable("MOVIE"))->row_count(), 800u);
+  EXPECT_EQ((*db.GetTable("DIRECTOR"))->row_count(), 60u);
+  EXPECT_EQ((*db.GetTable("CASTS"))->row_count(), 800u * 4);
+  EXPECT_GE((*db.GetTable("GENRE"))->row_count(), 800u);
+}
+
+TEST(MovieGenTest, DeterministicInSeed) {
+  auto a = *BuildMovieDatabase(SmallDb());
+  auto b = *BuildMovieDatabase(SmallDb());
+  const auto& ra = (*a.GetTable("MOVIE"))->rows();
+  const auto& rb = (*b.GetTable("MOVIE"))->rows();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); i += 97) EXPECT_EQ(ra[i], rb[i]);
+}
+
+TEST(MovieGenTest, DifferentSeedsDiffer) {
+  MovieDbConfig other = SmallDb();
+  other.seed = 777;
+  auto a = *BuildMovieDatabase(SmallDb());
+  auto b = *BuildMovieDatabase(other);
+  const auto& ra = (*a.GetTable("MOVIE"))->rows();
+  const auto& rb = (*b.GetTable("MOVIE"))->rows();
+  bool any_diff = false;
+  for (size_t i = 0; i < ra.size(); ++i) any_diff = any_diff || ra[i] != rb[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MovieGenTest, StatsAnalyzed) {
+  auto db = *BuildMovieDatabase(SmallDb());
+  auto stats = db.GetStats("MOVIE");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)->row_count, 800u);
+  EXPECT_GT((*stats)->blocks, 0u);
+}
+
+TEST(MovieGenTest, ForeignKeysInRange) {
+  auto db = *BuildMovieDatabase(SmallDb());
+  const auto& movies = (*db.GetTable("MOVIE"))->rows();
+  for (const auto& m : movies) {
+    EXPECT_GE(m.at(4).AsInt(), 0);
+    EXPECT_LT(m.at(4).AsInt(), 60);
+  }
+}
+
+TEST(MovieGenTest, RejectsNonPositiveCounts) {
+  MovieDbConfig bad = SmallDb();
+  bad.n_movies = 0;
+  EXPECT_FALSE(BuildMovieDatabase(bad).ok());
+}
+
+TEST(ProfileGenTest, GeneratesValidatableProfile) {
+  auto db = *BuildMovieDatabase(SmallDb());
+  ProfileGenConfig pc;
+  auto profile = *GenerateProfile(pc, SmallDb());
+  EXPECT_TRUE(profile.ValidateAgainst(db).ok());
+  EXPECT_EQ(profile.joins().size(), 4u);
+  EXPECT_GE(profile.selections().size(), 40u);
+}
+
+TEST(ProfileGenTest, DoisWithinConfiguredRange) {
+  ProfileGenConfig pc;
+  pc.doi_lo = 0.2;
+  pc.doi_hi = 0.6;
+  auto profile = *GenerateProfile(pc, SmallDb());
+  for (const auto& sel : profile.selections()) {
+    EXPECT_GE(sel.doi, 0.2);
+    EXPECT_LE(sel.doi, 0.6);
+  }
+}
+
+TEST(ProfileGenTest, DistinctSeedsGiveDistinctProfiles) {
+  ProfileGenConfig a, b;
+  b.seed = a.seed + 1;
+  auto pa = *GenerateProfile(a, SmallDb());
+  auto pb = *GenerateProfile(b, SmallDb());
+  EXPECT_NE(pa.ToText(), pb.ToText());
+}
+
+TEST(QueryGenTest, AllQueriesParseAndAnchorOnMovie) {
+  auto queries = *GenerateQueries(QueryGenConfig{}, SmallDb());
+  EXPECT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    bool has_movie = false;
+    for (const auto& t : q.from) has_movie = has_movie || t.relation == "MOVIE";
+    EXPECT_TRUE(has_movie) << q.ToSql();
+  }
+}
+
+TEST(TouristGenTest, BuildsAndValidates) {
+  auto db = *BuildTouristDatabase(TouristDbConfig{});
+  ASSERT_TRUE(db.HasTable("CITY"));
+  ASSERT_TRUE(db.HasTable("RESTAURANT"));
+  ASSERT_TRUE(db.HasTable("ATTRACTION"));
+  auto profile = *BuildAlProfile();
+  EXPECT_TRUE(profile.ValidateAgainst(db).ok());
+}
+
+TEST(TouristGenTest, PisaExists) {
+  auto db = *BuildTouristDatabase(TouristDbConfig{});
+  const auto& cities = (*db.GetTable("CITY"))->rows();
+  bool pisa = false;
+  for (const auto& c : cities) pisa = pisa || c.at(1).AsString() == "Pisa";
+  EXPECT_TRUE(pisa);
+}
+
+// ---------- experiment harness ----------
+
+ExperimentConfig TinyExperiment() {
+  ExperimentConfig config;
+  config.db = SmallDb();
+  config.n_profiles = 2;
+  config.query.n_queries = 3;
+  return config;
+}
+
+TEST(ExperimentTest, ContextBuilds) {
+  auto ctx = *ExperimentContext::Create(TinyExperiment());
+  EXPECT_EQ(ctx.graphs().size(), 2u);
+  EXPECT_EQ(ctx.queries().size(), 3u);
+}
+
+TEST(ExperimentTest, InstancesHaveRequestedK) {
+  auto ctx = *ExperimentContext::Create(TinyExperiment());
+  auto instances = *BuildInstances(ctx, 10);
+  ASSERT_FALSE(instances.empty());
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.space.K(), 10u);
+    EXPECT_GT(inst.supreme_cost_ms, 0.0);
+    EXPECT_GE(inst.c_prefsel_ms, 0.0);
+  }
+}
+
+TEST(ExperimentTest, RunAlgorithmsAggregates) {
+  auto ctx = *ExperimentContext::Create(TinyExperiment());
+  auto instances = *BuildInstances(ctx, 8);
+  auto aggregates = *RunAlgorithmsAtFraction(
+      instances, 0.4, {"C-Boundaries", "D-HeurDoi"}, "D-MaxDoi");
+  ASSERT_EQ(aggregates.size(), 2u);
+  const AlgoAggregate& exact = aggregates.at("C-Boundaries");
+  EXPECT_EQ(exact.runs, instances.size());
+  EXPECT_GT(exact.mean_states, 0.0);
+  // C-Boundaries is exact: zero quality gap against the D-MaxDoi optimum.
+  EXPECT_NEAR(exact.mean_quality_diff, 0.0, 1e-9);
+  // The heuristic can only lose doi, never gain.
+  EXPECT_GE(aggregates.at("D-HeurDoi").mean_quality_diff, -1e-9);
+}
+
+TEST(ExperimentTest, SupremeFractionOneIsAlwaysFeasible) {
+  auto ctx = *ExperimentContext::Create(TinyExperiment());
+  auto instances = *BuildInstances(ctx, 8);
+  auto aggregates =
+      *RunAlgorithmsAtFraction(instances, 1.0, {"C-Boundaries"}, "");
+  EXPECT_EQ(aggregates.at("C-Boundaries").infeasible, 0u);
+}
+
+}  // namespace
+}  // namespace cqp::workload

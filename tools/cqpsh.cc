@@ -1,0 +1,30 @@
+// cqpsh — interactive Constrained Query Personalization shell.
+//
+//   $ cqpsh
+//   cqp> .gen movies
+//   cqp> .profile add doi(GENRE.genre = 'musical') = 0.5
+//   cqp> .profile add doi(MOVIE.mid = GENRE.mid) = 0.9
+//   cqp> .problem 3 cmax=400 smin=1 smax=50
+//   cqp> SELECT title FROM MOVIE
+//
+// Reads commands from stdin (scriptable: `cqpsh < script.cqp`); see .help.
+
+#include <iostream>
+#include <string>
+
+#include "shell/shell.h"
+
+int main() {
+  cqp::shell::CqpShell shell;
+  bool interactive = isatty(0);
+  if (interactive) {
+    std::cout << "cqp shell — type .help for commands, .quit to exit\n";
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "cqp> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.ProcessLine(line, std::cout)) break;
+  }
+  return 0;
+}
