@@ -82,8 +82,9 @@ void MultiObjectiveDemo(const cqp::workload::Instance& inst) {
   spec.cost_scale = inst.supreme_cost_ms;
   spec.size_scale = std::max(inst.space.base.size, 1.0);
 
-  cqp::cqp::SearchMetrics metrics;
-  auto front = cqp::cqp::ParetoFront(inst.space, spec, &metrics);
+  cqp::cqp::SearchContext pareto_ctx;
+  auto front = cqp::cqp::ParetoFront(inst.space, spec, pareto_ctx);
+  const cqp::cqp::SearchMetrics& metrics = pareto_ctx.metrics;
   if (!front.ok()) {
     std::printf("pareto: %s\n", front.status().ToString().c_str());
     return;
@@ -102,8 +103,8 @@ void MultiObjectiveDemo(const cqp::workload::Instance& inst) {
   std::printf("%10s %12s %12s %6s\n", "w_cost", "cost[ms]", "doi", "|Px|");
   for (double wc : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     spec.cost_weight = wc;
-    cqp::cqp::SearchMetrics m;
-    auto sol = cqp::cqp::SolveScalarized(inst.space, spec, &m);
+    cqp::cqp::SearchContext scalar_ctx;
+    auto sol = cqp::cqp::SolveScalarized(inst.space, spec, scalar_ctx);
     if (!sol.ok() || !sol->feasible) {
       std::printf("%10.2f %12s\n", wc, "infeasible");
       continue;
@@ -124,10 +125,11 @@ void MergeAblation(const cqp::storage::Database& db,
   size_t runs = 0, mismatches = 0;
   for (const auto& inst : instances) {
     const cqp::cqp::Algorithm* algo = *cqp::cqp::GetAlgorithm("C-Boundaries");
-    cqp::cqp::SearchMetrics metrics;
-    metrics.state_limit = kStateLimitPerRun;
-    auto sol =
-        algo->Solve(inst.space, cqp::cqp::ProblemSpec::Problem2(400), &metrics);
+    cqp::SearchBudget budget;
+    budget.max_expansions = kStateLimitPerRun;
+    cqp::cqp::SearchContext search_ctx(budget);
+    auto sol = algo->Solve(inst.space, cqp::cqp::ProblemSpec::Problem2(400),
+                           search_ctx);
     if (!sol.ok() || !sol->feasible || sol->chosen.empty()) continue;
 
     auto run_variant = [&](bool merge) -> double {

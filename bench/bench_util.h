@@ -62,10 +62,12 @@ inline Cell RunCell(const std::string& algorithm,
   Stopwatch budget;
   for (size_t i = 0; i < instances.size(); ++i) {
     if (budget.ElapsedSeconds() > budget_seconds) break;
-    cqp::SearchMetrics metrics;
-    metrics.state_limit = kStateLimitPerRun;
-    metrics.memory_limit_bytes = kMemoryLimitPerRun;
-    auto sol = algo->Solve(instances[i].space, problems[i], &metrics);
+    ::cqp::SearchBudget budget_spec;
+    budget_spec.max_expansions = kStateLimitPerRun;
+    budget_spec.max_memory_bytes = kMemoryLimitPerRun;
+    cqp::SearchContext ctx(budget_spec);
+    auto sol = algo->Solve(instances[i].space, problems[i], ctx);
+    const cqp::SearchMetrics& metrics = ctx.metrics;
     if (!sol.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", algorithm.c_str(),
                    sol.status().ToString().c_str());
@@ -112,15 +114,16 @@ inline std::vector<double> ReferenceDois(
   Stopwatch budget;
   for (size_t i = 0; i < instances.size(); ++i) {
     if (budget.ElapsedSeconds() > budget_seconds) break;
-    cqp::SearchMetrics metrics;
+    ::cqp::SearchBudget budget_spec;
     // The reference must be provably optimal to be useful, so it gets a
     // substantially higher cap than the measured runs.
-    metrics.state_limit = 5 * kStateLimitPerRun;
-    metrics.memory_limit_bytes = 2 * kMemoryLimitPerRun;
-    auto sol = algo->Solve(instances[i].space, problems[i], &metrics);
+    budget_spec.max_expansions = 5 * kStateLimitPerRun;
+    budget_spec.max_memory_bytes = 2 * kMemoryLimitPerRun;
+    cqp::SearchContext ctx(budget_spec);
+    auto sol = algo->Solve(instances[i].space, problems[i], ctx);
     // A truncated reference is no longer provably optimal; drop it rather
     // than report a bogus quality difference.
-    if (sol.ok() && sol->feasible && !metrics.truncated) {
+    if (sol.ok() && sol->feasible && !ctx.metrics.truncated) {
       dois[i] = sol->params.doi;
     }
   }

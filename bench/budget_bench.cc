@@ -1,0 +1,126 @@
+// Anytime behavior under wall-clock deadlines: the Fig. 12 workload
+// (K = 20, cmax = 400 ms) solved with deadlines of {1, 5, 20, 100} ms.
+//
+// For each algorithm x deadline cell the table reports the mean doi regret
+// against the unbounded optimum (C-Boundaries with the bench's generous
+// state cap) and how many runs came back degraded (budget-truncated,
+// best-so-far answer). Regret should fall monotonically with the deadline;
+// an exact algorithm given enough time has regret 0.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace cqp::bench;  // NOLINT
+
+constexpr double kDeadlinesMs[] = {1.0, 5.0, 20.0, 100.0};
+
+struct BudgetCell {
+  double mean_regret = 0.0;
+  double mean_states = 0.0;
+  size_t degraded_runs = 0;
+  size_t feasible_runs = 0;
+  size_t scored_runs = 0;
+  size_t runs = 0;
+};
+
+BudgetCell RunDeadlineCell(const std::string& algorithm,
+                           const std::vector<cqp::workload::Instance>& instances,
+                           const std::vector<cqp::cqp::ProblemSpec>& problems,
+                           const std::vector<double>& reference_dois,
+                           double deadline_ms) {
+  BudgetCell cell;
+  const cqp::cqp::Algorithm* algo = *cqp::cqp::GetAlgorithm(algorithm);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    cqp::cqp::SearchContext ctx(cqp::SearchBudget::AfterMillis(deadline_ms));
+    auto sol = algo->Solve(instances[i].space, problems[i], ctx);
+    if (!sol.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algorithm.c_str(),
+                   sol.status().ToString().c_str());
+      continue;
+    }
+    ++cell.runs;
+    cell.mean_states += static_cast<double>(ctx.metrics.states_examined);
+    if (sol->degraded) ++cell.degraded_runs;
+    if (sol->feasible) ++cell.feasible_runs;
+    if (sol->feasible && reference_dois[i] >= 0.0) {
+      double regret = reference_dois[i] - sol->params.doi;
+      if (regret < 0.0) regret = 0.0;  // float noise on exact matches
+      cell.mean_regret += regret;
+      ++cell.scored_runs;
+    }
+  }
+  if (cell.runs > 0) {
+    cell.mean_states /= static_cast<double>(cell.runs);
+  }
+  if (cell.scored_runs > 0) {
+    cell.mean_regret /= static_cast<double>(cell.scored_runs);
+  }
+  return cell;
+}
+
+int Run() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf(
+      "Deadline-budgeted anytime search — Fig. 12 workload, K = 20, "
+      "cmax = 400 ms\n");
+  auto ctx_or = cqp::workload::ExperimentContext::Create(DefaultConfig());
+  if (!ctx_or.ok()) {
+    std::fprintf(stderr, "%s\n", ctx_or.status().ToString().c_str());
+    return 1;
+  }
+  auto ctx = *std::move(ctx_or);
+  auto instances_or = cqp::workload::BuildInstances(ctx, 20);
+  if (!instances_or.ok()) {
+    std::fprintf(stderr, "%s\n", instances_or.status().ToString().c_str());
+    return 1;
+  }
+  auto instances = *std::move(instances_or);
+  auto problems = FixedCmaxProblems(instances, 400.0);
+
+  // Unbounded optimum (no deadline; only the bench's safety caps).
+  std::vector<double> reference =
+      ReferenceDois("C-Boundaries", instances, problems);
+  size_t n_ref = 0;
+  for (double d : reference) n_ref += d >= 0.0 ? 1 : 0;
+  std::printf("%zu instances, %zu with a provably optimal reference doi\n\n",
+              instances.size(), n_ref);
+
+  std::printf("mean doi regret vs unbounded optimum (degraded runs / total)\n");
+  std::printf("%15s", "deadline");
+  for (const auto& name : PaperAlgorithms()) std::printf(" %16s", name.c_str());
+  std::printf("\n");
+  for (double deadline_ms : kDeadlinesMs) {
+    std::printf("%13.0fms", deadline_ms);
+    for (const auto& name : PaperAlgorithms()) {
+      BudgetCell cell = RunDeadlineCell(name, instances, problems, reference,
+                                        deadline_ms);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.4f (%zu/%zu)", cell.mean_regret,
+                    cell.degraded_runs, cell.runs);
+      std::printf(" %16s", buf);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nmean states examined within the deadline\n");
+  std::printf("%15s", "deadline");
+  for (const auto& name : PaperAlgorithms()) std::printf(" %16s", name.c_str());
+  std::printf("\n");
+  for (double deadline_ms : kDeadlinesMs) {
+    std::printf("%13.0fms", deadline_ms);
+    for (const auto& name : PaperAlgorithms()) {
+      BudgetCell cell = RunDeadlineCell(name, instances, problems, reference,
+                                        deadline_ms);
+      std::printf(" %16.0f", cell.mean_states);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -95,10 +95,10 @@ int Run() {
       size_t feasible = 0, infeasible = 0;
       for (size_t i = 0; i < instances.size(); ++i) {
         const cqp::cqp::Algorithm* algo = *cqp::cqp::GetAlgorithm(algorithm);
-        cqp::cqp::SearchMetrics metrics;
-        auto sol = algo->Solve(instances[i].space, problems[i], &metrics);
+        cqp::cqp::SearchContext search_ctx;
+        auto sol = algo->Solve(instances[i].space, problems[i], search_ctx);
         if (!sol.ok()) continue;
-        wall += metrics.wall_ms;
+        wall += search_ctx.metrics.wall_ms;
         if (!sol->feasible) {
           ++infeasible;
           continue;

@@ -66,8 +66,8 @@ int Run() {
     for (const auto& inst : instances) {
       const cqp::cqp::Algorithm* algo =
           *cqp::cqp::GetAlgorithm(strategy.algorithm);
-      cqp::cqp::SearchMetrics metrics;
-      auto sol = algo->Solve(inst.space, strategy.problem, &metrics);
+      cqp::cqp::SearchContext search_ctx;
+      auto sol = algo->Solve(inst.space, strategy.problem, search_ctx);
       if (!sol.ok()) continue;
       // The strawman integrates everything regardless of feasibility; the
       // constrained strategies fall back to the plain query if infeasible.

@@ -1,0 +1,63 @@
+#include "common/budget.h"
+
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace cqp {
+
+const char* BudgetExhaustionName(BudgetExhaustion e) {
+  switch (e) {
+    case BudgetExhaustion::kNone:
+      return "None";
+    case BudgetExhaustion::kDeadline:
+      return "Deadline";
+    case BudgetExhaustion::kExpansions:
+      return "Expansions";
+    case BudgetExhaustion::kMemory:
+      return "Memory";
+    case BudgetExhaustion::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+SearchBudget SearchBudget::AfterMillis(double ms) {
+  SearchBudget b;
+  b.deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(ms));
+  return b;
+}
+
+double SearchBudget::RemainingMillis() const {
+  if (!deadline.has_value()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::chrono::duration<double, std::milli>(
+             *deadline - std::chrono::steady_clock::now())
+      .count();
+}
+
+std::string SearchBudget::ToString() const {
+  if (IsUnlimited()) return "unlimited";
+  std::string out;
+  auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += " ";
+    out += part;
+  };
+  if (deadline.has_value()) {
+    append(StrFormat("deadline=%.1fms", RemainingMillis()));
+  }
+  if (max_expansions != 0) {
+    append(StrFormat("expansions=%llu",
+                     static_cast<unsigned long long>(max_expansions)));
+  }
+  if (max_memory_bytes != 0) {
+    append(StrFormat("memory=%zuB", max_memory_bytes));
+  }
+  if (cancel != nullptr) append("cancellable");
+  return out;
+}
+
+}  // namespace cqp

@@ -1,0 +1,80 @@
+#ifndef CQP_COMMON_BUDGET_H_
+#define CQP_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cqp {
+
+/// Cooperative cancellation flag. A caller hands a token to a long-running
+/// search and flips it from another thread (or a signal handler) to request
+/// an orderly stop; the search keeps its best solution so far. Plain atomic
+/// load/store — no locking, safe to share between threads.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Which resource stopped a budgeted search (BudgetExhaustion::kNone when
+/// the search ran to completion).
+enum class BudgetExhaustion {
+  kNone = 0,
+  kDeadline,    ///< wall-clock deadline passed
+  kExpansions,  ///< node-expansion (state-evaluation) cap reached
+  kMemory,      ///< tracked working-set byte cap reached
+  kCancelled,   ///< CancelToken fired
+};
+
+/// Stable human-readable name, e.g. "Deadline".
+const char* BudgetExhaustionName(BudgetExhaustion e);
+
+/// Resource limits for one search (or one whole personalization request).
+/// All limits are optional; a default-constructed budget is unlimited.
+///
+/// The deadline is an absolute steady_clock point, so a budget threaded
+/// through several fallback attempts naturally shrinks: later attempts see
+/// only the time the earlier ones left over.
+struct SearchBudget {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Stop after this many state evaluations (0 = unlimited).
+  uint64_t max_expansions = 0;
+  /// Stop when the tracked working set reaches this (0 = unlimited).
+  size_t max_memory_bytes = 0;
+  /// Optional external cancellation; not owned, may be null.
+  const CancelToken* cancel = nullptr;
+
+  /// A budget whose deadline is `ms` milliseconds from now.
+  static SearchBudget AfterMillis(double ms);
+
+  /// True when no limit is set (the default).
+  bool IsUnlimited() const {
+    return !deadline.has_value() && max_expansions == 0 &&
+           max_memory_bytes == 0 && cancel == nullptr;
+  }
+
+  /// Milliseconds until the deadline (negative once passed); infinity when
+  /// no deadline is set.
+  double RemainingMillis() const;
+
+  /// e.g. "deadline=1.0ms expansions=1000" or "unlimited".
+  std::string ToString() const;
+};
+
+}  // namespace cqp
+
+#endif  // CQP_COMMON_BUDGET_H_

@@ -1,0 +1,159 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/str_util.h"
+
+namespace cqp::failpoint {
+
+namespace {
+
+struct Armed {
+  double probability = 0.0;
+  uint64_t seed = 0;
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed> armed;
+  bool env_loaded = false;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// splitmix64: a deterministic hash of (seed, counter) whose top 53 bits
+/// become a uniform double in [0, 1). Independent of any global RNG state,
+/// so two processes with the same spec see the same fault sequence.
+double HashToUnit(uint64_t seed, uint64_t counter) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (counter + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/// Parses "name=prob[:seed]" into the registry map. Locked by the caller.
+Status ParseEntry(const std::string& entry, std::map<std::string, Armed>* out) {
+  size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return InvalidArgument("failpoint entry must be name=prob[:seed]: " +
+                           entry);
+  }
+  std::string name = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+  std::string prob_text = rest;
+  Armed armed;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    prob_text = rest.substr(0, colon);
+    std::string seed_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
+    if (seed_text.empty() || end != seed_text.c_str() + seed_text.size()) {
+      return InvalidArgument("bad failpoint seed in " + entry);
+    }
+    armed.seed = static_cast<uint64_t>(seed);
+  }
+  char* end = nullptr;
+  double prob = std::strtod(prob_text.c_str(), &end);
+  if (prob_text.empty() || end != prob_text.c_str() + prob_text.size() ||
+      prob < 0.0 || prob > 1.0) {
+    return InvalidArgument("failpoint probability must be in [0,1]: " + entry);
+  }
+  armed.probability = prob;
+  (*out)[name] = armed;
+  return Status::OK();
+}
+
+Status ParseSpec(const std::string& spec, std::map<std::string, Armed>* out) {
+  out->clear();
+  for (const std::string& part : Split(spec, ',')) {
+    std::string entry(StripWhitespace(part));
+    if (entry.empty()) continue;
+    CQP_RETURN_IF_ERROR(ParseEntry(entry, out));
+  }
+  return Status::OK();
+}
+
+/// Loads CQP_FAILPOINTS once. Locked by the caller.
+void EnsureEnvLoadedLocked(Registry& registry) {
+  if (registry.env_loaded) return;
+  registry.env_loaded = true;
+  const char* env = std::getenv("CQP_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  // A malformed env spec must not silently disable injection in a test
+  // run; arm nothing but leave a trace on stderr.
+  Status status = ParseSpec(env, &registry.armed);
+  if (!status.ok()) {
+    std::fprintf(stderr, "CQP_FAILPOINTS ignored: %s\n",
+                 status.ToString().c_str());
+    registry.armed.clear();
+  }
+}
+
+}  // namespace
+
+bool Maybe(const char* name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) return false;
+  Armed& armed = it->second;
+  uint64_t counter = armed.hits++;
+  bool fire = armed.probability > 0.0 &&
+              HashToUnit(armed.seed, counter) < armed.probability;
+  if (fire) ++armed.triggers;
+  return fire;
+}
+
+Status Configure(const std::string& spec) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.env_loaded = true;  // explicit config overrides the environment
+  return ParseSpec(spec, &registry.armed);
+}
+
+void Reset() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.env_loaded = true;
+  registry.armed.clear();
+}
+
+Status ReloadFromEnv() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed.clear();
+  registry.env_loaded = false;
+  EnsureEnvLoadedLocked(registry);
+  return Status::OK();
+}
+
+std::vector<FailpointInfo> List() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  std::vector<FailpointInfo> out;
+  out.reserve(registry.armed.size());
+  for (const auto& [name, armed] : registry.armed) {
+    FailpointInfo info;
+    info.name = name;
+    info.probability = armed.probability;
+    info.seed = armed.seed;
+    info.hits = armed.hits;
+    info.triggers = armed.triggers;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace cqp::failpoint

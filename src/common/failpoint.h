@@ -1,0 +1,75 @@
+#ifndef CQP_COMMON_FAILPOINT_H_
+#define CQP_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Deterministic fault injection for robustness testing.
+///
+/// A failpoint is a named site in the code that can be armed to fail with a
+/// given probability. Arming is configured from the environment:
+///
+///   CQP_FAILPOINTS=space.extract=1.0:42,estimation.base=0.25:7
+///
+/// i.e. a comma-separated list of name=probability[:seed] entries. Triggering
+/// is a deterministic function of (seed, hit counter), so a seeded run
+/// reproduces the exact same fault sequence. Tests may also call
+/// failpoint::Configure() directly.
+///
+/// Failpoints compile to a no-op when CQP_ENABLE_FAILPOINTS is off (cmake
+/// -DCQP_ENABLE_FAILPOINTS=OFF for production builds); the CQP_FAILPOINT
+/// macro then expands to nothing and the registry is never consulted.
+namespace cqp::failpoint {
+
+/// One armed failpoint's configuration and counters.
+struct FailpointInfo {
+  std::string name;
+  double probability = 0.0;
+  uint64_t seed = 0;
+  uint64_t hits = 0;      ///< times the site was reached
+  uint64_t triggers = 0;  ///< times it actually fired
+};
+
+/// True when the failpoint `name` should fire now. Unarmed names always
+/// return false. Thread-safe; counts every hit.
+bool Maybe(const char* name);
+
+/// Replaces the armed set from a spec string ("name=prob[:seed],...").
+/// An empty spec disarms everything. Returns InvalidArgument on bad syntax.
+Status Configure(const std::string& spec);
+
+/// Disarms all failpoints and clears counters.
+void Reset();
+
+/// Re-reads CQP_FAILPOINTS from the environment (also done lazily on the
+/// first Maybe() call). Returns the parse status.
+Status ReloadFromEnv();
+
+/// Snapshot of all armed failpoints (for the shell's .failpoints command).
+std::vector<FailpointInfo> List();
+
+}  // namespace cqp::failpoint
+
+#ifndef CQP_ENABLE_FAILPOINTS
+#define CQP_ENABLE_FAILPOINTS 1
+#endif
+
+#if CQP_ENABLE_FAILPOINTS
+/// Returns an Internal error from the enclosing function when the named
+/// failpoint fires. Place at fallible seams (extraction, estimation,
+/// execution) so degradation paths can be exercised under injected faults.
+#define CQP_FAILPOINT(name)                                            \
+  do {                                                                 \
+    if (::cqp::failpoint::Maybe(name)) {                               \
+      return ::cqp::Internal(std::string("injected fault at ") + name); \
+    }                                                                  \
+  } while (false)
+#else
+#define CQP_FAILPOINT(name) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // CQP_COMMON_FAILPOINT_H_

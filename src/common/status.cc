@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -59,6 +63,12 @@ Status Internal(std::string msg) {
 }
 Status Infeasible(std::string msg) {
   return Status(StatusCode::kInfeasible, std::move(msg));
+}
+Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 }  // namespace cqp

@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kInfeasible,  ///< A CQP problem instance has no feasible personalized query.
+  kDeadlineExceeded,   ///< A search's wall-clock deadline passed.
+  kResourceExhausted,  ///< A search hit its expansion or memory budget.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -61,6 +63,8 @@ Status FailedPrecondition(std::string msg);
 Status Unimplemented(std::string msg);
 Status Internal(std::string msg);
 Status Infeasible(std::string msg);
+Status DeadlineExceeded(std::string msg);
+Status ResourceExhausted(std::string msg);
 
 /// Either a value of T or an error Status. Accessing the value of an
 /// error-holding StatusOr is a fatal error (CQP_CHECK).

@@ -1,10 +1,25 @@
 #include "construct/personalizer.h"
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 
 namespace cqp::construct {
+
+const char* FallbackRungName(FallbackRung rung) {
+  switch (rung) {
+    case FallbackRung::kPrimary:
+      return "Primary";
+    case FallbackRung::kHeuristic:
+      return "Heuristic";
+    case FallbackRung::kTopK:
+      return "TopK";
+    case FallbackRung::kOriginal:
+      return "Original";
+  }
+  return "Unknown";
+}
 
 Personalizer::Personalizer(const storage::Database* db,
                            const prefs::PersonalizationGraph* graph,
@@ -13,6 +28,70 @@ Personalizer::Personalizer(const storage::Database* db,
   CQP_CHECK(db_ != nullptr);
   CQP_CHECK(graph_ != nullptr);
 }
+
+namespace {
+
+/// A solver rung's outcome is *accepted* when the search finished with a
+/// usable answer: a feasible solution (possibly degraded), or a clean
+/// completion proving infeasibility. An exhausted search that found nothing
+/// feasible proves nothing — the ladder descends.
+bool AcceptRung(const cqp::Solution& solution, const cqp::SearchContext& ctx) {
+  return solution.feasible || !ctx.exhausted();
+}
+
+std::string DescribeAttempt(const std::string& name, const Status& status,
+                            const cqp::Solution& solution,
+                            const cqp::SearchContext& ctx) {
+  if (!status.ok()) return name + ": " + status.ToString();
+  std::string out = name + ": ";
+  out += solution.feasible ? "feasible" : "infeasible";
+  if (ctx.exhausted()) {
+    out += std::string(" (budget: ") + BudgetExhaustionName(ctx.exhaustion()) +
+           ")";
+  }
+  return out;
+}
+
+/// The TopK rung: evaluate the doi-descending prefixes {p1}, {p1,p2}, ... of
+/// P (P is doi-sorted) and keep the best feasible one. O(K) evaluations —
+/// cheap enough to run under an almost-spent budget, and the natural
+/// "integrate the top preferences that still fit" degradation.
+cqp::Solution GreedyTopK(const space::PreferenceSpaceResult& space,
+                         const cqp::ProblemSpec& problem,
+                         cqp::SearchContext& ctx) {
+  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  cqp::Solution best;
+  best.feasible = false;
+  best.params = evaluator.EmptyState();
+  estimation::StateParams params = evaluator.EmptyState();
+  std::vector<int32_t> prefix;
+  prefix.reserve(evaluator.K());
+  for (size_t i = 0; i < evaluator.K(); ++i) {
+    if (ctx.ShouldStop()) break;
+    params = evaluator.ExtendWith(params, static_cast<int32_t>(i));
+    ++ctx.metrics.states_examined;
+    prefix.push_back(static_cast<int32_t>(i));
+    if (problem.IsFeasible(params) &&
+        (!best.feasible || problem.Better(params, best.params))) {
+      best.feasible = true;
+      best.chosen = IndexSet::FromUnsorted(prefix);
+      best.params = params;
+    }
+  }
+  best.degraded = true;  // a fallback answer is degraded by definition
+  return best;
+}
+
+/// The terminal rung: the unpersonalized original query (empty preference
+/// subset), delivered with an OK status no matter what failed above.
+cqp::Solution OriginalQuerySolution() {
+  cqp::Solution s;
+  s.feasible = false;
+  s.degraded = true;
+  return s;
+}
+
+}  // namespace
 
 StatusOr<PersonalizeResult> Personalizer::Personalize(
     const PersonalizeRequest& request) const {
@@ -24,11 +103,10 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
   // "auto": the exact boundary algorithm for doi maximization, the exact
   // branch-and-bound for cost minimization.
   std::string algorithm_name = request.algorithm;
+  const bool doi_objective =
+      request.problem.objective == cqp::Objective::kMaximizeDoi;
   if (EqualsIgnoreCase(algorithm_name, "auto")) {
-    algorithm_name =
-        request.problem.objective == cqp::Objective::kMaximizeDoi
-            ? "C-Boundaries"
-            : "MinCost-BB";
+    algorithm_name = doi_objective ? "C-Boundaries" : "MinCost-BB";
   }
   CQP_ASSIGN_OR_RETURN(const cqp::Algorithm* algorithm,
                        cqp::GetAlgorithm(algorithm_name));
@@ -39,15 +117,103 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
   }
 
   estimation::ParameterEstimator estimator(db_, cost_params_);
+  const bool fallback = request.fallback.enabled;
 
   PersonalizeResult result;
-  CQP_ASSIGN_OR_RETURN(
-      result.space,
-      space::ExtractPreferenceSpace(query, *graph_, estimator,
-                                    request.problem, request.space_options));
-  CQP_ASSIGN_OR_RETURN(
-      result.solution,
-      algorithm->Solve(result.space, request.problem, &result.metrics));
+  cqp::SearchContext ctx(request.budget);
+  bool answered = false;
+
+  // ---- Extraction (rung-independent input to every solver rung) ----
+  StatusOr<space::PreferenceSpaceResult> extracted =
+      space::ExtractPreferenceSpace(query, *graph_, estimator, request.problem,
+                                    request.space_options);
+  if (extracted.ok()) {
+    result.space = *std::move(extracted);
+  } else if (!fallback) {
+    return extracted.status();
+  } else {
+    // No preference space — nothing any solver rung could search. Straight
+    // to the terminal rung.
+    result.attempts.push_back("extract: " + extracted.status().ToString());
+    result.solution = OriginalQuerySolution();
+    result.rung = FallbackRung::kOriginal;
+    answered = true;
+  }
+
+  // ---- Rung 1: the requested algorithm ----
+  if (!answered) {
+    auto primary = [&]() -> StatusOr<cqp::Solution> {
+      CQP_FAILPOINT("cqp.solve");
+      return algorithm->Solve(result.space, request.problem, ctx);
+    };
+    StatusOr<cqp::Solution> solved = primary();
+    if (!fallback) {
+      CQP_RETURN_IF_ERROR(solved.status());
+      result.solution = *std::move(solved);
+      result.metrics = ctx.metrics;
+      answered = true;
+    } else {
+      cqp::Solution solution = solved.ok() ? *solved : cqp::Solution{};
+      result.attempts.push_back(DescribeAttempt(
+          algorithm->name(), solved.status(), solution, ctx));
+      if (solved.ok() && AcceptRung(solution, ctx)) {
+        result.solution = std::move(solution);
+        result.metrics = ctx.metrics;
+        result.rung = FallbackRung::kPrimary;
+        answered = true;
+      }
+    }
+  }
+
+  // ---- Rung 2: a cheap heuristic for the same objective ----
+  if (!answered) {
+    std::string heuristic_name = request.fallback.heuristic;
+    if (heuristic_name.empty()) {
+      heuristic_name = doi_objective ? "D-HeurDoi" : "MinCost-Greedy";
+    }
+    StatusOr<const cqp::Algorithm*> heuristic =
+        cqp::GetAlgorithm(heuristic_name);
+    if (heuristic.ok() && !EqualsIgnoreCase(heuristic_name, algorithm_name) &&
+        (*heuristic)->Supports(request.problem)) {
+      ctx.ResetForRetry();
+      StatusOr<cqp::Solution> solved =
+          (*heuristic)->Solve(result.space, request.problem, ctx);
+      cqp::Solution solution = solved.ok() ? *solved : cqp::Solution{};
+      result.attempts.push_back(DescribeAttempt(
+          (*heuristic)->name(), solved.status(), solution, ctx));
+      if (solved.ok() && AcceptRung(solution, ctx)) {
+        solution.degraded = true;  // not the requested algorithm's answer
+        result.solution = std::move(solution);
+        result.metrics = ctx.metrics;
+        result.rung = FallbackRung::kHeuristic;
+        answered = true;
+      }
+    } else {
+      result.attempts.push_back(heuristic_name + ": skipped (unavailable)");
+    }
+  }
+
+  // ---- Rung 3: greedy top-k prefix of P by doi ----
+  if (!answered) {
+    ctx.ResetForRetry();
+    cqp::Solution solution = GreedyTopK(result.space, request.problem, ctx);
+    result.attempts.push_back(
+        DescribeAttempt("top-k", Status::OK(), solution, ctx));
+    if (solution.feasible) {
+      result.solution = std::move(solution);
+      result.metrics = ctx.metrics;
+      result.rung = FallbackRung::kTopK;
+      answered = true;
+    }
+  }
+
+  // ---- Rung 4: the original query, always ----
+  if (!answered) {
+    result.attempts.push_back("original: returned unpersonalized query");
+    result.solution = OriginalQuerySolution();
+    result.metrics = ctx.metrics;
+    result.rung = FallbackRung::kOriginal;
+  }
 
   CQP_ASSIGN_OR_RETURN(
       result.personalized,

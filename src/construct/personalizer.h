@@ -2,7 +2,9 @@
 #define CQP_CONSTRUCT_PERSONALIZER_H_
 
 #include <string>
+#include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "construct/query_builder.h"
 #include "cqp/algorithm.h"
@@ -15,6 +17,30 @@
 
 namespace cqp::construct {
 
+/// The degradation ladder a personalization request descends when its
+/// budget runs out or a component fails. Each rung is strictly cheaper
+/// than the one above; the last always answers.
+enum class FallbackRung {
+  kPrimary = 0,  ///< the requested (or auto-selected) algorithm
+  kHeuristic,    ///< a cheap heuristic solver for the same objective
+  kTopK,         ///< greedy doi-descending prefix scan of P
+  kOriginal,     ///< the unpersonalized original query
+};
+
+/// Stable human-readable name, e.g. "Primary".
+const char* FallbackRungName(FallbackRung rung);
+
+/// How Personalize() reacts to budget exhaustion or component failure.
+struct FallbackPolicy {
+  /// When false, errors and exhausted-infeasible searches propagate to the
+  /// caller instead of descending the ladder.
+  bool enabled = true;
+  /// Heuristic-rung algorithm name; empty picks one matching the problem's
+  /// objective (D-HeurDoi for doi maximization, MinCost-Greedy for cost
+  /// minimization).
+  std::string heuristic;
+};
+
 /// One end-to-end personalization request.
 struct PersonalizeRequest {
   /// The original query, as SQL text. Ignored if `query` is set.
@@ -26,6 +52,11 @@ struct PersonalizeRequest {
   /// Search algorithm name (see cqp::AlgorithmNames()), or "auto" to pick
   /// the exact solver matching the problem's objective.
   std::string algorithm = "C-MaxBounds";
+  /// Resource limits for the whole request. The deadline is absolute, so
+  /// fallback rungs only get the time earlier rungs left over.
+  SearchBudget budget;
+  /// Degradation behavior when the budget is exhausted or a stage fails.
+  FallbackPolicy fallback;
   space::PreferenceSpaceOptions space_options;
   BuildOptions build_options;
 };
@@ -37,6 +68,17 @@ struct PersonalizeResult {
   cqp::SearchMetrics metrics;          ///< search instrumentation
   PersonalizedQuery personalized;      ///< constructed rewriting
   std::string final_sql;               ///< rendered SQL text
+  /// Which rung of the degradation ladder produced the answer.
+  FallbackRung rung = FallbackRung::kPrimary;
+  /// Diagnostic trail: one line per rung tried before (and including) the
+  /// answering one, e.g. "C-Boundaries: deadline exceeded".
+  std::vector<std::string> attempts;
+
+  /// True when the answer is not the requested algorithm's full result —
+  /// either the search itself was truncated or a lower rung answered.
+  bool degraded() const {
+    return solution.degraded || rung != FallbackRung::kPrimary;
+  }
 };
 
 /// Facade wiring the full §4.2 architecture: Preference Space → CQP State
@@ -54,6 +96,11 @@ class Personalizer {
   /// When no feasible personalized query exists (not even the original
   /// query satisfies the constraints), the result's solution.feasible is
   /// false and the original query is returned unmodified.
+  ///
+  /// With request.fallback.enabled (the default), a budget-exhausted or
+  /// failing stage never surfaces as an error: the request descends the
+  /// FallbackRung ladder and the last rung — the unpersonalized original
+  /// query — always produces an OK result.
   StatusOr<PersonalizeResult> Personalize(
       const PersonalizeRequest& request) const;
 

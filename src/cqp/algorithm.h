@@ -6,8 +6,8 @@
 
 #include "common/index_set.h"
 #include "common/status.h"
-#include "cqp/metrics.h"
 #include "cqp/problem.h"
+#include "cqp/search_context.h"
 #include "estimation/evaluator.h"
 #include "space/preference_space.h"
 
@@ -18,6 +18,10 @@ struct Solution {
   /// False when no personalized query (not even the original query, i.e.
   /// the empty subset) satisfies the problem's constraints.
   bool feasible = false;
+  /// True when the search budget stopped the run early, so this is the best
+  /// solution found *so far* rather than the algorithm's full answer. Exact
+  /// algorithms lose their optimality guarantee on degraded solutions.
+  bool degraded = false;
   /// Chosen preferences as indices into PreferenceSpaceResult::prefs.
   IndexSet chosen;
   /// Estimated parameters of the chosen state.
@@ -40,12 +44,14 @@ class Algorithm {
   /// True if Solve() is guaranteed to return the optimum for `problem`.
   virtual bool IsExactFor(const ProblemSpec& problem) const = 0;
 
-  /// Searches the preference space. `metrics` may be nullptr.
-  /// Returns a Solution with feasible == false when no state (including
-  /// the empty one) satisfies the constraints.
+  /// Searches the preference space under `ctx`'s budget, filling
+  /// `ctx.metrics`. Returns a Solution with feasible == false when no state
+  /// (including the empty one) satisfies the constraints, and with
+  /// degraded == true when the budget stopped the search early (the
+  /// solution is then the best feasible state found so far, if any).
   virtual StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                                    const ProblemSpec& problem,
-                                   SearchMetrics* metrics) const = 0;
+                                   SearchContext& ctx) const = 0;
 };
 
 /// Names of all registered algorithms, in a stable presentation order.

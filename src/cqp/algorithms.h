@@ -14,7 +14,7 @@ class ExhaustiveAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// C-BOUNDARIES (paper Fig. 5): exact two-phase boundary search on the
@@ -26,7 +26,7 @@ class CBoundariesAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// C-MAXBOUNDS (paper Fig. 7): heuristic maximal-boundary construction on
@@ -38,7 +38,7 @@ class CMaxBoundsAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// D-MAXDOI (paper Fig. 9): exact chain search on the doi state space.
@@ -49,7 +49,7 @@ class DMaxDoiAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// "D-MaxDoi+Prune": our extension of D-MAXDOI that fuses the two phases
@@ -65,7 +65,7 @@ class DMaxDoiPrunedAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// D-SINGLEMAXDOI (paper Fig. 10): single-phase greedy maximal-set search
@@ -77,7 +77,7 @@ class DSingleMaxDoiAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// D-HEURDOI (paper Fig. 11): greedy fill with prefix-drop refinement on
@@ -89,7 +89,7 @@ class DHeurDoiAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// Exact branch-and-bound for the cost-minimization problems (4-6). The
@@ -104,7 +104,7 @@ class MinCostBranchBoundAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// The paper's motivating strawman (§1): integrate *all* related
@@ -120,7 +120,7 @@ class AllPreferencesAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 /// Greedy heuristic for the cost-minimization problems (4-6): adds the
@@ -133,7 +133,7 @@ class MinCostGreedyAlgorithm : public Algorithm {
   bool IsExactFor(const ProblemSpec& problem) const override;
   StatusOr<Solution> Solve(const space::PreferenceSpaceResult& space,
                            const ProblemSpec& problem,
-                           SearchMetrics* metrics) const override;
+                           SearchContext& ctx) const override;
 };
 
 }  // namespace cqp::cqp

@@ -14,7 +14,7 @@ bool AllPreferencesAlgorithm::IsExactFor(const ProblemSpec&) const {
 
 StatusOr<Solution> AllPreferencesAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   Stopwatch timer;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
@@ -28,10 +28,8 @@ StatusOr<Solution> AllPreferencesAlgorithm::Solve(
   s.chosen = IndexSet::FromUnsorted(std::move(all));
   s.params = evaluator.SupremeState();
   s.feasible = problem.IsFeasible(s.params);
-  if (metrics != nullptr) {
-    ++metrics->states_examined;
-    metrics->wall_ms = timer.ElapsedMillis();
-  }
+  ++ctx.metrics.states_examined;
+  ctx.metrics.wall_ms = timer.ElapsedMillis();
   return s;
 }
 

@@ -20,10 +20,11 @@ bool CBoundariesAlgorithm::IsExactFor(const ProblemSpec& problem) const {
 
 StatusOr<Solution> CBoundariesAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   CQP_ASSIGN_OR_RETURN(SpaceKind kind, BoundSpaceKindFor(problem));
   Stopwatch timer;
+  SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
   SpaceView view = SpaceView::ForKind(&evaluator, &problem, kind, space);
   const size_t k = view.K();
@@ -41,7 +42,7 @@ StatusOr<Solution> CBoundariesAlgorithm::Solve(
     queue.PushBack(std::move(first));
 
     while (!queue.empty()) {
-      if (HitResourceLimit(metrics)) break;
+      if (ctx.ShouldStop()) break;
       IndexSet state = queue.PopFront();
       // prune(): nodes below an already-found boundary of the same group
       // satisfy the bound but are covered by phase 2 (paper's c2c5 case).
@@ -49,13 +50,13 @@ StatusOr<Solution> CBoundariesAlgorithm::Solve(
       estimation::StateParams params = view.Evaluate(state, metrics);
       if (view.WithinBound(params)) {
         boundaries.Add(state);
-        if (metrics != nullptr) ++metrics->transitions;
+        ++metrics.transitions;
         if (std::optional<IndexSet> h = Horizontal(state, k)) {
           if (!visited.CheckAndInsert(*h)) queue.PushBack(std::move(*h));
         }
       } else {
         for (IndexSet& v : VerticalNeighbors(state, k)) {
-          if (metrics != nullptr) ++metrics->transitions;
+          ++metrics.transitions;
           if (visited.CheckAndInsert(v)) continue;
           if (boundaries.DominatesAny(v)) continue;
           queue.PushFront(std::move(v));
@@ -65,10 +66,11 @@ StatusOr<Solution> CBoundariesAlgorithm::Solve(
   }
 
   // ---- Phase 2: C_FINDMAXDOI ----
-  Solution best = BestFeasibleBelowBoundaries(
-      view, boundaries.DescendingBySize(), metrics);
+  Solution best =
+      BestFeasibleBelowBoundaries(view, boundaries.DescendingBySize(), ctx);
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  best.degraded = ctx.exhausted();
+  metrics.wall_ms = timer.ElapsedMillis();
   return best;
 }
 

@@ -27,7 +27,7 @@ namespace {
 /// the preference-space extraction).
 class MaxBoundStore {
  public:
-  explicit MaxBoundStore(SearchMetrics* metrics) : metrics_(metrics) {}
+  explicit MaxBoundStore(SearchMetrics& metrics) : metrics_(metrics) {}
 
   bool IsSubsetOfExisting(const IndexSet& state) const {
     uint64_t bits = state.Bits();
@@ -42,16 +42,12 @@ class MaxBoundStore {
     // Drop any stored bound subsumed by the new one.
     for (size_t i = bounds_.size(); i-- > 0;) {
       if ((bounds_[i].first & ~bits) == 0) {
-        if (metrics_ != nullptr) {
-          metrics_->memory.Release(bounds_[i].second.MemoryBytes());
-        }
+        metrics_.memory.Release(bounds_[i].second.MemoryBytes());
         bounds_.erase(bounds_.begin() + static_cast<ptrdiff_t>(i));
       }
     }
-    if (metrics_ != nullptr) {
-      metrics_->memory.Allocate(state.MemoryBytes());
-      ++metrics_->boundaries_found;
-    }
+    metrics_.memory.Allocate(state.MemoryBytes());
+    ++metrics_.boundaries_found;
     max_size_ = std::max(max_size_, state.size());
     bounds_.emplace_back(bits, state);
   }
@@ -67,14 +63,14 @@ class MaxBoundStore {
  private:
   std::vector<std::pair<uint64_t, IndexSet>> bounds_;
   size_t max_size_ = 0;
-  SearchMetrics* metrics_;
+  SearchMetrics& metrics_;
 };
 
 }  // namespace
 
 StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   CQP_ASSIGN_OR_RETURN(SpaceKind kind, BoundSpaceKindFor(problem));
   if (space.K() >= 64) {
@@ -82,6 +78,7 @@ StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
         "C-MaxBounds uses 64-bit state masks; K must be < 64");
   }
   Stopwatch timer;
+  SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
   SpaceView view = SpaceView::ForKind(&evaluator, &problem, kind, space);
   const size_t k = view.K();
@@ -91,7 +88,7 @@ StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
   VisitedSet visited(metrics);
 
   for (size_t seed = 0; seed < k; ++seed) {
-    if (HitResourceLimit(metrics)) break;
+    if (ctx.ShouldStop()) break;
     // Termination: once a maximal boundary covers every preference at or
     // after the seed, later seeds can only produce subsets of it.
     if (seed + max_bounds.max_size() >= k && max_bounds.max_size() > 0) break;
@@ -102,13 +99,13 @@ StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
     queue.PushBack(std::move(seed_state));
 
     while (!queue.empty()) {
-      if (HitResourceLimit(metrics)) break;
+      if (ctx.ShouldStop()) break;
       IndexSet state = queue.PopFront();
       if (max_bounds.IsSubsetOfExisting(state)) continue;
       estimation::StateParams params = view.Evaluate(state, metrics);
 
       // Greedy maximal fill via Horizontal2.
-      FillResult fill = GreedyFill(view, state, params, nullptr, metrics);
+      FillResult fill = GreedyFill(view, state, params, nullptr, ctx);
 
       if (view.WithinBound(fill.params) &&
           !max_bounds.IsSubsetOfExisting(fill.state)) {
@@ -123,7 +120,7 @@ StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
       // ("exit for"), i.e. only members before the seed are bumped —
       // this aggressive cut is what keeps C-MAXBOUNDS cheap (§7.2.1).
       for (IndexSet& v : VerticalNeighbors(fill.state, k)) {
-        if (metrics != nullptr) ++metrics->transitions;
+        ++metrics.transitions;
         if (!v.Contains(static_cast<int32_t>(seed))) break;
         if (visited.CheckAndInsert(v)) continue;
         if (max_bounds.IsSubsetOfExisting(v)) continue;
@@ -133,10 +130,10 @@ StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
   }
 
   // ---- Phase 2: C_FINDMAXDOI over the maximal boundaries ----
-  Solution best =
-      BestFeasibleBelowBoundaries(view, max_bounds.bounds(), metrics);
+  Solution best = BestFeasibleBelowBoundaries(view, max_bounds.bounds(), ctx);
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  best.degraded = ctx.exhausted();
+  metrics.wall_ms = timer.ElapsedMillis();
   return best;
 }
 

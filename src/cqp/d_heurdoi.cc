@@ -18,9 +18,10 @@ bool DHeurDoiAlgorithm::IsExactFor(const ProblemSpec&) const {
 
 StatusOr<Solution> DHeurDoiAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   Stopwatch timer;
+  SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
   SpaceView view =
       SpaceView::ForKind(&evaluator, &problem, SpaceKind::kDoi, space);
@@ -29,7 +30,7 @@ StatusOr<Solution> DHeurDoiAlgorithm::Solve(
   Solution best = InfeasibleSolution(evaluator);
   {
     estimation::StateParams empty = evaluator.EmptyState();
-    if (metrics != nullptr) ++metrics->states_examined;
+    ++metrics.states_examined;
     if (problem.IsFeasible(empty)) {
       best.feasible = true;
       best.params = empty;
@@ -45,7 +46,7 @@ StatusOr<Solution> DHeurDoiAlgorithm::Solve(
   };
 
   for (size_t seed = 0; seed < k; ++seed) {
-    if (HitResourceLimit(metrics)) break;
+    if (ctx.ShouldStop()) break;
     // BestExpectedDoi stop: the doi of the whole remaining suffix.
     {
       estimation::StateParams suffix = evaluator.EmptyState();
@@ -59,36 +60,32 @@ StatusOr<Solution> DHeurDoiAlgorithm::Solve(
     // (a) Greedy fill from the seed.
     IndexSet seed_state({static_cast<int32_t>(seed)});
     estimation::StateParams seed_params = view.Evaluate(seed_state, metrics);
-    FillResult fill =
-        GreedyFill(view, seed_state, seed_params, nullptr, metrics);
+    FillResult fill = GreedyFill(view, seed_state, seed_params, nullptr, ctx);
     if (!view.WithinBound(fill.params)) continue;  // seed alone too costly
     consider(fill.state, fill.params);
 
     // (b) Refinement: drop trailing members one at a time and refill with
     // the dropped member banned (paper step 2.5; the pseudocode's
     // "R'' != R'" is read as "do not rebuild the original node").
-    if (metrics != nullptr) {
-      metrics->memory.Allocate(fill.state.MemoryBytes());
-    }
+    metrics.memory.Allocate(fill.state.MemoryBytes());
     std::vector<bool> banned(k, false);
     for (size_t t = fill.state.size(); t >= 2; --t) {
+      if (ctx.ShouldStop()) break;
       IndexSet prefix = fill.state.Prefix(t - 1);
       int32_t dropped = fill.state[t - 1];
       banned.assign(k, false);
       banned[static_cast<size_t>(dropped)] = true;
       estimation::StateParams prefix_params = view.Evaluate(prefix, metrics);
-      FillResult refined =
-          GreedyFill(view, prefix, prefix_params, &banned, metrics);
+      FillResult refined = GreedyFill(view, prefix, prefix_params, &banned, ctx);
       if (view.WithinBound(refined.params)) {
         consider(refined.state, refined.params);
       }
     }
-    if (metrics != nullptr) {
-      metrics->memory.Release(fill.state.MemoryBytes());
-    }
+    metrics.memory.Release(fill.state.MemoryBytes());
   }
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  best.degraded = ctx.exhausted();
+  metrics.wall_ms = timer.ElapsedMillis();
   return best;
 }
 

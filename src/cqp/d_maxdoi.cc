@@ -20,12 +20,14 @@ bool DMaxDoiAlgorithm::IsExactFor(const ProblemSpec& problem) const {
          !problem.dmin.has_value();
 }
 
+namespace {
+
 StatusOr<Solution> SolveDMaxDoi(const space::PreferenceSpaceResult& space,
-                                const ProblemSpec& problem,
-                                SearchMetrics* metrics,
+                                const ProblemSpec& problem, SearchContext& ctx,
                                 bool suffix_prune) {
   CQP_RETURN_IF_ERROR(problem.Validate());
   Stopwatch timer;
+  SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
   SpaceView view =
       SpaceView::ForKind(&evaluator, &problem, SpaceKind::kDoi, space);
@@ -35,14 +37,14 @@ StatusOr<Solution> SolveDMaxDoi(const space::PreferenceSpaceResult& space,
   // The empty state (original query) is the fallback candidate.
   {
     estimation::StateParams empty = evaluator.EmptyState();
-    if (metrics != nullptr) ++metrics->states_examined;
+    ++metrics.states_examined;
     if (problem.IsFeasible(empty)) {
       best.feasible = true;
       best.params = empty;
     }
   }
   if (k == 0) {
-    if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+    metrics.wall_ms = timer.ElapsedMillis();
     return best;
   }
 
@@ -76,22 +78,20 @@ StatusOr<Solution> SolveDMaxDoi(const space::PreferenceSpaceResult& space,
 
   auto consider = [&](const IndexSet& state,
                       const estimation::StateParams& params) {
-    if (metrics != nullptr) ++metrics->boundaries_found;
+    ++metrics.boundaries_found;
     if (suffix_prune) {
       if (!view.Feasible(params)) return;
       if (!best.feasible || problem.Better(params, best.params)) {
         best = MakeSolution(view, state, params);
       }
     } else {
-      if (metrics != nullptr) {
-        metrics->memory.Allocate(state.MemoryBytes());
-      }
+      metrics.memory.Allocate(state.MemoryBytes());
       solutions.emplace_back(state, params);
     }
   };
 
   while (!queue.empty()) {
-    if (HitResourceLimit(metrics)) break;
+    if (ctx.ShouldStop()) break;
     IndexSet state = queue.PopFront();
     if (suffix_prune && best.feasible &&
         best.params.doi >= suffix_doi[static_cast<size_t>(state.Min())]) {
@@ -105,8 +105,8 @@ StatusOr<Solution> SolveDMaxDoi(const space::PreferenceSpaceResult& space,
       // Apply Horizontal transitions while the bound holds.
       IndexSet chain = state;
       estimation::StateParams chain_params = params;
-      while (true) {
-        if (metrics != nullptr) ++metrics->transitions;
+      while (!ctx.ShouldStop()) {
+        ++metrics.transitions;
         std::optional<IndexSet> next = Horizontal(chain, k);
         if (!next.has_value()) break;
         estimation::StateParams next_params = view.Evaluate(*next, metrics);
@@ -134,7 +134,7 @@ StatusOr<Solution> SolveDMaxDoi(const space::PreferenceSpaceResult& space,
 
     if (have_frontier) {
       for (IndexSet& v : VerticalNeighbors(frontier, k)) {
-        if (metrics != nullptr) ++metrics->transitions;
+        ++metrics.transitions;
         if (visited.CheckAndInsert(v)) continue;
         queue.PushFront(std::move(v));
       }
@@ -165,14 +165,17 @@ StatusOr<Solution> SolveDMaxDoi(const space::PreferenceSpaceResult& space,
     }
   }
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  best.degraded = ctx.exhausted();
+  metrics.wall_ms = timer.ElapsedMillis();
   return best;
 }
 
+}  // namespace
+
 StatusOr<Solution> DMaxDoiAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
-  return SolveDMaxDoi(space, problem, metrics, /*suffix_prune=*/false);
+    SearchContext& ctx) const {
+  return SolveDMaxDoi(space, problem, ctx, /*suffix_prune=*/false);
 }
 
 bool DMaxDoiPrunedAlgorithm::Supports(const ProblemSpec& problem) const {
@@ -187,8 +190,8 @@ bool DMaxDoiPrunedAlgorithm::IsExactFor(const ProblemSpec& problem) const {
 
 StatusOr<Solution> DMaxDoiPrunedAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
-  return SolveDMaxDoi(space, problem, metrics, /*suffix_prune=*/true);
+    SearchContext& ctx) const {
+  return SolveDMaxDoi(space, problem, ctx, /*suffix_prune=*/true);
 }
 
 }  // namespace cqp::cqp

@@ -16,9 +16,10 @@ bool DSingleMaxDoiAlgorithm::IsExactFor(const ProblemSpec&) const {
 
 StatusOr<Solution> DSingleMaxDoiAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   Stopwatch timer;
+  SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
   SpaceView view =
       SpaceView::ForKind(&evaluator, &problem, SpaceKind::kDoi, space);
@@ -27,7 +28,7 @@ StatusOr<Solution> DSingleMaxDoiAlgorithm::Solve(
   Solution best = InfeasibleSolution(evaluator);
   {
     estimation::StateParams empty = evaluator.EmptyState();
-    if (metrics != nullptr) ++metrics->states_examined;
+    ++metrics.states_examined;
     if (problem.IsFeasible(empty)) {
       best.feasible = true;
       best.params = empty;
@@ -47,7 +48,7 @@ StatusOr<Solution> DSingleMaxDoiAlgorithm::Solve(
   // Rounds over seeds in decreasing doi order (paper Fig. 10); stop when
   // the best doi expected from the remaining suffix cannot improve.
   for (size_t seed = 0; seed < k; ++seed) {
-    if (HitResourceLimit(metrics)) break;
+    if (ctx.ShouldStop()) break;
     // BestExpectedDoi({p_seed..p_K}) — the suffix bound of the pseudocode.
     // (The greedy fill may add positions before the seed, so this bound is
     // the paper's heuristic stop, not a proof of optimality.)
@@ -66,16 +67,16 @@ StatusOr<Solution> DSingleMaxDoiAlgorithm::Solve(
     queue.PushBack(std::move(seed_state));
 
     while (!queue.empty()) {
-      if (HitResourceLimit(metrics)) break;
+      if (ctx.ShouldStop()) break;
       IndexSet state = queue.PopFront();
       estimation::StateParams params = view.Evaluate(state, metrics);
-      FillResult fill = GreedyFill(view, state, params, nullptr, metrics);
+      FillResult fill = GreedyFill(view, state, params, nullptr, ctx);
       if (view.WithinBound(fill.params)) consider(fill.state, fill.params);
 
       // Paper Fig. 10 step 3.3.5: stop at the first neighbor that drops
       // the seed ("exit for").
       for (IndexSet& v : VerticalNeighbors(fill.state, k)) {
-        if (metrics != nullptr) ++metrics->transitions;
+        ++metrics.transitions;
         if (!v.Contains(static_cast<int32_t>(seed))) break;
         if (visited.CheckAndInsert(v)) continue;
         queue.PushBack(std::move(v));
@@ -83,7 +84,8 @@ StatusOr<Solution> DSingleMaxDoiAlgorithm::Solve(
     }
   }
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  best.degraded = ctx.exhausted();
+  metrics.wall_ms = timer.ElapsedMillis();
   return best;
 }
 

@@ -12,34 +12,35 @@ namespace {
 /// should use the boundary or chain algorithms.
 constexpr size_t kMaxExhaustiveK = 25;
 
-struct ExhaustiveContext {
+struct ExhaustiveState {
   const estimation::StateEvaluator* evaluator;
   const ProblemSpec* problem;
-  SearchMetrics* metrics;
+  SearchContext* ctx;
   Solution best;
   std::vector<int32_t> current;
 };
 
-void Recurse(ExhaustiveContext& ctx, size_t i,
+void Recurse(ExhaustiveState& st, size_t i,
              const estimation::StateParams& params) {
-  if (i >= ctx.evaluator->K()) {
+  if (st.ctx->ShouldStop()) return;
+  if (i >= st.evaluator->K()) {
     // Each subset of P reaches this point exactly once.
-    if (ctx.metrics != nullptr) ++ctx.metrics->states_examined;
-    if (ctx.problem->IsFeasible(params) &&
-        (!ctx.best.feasible || ctx.problem->Better(params, ctx.best.params))) {
-      ctx.best.feasible = true;
-      ctx.best.params = params;
-      ctx.best.chosen = IndexSet::FromUnsorted(ctx.current);
+    ++st.ctx->metrics.states_examined;
+    if (st.problem->IsFeasible(params) &&
+        (!st.best.feasible || st.problem->Better(params, st.best.params))) {
+      st.best.feasible = true;
+      st.best.params = params;
+      st.best.chosen = IndexSet::FromUnsorted(st.current);
     }
     return;
   }
   // Exclude preference i.
-  Recurse(ctx, i + 1, params);
+  Recurse(st, i + 1, params);
   // Include preference i.
-  ctx.current.push_back(static_cast<int32_t>(i));
-  Recurse(ctx, i + 1,
-          ctx.evaluator->ExtendWith(params, static_cast<int32_t>(i)));
-  ctx.current.pop_back();
+  st.current.push_back(static_cast<int32_t>(i));
+  Recurse(st, i + 1,
+          st.evaluator->ExtendWith(params, static_cast<int32_t>(i)));
+  st.current.pop_back();
 }
 
 }  // namespace
@@ -54,7 +55,7 @@ bool ExhaustiveAlgorithm::IsExactFor(const ProblemSpec& problem) const {
 
 StatusOr<Solution> ExhaustiveAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   if (space.K() > kMaxExhaustiveK) {
     return FailedPrecondition(
@@ -63,18 +64,19 @@ StatusOr<Solution> ExhaustiveAlgorithm::Solve(
   Stopwatch timer;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
 
-  ExhaustiveContext ctx;
-  ctx.evaluator = &evaluator;
-  ctx.problem = &problem;
-  ctx.metrics = metrics;
-  ctx.best = InfeasibleSolution(evaluator);
+  ExhaustiveState st;
+  st.evaluator = &evaluator;
+  st.problem = &problem;
+  st.ctx = &ctx;
+  st.best = InfeasibleSolution(evaluator);
   // Note: Recurse visits states once each, evaluating incrementally; it
   // visits the empty state first, so the fallback "original query" is
   // always considered.
-  Recurse(ctx, 0, evaluator.EmptyState());
+  Recurse(st, 0, evaluator.EmptyState());
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
-  return ctx.best;
+  st.best.degraded = ctx.exhausted();
+  ctx.metrics.wall_ms = timer.ElapsedMillis();
+  return st.best;
 }
 
 }  // namespace cqp::cqp

@@ -8,18 +8,11 @@
 namespace cqp::cqp {
 
 /// Instrumentation of one search-algorithm run, feeding the Fig. 12/13
-/// reproductions. Also carries optional *input* resource limits: a search
-/// that hits one stops early, keeps its best solution so far and sets
-/// `truncated` — truncation is always explicit, never silent.
+/// reproductions. Purely an output record: resource *limits* live in
+/// cqp::SearchBudget, enforced by SearchContext. Collection is
+/// unconditional — every Solve() call fills one of these.
 struct SearchMetrics {
-  // ---- inputs ----
-  /// Stop after this many state evaluations (0 = unlimited).
-  uint64_t state_limit = 0;
-  /// Stop when the tracked working set exceeds this (0 = unlimited).
-  size_t memory_limit_bytes = 0;
-
-  // ---- outputs ----
-  /// True when a limit stopped the search before completion; exact
+  /// True when the budget stopped the search before completion; exact
   /// algorithms lose their optimality guarantee on truncated runs.
   bool truncated = false;
   /// Number of states whose parameters were evaluated.
@@ -36,19 +29,6 @@ struct SearchMetrics {
 
   void Reset() { *this = SearchMetrics{}; }
 };
-
-/// True when `metrics` (may be nullptr) has exceeded one of its resource
-/// limits; marks the run truncated. Search loops call this at their heads
-/// and stop — keeping whatever solution they have — when it fires.
-inline bool HitResourceLimit(SearchMetrics* metrics) {
-  if (metrics == nullptr) return false;
-  bool hit = (metrics->state_limit != 0 &&
-              metrics->states_examined >= metrics->state_limit) ||
-             (metrics->memory_limit_bytes != 0 &&
-              metrics->memory.current_bytes() >= metrics->memory_limit_bytes);
-  if (hit) metrics->truncated = true;
-  return hit;
-}
 
 }  // namespace cqp::cqp
 

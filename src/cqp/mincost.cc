@@ -15,7 +15,7 @@ namespace {
 struct BbContext {
   const estimation::StateEvaluator* evaluator = nullptr;
   const ProblemSpec* problem = nullptr;
-  SearchMetrics* metrics = nullptr;
+  SearchContext* ctx = nullptr;
   std::vector<int32_t> order;       // cost-ascending P indices
   std::vector<double> suffix_doi;   // doi of order[i..] combined
   Solution best;
@@ -24,8 +24,8 @@ struct BbContext {
 
 void BbRecurse(BbContext& ctx, size_t i,
                const estimation::StateParams& params) {
-  if (HitResourceLimit(ctx.metrics)) return;
-  if (ctx.metrics != nullptr) ++ctx.metrics->states_examined;
+  if (ctx.ctx->ShouldStop()) return;
+  ++ctx.ctx->metrics.states_examined;
   const ProblemSpec& problem = *ctx.problem;
 
   if (problem.IsFeasible(params)) {
@@ -80,7 +80,7 @@ bool MinCostBranchBoundAlgorithm::IsExactFor(
 
 StatusOr<Solution> MinCostBranchBoundAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& search_ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   if (problem.objective != Objective::kMinimizeCost) {
     return FailedPrecondition("MinCost-BB solves cost-minimization problems");
@@ -91,7 +91,7 @@ StatusOr<Solution> MinCostBranchBoundAlgorithm::Solve(
   BbContext ctx;
   ctx.evaluator = &evaluator;
   ctx.problem = &problem;
-  ctx.metrics = metrics;
+  ctx.ctx = &search_ctx;
   ctx.best = InfeasibleSolution(evaluator);
   ctx.order.resize(evaluator.K());
   for (size_t i = 0; i < ctx.order.size(); ++i) {
@@ -120,7 +120,8 @@ StatusOr<Solution> MinCostBranchBoundAlgorithm::Solve(
 
   BbRecurse(ctx, 0, evaluator.EmptyState());
 
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  ctx.best.degraded = search_ctx.exhausted();
+  search_ctx.metrics.wall_ms = timer.ElapsedMillis();
   return ctx.best;
 }
 
@@ -135,24 +136,25 @@ bool MinCostGreedyAlgorithm::IsExactFor(const ProblemSpec&) const {
 
 StatusOr<Solution> MinCostGreedyAlgorithm::Solve(
     const space::PreferenceSpaceResult& space, const ProblemSpec& problem,
-    SearchMetrics* metrics) const {
+    SearchContext& ctx) const {
   CQP_RETURN_IF_ERROR(problem.Validate());
   if (problem.objective != Objective::kMinimizeCost) {
     return FailedPrecondition(
         "MinCost-Greedy solves cost-minimization problems");
   }
   Stopwatch timer;
+  SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
   const size_t k = evaluator.K();
 
   estimation::StateParams params = evaluator.EmptyState();
   std::vector<bool> used(k, false);
   std::vector<int32_t> chosen;
-  if (metrics != nullptr) ++metrics->states_examined;
+  ++metrics.states_examined;
 
   // Add the preference with the best doi-per-cost ratio (among those not
   // violating smin) until feasible or exhausted.
-  while (!problem.IsFeasible(params)) {
+  while (!problem.IsFeasible(params) && !ctx.ShouldStop()) {
     // Pick the gain that addresses the violated constraint: doi per cost
     // while doi >= dmin is unmet, result shrinkage per cost while
     // size <= smax is unmet.
@@ -176,12 +178,13 @@ StatusOr<Solution> MinCostGreedyAlgorithm::Solve(
     used[static_cast<size_t>(best_i)] = true;
     chosen.push_back(best_i);
     params = evaluator.ExtendWith(params, best_i);
-    if (metrics != nullptr) ++metrics->states_examined;
+    ++metrics.states_examined;
   }
 
   if (!problem.IsFeasible(params)) {
     Solution s = InfeasibleSolution(evaluator);
-    if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+    s.degraded = ctx.exhausted();
+    metrics.wall_ms = timer.ElapsedMillis();
     return s;
   }
 
@@ -192,7 +195,7 @@ StatusOr<Solution> MinCostGreedyAlgorithm::Solve(
     return evaluator.pref(static_cast<size_t>(a)).cost_ms >
            evaluator.pref(static_cast<size_t>(b)).cost_ms;
   });
-  for (size_t drop = 0; drop < chosen.size();) {
+  for (size_t drop = 0; drop < chosen.size() && !ctx.ShouldStop();) {
     std::vector<int32_t> trial;
     trial.reserve(chosen.size() - 1);
     for (size_t i = 0; i < chosen.size(); ++i) {
@@ -200,7 +203,7 @@ StatusOr<Solution> MinCostGreedyAlgorithm::Solve(
     }
     estimation::StateParams trial_params =
         evaluator.Evaluate(IndexSet::FromUnsorted(trial));
-    if (metrics != nullptr) ++metrics->states_examined;
+    ++metrics.states_examined;
     if (problem.IsFeasible(trial_params)) {
       chosen = std::move(trial);
       params = trial_params;
@@ -213,9 +216,10 @@ StatusOr<Solution> MinCostGreedyAlgorithm::Solve(
 
   Solution s;
   s.feasible = true;
+  s.degraded = ctx.exhausted();
   s.chosen = IndexSet::FromUnsorted(chosen);
   s.params = params;
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  metrics.wall_ms = timer.ElapsedMillis();
   return s;
 }
 

@@ -64,7 +64,7 @@ std::string MultiObjectiveSpec::ToString() const {
 
 StatusOr<std::vector<ParetoPoint>> ParetoFront(
     const space::PreferenceSpaceResult& space, const MultiObjectiveSpec& spec,
-    SearchMetrics* metrics) {
+    SearchContext& ctx) {
   CQP_RETURN_IF_ERROR(spec.Validate());
   if (space.K() > kMaxParetoK) {
     return FailedPrecondition("ParetoFront enumerates 2^K states; K > 20");
@@ -77,8 +77,9 @@ StatusOr<std::vector<ParetoPoint>> ParetoFront(
   // Depth-first enumeration with incremental parameters.
   auto recurse = [&](auto&& self, size_t i,
                      const estimation::StateParams& params) -> void {
+    if (ctx.ShouldStop()) return;
     if (i == evaluator.K()) {
-      if (metrics != nullptr) ++metrics->states_examined;
+      ++ctx.metrics.states_examined;
       if (spec.IsFeasible(params)) {
         feasible.push_back({IndexSet::FromUnsorted(current), params});
       }
@@ -111,7 +112,7 @@ StatusOr<std::vector<ParetoPoint>> ParetoFront(
       front.push_back(std::move(p));
     }
   }
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  ctx.metrics.wall_ms = timer.ElapsedMillis();
   return front;
 }
 
@@ -120,7 +121,7 @@ namespace {
 struct ScalarizedContext {
   const estimation::StateEvaluator* evaluator = nullptr;
   const MultiObjectiveSpec* spec = nullptr;
-  SearchMetrics* metrics = nullptr;
+  SearchContext* search = nullptr;
   std::vector<int32_t> order;        // cost-ascending P indices
   std::vector<double> suffix_doi;    // noisy-or doi of order[i..]
   std::vector<double> suffix_shrink; // product of selectivities of order[i..]
@@ -131,8 +132,8 @@ struct ScalarizedContext {
 
 void ScalarizedRecurse(ScalarizedContext& ctx, size_t i,
                        const estimation::StateParams& params) {
-  if (HitResourceLimit(ctx.metrics)) return;
-  if (ctx.metrics != nullptr) ++ctx.metrics->states_examined;
+  if (ctx.search->ShouldStop()) return;
+  ++ctx.search->metrics.states_examined;
   const MultiObjectiveSpec& spec = *ctx.spec;
 
   if (spec.IsFeasible(params)) {
@@ -182,7 +183,7 @@ void ScalarizedRecurse(ScalarizedContext& ctx, size_t i,
 
 StatusOr<Solution> SolveScalarized(const space::PreferenceSpaceResult& space,
                                    const MultiObjectiveSpec& spec,
-                                   SearchMetrics* metrics) {
+                                   SearchContext& search) {
   CQP_RETURN_IF_ERROR(spec.Validate());
   if (space.K() > kMaxScalarizedK) {
     return FailedPrecondition("SolveScalarized refuses K > 25");
@@ -193,7 +194,7 @@ StatusOr<Solution> SolveScalarized(const space::PreferenceSpaceResult& space,
   ScalarizedContext ctx;
   ctx.evaluator = &evaluator;
   ctx.spec = &spec;
-  ctx.metrics = metrics;
+  ctx.search = &search;
   ctx.best = InfeasibleSolution(evaluator);
   ctx.order.resize(evaluator.K());
   for (size_t i = 0; i < ctx.order.size(); ++i) {
@@ -221,7 +222,8 @@ StatusOr<Solution> SolveScalarized(const space::PreferenceSpaceResult& space,
   }
 
   ScalarizedRecurse(ctx, 0, evaluator.EmptyState());
-  if (metrics != nullptr) metrics->wall_ms = timer.ElapsedMillis();
+  ctx.best.degraded = search.exhausted();
+  search.metrics.wall_ms = timer.ElapsedMillis();
   return ctx.best;
 }
 

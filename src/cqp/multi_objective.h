@@ -8,7 +8,6 @@
 #include "common/index_set.h"
 #include "common/status.h"
 #include "cqp/algorithm.h"
-#include "cqp/metrics.h"
 #include "space/preference_space.h"
 
 namespace cqp::cqp {
@@ -65,10 +64,12 @@ struct ParetoPoint {
 /// (doi maximal, cost minimal), subject to the spec's hard constraints.
 /// Exhaustive over 2^K states; refuses K > 20. Points are returned in
 /// increasing cost (hence increasing doi) order; ties on both parameters
-/// keep one representative.
+/// keep one representative. A budget in `ctx` stops the enumeration early;
+/// the front is then built from the states visited so far (ctx.metrics is
+/// marked truncated).
 StatusOr<std::vector<ParetoPoint>> ParetoFront(
     const space::PreferenceSpaceResult& space, const MultiObjectiveSpec& spec,
-    SearchMetrics* metrics);
+    SearchContext& ctx);
 
 /// Maximizes spec.Score over all feasible states. Exact branch-and-bound:
 /// the admissible bound combines the best doi still reachable (suffix
@@ -76,7 +77,7 @@ StatusOr<std::vector<ParetoPoint>> ParetoFront(
 /// along extensions.
 StatusOr<Solution> SolveScalarized(const space::PreferenceSpaceResult& space,
                                    const MultiObjectiveSpec& spec,
-                                   SearchMetrics* metrics);
+                                   SearchContext& ctx);
 
 }  // namespace cqp::cqp
 

@@ -57,8 +57,8 @@ IndexSet SpaceView::ToPrefIndices(const IndexSet& positions) const {
 }
 
 estimation::StateParams SpaceView::Evaluate(const IndexSet& positions,
-                                            SearchMetrics* metrics) const {
-  if (metrics != nullptr) ++metrics->states_examined;
+                                            SearchMetrics& metrics) const {
+  ++metrics.states_examined;
   estimation::StateParams params = evaluator_->EmptyState();
   for (int32_t pos : positions) {
     params = evaluator_->ExtendWith(params, order_[static_cast<size_t>(pos)]);
@@ -68,11 +68,9 @@ estimation::StateParams SpaceView::Evaluate(const IndexSet& positions,
 
 estimation::StateParams SpaceView::ExtendWith(
     const estimation::StateParams& parent, int32_t position,
-    SearchMetrics* metrics) const {
-  if (metrics != nullptr) {
-    ++metrics->states_examined;
-    ++metrics->transitions;
-  }
+    SearchMetrics& metrics) const {
+  ++metrics.states_examined;
+  ++metrics.transitions;
   return evaluator_->ExtendWith(parent,
                                 order_[static_cast<size_t>(position)]);
 }

@@ -60,15 +60,15 @@ class SpaceView {
   /// Translates a position-set into the P-index set it denotes.
   IndexSet ToPrefIndices(const IndexSet& positions) const;
 
-  /// Evaluates the state's parameters; bumps metrics->states_examined.
+  /// Evaluates the state's parameters; bumps metrics.states_examined.
   estimation::StateParams Evaluate(const IndexSet& positions,
-                                   SearchMetrics* metrics) const;
+                                   SearchMetrics& metrics) const;
 
   /// Incremental evaluation of `positions ∪ {position}` given the parent's
   /// parameters.
   estimation::StateParams ExtendWith(const estimation::StateParams& parent,
                                      int32_t position,
-                                     SearchMetrics* metrics) const;
+                                     SearchMetrics& metrics) const;
 
   /// The binding (monotonically degrading) bound.
   bool WithinBound(const estimation::StateParams& params) const;

@@ -60,14 +60,13 @@ StatusOr<SpaceKind> BoundSpaceKindFor(const ProblemSpec& problem) {
 
 FillResult GreedyFill(const SpaceView& view, IndexSet state,
                       estimation::StateParams params,
-                      const std::vector<bool>* banned,
-                      SearchMetrics* metrics) {
+                      const std::vector<bool>* banned, SearchContext& ctx) {
   bool extended = true;
-  while (extended) {
+  while (extended && !ctx.ShouldStop()) {
     extended = false;
     for (int32_t j : Horizontal2Candidates(state, view.K())) {
       if (banned != nullptr && (*banned)[static_cast<size_t>(j)]) continue;
-      estimation::StateParams next = view.ExtendWith(params, j, metrics);
+      estimation::StateParams next = view.ExtendWith(params, j, ctx.metrics);
       if (view.WithinBound(next)) {
         state = state.WithAdded(j);
         params = next;
@@ -85,21 +84,21 @@ namespace {
 /// updating `best`. `visited` is shared across boundaries so overlapping
 /// cones are not re-scanned.
 void RegionScan(const SpaceView& view, const IndexSet& boundary,
-                VisitedSet& visited, SearchMetrics* metrics, Solution* best) {
-  StateQueue queue(metrics);
+                VisitedSet& visited, SearchContext& ctx, Solution* best) {
+  StateQueue queue(ctx.metrics);
   if (visited.CheckAndInsert(boundary)) return;  // cone already scanned
   queue.PushBack(boundary);
   while (!queue.empty()) {
-    if (HitResourceLimit(metrics)) break;
+    if (ctx.ShouldStop()) break;
     IndexSet state = queue.PopFront();
-    estimation::StateParams params = view.Evaluate(state, metrics);
+    estimation::StateParams params = view.Evaluate(state, ctx.metrics);
     if (view.Feasible(params)) {
       if (!best->feasible || view.problem().Better(params, best->params)) {
         *best = MakeSolution(view, state, params);
       }
     }
     for (IndexSet& v : VerticalNeighbors(state, view.K())) {
-      if (metrics != nullptr) ++metrics->transitions;
+      ++ctx.metrics.transitions;
       if (visited.CheckAndInsert(v)) continue;
       queue.PushBack(std::move(v));
     }
@@ -110,14 +109,14 @@ void RegionScan(const SpaceView& view, const IndexSet& boundary,
 
 Solution BestFeasibleBelowBoundaries(const SpaceView& view,
                                      const std::vector<IndexSet>& boundaries,
-                                     SearchMetrics* metrics) {
+                                     SearchContext& ctx) {
   CQP_CHECK(view.problem().objective == Objective::kMaximizeDoi)
       << "phase-2 boundary scan maximizes doi";
   Solution best = InfeasibleSolution(view.evaluator());
   // The empty state (the original query) is always a candidate.
   {
     estimation::StateParams empty = view.evaluator().EmptyState();
-    if (metrics != nullptr) ++metrics->states_examined;
+    ++ctx.metrics.states_examined;
     if (view.problem().IsFeasible(empty)) {
       best.feasible = true;
       best.chosen = IndexSet();
@@ -133,11 +132,12 @@ Solution BestFeasibleBelowBoundaries(const SpaceView& view,
             });
 
   const bool greedy_exact = view.GreedyPhase2Exact();
-  VisitedSet region_visited(metrics);
+  VisitedSet region_visited(ctx.metrics);
   size_t current_group = SIZE_MAX;
   double group_bound = 1.0;
 
   for (const IndexSet& boundary : ordered) {
+    if (ctx.ShouldStop()) break;
     if (boundary.empty()) continue;
     if (boundary.size() != current_group) {
       current_group = boundary.size();
@@ -148,7 +148,7 @@ Solution BestFeasibleBelowBoundaries(const SpaceView& view,
     }
     if (greedy_exact) {
       IndexSet candidate = GreedyMaxDoiBelow(view, boundary);
-      estimation::StateParams params = view.Evaluate(candidate, metrics);
+      estimation::StateParams params = view.Evaluate(candidate, ctx.metrics);
       CQP_CHECK(view.WithinBound(params))
           << "slot-swap left the binding bound: " << candidate.ToString();
       if (view.Feasible(params) &&
@@ -160,12 +160,13 @@ Solution BestFeasibleBelowBoundaries(const SpaceView& view,
     // Constraints beyond the space key exist: the greedy result still upper
     // bounds the doi below this boundary, letting us skip hopeless cones.
     IndexSet greedy = GreedyMaxDoiBelow(view, boundary);
-    estimation::StateParams greedy_params = view.Evaluate(greedy, metrics);
+    estimation::StateParams greedy_params = view.Evaluate(greedy, ctx.metrics);
     if (best.feasible && !view.problem().Better(greedy_params, best.params)) {
       continue;
     }
-    RegionScan(view, boundary, region_visited, metrics, &best);
+    RegionScan(view, boundary, region_visited, ctx, &best);
   }
+  best.degraded = ctx.exhausted();
   return best;
 }
 

@@ -8,7 +8,6 @@
 
 #include "common/index_set.h"
 #include "cqp/algorithm.h"
-#include "cqp/metrics.h"
 #include "cqp/search_space.h"
 
 namespace cqp::cqp {
@@ -16,14 +15,12 @@ namespace cqp::cqp {
 /// Visited-state set with MemoryMeter accounting.
 class VisitedSet {
  public:
-  explicit VisitedSet(SearchMetrics* metrics) : metrics_(metrics) {}
+  explicit VisitedSet(SearchMetrics& metrics) : metrics_(metrics) {}
 
   /// Returns true if `state` was already present; inserts it otherwise.
   bool CheckAndInsert(const IndexSet& state) {
     auto [it, inserted] = set_.insert(state);
-    if (inserted && metrics_ != nullptr) {
-      metrics_->memory.Allocate(state.MemoryBytes());
-    }
+    if (inserted) metrics_.memory.Allocate(state.MemoryBytes());
     return !inserted;
   }
 
@@ -32,39 +29,35 @@ class VisitedSet {
 
  private:
   std::unordered_set<IndexSet, IndexSetHash> set_;
-  SearchMetrics* metrics_;
+  SearchMetrics& metrics_;
 };
 
 /// FIFO/LIFO hybrid work queue (Vertical neighbors go to the front so a
 /// group is exhausted before the next one starts), with memory accounting.
 class StateQueue {
  public:
-  explicit StateQueue(SearchMetrics* metrics) : metrics_(metrics) {}
+  explicit StateQueue(SearchMetrics& metrics) : metrics_(metrics) {}
 
   void PushBack(IndexSet state) {
-    Account(state);
+    metrics_.memory.Allocate(state.MemoryBytes());
     queue_.push_back(std::move(state));
   }
   void PushFront(IndexSet state) {
-    Account(state);
+    metrics_.memory.Allocate(state.MemoryBytes());
     queue_.push_front(std::move(state));
   }
   IndexSet PopFront() {
     IndexSet out = std::move(queue_.front());
     queue_.pop_front();
-    if (metrics_ != nullptr) metrics_->memory.Release(out.MemoryBytes());
+    metrics_.memory.Release(out.MemoryBytes());
     return out;
   }
   bool empty() const { return queue_.empty(); }
   size_t size() const { return queue_.size(); }
 
  private:
-  void Account(const IndexSet& state) {
-    if (metrics_ != nullptr) metrics_->memory.Allocate(state.MemoryBytes());
-  }
-
   std::deque<IndexSet> queue_;
-  SearchMetrics* metrics_;
+  SearchMetrics& metrics_;
 };
 
 /// Boundaries found during phase 1, grouped by group size, with domination
@@ -72,7 +65,7 @@ class StateQueue {
 /// need not be visited).
 class BoundaryStore {
  public:
-  explicit BoundaryStore(SearchMetrics* metrics) : metrics_(metrics) {}
+  explicit BoundaryStore(SearchMetrics& metrics) : metrics_(metrics) {}
 
   /// Stores `boundary`, dropping previously stored boundaries of the same
   /// group it dominates: their cones are subsets of the new one (domination
@@ -83,17 +76,13 @@ class BoundaryStore {
     std::vector<IndexSet>& group = by_size_[boundary.size()];
     for (size_t i = group.size(); i-- > 0;) {
       if (boundary.Dominates(group[i])) {
-        if (metrics_ != nullptr) {
-          metrics_->memory.Release(group[i].MemoryBytes());
-        }
+        metrics_.memory.Release(group[i].MemoryBytes());
         group.erase(group.begin() + static_cast<ptrdiff_t>(i));
       }
     }
     group.push_back(boundary);
-    if (metrics_ != nullptr) {
-      metrics_->memory.Allocate(boundary.MemoryBytes());
-      ++metrics_->boundaries_found;
-    }
+    metrics_.memory.Allocate(boundary.MemoryBytes());
+    ++metrics_.boundaries_found;
   }
 
   /// True if some stored boundary of the same group dominates `state`
@@ -121,7 +110,7 @@ class BoundaryStore {
 
  private:
   std::map<size_t, std::vector<IndexSet>> by_size_;
-  SearchMetrics* metrics_;
+  SearchMetrics& metrics_;
 };
 
 /// The paper's C_FINDMAXDOI slot-swap: the maximum-doi state dominated by
@@ -134,10 +123,11 @@ IndexSet GreedyMaxDoiBelow(const SpaceView& view, const IndexSet& boundary);
 /// state. Uses the greedy slot-swap when exact for the view, otherwise an
 /// exhaustive region scan of each boundary's dominated cone (needed when
 /// constraints beyond the space's key exist, e.g. smax — the paper's
-/// Up/Low-boundary enhancement of §6 generalized).
+/// Up/Low-boundary enhancement of §6 generalized). Honors ctx's budget:
+/// stops scanning on exhaustion, keeping the best state found so far.
 Solution BestFeasibleBelowBoundaries(const SpaceView& view,
                                      const std::vector<IndexSet>& boundaries,
-                                     SearchMetrics* metrics);
+                                     SearchContext& ctx);
 
 /// Wraps a position-set solution into P-index form.
 Solution MakeSolution(const SpaceView& view, const IndexSet& positions,
@@ -157,11 +147,11 @@ struct FillResult {
 /// Extends `state` by repeatedly adding the first Horizontal2 candidate (in
 /// increasing position order, i.e. decreasing key order) that keeps the
 /// binding bound, until none fits. `banned`, if non-null, marks positions
-/// that must not be added (used by D-HeurDoi's refinement).
+/// that must not be added (used by D-HeurDoi's refinement). Stops early
+/// (keeping the fill so far) when ctx's budget runs out.
 FillResult GreedyFill(const SpaceView& view, IndexSet state,
                       estimation::StateParams params,
-                      const std::vector<bool>* banned,
-                      SearchMetrics* metrics);
+                      const std::vector<bool>* banned, SearchContext& ctx);
 
 /// The infeasible sentinel (no state satisfies the constraints).
 Solution InfeasibleSolution(const estimation::StateEvaluator& evaluator);

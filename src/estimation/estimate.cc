@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace cqp::estimation {
@@ -32,6 +33,7 @@ StatusOr<const RelationStats*> ParameterEstimator::StatsFor(
 
 StatusOr<QueryBaseEstimate> ParameterEstimator::EstimateBase(
     const sql::SelectQuery& q) const {
+  CQP_FAILPOINT("estimation.base");
   if (q.from.empty()) return InvalidArgument("query has no FROM clause");
 
   QueryBaseEstimate out;
@@ -87,6 +89,7 @@ StatusOr<QueryBaseEstimate> ParameterEstimator::EstimateBase(
 StatusOr<PreferenceEstimate> ParameterEstimator::EstimatePreference(
     const QueryBaseEstimate& base,
     const prefs::ImplicitPreference& pref) const {
+  CQP_FAILPOINT("estimation.preference");
   PreferenceEstimate out;
 
   // Cost: the sub-query re-scans all of Q's relations plus every relation

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "catalog/compare.h"
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace cqp::exec {
@@ -101,6 +102,7 @@ Executor::Executor(const storage::Database* db, CostModelParams params)
 
 StatusOr<RowSet> Executor::Execute(const SelectQuery& query,
                                    ExecStats* stats) const {
+  CQP_FAILPOINT("exec.execute");
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "construct/personalizer.h"
 #include "exec/executor.h"
@@ -35,7 +36,12 @@ constexpr const char* kHelp = R"(commands:
   .algorithm NAME             pick the search algorithm
   .algorithms                 list algorithms
   .k N                        preference-space size cap
-  .settings                   show problem/algorithm/K
+  .budget key=value...        per-query search budget, e.g.
+                                .budget deadline=5 states=10000 memory=64
+                                (ms / expansions / MB; 0 or "off" = unlimited)
+  .failpoints [SPEC|off]      fault injection, e.g.
+                                .failpoints space.extract=1.0:42
+  .settings                   show problem/algorithm/K/budget
   .sql QUERY                  run QUERY without personalization
   .explain QUERY              personalize, show plan only
   QUERY                       personalize QUERY and execute
@@ -206,8 +212,11 @@ Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
     out << "problem   : " << problem_.ToString() << "\n";
     out << "algorithm : " << algorithm_ << "\n";
     out << "K         : " << space_options_.max_k << "\n";
+    out << "budget    : " << MakeBudget().ToString() << "\n";
     return Status::OK();
   }
+  if (command == ".budget") return HandleBudget(args, out);
+  if (command == ".failpoints") return HandleFailpoints(args, out);
   if (command == ".sql") return HandleRawSql(args, out);
   if (command == ".explain") {
     return HandleQuery(args, /*execute=*/false, out);
@@ -333,6 +342,69 @@ Status CqpShell::HandleProblem(const std::string& args) {
   return Status::OK();
 }
 
+SearchBudget CqpShell::MakeBudget() const {
+  SearchBudget budget;
+  if (budget_deadline_ms_ > 0) {
+    budget = SearchBudget::AfterMillis(budget_deadline_ms_);
+  }
+  budget.max_expansions = budget_states_;
+  budget.max_memory_bytes =
+      static_cast<size_t>(budget_memory_mb_ * 1024.0 * 1024.0);
+  return budget;
+}
+
+Status CqpShell::HandleBudget(const std::string& args, std::ostream& out) {
+  if (args.empty()) {
+    out << "budget: " << MakeBudget().ToString() << "\n";
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(args, "off")) {
+    budget_deadline_ms_ = 0;
+    budget_states_ = 0;
+    budget_memory_mb_ = 0;
+    return Status::OK();
+  }
+  CQP_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(args));
+  for (const auto& [key, value] : kv) {
+    if (value < 0) return InvalidArgument("budget values must be >= 0");
+    if (key == "deadline") {
+      budget_deadline_ms_ = value;
+    } else if (key == "states") {
+      budget_states_ = static_cast<uint64_t>(value);
+    } else if (key == "memory") {
+      budget_memory_mb_ = value;
+    } else {
+      return InvalidArgument(
+          ".budget expects deadline=MS states=N memory=MB, got " + key);
+    }
+  }
+  out << "budget: " << MakeBudget().ToString() << "\n";
+  return Status::OK();
+}
+
+Status CqpShell::HandleFailpoints(const std::string& args, std::ostream& out) {
+  if (EqualsIgnoreCase(args, "off")) {
+    failpoint::Reset();
+    return Status::OK();
+  }
+  if (!args.empty()) {
+    CQP_RETURN_IF_ERROR(failpoint::Configure(args));
+  }
+  std::vector<failpoint::FailpointInfo> armed = failpoint::List();
+  if (armed.empty()) {
+    out << "no failpoints armed\n";
+    return Status::OK();
+  }
+  for (const failpoint::FailpointInfo& fp : armed) {
+    out << StrFormat("%-24s p=%.2f seed=%llu hits=%llu fired=%llu\n",
+                     fp.name.c_str(), fp.probability,
+                     static_cast<unsigned long long>(fp.seed),
+                     static_cast<unsigned long long>(fp.hits),
+                     static_cast<unsigned long long>(fp.triggers));
+  }
+  return Status::OK();
+}
+
 Status CqpShell::RebuildGraph() {
   graph_.reset();
   if (db_ == nullptr || profile_.empty()) return Status::OK();
@@ -381,11 +453,19 @@ Status CqpShell::HandleQuery(const std::string& sql, bool execute,
   request.sql = sql;
   request.problem = problem_;
   request.algorithm = algorithm_;
+  request.budget = MakeBudget();
   request.space_options = space_options_;
   CQP_ASSIGN_OR_RETURN(construct::PersonalizeResult result,
                        personalizer.Personalize(request));
 
   out << "preference space: K=" << result.space.K() << "\n";
+  if (result.degraded()) {
+    out << "degraded answer (rung: "
+        << construct::FallbackRungName(result.rung) << ")\n";
+    for (const std::string& attempt : result.attempts) {
+      out << "  " << attempt << "\n";
+    }
+  }
   if (!result.solution.feasible) {
     out << "no feasible personalized query; the original query applies\n";
   } else {

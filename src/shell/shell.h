@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/budget.h"
 #include "cqp/problem.h"
 #include "prefs/graph.h"
 #include "space/preference_space.h"
@@ -34,7 +35,9 @@ namespace cqp::shell {
 ///   .algorithm NAME             choose the search algorithm
 ///   .algorithms                 list available algorithms
 ///   .k N                        cap the preference space size
-///   .settings                   show problem/algorithm/K
+///   .budget [spec|off]          show or set the per-query search budget
+///   .failpoints [spec|off]      show or arm fault-injection points
+///   .settings                   show problem/algorithm/K/budget
 ///   .sql QUERY                  run QUERY directly (no personalization)
 ///   .explain QUERY              personalize QUERY, show the plan only
 ///   QUERY                       personalize QUERY and execute it
@@ -56,9 +59,14 @@ class CqpShell {
   Status HandleLoad(const std::string& args);
   Status HandleProfile(const std::string& args, std::ostream& out);
   Status HandleProblem(const std::string& args);
+  Status HandleBudget(const std::string& args, std::ostream& out);
+  Status HandleFailpoints(const std::string& args, std::ostream& out);
   Status HandleQuery(const std::string& sql, bool execute, std::ostream& out);
   Status HandleRawSql(const std::string& sql, std::ostream& out);
   Status RebuildGraph();
+  /// Builds a fresh SearchBudget from the .budget knobs (the deadline is
+  /// re-anchored at call time).
+  SearchBudget MakeBudget() const;
 
   std::unique_ptr<storage::Database> db_;
   prefs::Profile profile_;
@@ -66,6 +74,11 @@ class CqpShell {
   cqp::ProblemSpec problem_;
   std::string algorithm_ = "C-Boundaries";
   space::PreferenceSpaceOptions space_options_;
+  /// Per-query budget knobs (0 = unlimited); the absolute deadline is
+  /// derived fresh for every query.
+  double budget_deadline_ms_ = 0.0;
+  uint64_t budget_states_ = 0;
+  double budget_memory_mb_ = 0.0;
 };
 
 }  // namespace cqp::shell

@@ -4,6 +4,7 @@
 #include <queue>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace cqp::space {
@@ -64,6 +65,7 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
     const sql::SelectQuery& q, const prefs::PersonalizationGraph& graph,
     const estimation::ParameterEstimator& estimator,
     const cqp::ProblemSpec& problem, const PreferenceSpaceOptions& options) {
+  CQP_FAILPOINT("space.extract");
   CQP_RETURN_IF_ERROR(problem.Validate());
 
   PreferenceSpaceResult result;

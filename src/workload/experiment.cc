@@ -91,9 +91,9 @@ StatusOr<std::map<std::string, AlgoAggregate>> RunImpl(
     if (!reference_algorithm.empty()) {
       CQP_ASSIGN_OR_RETURN(const cqp::Algorithm* ref,
                            cqp::GetAlgorithm(reference_algorithm));
-      cqp::SearchMetrics metrics;
+      cqp::SearchContext ctx;
       CQP_ASSIGN_OR_RETURN(cqp::Solution sol,
-                           ref->Solve(inst.space, problem, &metrics));
+                           ref->Solve(inst.space, problem, ctx));
       if (sol.feasible) {
         reference_doi = sol.params.doi;
         have_reference = true;
@@ -103,9 +103,10 @@ StatusOr<std::map<std::string, AlgoAggregate>> RunImpl(
     for (const std::string& name : algorithm_names) {
       CQP_ASSIGN_OR_RETURN(const cqp::Algorithm* algorithm,
                            cqp::GetAlgorithm(name));
-      cqp::SearchMetrics metrics;
+      cqp::SearchContext ctx;
       CQP_ASSIGN_OR_RETURN(cqp::Solution sol,
-                           algorithm->Solve(inst.space, problem, &metrics));
+                           algorithm->Solve(inst.space, problem, ctx));
+      const cqp::SearchMetrics& metrics = ctx.metrics;
       AlgoAggregate& agg = out[name];
       agg.mean_wall_ms += metrics.wall_ms;
       agg.mean_peak_kbytes += metrics.memory.peak_kbytes();

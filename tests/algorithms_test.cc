@@ -30,8 +30,8 @@ Solution MustSolve(const std::string& name,
                    const space::PreferenceSpaceResult& space,
                    const ProblemSpec& problem) {
   const Algorithm* algorithm = *GetAlgorithm(name);
-  SearchMetrics metrics;
-  auto sol = algorithm->Solve(space, problem, &metrics);
+  SearchContext ctx;
+  auto sol = algorithm->Solve(space, problem, ctx);
   CQP_CHECK(sol.ok()) << name << ": " << sol.status().ToString();
   CheckSolutionConsistent(space, problem, *sol, name);
   return *sol;
@@ -326,8 +326,8 @@ TEST(AlgorithmEdgeTest, ExhaustiveRefusesHugeK) {
   auto space = MakeRandomSpace(rng, 26);
   ProblemSpec problem = ProblemSpec::Problem2(1000);
   const Algorithm* exhaustive = *GetAlgorithm("Exhaustive");
-  SearchMetrics metrics;
-  EXPECT_FALSE(exhaustive->Solve(space, problem, &metrics).ok());
+  SearchContext ctx;
+  EXPECT_FALSE(exhaustive->Solve(space, problem, ctx).ok());
 }
 
 TEST(AlgorithmEdgeTest, MetricsArePopulated) {
@@ -337,11 +337,12 @@ TEST(AlgorithmEdgeTest, MetricsArePopulated) {
   ProblemSpec problem = ProblemSpec::Problem2(0.5 * supreme);
   for (const char* name : {"C-Boundaries", "C-MaxBounds", "D-MaxDoi",
                            "D-SingleMaxDoi", "D-HeurDoi"}) {
-    SearchMetrics metrics;
-    auto sol = (*GetAlgorithm(name))->Solve(space, problem, &metrics);
+    SearchContext ctx;
+    auto sol = (*GetAlgorithm(name))->Solve(space, problem, ctx);
     ASSERT_TRUE(sol.ok()) << name;
-    EXPECT_GT(metrics.states_examined, 0u) << name;
-    EXPECT_GE(metrics.wall_ms, 0.0) << name;
+    EXPECT_GT(ctx.metrics.states_examined, 0u) << name;
+    EXPECT_GE(ctx.metrics.wall_ms, 0.0) << name;
+    EXPECT_FALSE(ctx.metrics.truncated) << name;
   }
 }
 
@@ -351,8 +352,8 @@ TEST(AlgorithmEdgeTest, InvalidProblemRejected) {
   ProblemSpec bad;  // unconstrained
   for (const auto& name : AlgorithmNames()) {
     const Algorithm* algorithm = *GetAlgorithm(name);
-    SearchMetrics metrics;
-    EXPECT_FALSE(algorithm->Solve(space, bad, &metrics).ok()) << name;
+    SearchContext ctx;
+    EXPECT_FALSE(algorithm->Solve(space, bad, ctx).ok()) << name;
   }
 }
 
@@ -370,9 +371,9 @@ TEST(AlgorithmEdgeTest, AllPreferencesStrawman) {
 
   // Tight bound: it still picks everything but reports infeasibility.
   const Algorithm* strawman = *GetAlgorithm("All-Preferences");
-  SearchMetrics metrics;
+  SearchContext ctx;
   Solution tight =
-      *strawman->Solve(space, ProblemSpec::Problem2(0.5 * supreme), &metrics);
+      *strawman->Solve(space, ProblemSpec::Problem2(0.5 * supreme), ctx);
   EXPECT_FALSE(tight.feasible);
   EXPECT_EQ(tight.chosen.size(), 6u);
 }
@@ -402,6 +403,122 @@ TEST(AlgorithmEdgeTest, EqualDoisHandled) {
     Solution got = MustSolve(name, space, problem);
     EXPECT_NEAR(got.params.doi, optimal.params.doi, 1e-12) << name;
   }
+}
+
+// ---------- infeasible paths (satellite c) ----------
+
+/// Algorithms covering both objectives; each must report infeasibility as
+/// Solution::feasible == false, never as a Status error.
+const char* kEveryAlgorithm[] = {"Exhaustive",     "C-Boundaries",
+                                 "C-MaxBounds",    "D-MaxDoi",
+                                 "D-MaxDoi+Prune", "D-SingleMaxDoi",
+                                 "D-HeurDoi",      "MinCost-BB",
+                                 "MinCost-Greedy", "All-Preferences"};
+
+/// A problem the given algorithm supports: the doi family gets Problem 2,
+/// the cost-minimization family gets Problem 6.
+ProblemSpec SupportedProblem(const Algorithm& algorithm, double cmax,
+                             double smin, double smax) {
+  ProblemSpec doi_problem = ProblemSpec::Problem2(cmax);
+  if (algorithm.Supports(doi_problem)) return doi_problem;
+  return ProblemSpec::Problem6(smin, smax);
+}
+
+TEST(InfeasiblePathTest, EmptySpaceIsAnAnswerNotAnError) {
+  Rng rng(41);
+  auto space = MakeRandomSpace(rng, 0);
+  for (const char* name : kEveryAlgorithm) {
+    const Algorithm* algorithm = *GetAlgorithm(name);
+    // A size window strictly above the base size: even the empty subset
+    // misses it, so the instance is unsatisfiable.
+    ProblemSpec problem = SupportedProblem(
+        *algorithm, /*cmax=*/1.0, /*smin=*/space.base.size * 2,
+        /*smax=*/space.base.size * 3);
+    if (problem.objective == Objective::kMaximizeDoi) {
+      problem.cmax_ms = space.base.cost_ms * 0.5;  // below cost(Q)
+    }
+    SearchContext ctx;
+    auto sol = algorithm->Solve(space, problem, ctx);
+    ASSERT_TRUE(sol.ok()) << name << ": " << sol.status().ToString();
+    EXPECT_FALSE(sol->feasible) << name;
+    EXPECT_FALSE(sol->degraded) << name << " (clean completion)";
+  }
+}
+
+TEST(InfeasiblePathTest, UnsatisfiableConstraintsReturnInfeasible) {
+  Rng rng(42);
+  auto space = MakeRandomSpace(rng, 8);
+  for (const char* name : kEveryAlgorithm) {
+    const Algorithm* algorithm = *GetAlgorithm(name);
+    // cmax below the base cost / a size window no subset reaches: no
+    // subset of P (including the empty one) satisfies the constraints.
+    ProblemSpec problem = SupportedProblem(
+        *algorithm, /*cmax=*/space.base.cost_ms * 0.5,
+        /*smin=*/space.base.size * 100, /*smax=*/space.base.size * 200);
+    SearchContext ctx;
+    auto sol = algorithm->Solve(space, problem, ctx);
+    ASSERT_TRUE(sol.ok()) << name << ": " << sol.status().ToString();
+    EXPECT_FALSE(sol->feasible) << name;
+  }
+}
+
+// ---------- budget behavior across algorithms ----------
+
+TEST(BudgetTest, ExpiredDeadlineStillReturnsOkPossiblyDegraded) {
+  Rng rng(43);
+  auto space = MakeRandomSpace(rng, 14);
+  double supreme = space.MakeEvaluator().SupremeState().cost_ms;
+  ProblemSpec doi_problem = ProblemSpec::Problem2(0.6 * supreme);
+  ProblemSpec cost_problem = ProblemSpec::Problem4(0.5);
+  for (const char* name : kEveryAlgorithm) {
+    const Algorithm* algorithm = *GetAlgorithm(name);
+    const ProblemSpec& problem =
+        algorithm->Supports(doi_problem) ? doi_problem : cost_problem;
+    SearchContext ctx(SearchBudget::AfterMillis(0.0));
+    auto sol = algorithm->Solve(space, problem, ctx);
+    ASSERT_TRUE(sol.ok()) << name << ": " << sol.status().ToString();
+    if (ctx.exhausted()) {
+      EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kDeadline) << name;
+      EXPECT_TRUE(sol->degraded) << name;
+      EXPECT_TRUE(ctx.metrics.truncated) << name;
+    }
+  }
+}
+
+TEST(BudgetTest, SingleExpansionBudgetDegradesSearchAlgorithms) {
+  Rng rng(44);
+  auto space = MakeRandomSpace(rng, 12);
+  double supreme = space.MakeEvaluator().SupremeState().cost_ms;
+  ProblemSpec problem = ProblemSpec::Problem2(0.5 * supreme);
+  for (const char* name :
+       {"Exhaustive", "C-Boundaries", "C-MaxBounds", "D-MaxDoi",
+        "D-SingleMaxDoi", "D-HeurDoi"}) {
+    SearchBudget budget;
+    budget.max_expansions = 1;
+    SearchContext ctx(budget);
+    auto sol = (*GetAlgorithm(name))->Solve(space, problem, ctx);
+    ASSERT_TRUE(sol.ok()) << name;
+    EXPECT_TRUE(ctx.exhausted()) << name;
+    EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kExpansions) << name;
+    EXPECT_TRUE(sol->degraded) << name;
+    CheckSolutionConsistent(space, problem, *sol, name);
+  }
+}
+
+TEST(BudgetTest, CancelTokenAbortsBeforeAnyExpansion) {
+  Rng rng(45);
+  auto space = MakeRandomSpace(rng, 10);
+  double supreme = space.MakeEvaluator().SupremeState().cost_ms;
+  ProblemSpec problem = ProblemSpec::Problem2(0.5 * supreme);
+  CancelToken cancel;
+  cancel.Cancel();
+  SearchBudget budget;
+  budget.cancel = &cancel;
+  SearchContext ctx(budget);
+  auto sol = (*GetAlgorithm("C-Boundaries"))->Solve(space, problem, ctx);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->degraded);
+  EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kCancelled);
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/failpoint.h"
 #include "common/index_set.h"
 #include "common/memory_meter.h"
 #include "common/rng.h"
@@ -271,6 +275,189 @@ TEST(StrUtilTest, StripAndAffixes) {
 TEST(StrUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+// ---------- new status codes ----------
+
+TEST(StatusTest, DeadlineAndResourceCodes) {
+  Status d = DeadlineExceeded("too slow");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.message(), "too slow");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+
+  Status r = ResourceExhausted("out of states");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kResourceExhausted);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+// ---------- SearchBudget ----------
+
+TEST(SearchBudgetTest, DefaultIsUnlimited) {
+  SearchBudget budget;
+  EXPECT_TRUE(budget.IsUnlimited());
+  EXPECT_EQ(budget.ToString(), "unlimited");
+  EXPECT_GT(budget.RemainingMillis(), 1e18);  // infinity
+}
+
+TEST(SearchBudgetTest, AfterMillisSetsAbsoluteDeadline) {
+  SearchBudget budget = SearchBudget::AfterMillis(1000.0);
+  EXPECT_FALSE(budget.IsUnlimited());
+  double remaining = budget.RemainingMillis();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 1000.0 + 1e-6);
+}
+
+TEST(SearchBudgetTest, ExpiredDeadlineGoesNegative) {
+  SearchBudget budget = SearchBudget::AfterMillis(-5.0);
+  EXPECT_LT(budget.RemainingMillis(), 0.0);
+}
+
+TEST(SearchBudgetTest, AnySingleLimitMakesItLimited) {
+  SearchBudget a;
+  a.max_expansions = 1;
+  EXPECT_FALSE(a.IsUnlimited());
+  SearchBudget b;
+  b.max_memory_bytes = 1;
+  EXPECT_FALSE(b.IsUnlimited());
+  CancelToken token;
+  SearchBudget c;
+  c.cancel = &token;
+  EXPECT_FALSE(c.IsUnlimited());
+}
+
+TEST(SearchBudgetTest, ToStringMentionsEachLimit) {
+  SearchBudget budget = SearchBudget::AfterMillis(50.0);
+  budget.max_expansions = 123;
+  budget.max_memory_bytes = 4096;
+  std::string text = budget.ToString();
+  EXPECT_NE(text.find("deadline="), std::string::npos) << text;
+  EXPECT_NE(text.find("123"), std::string::npos) << text;
+  EXPECT_NE(text.find("4096"), std::string::npos) << text;
+}
+
+TEST(CancelTokenTest, CancelAndReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(BudgetExhaustionTest, NamesAreStable) {
+  EXPECT_STREQ(BudgetExhaustionName(BudgetExhaustion::kNone), "None");
+  EXPECT_STREQ(BudgetExhaustionName(BudgetExhaustion::kDeadline), "Deadline");
+  EXPECT_STREQ(BudgetExhaustionName(BudgetExhaustion::kExpansions),
+               "Expansions");
+  EXPECT_STREQ(BudgetExhaustionName(BudgetExhaustion::kMemory), "Memory");
+  EXPECT_STREQ(BudgetExhaustionName(BudgetExhaustion::kCancelled),
+               "Cancelled");
+}
+
+// ---------- failpoints ----------
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::Reset(); }
+  void TearDown() override { failpoint::Reset(); }
+};
+
+TEST_F(FailpointTest, UnarmedNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(failpoint::Maybe("never.armed"));
+  }
+  EXPECT_TRUE(failpoint::List().empty());
+}
+
+TEST_F(FailpointTest, ProbabilityOneAlwaysFires) {
+  ASSERT_TRUE(failpoint::Configure("always=1.0:42").ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(failpoint::Maybe("always"));
+  }
+  auto armed = failpoint::List();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0].name, "always");
+  EXPECT_EQ(armed[0].hits, 20u);
+  EXPECT_EQ(armed[0].triggers, 20u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(failpoint::Configure("off=0.0:42").ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(failpoint::Maybe("off"));
+  }
+  auto armed = failpoint::List();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0].hits, 20u);
+  EXPECT_EQ(armed[0].triggers, 0u);
+}
+
+TEST_F(FailpointTest, SameSeedSameSequence) {
+  ASSERT_TRUE(failpoint::Configure("coin=0.5:7").ok());
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(failpoint::Maybe("coin"));
+  ASSERT_TRUE(failpoint::Configure("coin=0.5:7").ok());  // re-arm: counters reset
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) second.push_back(failpoint::Maybe("coin"));
+  EXPECT_EQ(first, second);
+  // A fair-ish coin: both outcomes appear over 64 deterministic draws.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailpointTest, DifferentSeedsDiverge) {
+  ASSERT_TRUE(failpoint::Configure("coin=0.5:1").ok());
+  std::vector<bool> a;
+  for (int i = 0; i < 64; ++i) a.push_back(failpoint::Maybe("coin"));
+  ASSERT_TRUE(failpoint::Configure("coin=0.5:2").ok());
+  std::vector<bool> b;
+  for (int i = 0; i < 64; ++i) b.push_back(failpoint::Maybe("coin"));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedSpecs) {
+  EXPECT_FALSE(failpoint::Configure("noequals").ok());
+  EXPECT_FALSE(failpoint::Configure("p=notanumber").ok());
+  EXPECT_FALSE(failpoint::Configure("p=2.0").ok());   // prob > 1
+  EXPECT_FALSE(failpoint::Configure("p=-0.5").ok());  // prob < 0
+  EXPECT_FALSE(failpoint::Configure("p=0.5:badseed").ok());
+  EXPECT_FALSE(failpoint::Configure("=0.5").ok());  // empty name
+  // Valid specs still work after rejections.
+  EXPECT_TRUE(failpoint::Configure("a=0.5,b=1.0:3").ok());
+  EXPECT_EQ(failpoint::List().size(), 2u);
+}
+
+TEST_F(FailpointTest, EmptySpecDisarmsEverything) {
+  ASSERT_TRUE(failpoint::Configure("a=1.0").ok());
+  EXPECT_TRUE(failpoint::Maybe("a"));
+  ASSERT_TRUE(failpoint::Configure("").ok());
+  EXPECT_FALSE(failpoint::Maybe("a"));
+  EXPECT_TRUE(failpoint::List().empty());
+}
+
+TEST_F(FailpointTest, ReloadFromEnvArmsAndClears) {
+  setenv("CQP_FAILPOINTS", "env.point=1.0:9", 1);
+  ASSERT_TRUE(failpoint::ReloadFromEnv().ok());
+  EXPECT_TRUE(failpoint::Maybe("env.point"));
+  unsetenv("CQP_FAILPOINTS");
+  ASSERT_TRUE(failpoint::ReloadFromEnv().ok());
+  EXPECT_FALSE(failpoint::Maybe("env.point"));
+}
+
+TEST_F(FailpointTest, MacroReturnsInternalError) {
+  ASSERT_TRUE(failpoint::Configure("macro.test=1.0").ok());
+  auto fallible = []() -> Status {
+    CQP_FAILPOINT("macro.test");
+    return Status::OK();
+  };
+  Status s = fallible();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("macro.test"), std::string::npos);
 }
 
 }  // namespace

@@ -3,11 +3,14 @@
 #include <memory>
 #include <set>
 
+#include "common/failpoint.h"
 #include "construct/personalizer.h"
 #include "construct/query_builder.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 #include "test_util.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
 
 namespace cqp::construct {
 namespace {
@@ -360,6 +363,161 @@ TEST_F(PersonalizerTest, ExecutedRowsSatisfyChosenPreferences) {
   // Every returned row satisfies every sub-query (intersection semantics).
   for (const auto& row : rows.rows) {
     EXPECT_EQ(row.satisfied.size(), result.personalized.L());
+  }
+}
+
+// ---------- degradation ladder ----------
+
+/// Keeps every ladder test hermetic: no armed failpoint leaks in or out.
+class FallbackTest : public PersonalizerTest {
+ protected:
+  void SetUp() override { failpoint::Reset(); }
+  void TearDown() override {
+    failpoint::Reset();
+    unsetenv("CQP_FAILPOINTS");
+  }
+
+  PersonalizeRequest LooseDoiRequest() const {
+    PersonalizeRequest request;
+    request.sql = "SELECT title FROM MOVIE";
+    request.problem = cqp::ProblemSpec::Problem2(1e9);
+    request.algorithm = "C-Boundaries";
+    return request;
+  }
+};
+
+TEST_F(FallbackTest, HealthyRequestAnswersOnPrimaryRung) {
+  Personalizer personalizer(&db_, graph_.get());
+  auto result = personalizer.Personalize(LooseDoiRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rung, FallbackRung::kPrimary);
+  EXPECT_FALSE(result->degraded());
+  ASSERT_EQ(result->attempts.size(), 1u);
+  EXPECT_NE(result->attempts[0].find("C-Boundaries"), std::string::npos);
+}
+
+TEST_F(FallbackTest, SolverFaultDescendsToHeuristicRung) {
+  ASSERT_TRUE(failpoint::Configure("cqp.solve=1.0:1").ok());
+  Personalizer personalizer(&db_, graph_.get());
+  auto result = personalizer.Personalize(LooseDoiRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rung, FallbackRung::kHeuristic);
+  EXPECT_TRUE(result->degraded());
+  EXPECT_TRUE(result->solution.feasible);
+  EXPECT_TRUE(result->solution.degraded);
+  ASSERT_GE(result->attempts.size(), 2u);
+  EXPECT_NE(result->attempts[0].find("injected fault"), std::string::npos);
+  EXPECT_NE(result->attempts[1].find("D-HeurDoi"), std::string::npos);
+}
+
+TEST_F(FallbackTest, UnavailableHeuristicDescendsToTopK) {
+  ASSERT_TRUE(failpoint::Configure("cqp.solve=1.0:1").ok());
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request = LooseDoiRequest();
+  // A heuristic naming the primary algorithm is skipped, forcing rung 3.
+  request.fallback.heuristic = "C-Boundaries";
+  auto result = personalizer.Personalize(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rung, FallbackRung::kTopK);
+  EXPECT_TRUE(result->degraded());
+  EXPECT_TRUE(result->solution.feasible);
+  ASSERT_GE(result->attempts.size(), 3u);
+  EXPECT_NE(result->attempts[1].find("skipped"), std::string::npos);
+}
+
+TEST_F(FallbackTest, EveryRungExhaustedLandsOnOriginalQuery) {
+  // Rung 1 faulted, rung 2 skipped, rung 3 infeasible (cmax below cost(Q)
+  // rules out every non-empty prefix): the ladder bottoms out.
+  ASSERT_TRUE(failpoint::Configure("cqp.solve=1.0:1").ok());
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request = LooseDoiRequest();
+  request.problem = cqp::ProblemSpec::Problem2(1e-6);
+  request.fallback.heuristic = "C-Boundaries";
+  auto result = personalizer.Personalize(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rung, FallbackRung::kOriginal);
+  EXPECT_TRUE(result->degraded());
+  EXPECT_FALSE(result->solution.feasible);
+  ASSERT_EQ(result->attempts.size(), 4u);
+  EXPECT_NE(result->attempts[3].find("original"), std::string::npos);
+
+  // The unpersonalized query still executes.
+  exec::ExecStats stats;
+  auto rows = personalizer.Execute(*result, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 6u);
+}
+
+TEST_F(FallbackTest, ExtractionFaultFromEnvFallsToOriginal) {
+  // The acceptance scenario: CQP_FAILPOINTS=space.extract=1.0:42 in the
+  // environment must degrade to the original query, not fail.
+  setenv("CQP_FAILPOINTS", "space.extract=1.0:42", 1);
+  ASSERT_TRUE(failpoint::ReloadFromEnv().ok());
+  Personalizer personalizer(&db_, graph_.get());
+  auto result = personalizer.Personalize(LooseDoiRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rung, FallbackRung::kOriginal);
+  EXPECT_TRUE(result->degraded());
+  EXPECT_FALSE(result->solution.feasible);
+  ASSERT_GE(result->attempts.size(), 1u);
+  EXPECT_NE(result->attempts[0].find("extract"), std::string::npos);
+  EXPECT_NE(result->final_sql.find("SELECT"), std::string::npos);
+}
+
+TEST_F(FallbackTest, DisabledFallbackPropagatesInjectedFault) {
+  ASSERT_TRUE(failpoint::Configure("space.extract=1.0:1").ok());
+  Personalizer personalizer(&db_, graph_.get());
+  PersonalizeRequest request = LooseDoiRequest();
+  request.fallback.enabled = false;
+  auto result = personalizer.Personalize(request);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FallbackTest, FaultedRetryIsDeterministic) {
+  ASSERT_TRUE(failpoint::Configure("cqp.solve=1.0:9").ok());
+  Personalizer personalizer(&db_, graph_.get());
+  auto a = personalizer.Personalize(LooseDoiRequest());
+  ASSERT_TRUE(failpoint::Configure("cqp.solve=1.0:9").ok());
+  auto b = personalizer.Personalize(LooseDoiRequest());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rung, b->rung);
+  EXPECT_EQ(a->attempts, b->attempts);
+  EXPECT_EQ(a->final_sql, b->final_sql);
+}
+
+TEST_F(FallbackTest, OneMillisecondDeadlineOnLargestProfileStillAnswers) {
+  // The acceptance scenario: a realistic (workload-generated) database and
+  // the largest profile the generator produces, personalized under a 1 ms
+  // deadline, must come back OK and feasible — degraded is fine.
+  workload::MovieDbConfig db_config;
+  db_config.n_movies = 800;
+  db_config.n_directors = 60;
+  db_config.n_actors = 150;
+  auto big_db = *workload::BuildMovieDatabase(db_config);
+
+  workload::ProfileGenConfig profile_config;
+  profile_config.n_genre_prefs = 24;
+  profile_config.n_director_prefs = 30;
+  profile_config.n_actor_prefs = 30;
+  profile_config.n_year_prefs = 16;
+  profile_config.n_duration_prefs = 12;
+  auto profile = *workload::GenerateProfile(profile_config, db_config);
+  auto graph = *prefs::PersonalizationGraph::Build(std::move(profile), big_db);
+
+  Personalizer personalizer(&big_db, &graph);
+  PersonalizeRequest request;
+  request.sql = "SELECT title FROM MOVIE";
+  request.problem = cqp::ProblemSpec::Problem2(1e9);
+  request.algorithm = "C-Boundaries";
+  request.budget = ::cqp::SearchBudget::AfterMillis(1.0);
+  auto result = personalizer.Personalize(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->solution.feasible);
+  // Either the primary finished inside 1 ms or the answer is flagged.
+  if (result->rung != FallbackRung::kPrimary || result->solution.degraded) {
+    EXPECT_TRUE(result->degraded());
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "cqp/algorithms.h"
 #include "cqp/multi_objective.h"
 #include "test_util.h"
 
@@ -57,8 +58,8 @@ TEST_P(ParetoTest, FrontIsUndominatedAndComplete) {
   Rng rng(static_cast<uint64_t>(GetParam()));
   auto space = MakeRandomSpace(rng, 10);
   MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
-  SearchMetrics metrics;
-  auto front = *ParetoFront(space, spec, &metrics);
+  SearchContext ctx;
+  auto front = *ParetoFront(space, spec, ctx);
   ASSERT_FALSE(front.empty());
 
   // Monotone: increasing cost and strictly increasing doi.
@@ -99,10 +100,10 @@ TEST_P(ParetoTest, ScalarizedOptimumTouchesTheFront) {
   auto space = MakeRandomSpace(rng, 9);
   for (double wc : {0.1, 1.0, 5.0}) {
     MultiObjectiveSpec spec = BasicSpec(space, 1, wc, 0);
-    SearchMetrics m1, m2;
-    Solution best = *SolveScalarized(space, spec, &m1);
+    SearchContext c1, c2;
+    Solution best = *SolveScalarized(space, spec, c1);
     ASSERT_TRUE(best.feasible);
-    auto front = *ParetoFront(space, spec, &m2);
+    auto front = *ParetoFront(space, spec, c2);
     // The scalarized optimum's score equals the best score over the front
     // (a positive weighted sum is always maximized on the Pareto front).
     double best_front = -1e18;
@@ -119,9 +120,10 @@ TEST(ParetoTest, ConstraintsFilterTheFront) {
   Rng rng(42);
   auto space = MakeRandomSpace(rng, 10);
   MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
-  auto unconstrained = *ParetoFront(space, spec, nullptr);
+  SearchContext c1, c2;
+  auto unconstrained = *ParetoFront(space, spec, c1);
   spec.cmax_ms = space.MakeEvaluator().SupremeState().cost_ms * 0.4;
-  auto constrained = *ParetoFront(space, spec, nullptr);
+  auto constrained = *ParetoFront(space, spec, c2);
   EXPECT_LE(constrained.size(), unconstrained.size());
   for (const ParetoPoint& p : constrained) {
     EXPECT_LE(p.params.cost_ms, *spec.cmax_ms);
@@ -132,7 +134,8 @@ TEST(ParetoTest, RefusesHugeK) {
   Rng rng(7);
   auto space = MakeRandomSpace(rng, 21);
   MultiObjectiveSpec spec = BasicSpec(space, 1, 1, 0);
-  EXPECT_FALSE(ParetoFront(space, spec, nullptr).ok());
+  SearchContext ctx;
+  EXPECT_FALSE(ParetoFront(space, spec, ctx).ok());
 }
 
 // ---------- Scalarized branch-and-bound ----------
@@ -150,8 +153,8 @@ TEST_P(ScalarizedTest, MatchesBruteForce) {
                    rng.UniformDouble(0.3, 1.0);
   }
 
-  SearchMetrics metrics;
-  Solution got = *SolveScalarized(space, spec, &metrics);
+  SearchContext ctx;
+  Solution got = *SolveScalarized(space, spec, ctx);
 
   // Brute force.
   estimation::StateEvaluator evaluator = space.MakeEvaluator();
@@ -186,11 +189,13 @@ TEST(ScalarizedTest, PureDoiWeightReducesToProblem2) {
   double supreme = space.MakeEvaluator().SupremeState().cost_ms;
   MultiObjectiveSpec spec = BasicSpec(space, 1, 0, 0);
   spec.cmax_ms = 0.5 * supreme;
-  Solution scalarized = *SolveScalarized(space, spec, nullptr);
+  SearchContext scalar_ctx;
+  Solution scalarized = *SolveScalarized(space, spec, scalar_ctx);
 
   ProblemSpec p2 = ProblemSpec::Problem2(0.5 * supreme);
-  SearchMetrics m;
-  Solution classic = *(*GetAlgorithm("Exhaustive"))->Solve(space, p2, &m);
+  SearchContext classic_ctx;
+  Solution classic =
+      *(*GetAlgorithm("Exhaustive"))->Solve(space, p2, classic_ctx);
   ASSERT_TRUE(scalarized.feasible);
   EXPECT_NEAR(scalarized.params.doi, classic.params.doi, 1e-9);
 }
@@ -200,8 +205,9 @@ TEST(ScalarizedTest, SizeWeightPullsTowardSmallerAnswers) {
   auto space = MakeRandomSpace(rng, 10);
   MultiObjectiveSpec light = BasicSpec(space, 1, 0, 0.1);
   MultiObjectiveSpec heavy = BasicSpec(space, 1, 0, 10.0);
-  Solution a = *SolveScalarized(space, light, nullptr);
-  Solution b = *SolveScalarized(space, heavy, nullptr);
+  SearchContext c1, c2;
+  Solution a = *SolveScalarized(space, light, c1);
+  Solution b = *SolveScalarized(space, heavy, c2);
   ASSERT_TRUE(a.feasible);
   ASSERT_TRUE(b.feasible);
   EXPECT_LE(b.params.size, a.params.size + 1e-9);
@@ -213,8 +219,8 @@ TEST(ScalarizedTest, HardConstraintsRespected) {
   MultiObjectiveSpec spec = BasicSpec(space, 1, 0.2, 0);
   spec.dmin = 0.8;
   spec.smax = space.base.size * 0.5;
-  SearchMetrics metrics;
-  Solution sol = *SolveScalarized(space, spec, &metrics);
+  SearchContext ctx;
+  Solution sol = *SolveScalarized(space, spec, ctx);
   if (sol.feasible) {
     EXPECT_GE(sol.params.doi, 0.8);
     EXPECT_LE(sol.params.size, *spec.smax + 1e-9);
@@ -226,8 +232,9 @@ TEST(ScalarizedTest, CostWeightPullsTowardCheaperQueries) {
   auto space = MakeRandomSpace(rng, 10);
   MultiObjectiveSpec light = BasicSpec(space, 1, 0.1, 0);
   MultiObjectiveSpec heavy = BasicSpec(space, 1, 10.0, 0);
-  Solution a = *SolveScalarized(space, light, nullptr);
-  Solution b = *SolveScalarized(space, heavy, nullptr);
+  SearchContext c1, c2;
+  Solution a = *SolveScalarized(space, light, c1);
+  Solution b = *SolveScalarized(space, heavy, c2);
   ASSERT_TRUE(a.feasible);
   ASSERT_TRUE(b.feasible);
   EXPECT_LE(b.params.cost_ms, a.params.cost_ms);

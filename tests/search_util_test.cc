@@ -15,7 +15,7 @@ using ::cqp::testing::MakeRandomSpace;
 
 TEST(VisitedSetTest, InsertThenHit) {
   SearchMetrics metrics;
-  VisitedSet visited(&metrics);
+  VisitedSet visited(metrics);
   EXPECT_FALSE(visited.CheckAndInsert(IndexSet{1, 2}));
   EXPECT_TRUE(visited.CheckAndInsert(IndexSet{1, 2}));
   EXPECT_FALSE(visited.CheckAndInsert(IndexSet{1, 3}));
@@ -24,7 +24,7 @@ TEST(VisitedSetTest, InsertThenHit) {
 
 TEST(VisitedSetTest, AccountsMemoryOnce) {
   SearchMetrics metrics;
-  VisitedSet visited(&metrics);
+  VisitedSet visited(metrics);
   IndexSet s{1, 2, 3};
   visited.CheckAndInsert(s);
   size_t after_first = metrics.memory.current_bytes();
@@ -37,7 +37,7 @@ TEST(VisitedSetTest, AccountsMemoryOnce) {
 
 TEST(StateQueueTest, FrontAndBackOrdering) {
   SearchMetrics metrics;
-  StateQueue queue(&metrics);
+  StateQueue queue(metrics);
   queue.PushBack(IndexSet{0});
   queue.PushBack(IndexSet{1});
   queue.PushFront(IndexSet{2});
@@ -50,7 +50,7 @@ TEST(StateQueueTest, FrontAndBackOrdering) {
 
 TEST(StateQueueTest, ReleasesMemoryOnPop) {
   SearchMetrics metrics;
-  StateQueue queue(&metrics);
+  StateQueue queue(metrics);
   queue.PushBack(IndexSet{0, 1, 2});
   size_t held = metrics.memory.current_bytes();
   EXPECT_GT(held, 0u);
@@ -63,7 +63,7 @@ TEST(StateQueueTest, ReleasesMemoryOnPop) {
 
 TEST(BoundaryStoreTest, DominationIsPerGroup) {
   SearchMetrics metrics;
-  BoundaryStore store(&metrics);
+  BoundaryStore store(metrics);
   store.Add(IndexSet{0, 2});
   EXPECT_TRUE(store.DominatesAny(IndexSet{1, 3}));   // 0<=1, 2<=3
   EXPECT_FALSE(store.DominatesAny(IndexSet{0, 1}));  // 2 > 1
@@ -74,7 +74,7 @@ TEST(BoundaryStoreTest, DominationIsPerGroup) {
 
 TEST(BoundaryStoreTest, DescendingBySizeOrder) {
   SearchMetrics metrics;
-  BoundaryStore store(&metrics);
+  BoundaryStore store(metrics);
   store.Add(IndexSet{0});
   store.Add(IndexSet{0, 1, 2});
   store.Add(IndexSet{1, 2});
@@ -107,14 +107,15 @@ class GreedyFillTest : public ::testing::Test {
   space::PreferenceSpaceResult space_;
   estimation::StateEvaluator evaluator_;
   ProblemSpec problem_;
+  SearchContext ctx_;
 };
 
 TEST_F(GreedyFillTest, FillsEverythingUnderLooseBound) {
   SetBound(1e12);
   SpaceView view = View();
   FillResult fill = GreedyFill(view, IndexSet{3},
-                               view.Evaluate(IndexSet{3}, nullptr), nullptr,
-                               nullptr);
+                               view.Evaluate(IndexSet{3}, ctx_.metrics),
+                               nullptr, ctx_);
   EXPECT_EQ(fill.state.size(), 8u);
 }
 
@@ -130,8 +131,9 @@ TEST_F(GreedyFillTest, AddsNothingUnderTightBound) {
   SetBound(min_pair - 1.0);
   SpaceView view = View();
   IndexSet seed{0};  // most expensive preference (C order)
-  FillResult fill =
-      GreedyFill(view, seed, view.Evaluate(seed, nullptr), nullptr, nullptr);
+  FillResult fill = GreedyFill(view, seed,
+                               view.Evaluate(seed, ctx_.metrics), nullptr,
+                               ctx_);
   EXPECT_EQ(fill.state, seed);
 }
 
@@ -142,8 +144,8 @@ TEST_F(GreedyFillTest, RespectsBannedPositions) {
   banned[2] = true;
   banned[5] = true;
   FillResult fill = GreedyFill(view, IndexSet{0},
-                               view.Evaluate(IndexSet{0}, nullptr), &banned,
-                               nullptr);
+                               view.Evaluate(IndexSet{0}, ctx_.metrics),
+                               &banned, ctx_);
   EXPECT_EQ(fill.state.size(), 6u);
   EXPECT_FALSE(fill.state.Contains(2));
   EXPECT_FALSE(fill.state.Contains(5));
@@ -156,14 +158,14 @@ TEST_F(GreedyFillTest, ResultAlwaysWithinBound) {
     SetBound(rng.UniformDouble(0.1, 1.0) * supreme);
     SpaceView view = View();
     IndexSet seed{static_cast<int32_t>(rng.Uniform(0, 7))};
-    estimation::StateParams seed_params = view.Evaluate(seed, nullptr);
+    estimation::StateParams seed_params = view.Evaluate(seed, ctx_.metrics);
     if (!view.WithinBound(seed_params)) continue;
-    FillResult fill = GreedyFill(view, seed, seed_params, nullptr, nullptr);
+    FillResult fill = GreedyFill(view, seed, seed_params, nullptr, ctx_);
     EXPECT_TRUE(view.WithinBound(fill.params));
     // Maximality: no further candidate fits.
     for (int32_t j : Horizontal2Candidates(fill.state, view.K())) {
       estimation::StateParams extended =
-          view.ExtendWith(fill.params, j, nullptr);
+          view.ExtendWith(fill.params, j, ctx_.metrics);
       EXPECT_FALSE(view.WithinBound(extended))
           << "fill was not maximal: could still add " << j;
     }
@@ -181,26 +183,77 @@ TEST(BoundSpaceKindTest, PicksCostThenSize) {
   EXPECT_FALSE(BoundSpaceKindFor(ProblemSpec::Problem4(0.5)).ok());
 }
 
-// ---------- resource limits ----------
+// ---------- budgets ----------
 
-TEST(ResourceLimitTest, HelperFlagsTruncation) {
-  SearchMetrics metrics;
-  metrics.state_limit = 10;
-  metrics.states_examined = 9;
-  EXPECT_FALSE(HitResourceLimit(&metrics));
-  metrics.states_examined = 10;
-  EXPECT_TRUE(HitResourceLimit(&metrics));
-  EXPECT_TRUE(metrics.truncated);
-  EXPECT_FALSE(HitResourceLimit(nullptr));
+TEST(SearchContextTest, UnlimitedNeverStops) {
+  SearchContext ctx;
+  ctx.metrics.states_examined = 1000000;
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_FALSE(ctx.exhausted());
+  EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kNone);
 }
 
-TEST(ResourceLimitTest, MemoryLimitFires) {
-  SearchMetrics metrics;
-  metrics.memory_limit_bytes = 100;
-  metrics.memory.Allocate(99);
-  EXPECT_FALSE(HitResourceLimit(&metrics));
-  metrics.memory.Allocate(1);
-  EXPECT_TRUE(HitResourceLimit(&metrics));
+TEST(SearchContextTest, ExpansionLimitIsSticky) {
+  SearchBudget budget;
+  budget.max_expansions = 10;
+  SearchContext ctx(budget);
+  ctx.metrics.states_examined = 9;
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.metrics.states_examined = 10;
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.metrics.truncated);
+  EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kExpansions);
+  // Sticky: stays stopped even if the counter were rolled back.
+  ctx.metrics.states_examined = 0;
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_FALSE(ctx.ExhaustionStatus().ok());
+  EXPECT_EQ(ctx.ExhaustionStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SearchContextTest, MemoryLimitFires) {
+  SearchBudget budget;
+  budget.max_memory_bytes = 100;
+  SearchContext ctx(budget);
+  ctx.metrics.memory.Allocate(99);
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.metrics.memory.Allocate(1);
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kMemory);
+}
+
+TEST(SearchContextTest, CancelTokenStops) {
+  CancelToken cancel;
+  SearchBudget budget;
+  budget.cancel = &cancel;
+  SearchContext ctx(budget);
+  EXPECT_FALSE(ctx.ShouldStop());
+  cancel.Cancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kCancelled);
+}
+
+TEST(SearchContextTest, ExpiredDeadlineStopsWithinStride) {
+  SearchContext ctx(SearchBudget::AfterMillis(0.0));
+  bool stopped = false;
+  // The deadline is only polled every kDeadlineStride ticks; a handful of
+  // calls must be enough to observe it.
+  for (int i = 0; i < 64 && !stopped; ++i) stopped = ctx.ShouldStop();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(ctx.exhaustion(), BudgetExhaustion::kDeadline);
+  EXPECT_EQ(ctx.ExhaustionStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SearchContextTest, ResetForRetryKeepsBudget) {
+  SearchBudget budget;
+  budget.max_expansions = 5;
+  SearchContext ctx(budget);
+  ctx.metrics.states_examined = 5;
+  EXPECT_TRUE(ctx.ShouldStop());
+  ctx.ResetForRetry();
+  EXPECT_FALSE(ctx.exhausted());
+  EXPECT_EQ(ctx.metrics.states_examined, 0u);
+  ctx.metrics.states_examined = 5;
+  EXPECT_TRUE(ctx.ShouldStop());  // the budget itself survives the reset
 }
 
 class TruncationTest : public ::testing::TestWithParam<const char*> {};
@@ -212,18 +265,22 @@ TEST_P(TruncationTest, LimitedRunStillReturnsSolution) {
   ProblemSpec problem = ProblemSpec::Problem2(0.5 * supreme);
 
   const Algorithm* algorithm = *GetAlgorithm(GetParam());
-  SearchMetrics unlimited;
-  auto full = algorithm->Solve(space, problem, &unlimited);
+  SearchContext unlimited;
+  auto full = algorithm->Solve(space, problem, unlimited);
   ASSERT_TRUE(full.ok());
-  EXPECT_FALSE(unlimited.truncated);
+  EXPECT_FALSE(unlimited.metrics.truncated);
+  EXPECT_FALSE(full->degraded);
 
-  SearchMetrics limited;
-  limited.state_limit = 20;  // far below what the search needs
-  auto cut = algorithm->Solve(space, problem, &limited);
+  SearchBudget budget;
+  budget.max_expansions = 20;  // far below what the search needs
+  SearchContext limited(budget);
+  auto cut = algorithm->Solve(space, problem, limited);
   ASSERT_TRUE(cut.ok()) << GetParam();
   // The capped run is flagged if and only if it actually ran out.
-  if (unlimited.states_examined > 20) {
-    EXPECT_TRUE(limited.truncated) << GetParam();
+  if (unlimited.metrics.states_examined > 20) {
+    EXPECT_TRUE(limited.metrics.truncated) << GetParam();
+    EXPECT_TRUE(limited.exhausted()) << GetParam();
+    EXPECT_TRUE(cut->degraded) << GetParam();
   }
   // Whatever it returns is still a consistent, feasible-or-flagged answer.
   if (cut->feasible) {

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "shell/shell.h"
 
 namespace cqp::shell {
@@ -172,4 +173,65 @@ TEST(ShellTouristTest, GenTourist) {
 }
 
 }  // namespace
+
+// ---------- .budget / .failpoints ----------
+
+TEST(ShellTest, BudgetShowsAndSetsLimits) {
+  CqpShell shell;
+  std::string out = RunLine(shell, ".budget");
+  EXPECT_NE(out.find("unlimited"), std::string::npos);
+
+  out = RunLine(shell, ".budget deadline=5 states=1000 memory=2");
+  EXPECT_NE(out.find("deadline="), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+
+  out = RunLine(shell, ".settings");
+  EXPECT_NE(out.find("budget"), std::string::npos);
+
+  out = RunLine(shell, ".budget off");
+  out = RunLine(shell, ".budget");
+  EXPECT_NE(out.find("unlimited"), std::string::npos);
+}
+
+TEST(ShellTest, BudgetRejectsBadInput) {
+  CqpShell shell;
+  EXPECT_NE(RunLine(shell, ".budget bogus=1").find("error:"),
+            std::string::npos);
+  EXPECT_NE(RunLine(shell, ".budget deadline=-1").find("error:"),
+            std::string::npos);
+}
+
+TEST(ShellTest, FailpointsArmListAndDisarm) {
+  failpoint::Reset();
+  CqpShell shell;
+  std::string out = RunLine(shell, ".failpoints");
+  EXPECT_NE(out.find("no failpoints armed"), std::string::npos);
+
+  out = RunLine(shell, ".failpoints space.extract=1.0:42");
+  EXPECT_NE(out.find("space.extract"), std::string::npos);
+  EXPECT_NE(out.find("seed=42"), std::string::npos);
+
+  EXPECT_NE(RunLine(shell, ".failpoints nonsense").find("error:"),
+            std::string::npos);
+
+  out = RunLine(shell, ".failpoints off");
+  out = RunLine(shell, ".failpoints");
+  EXPECT_NE(out.find("no failpoints armed"), std::string::npos);
+  failpoint::Reset();
+}
+
+TEST_F(ShellWithDbTest, BudgetedQueryReportsDegradation) {
+  failpoint::Reset();
+  EXPECT_EQ(RunLine(shell_, ".profile add doi(GENRE.genre = 'drama') = 0.6"),
+            "");
+  EXPECT_EQ(RunLine(shell_, ".problem 2 cmax=1e9"), "");
+  // Fault the solver: the ladder answers on a lower rung and says so.
+  RunLine(shell_, ".failpoints cqp.solve=1.0:7");
+  std::string out = RunLine(shell_, "SELECT title FROM MOVIE");
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("degraded"), std::string::npos) << out;
+  RunLine(shell_, ".failpoints off");
+  failpoint::Reset();
+}
+
 }  // namespace cqp::shell

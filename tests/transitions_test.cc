@@ -102,6 +102,7 @@ class DirectionTest : public ::testing::Test {
                                  space_)) {}
 
   Rng rng_;
+  SearchMetrics metrics_;
   space::PreferenceSpaceResult space_;
   estimation::StateEvaluator evaluator_;
   ProblemSpec problem_;
@@ -120,8 +121,8 @@ TEST_F(DirectionTest, HorizontalIncreasesCostAndDoi) {
     IndexSet state = IndexSet::FromUnsorted(members);
     auto h = Horizontal(state, view_.K());
     if (!h) continue;
-    estimation::StateParams a = view_.Evaluate(state, nullptr);
-    estimation::StateParams b = view_.Evaluate(*h, nullptr);
+    estimation::StateParams a = view_.Evaluate(state, metrics_);
+    estimation::StateParams b = view_.Evaluate(*h, metrics_);
     EXPECT_GT(b.cost_ms, a.cost_ms);
     EXPECT_GE(b.doi, a.doi);
   }
@@ -137,9 +138,9 @@ TEST_F(DirectionTest, VerticalDecreasesCostInCostSpace) {
     }
     if (members.empty()) continue;
     IndexSet state = IndexSet::FromUnsorted(members);
-    estimation::StateParams a = view_.Evaluate(state, nullptr);
+    estimation::StateParams a = view_.Evaluate(state, metrics_);
     for (const IndexSet& v : VerticalNeighbors(state, view_.K())) {
-      estimation::StateParams b = view_.Evaluate(v, nullptr);
+      estimation::StateParams b = view_.Evaluate(v, metrics_);
       EXPECT_LE(b.cost_ms, a.cost_ms)
           << state.ToString() << " -> " << v.ToString();
     }
@@ -189,7 +190,7 @@ TEST_F(DirectionTest, GreedySwapDominatedAndOptimal) {
         IndexSet candidate = IndexSet::FromUnsorted(stack);
         if (candidate.size() != boundary.size()) return;
         if (!boundary.Dominates(candidate)) return;
-        double doi = view_.Evaluate(candidate, nullptr).doi;
+        double doi = view_.Evaluate(candidate, metrics_).doi;
         if (doi > best) best = doi;
         return;
       }
@@ -200,7 +201,7 @@ TEST_F(DirectionTest, GreedySwapDominatedAndOptimal) {
       }
     };
     rec(0);
-    double got = view_.Evaluate(greedy, nullptr).doi;
+    double got = view_.Evaluate(greedy, metrics_).doi;
     EXPECT_NEAR(got, best, 1e-12) << "boundary " << boundary.ToString();
   }
 }
