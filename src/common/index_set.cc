@@ -1,10 +1,34 @@
 #include "common/index_set.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 
 namespace cqp {
+
+namespace {
+
+/// All bits at positions <= t, for t in [0, 63].
+inline uint64_t LowMaskInclusive(int t) {
+  return (t >= 63) ? ~uint64_t{0} : ((uint64_t{1} << (t + 1)) - 1);
+}
+
+inline bool IsStrictlyIncreasing(const std::vector<int32_t>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] >= v[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void IndexSet::SyncBits() {
+  small_ = indices_.empty() || indices_.back() < 64;
+  bits_ = 0;
+  if (!small_) return;
+  for (int32_t v : indices_) bits_ |= uint64_t{1} << v;
+}
 
 IndexSet::IndexSet(std::initializer_list<int32_t> indices)
     : indices_(indices) {
@@ -15,6 +39,7 @@ IndexSet::IndexSet(std::initializer_list<int32_t> indices)
           << "IndexSet initializer must be strictly increasing";
     }
   }
+  SyncBits();
 }
 
 IndexSet IndexSet::FromUnsorted(std::vector<int32_t> indices) {
@@ -23,6 +48,7 @@ IndexSet IndexSet::FromUnsorted(std::vector<int32_t> indices) {
   IndexSet set;
   set.indices_ = std::move(indices);
   if (!set.indices_.empty()) CQP_CHECK_GE(set.indices_.front(), 0);
+  set.SyncBits();
   return set;
 }
 
@@ -37,6 +63,10 @@ int32_t IndexSet::Min() const {
 }
 
 bool IndexSet::Contains(int32_t index) const {
+  if (small_) {
+    if (index < 0 || index >= 64) return false;
+    return (bits_ >> index) & 1;
+  }
   return std::binary_search(indices_.begin(), indices_.end(), index);
 }
 
@@ -48,6 +78,8 @@ IndexSet IndexSet::WithAdded(int32_t index) const {
   out.indices_.assign(indices_.begin(), pos);
   out.indices_.push_back(index);
   out.indices_.insert(out.indices_.end(), pos, indices_.end());
+  CQP_DCHECK(IsStrictlyIncreasing(out.indices_));
+  out.SyncBits();
   return out;
 }
 
@@ -58,27 +90,48 @@ IndexSet IndexSet::WithRemoved(int32_t index) const {
   for (int32_t v : indices_) {
     if (v != index) out.indices_.push_back(v);
   }
+  out.SyncBits();
   return out;
 }
 
 IndexSet IndexSet::WithReplaced(int32_t from, int32_t to) const {
-  return WithRemoved(from).WithAdded(to);
+  IndexSet out = WithRemoved(from).WithAdded(to);
+  CQP_DCHECK(IsStrictlyIncreasing(out.indices_));
+  return out;
 }
 
 IndexSet IndexSet::Prefix(size_t n) const {
   CQP_CHECK_LE(n, indices_.size());
   IndexSet out;
   out.indices_.assign(indices_.begin(), indices_.begin() + n);
+  out.SyncBits();
   return out;
 }
 
 bool IndexSet::IsSubsetOf(const IndexSet& other) const {
+  if (size() > other.size()) return false;
+  if (small_ && other.small_) return (bits_ & ~other.bits_) == 0;
   return std::includes(other.indices_.begin(), other.indices_.end(),
                        indices_.begin(), indices_.end());
 }
 
 bool IndexSet::Dominates(const IndexSet& other) const {
   if (size() != other.size()) return false;
+  if (small_ && other.small_) {
+    // Sorted equal-size sets: (*this)[j] <= other[j] for all j iff at every
+    // member t of `other` this set has at least as many members <= t. Each
+    // threshold test is one AND + popcount on the cached masks.
+    uint64_t rem = other.bits_;
+    while (rem != 0) {
+      int t = std::countr_zero(rem);
+      uint64_t mask = LowMaskInclusive(t);
+      if (std::popcount(bits_ & mask) < std::popcount(other.bits_ & mask)) {
+        return false;
+      }
+      rem &= rem - 1;
+    }
+    return true;
+  }
   for (size_t i = 0; i < indices_.size(); ++i) {
     if (indices_[i] > other.indices_[i]) return false;
   }
@@ -86,12 +139,8 @@ bool IndexSet::Dominates(const IndexSet& other) const {
 }
 
 uint64_t IndexSet::Bits() const {
-  uint64_t bits = 0;
-  for (int32_t v : indices_) {
-    CQP_CHECK_LT(v, 64) << "IndexSet::Bits requires members < 64";
-    bits |= uint64_t{1} << v;
-  }
-  return bits;
+  CQP_CHECK(small_) << "IndexSet::Bits requires members < 64";
+  return bits_;
 }
 
 size_t IndexSet::Hash() const {

@@ -61,6 +61,7 @@ class IndexSet {
   bool Dominates(const IndexSet& other) const;
 
   bool operator==(const IndexSet& other) const {
+    if (small_ && other.small_) return bits_ == other.bits_;
     return indices_ == other.indices_;
   }
   bool operator!=(const IndexSet& other) const { return !(*this == other); }
@@ -72,6 +73,7 @@ class IndexSet {
   /// Bitmask of the members; every member must be < 64 (checked). CQP
   /// preference spaces satisfy this (K is bounded by PreferenceSpaceOptions
   /// and stays far below 64), and the mask makes subset tests one AND.
+  /// The mask is maintained incrementally, so this is O(1).
   uint64_t Bits() const;
 
   /// Stable hash of the member sequence.
@@ -86,7 +88,15 @@ class IndexSet {
   std::string ToString() const;
 
  private:
+  /// Recomputes bits_/small_ from indices_. Every mutation path ends here.
+  void SyncBits();
+
   std::vector<int32_t> indices_;
+  /// Cached Bits() value, valid only when small_ (all members < 64). Sets
+  /// built by FromUnsorted may exceed that range; they keep the vector
+  /// representation and every fast path falls back to the element loops.
+  uint64_t bits_ = 0;
+  bool small_ = true;
 };
 
 struct IndexSetHash {

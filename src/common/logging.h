@@ -56,6 +56,18 @@ class CheckMessage {
   while (!(cond))                                             \
   ::cqp::internal_logging::CheckMessage(__FILE__, __LINE__, #cond)
 
+/// Debug-only assertion for invariants that are too hot for CQP_CHECK
+/// (e.g. per-transition containment scans in IndexSet). Compiled out in
+/// optimized builds unless CQP_DEBUG_CHECKS is defined; the condition is
+/// still parsed, so it cannot bit-rot.
+#if defined(NDEBUG) && !defined(CQP_DEBUG_CHECKS)
+#define CQP_DCHECK(cond)     \
+  while (false && !(cond))   \
+  ::cqp::internal_logging::CheckMessage(__FILE__, __LINE__, #cond)
+#else
+#define CQP_DCHECK(cond) CQP_CHECK(cond)
+#endif
+
 #define CQP_CHECK_EQ(a, b) CQP_CHECK((a) == (b))
 #define CQP_CHECK_NE(a, b) CQP_CHECK((a) != (b))
 #define CQP_CHECK_LT(a, b) CQP_CHECK((a) < (b))

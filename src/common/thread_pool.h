@@ -1,0 +1,61 @@
+#ifndef CQP_COMMON_THREAD_POOL_H_
+#define CQP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqp {
+
+/// A fixed-size worker pool for fanning independent personalization
+/// requests (or other CPU-bound tasks) across threads.
+///
+/// Design notes:
+///  * Submit() never blocks and never drops tasks; WaitAll() blocks until
+///    the queue is empty AND every in-flight task has returned.
+///  * Cancellation is cooperative and lives at the task level: a task that
+///    should stop early checks its own CancelToken / SearchBudget (see
+///    common/budget.h) exactly as single-threaded searches do. The pool
+///    itself never kills a thread — cancelled tasks simply return fast.
+///  * The destructor drains remaining tasks, then joins all workers, so a
+///    pool can be stack-allocated around a batch.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed. Safe to call
+  /// repeatedly; new tasks may be submitted afterwards.
+  void WaitAll();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on new work / shutdown
+  std::condition_variable idle_cv_;   // signalled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cqp
+
+#endif  // CQP_COMMON_THREAD_POOL_H_

@@ -1,7 +1,13 @@
 #include "construct/personalizer.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/failpoint.h"
+#include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "estimation/eval_cache.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 
@@ -118,14 +124,22 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
 
   estimation::ParameterEstimator estimator(db_, cost_params_);
   const bool fallback = request.fallback.enabled;
+  const prefs::PersonalizationGraph& graph =
+      request.graph != nullptr ? *request.graph : *graph_;
 
   PersonalizeResult result;
   cqp::SearchContext ctx(request.budget);
+  // Every rung of the ladder serves the same (query, profile) pair, so one
+  // memo is valid for the whole request; callers knowing the pair is stable
+  // across requests can pass a longer-lived cache instead.
+  estimation::EvalCache local_cache;
+  ctx.eval_cache =
+      request.eval_cache != nullptr ? request.eval_cache : &local_cache;
   bool answered = false;
 
   // ---- Extraction (rung-independent input to every solver rung) ----
   StatusOr<space::PreferenceSpaceResult> extracted =
-      space::ExtractPreferenceSpace(query, *graph_, estimator, request.problem,
+      space::ExtractPreferenceSpace(query, graph, estimator, request.problem,
                                     request.space_options);
   if (extracted.ok()) {
     result.space = *std::move(extracted);
@@ -223,6 +237,44 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
                              request.build_options));
   result.final_sql = result.personalized.ToSql();
   return result;
+}
+
+BatchResult Personalizer::PersonalizeBatch(
+    const std::vector<PersonalizeRequest>& requests,
+    const BatchOptions& options) const {
+  Stopwatch batch_timer;
+  const size_t n = requests.size();
+  BatchResult batch;
+  batch.latencies_ms.assign(n, 0.0);
+  // StatusOr has no default constructor; optional slots let workers move
+  // their answer into a pre-sized vector. Each worker writes only slot i
+  // and latencies_ms[i], so no synchronization beyond WaitAll is needed.
+  std::vector<std::optional<StatusOr<PersonalizeResult>>> slots(n);
+  {
+    ThreadPool pool(options.num_threads);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([this, &requests, &slots, &batch, i] {
+        Stopwatch timer;
+        slots[i].emplace(Personalize(requests[i]));
+        batch.latencies_ms[i] = timer.ElapsedMillis();
+      });
+    }
+    pool.WaitAll();
+  }
+  batch.results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CQP_CHECK(slots[i].has_value());
+    if (slots[i]->ok()) {
+      const PersonalizeResult& r = **slots[i];
+      batch.states_examined += r.metrics.states_examined;
+      batch.eval_cache_hits += r.metrics.eval_cache_hits;
+      batch.eval_cache_misses += r.metrics.eval_cache_misses;
+      if (r.degraded()) ++batch.degraded;
+    }
+    batch.results.push_back(*std::move(slots[i]));
+  }
+  batch.wall_ms = batch_timer.ElapsedMillis();
+  return batch;
 }
 
 StatusOr<exec::PersonalizedResultSet> Personalizer::Execute(

@@ -1,6 +1,7 @@
 #ifndef CQP_CONSTRUCT_PERSONALIZER_H_
 #define CQP_CONSTRUCT_PERSONALIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,15 @@ struct PersonalizeRequest {
   FallbackPolicy fallback;
   space::PreferenceSpaceOptions space_options;
   BuildOptions build_options;
+  /// Per-request profile override; nullptr uses the personalizer's graph.
+  /// Lets one batch serve several users' profiles side by side.
+  const prefs::PersonalizationGraph* graph = nullptr;
+  /// Caller-owned evaluation memo for this request's (query, profile)
+  /// pair; nullptr gives the request a private cache for the duration of
+  /// its fallback ladder. Share one cache across requests ONLY when they
+  /// personalize the same query under the same profile (the cache key is
+  /// the preference subset alone — see estimation/eval_cache.h).
+  estimation::EvalCache* eval_cache = nullptr;
 };
 
 /// Everything a caller needs from a personalization run.
@@ -78,6 +88,35 @@ struct PersonalizeResult {
   /// either the search itself was truncated or a lower rung answered.
   bool degraded() const {
     return solution.degraded || rung != FallbackRung::kPrimary;
+  }
+};
+
+/// Options for Personalizer::PersonalizeBatch().
+struct BatchOptions {
+  /// Worker-pool size; 0 means std::thread::hardware_concurrency.
+  size_t num_threads = 0;
+};
+
+/// Aggregate outcome of one PersonalizeBatch() run. `results[i]` answers
+/// `requests[i]`; every per-request record (metrics, attempts trail, rung)
+/// stays inside its PersonalizeResult. The totals below are sums over the
+/// OK results, computed single-threaded after the pool drains — workers
+/// never mutate shared counters (see the rule in cqp/metrics.h).
+struct BatchResult {
+  std::vector<StatusOr<PersonalizeResult>> results;
+  std::vector<double> latencies_ms;  ///< per-request wall time
+  double wall_ms = 0.0;              ///< whole-batch wall time
+  uint64_t states_examined = 0;
+  uint64_t eval_cache_hits = 0;
+  uint64_t eval_cache_misses = 0;
+  size_t degraded = 0;  ///< OK results answered below Primary or truncated
+
+  size_t ok_count() const {
+    size_t n = 0;
+    for (const auto& r : results) {
+      if (r.ok()) ++n;
+    }
+    return n;
   }
 };
 
@@ -103,6 +142,18 @@ class Personalizer {
   /// query — always produces an OK result.
   StatusOr<PersonalizeResult> Personalize(
       const PersonalizeRequest& request) const;
+
+  /// Fans `requests` across a fixed worker pool and blocks until every one
+  /// has answered. Requests are fully independent: each gets its own
+  /// SearchContext (budget, metrics, degradation ladder) and — unless the
+  /// request carries a shared eval_cache — its own evaluation memo, so
+  /// results are element-for-element identical to sequential Personalize()
+  /// calls. Cooperative cancellation works unchanged: a CancelToken in a
+  /// request's budget makes that request degrade to its original query,
+  /// never tearing the batch.
+  BatchResult PersonalizeBatch(
+      const std::vector<PersonalizeRequest>& requests,
+      const BatchOptions& options = BatchOptions()) const;
 
   /// Executes a personalization result against the database, returning
   /// doi-ranked rows. Runs the plain query when no preference was chosen.

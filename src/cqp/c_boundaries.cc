@@ -25,7 +25,7 @@ StatusOr<Solution> CBoundariesAlgorithm::Solve(
   CQP_ASSIGN_OR_RETURN(SpaceKind kind, BoundSpaceKindFor(problem));
   Stopwatch timer;
   SearchMetrics& metrics = ctx.metrics;
-  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  estimation::StateEvaluator evaluator = space.MakeEvaluator(ctx.eval_cache);
   SpaceView view = SpaceView::ForKind(&evaluator, &problem, kind, space);
   const size_t k = view.K();
 

@@ -79,7 +79,7 @@ StatusOr<Solution> CMaxBoundsAlgorithm::Solve(
   }
   Stopwatch timer;
   SearchMetrics& metrics = ctx.metrics;
-  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  estimation::StateEvaluator evaluator = space.MakeEvaluator(ctx.eval_cache);
   SpaceView view = SpaceView::ForKind(&evaluator, &problem, kind, space);
   const size_t k = view.K();
 

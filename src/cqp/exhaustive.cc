@@ -3,6 +3,7 @@
 #include "common/stopwatch.h"
 #include "cqp/algorithms.h"
 #include "cqp/search_util.h"
+#include "estimation/eval_cache.h"
 
 namespace cqp::cqp {
 
@@ -18,6 +19,12 @@ struct ExhaustiveState {
   SearchContext* ctx;
   Solution best;
   std::vector<int32_t> current;
+  /// Cache integration: K <= 25 guarantees a uint64_t key, and the
+  /// recursion includes indices in ascending order — the evaluator's
+  /// canonical order — so incrementally-extended params are bit-for-bit
+  /// equal to EvaluateBits() results and may be memoized directly.
+  estimation::EvalCache* cache = nullptr;
+  uint64_t bits = 0;  ///< Bits() of `current`, maintained when cache set
 };
 
 void Recurse(ExhaustiveState& st, size_t i,
@@ -38,8 +45,24 @@ void Recurse(ExhaustiveState& st, size_t i,
   Recurse(st, i + 1, params);
   // Include preference i.
   st.current.push_back(static_cast<int32_t>(i));
-  Recurse(st, i + 1,
-          st.evaluator->ExtendWith(params, static_cast<int32_t>(i)));
+  if (st.cache != nullptr) {
+    uint64_t child_bits = st.bits | (uint64_t{1} << i);
+    estimation::StateParams child;
+    if (st.cache->Find(child_bits, &child)) {
+      ++st.ctx->metrics.eval_cache_hits;
+    } else {
+      child = st.evaluator->ExtendWith(params, static_cast<int32_t>(i));
+      st.cache->Insert(child_bits, child);
+      ++st.ctx->metrics.eval_cache_misses;
+    }
+    uint64_t saved_bits = st.bits;
+    st.bits = child_bits;
+    Recurse(st, i + 1, child);
+    st.bits = saved_bits;
+  } else {
+    Recurse(st, i + 1,
+            st.evaluator->ExtendWith(params, static_cast<int32_t>(i)));
+  }
   st.current.pop_back();
 }
 
@@ -62,12 +85,13 @@ StatusOr<Solution> ExhaustiveAlgorithm::Solve(
         "Exhaustive search refuses K > 25 (exponential state space)");
   }
   Stopwatch timer;
-  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  estimation::StateEvaluator evaluator = space.MakeEvaluator(ctx.eval_cache);
 
   ExhaustiveState st;
   st.evaluator = &evaluator;
   st.problem = &problem;
   st.ctx = &ctx;
+  st.cache = ctx.eval_cache;
   st.best = InfeasibleSolution(evaluator);
   // Note: Recurse visits states once each, evaluating incrementally; it
   // visits the empty state first, so the fallback "original query" is

@@ -11,6 +11,14 @@ namespace cqp::cqp {
 /// reproductions. Purely an output record: resource *limits* live in
 /// cqp::SearchBudget, enforced by SearchContext. Collection is
 /// unconditional — every Solve() call fills one of these.
+///
+/// Concurrency rule (no shared mutation): counters are PLAIN integers, not
+/// atomics, on purpose. A SearchMetrics instance belongs to exactly one
+/// worker — each request in a PersonalizeBatch owns its SearchContext and
+/// therefore its metrics — and batch-level totals are produced by summing
+/// the per-worker records after WaitAll(). Never point two threads at the
+/// same instance; shared tallies (e.g. a process-wide cache hit rate) must
+/// be aggregated from these per-run records, not mutated in place.
 struct SearchMetrics {
   /// True when the budget stopped the search before completion; exact
   /// algorithms lose their optimality guarantee on truncated runs.
@@ -22,6 +30,13 @@ struct SearchMetrics {
   uint64_t transitions = 0;
   /// Boundaries / maximal boundaries / chain solutions found in phase 1.
   uint64_t boundaries_found = 0;
+  /// Full state evaluations answered by the EvalCache attached to the run's
+  /// evaluator (0 when no cache is attached). Incremental ExtendWith calls
+  /// bypass the cache and count under states_examined only.
+  uint64_t eval_cache_hits = 0;
+  /// Full state evaluations that missed the cache and were computed (then
+  /// inserted). hits + misses = cache-routed evaluations, not all states.
+  uint64_t eval_cache_misses = 0;
   /// Wall-clock time of Solve(), milliseconds.
   double wall_ms = 0.0;
   /// Logical working-set accounting (queues, visited sets, boundary lists).

@@ -86,7 +86,8 @@ StatusOr<Solution> MinCostBranchBoundAlgorithm::Solve(
     return FailedPrecondition("MinCost-BB solves cost-minimization problems");
   }
   Stopwatch timer;
-  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  estimation::StateEvaluator evaluator =
+      space.MakeEvaluator(search_ctx.eval_cache);
 
   BbContext ctx;
   ctx.evaluator = &evaluator;
@@ -144,7 +145,7 @@ StatusOr<Solution> MinCostGreedyAlgorithm::Solve(
   }
   Stopwatch timer;
   SearchMetrics& metrics = ctx.metrics;
-  estimation::StateEvaluator evaluator = space.MakeEvaluator();
+  estimation::StateEvaluator evaluator = space.MakeEvaluator(ctx.eval_cache);
   const size_t k = evaluator.K();
 
   estimation::StateParams params = evaluator.EmptyState();

@@ -7,6 +7,10 @@
 #include "common/status.h"
 #include "cqp/metrics.h"
 
+namespace cqp::estimation {
+class EvalCache;
+}  // namespace cqp::estimation
+
 namespace cqp::cqp {
 
 /// Per-Solve() state threaded through every search algorithm: the resource
@@ -87,6 +91,12 @@ class SearchContext {
   /// Output record of the current (or last) Solve() run. Public: algorithms
   /// update counters directly, as do the container helpers they own.
   SearchMetrics metrics;
+
+  /// Optional memo of full state evaluations for this run's (query,
+  /// profile) pair; algorithms pass it to MakeEvaluator(). Deliberately
+  /// NOT cleared by ResetForRetry() — every rung of a fallback chain
+  /// serves the same pair, so warm entries stay valid across rungs.
+  estimation::EvalCache* eval_cache = nullptr;
 
  private:
   /// Deadline checks read the clock only every this many ShouldStop() calls;

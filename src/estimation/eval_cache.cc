@@ -1,0 +1,33 @@
+#include "estimation/eval_cache.h"
+
+#include <mutex>
+
+namespace cqp::estimation {
+
+EvalCache::EvalCache(size_t max_entries) : max_entries_(max_entries) {}
+
+bool EvalCache::Find(uint64_t bits, StateParams* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(bits);
+  if (it == map_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void EvalCache::Insert(uint64_t bits, const StateParams& params) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (map_.size() >= max_entries_ && map_.find(bits) == map_.end()) return;
+  map_[bits] = params;
+}
+
+void EvalCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+}
+
+size_t EvalCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace cqp::estimation

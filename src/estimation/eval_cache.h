@@ -1,0 +1,59 @@
+#ifndef CQP_ESTIMATION_EVAL_CACHE_H_
+#define CQP_ESTIMATION_EVAL_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "estimation/evaluator.h"
+
+namespace cqp::estimation {
+
+/// Memo of full state evaluations, keyed by IndexSet::Bits() (K < 64 makes
+/// the key a single uint64_t).
+///
+/// Scope and invalidation: every entry is a pure function of the
+/// (query, profile) pair that produced the StateEvaluator — StateParams
+/// depend only on the base estimate and the scored preferences. A cache is
+/// therefore safe to share across algorithms and across requests for the
+/// SAME (query, profile), and must be Clear()ed (or replaced) the moment
+/// either changes. Personalizer creates one cache per request by default
+/// and lets callers pass a longer-lived one when they know the pair is
+/// stable (see PersonalizeRequest::eval_cache).
+///
+/// Thread safety: fully thread-safe; read-mostly workloads take a shared
+/// lock. The map is bounded — Insert is a no-op once max_entries is
+/// reached (Exhaustive can touch 2^K subsets) — so memory stays capped and
+/// eviction never invalidates a previously returned value.
+class EvalCache {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 1u << 18;  // ~256k states
+
+  explicit EvalCache(size_t max_entries = kDefaultMaxEntries);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Copies the entry for `bits` into `*out` and returns true on a hit.
+  bool Find(uint64_t bits, StateParams* out) const;
+
+  /// Stores `params` under `bits`. No-op when full; last writer wins on a
+  /// duplicate key (all writers compute identical values, so this is safe).
+  void Insert(uint64_t bits, const StateParams& params);
+
+  /// Drops every entry. Call when the (query, profile) pair changes.
+  void Clear();
+
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  const size_t max_entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, StateParams> map_;
+};
+
+}  // namespace cqp::estimation
+
+#endif  // CQP_ESTIMATION_EVAL_CACHE_H_

@@ -1,8 +1,10 @@
 #include "estimation/evaluator.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
+#include "estimation/eval_cache.h"
 
 namespace cqp::estimation {
 
@@ -36,11 +38,42 @@ StateParams StateEvaluator::SupremeState() const {
 }
 
 StateParams StateEvaluator::Evaluate(const IndexSet& subset) const {
+  if (cache_ != nullptr && prefs_.size() < 64) {
+    return EvaluateBitsCached(subset.Bits(), nullptr);
+  }
   StateParams s = EmptyState();
   for (int32_t i : subset) {
     CQP_CHECK_LT(static_cast<size_t>(i), prefs_.size());
     s = ExtendWith(s, i);
   }
+  return s;
+}
+
+StateParams StateEvaluator::EvaluateBits(uint64_t bits) const {
+  StateParams s = EmptyState();
+  while (bits != 0) {
+    int32_t i = std::countr_zero(bits);
+    CQP_CHECK_LT(static_cast<size_t>(i), prefs_.size());
+    s = ExtendWith(s, i);
+    bits &= bits - 1;
+  }
+  return s;
+}
+
+StateParams StateEvaluator::EvaluateBitsCached(uint64_t bits,
+                                               bool* cache_hit) const {
+  if (cache_ == nullptr) {
+    if (cache_hit != nullptr) *cache_hit = false;
+    return EvaluateBits(bits);
+  }
+  StateParams s;
+  if (cache_->Find(bits, &s)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return s;
+  }
+  s = EvaluateBits(bits);
+  cache_->Insert(bits, s);
+  if (cache_hit != nullptr) *cache_hit = false;
   return s;
 }
 

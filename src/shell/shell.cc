@@ -1,11 +1,15 @@
 #include "shell/shell.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/failpoint.h"
+#include "estimation/eval_cache.h"
 #include "common/str_util.h"
 #include "construct/personalizer.h"
 #include "exec/executor.h"
@@ -44,6 +48,9 @@ constexpr const char* kHelp = R"(commands:
   .settings                   show problem/algorithm/K/budget
   .sql QUERY                  run QUERY without personalization
   .explain QUERY              personalize, show plan only
+  .batch [n=N] [threads=T] QUERY
+                              personalize N copies of QUERY on a worker
+                              pool (default n=8, threads=hardware)
   QUERY                       personalize QUERY and execute
   .quit                       exit
 )";
@@ -221,6 +228,7 @@ Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
   if (command == ".explain") {
     return HandleQuery(args, /*execute=*/false, out);
   }
+  if (command == ".batch") return HandleBatch(args, out);
   return InvalidArgument("unknown command " + command + " (try .help)");
 }
 
@@ -412,6 +420,94 @@ Status CqpShell::RebuildGraph() {
       prefs::PersonalizationGraph graph,
       prefs::PersonalizationGraph::Build(profile_, *db_));
   graph_ = std::make_unique<prefs::PersonalizationGraph>(std::move(graph));
+  return Status::OK();
+}
+
+Status CqpShell::HandleBatch(const std::string& args, std::ostream& out) {
+  if (db_ == nullptr) {
+    return FailedPrecondition("no database loaded (.gen or .load first)");
+  }
+  if (graph_ == nullptr) {
+    return FailedPrecondition("empty profile (.profile add first)");
+  }
+  int64_t n = 8;
+  int64_t threads = 0;
+  std::string rest = args;
+  for (;;) {
+    auto [token, tail] = SplitCommand(rest);
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) break;
+    std::string key = ToLower(token.substr(0, eq));
+    int64_t value = 0;
+    if (!ParseIntStrict(token.substr(eq + 1), &value)) {
+      return InvalidArgument(".batch expects n=N threads=T, got " + token);
+    }
+    if (key == "n") {
+      n = value;
+    } else if (key == "threads") {
+      threads = value;
+    } else {
+      return InvalidArgument(".batch knows n= and threads=, got " + key);
+    }
+    rest = tail;
+  }
+  if (rest.empty()) return InvalidArgument(".batch [n=N] [threads=T] QUERY");
+  if (n <= 0 || n > 100000) return InvalidArgument("n must be in [1, 1e5]");
+  if (threads < 0 || threads > 256) {
+    return InvalidArgument("threads must be in [0, 256] (0 = hardware)");
+  }
+
+  construct::Personalizer personalizer(db_.get(), graph_.get());
+  // Every copy personalizes the same query under the same profile, so one
+  // shared memo is valid for the whole batch.
+  estimation::EvalCache cache;
+  construct::PersonalizeRequest request;
+  request.sql = rest;
+  request.problem = problem_;
+  request.algorithm = algorithm_;
+  request.budget = MakeBudget();
+  request.space_options = space_options_;
+  request.eval_cache = &cache;
+  std::vector<construct::PersonalizeRequest> requests(
+      static_cast<size_t>(n), request);
+  construct::BatchOptions options;
+  options.num_threads = static_cast<size_t>(threads);
+  construct::BatchResult batch =
+      personalizer.PersonalizeBatch(requests, options);
+
+  size_t resolved_threads =
+      threads > 0 ? static_cast<size_t>(threads)
+                  : std::max(1u, std::thread::hardware_concurrency());
+  std::vector<double> latencies = batch.latencies_ms;
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(latencies.size()));
+    return latencies[std::min(idx, latencies.size() - 1)];
+  };
+  double qps = batch.wall_ms > 0.0
+                   ? 1000.0 * static_cast<double>(n) / batch.wall_ms
+                   : 0.0;
+  out << StrFormat("%lld requests on %zu threads: %zu ok, %zu degraded\n",
+                   static_cast<long long>(n), resolved_threads,
+                   batch.ok_count(), batch.degraded);
+  out << StrFormat("wall %.1f ms (%.1f q/s), latency p50=%.2f ms p99=%.2f ms\n",
+                   batch.wall_ms, qps, percentile(0.50), percentile(0.99));
+  uint64_t lookups = batch.eval_cache_hits + batch.eval_cache_misses;
+  out << StrFormat(
+      "eval cache: %llu hits / %llu lookups (%.0f%% hit rate), %zu entries\n",
+      static_cast<unsigned long long>(batch.eval_cache_hits),
+      static_cast<unsigned long long>(lookups),
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(batch.eval_cache_hits) /
+                         static_cast<double>(lookups),
+      cache.size());
+  for (const auto& result : batch.results) {
+    if (!result.ok()) {
+      out << "first error: " << result.status().ToString() << "\n";
+      break;
+    }
+  }
   return Status::OK();
 }
 

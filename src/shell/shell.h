@@ -40,6 +40,9 @@ namespace cqp::shell {
 ///   .settings                   show problem/algorithm/K/budget
 ///   .sql QUERY                  run QUERY directly (no personalization)
 ///   .explain QUERY              personalize QUERY, show the plan only
+///   .batch [n=N] [threads=T] QUERY
+///                               personalize N copies of QUERY on a worker
+///                               pool, print throughput/latency/cache stats
 ///   QUERY                       personalize QUERY and execute it
 ///   .quit                       leave the shell
 class CqpShell {
@@ -62,6 +65,7 @@ class CqpShell {
   Status HandleBudget(const std::string& args, std::ostream& out);
   Status HandleFailpoints(const std::string& args, std::ostream& out);
   Status HandleQuery(const std::string& sql, bool execute, std::ostream& out);
+  Status HandleBatch(const std::string& args, std::ostream& out);
   Status HandleRawSql(const std::string& sql, std::ostream& out);
   Status RebuildGraph();
   /// Builds a fresh SearchBudget from the .budget knobs (the deadline is

@@ -44,9 +44,14 @@ struct PreferenceSpaceResult {
   prefs::ConjunctionModel conjunction_model =
       prefs::ConjunctionModel::kNoisyOr;
 
-  /// Builds a StateEvaluator over this preference space.
-  estimation::StateEvaluator MakeEvaluator() const {
-    return estimation::StateEvaluator(base, prefs, conjunction_model);
+  /// Builds a StateEvaluator over this preference space. `cache`, when
+  /// given, memoizes full evaluations; it must hold entries for this
+  /// (query, profile) pair only and must outlive the evaluator.
+  estimation::StateEvaluator MakeEvaluator(
+      estimation::EvalCache* cache = nullptr) const {
+    estimation::StateEvaluator evaluator(base, prefs, conjunction_model);
+    evaluator.set_cache(cache);
+    return evaluator;
   }
 
   /// Pointer vectors (0-based indices into `prefs`):

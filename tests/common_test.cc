@@ -156,6 +156,77 @@ TEST(IndexSetTest, HashDistinguishesAndMatches) {
   EXPECT_NE(a, IndexSet({1, 3}));
 }
 
+TEST(IndexSetTest, SubsetShortCircuitsOnSize) {
+  // A larger set is never a subset of a smaller one, whatever the members.
+  IndexSet big{0, 1, 2};
+  IndexSet small{0, 1};
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+}
+
+TEST(IndexSetTest, FastPathsMatchReferenceSemantics) {
+  // Randomized equivalence: the bitmask fast paths (members < 64) must
+  // agree with the definitional element-wise semantics for Contains,
+  // IsSubsetOf and Dominates.
+  Rng rng(2024);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<int32_t> raw_a, raw_b;
+    size_t len = static_cast<size_t>(rng.Uniform(0, 6));
+    for (size_t i = 0; i < len; ++i) {
+      raw_a.push_back(static_cast<int32_t>(rng.Uniform(0, 63)));
+      raw_b.push_back(static_cast<int32_t>(rng.Uniform(0, 63)));
+    }
+    IndexSet a = IndexSet::FromUnsorted(raw_a);
+    IndexSet b = IndexSet::FromUnsorted(raw_b);
+
+    std::set<int32_t> set_a(a.begin(), a.end());
+    std::set<int32_t> set_b(b.begin(), b.end());
+    for (int32_t v = -1; v < 66; ++v) {
+      EXPECT_EQ(a.Contains(v), set_a.count(v) > 0) << a.ToString() << " " << v;
+    }
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(b.begin(), b.end(), a.begin(), a.end()))
+        << a.ToString() << " subset of " << b.ToString();
+    bool dominates = a.size() == b.size();
+    for (size_t i = 0; dominates && i < a.size(); ++i) {
+      if (a[i] > b[i]) dominates = false;
+    }
+    EXPECT_EQ(a.Dominates(b), dominates)
+        << a.ToString() << " dominates " << b.ToString();
+    EXPECT_EQ(a == b, set_a == set_b);
+  }
+}
+
+TEST(IndexSetTest, MembersBeyond64FallBackToElementLoops) {
+  // FromUnsorted imposes no < 64 bound; such sets must keep working for
+  // everything except Bits().
+  IndexSet large = IndexSet::FromUnsorted({10, 100});
+  EXPECT_TRUE(large.Contains(100));
+  EXPECT_FALSE(large.Contains(64));
+  IndexSet small{10};
+  EXPECT_TRUE(small.IsSubsetOf(large));
+  EXPECT_FALSE(large.IsSubsetOf(small));
+  EXPECT_TRUE((IndexSet::FromUnsorted({9, 99})).Dominates(large));
+  EXPECT_FALSE(large.Dominates(IndexSet::FromUnsorted({9, 99})));
+  EXPECT_EQ(large, IndexSet::FromUnsorted({100, 10}));
+  // Mutations crossing the 64 boundary keep the cached mask coherent.
+  IndexSet back_small = large.WithRemoved(100);
+  EXPECT_EQ(back_small.Bits(), uint64_t{1} << 10);
+  EXPECT_EQ(large.WithReplaced(100, 20).ToString(), "{10,20}");
+}
+
+TEST(IndexSetTest, MutationsKeepBitsInSync) {
+  IndexSet s{1, 5};
+  EXPECT_EQ(s.WithAdded(3).Bits(), (uint64_t{1} << 1) | (uint64_t{1} << 3) |
+                                       (uint64_t{1} << 5));
+  EXPECT_EQ(s.WithRemoved(5).Bits(), uint64_t{1} << 1);
+  EXPECT_EQ(s.WithReplaced(1, 2).Bits(),
+            (uint64_t{1} << 2) | (uint64_t{1} << 5));
+  EXPECT_EQ(s.Prefix(1).Bits(), uint64_t{1} << 1);
+  EXPECT_EQ(IndexSet::FromUnsorted({5, 1}).Bits(), s.Bits());
+}
+
 // ---------- MemoryMeter ----------
 
 TEST(MemoryMeterTest, TracksPeak) {

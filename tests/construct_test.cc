@@ -3,8 +3,10 @@
 #include <memory>
 #include <set>
 
+#include "common/budget.h"
 #include "common/failpoint.h"
 #include "construct/personalizer.h"
+#include "estimation/eval_cache.h"
 #include "construct/query_builder.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
@@ -364,6 +366,118 @@ TEST_F(PersonalizerTest, ExecutedRowsSatisfyChosenPreferences) {
   for (const auto& row : rows.rows) {
     EXPECT_EQ(row.satisfied.size(), result.personalized.L());
   }
+}
+
+// ---------- batch personalization ----------
+
+TEST_F(PersonalizerTest, BatchMatchesSequentialBitForBit) {
+  Personalizer personalizer(&db_, graph_.get());
+  // A mixed batch: two distinct problems so slots cannot be confused.
+  std::vector<PersonalizeRequest> requests(8);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].sql = "SELECT title FROM MOVIE";
+    requests[i].problem = (i % 2 == 0) ? cqp::ProblemSpec::Problem2(1e9)
+                                       : cqp::ProblemSpec::Problem2(1e-6);
+    requests[i].algorithm = "C-Boundaries";
+  }
+
+  BatchOptions options;
+  options.num_threads = 4;
+  BatchResult batch = personalizer.PersonalizeBatch(requests, options);
+  ASSERT_EQ(batch.results.size(), requests.size());
+  ASSERT_EQ(batch.latencies_ms.size(), requests.size());
+  EXPECT_EQ(batch.ok_count(), requests.size());
+  EXPECT_GT(batch.states_examined, 0u);
+  EXPECT_GE(batch.wall_ms, 0.0);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch.results[i].ok()) << i;
+    auto want = personalizer.Personalize(requests[i]);
+    ASSERT_TRUE(want.ok()) << i;
+    const PersonalizeResult& got = *batch.results[i];
+    EXPECT_EQ(got.solution.feasible, want->solution.feasible) << i;
+    EXPECT_EQ(got.solution.chosen, want->solution.chosen) << i;
+    EXPECT_EQ(got.solution.params.doi, want->solution.params.doi) << i;
+    EXPECT_EQ(got.solution.params.cost_ms, want->solution.params.cost_ms)
+        << i;
+    EXPECT_EQ(got.solution.params.size, want->solution.params.size) << i;
+    EXPECT_EQ(got.final_sql, want->final_sql) << i;
+    EXPECT_EQ(got.rung, want->rung) << i;
+  }
+}
+
+TEST_F(PersonalizerTest, BatchSharedCacheReportsHitsWithoutChangingAnswers) {
+  Personalizer personalizer(&db_, graph_.get());
+  auto sequential_want = [&] {
+    PersonalizeRequest request;
+    request.sql = "SELECT title FROM MOVIE";
+    request.problem = cqp::ProblemSpec::Problem2(1e9);
+    request.algorithm = "C-Boundaries";
+    return *personalizer.Personalize(request);
+  }();
+
+  // All requests share one (query, profile), so sharing one memo is legal.
+  estimation::EvalCache cache;
+  std::vector<PersonalizeRequest> requests(6);
+  for (auto& request : requests) {
+    request.sql = "SELECT title FROM MOVIE";
+    request.problem = cqp::ProblemSpec::Problem2(1e9);
+    request.algorithm = "C-Boundaries";
+    request.eval_cache = &cache;
+  }
+  BatchOptions options;
+  options.num_threads = 3;
+  BatchResult batch = personalizer.PersonalizeBatch(requests, options);
+  EXPECT_EQ(batch.ok_count(), requests.size());
+  EXPECT_GT(batch.eval_cache_hits + batch.eval_cache_misses, 0u);
+  EXPECT_GT(batch.eval_cache_hits, 0u);  // repeats must hit the shared memo
+  for (const auto& result : batch.results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->solution.chosen, sequential_want.solution.chosen);
+    EXPECT_EQ(result->solution.params.doi, sequential_want.solution.params.doi);
+    EXPECT_EQ(result->solution.params.cost_ms,
+              sequential_want.solution.params.cost_ms);
+  }
+}
+
+TEST_F(PersonalizerTest, PreCancelledBatchAnswersEveryRequestViaLadder) {
+  // A CancelToken cancelled before the batch starts exhausts the primary
+  // rung instantly; every request must still come back OK (degraded) with
+  // an executable query — never a torn or missing result.
+  ::cqp::CancelToken cancel;
+  cancel.Cancel();
+  Personalizer personalizer(&db_, graph_.get());
+  std::vector<PersonalizeRequest> requests(8);
+  for (auto& request : requests) {
+    request.sql = "SELECT title FROM MOVIE";
+    request.problem = cqp::ProblemSpec::Problem2(1e9);
+    request.algorithm = "C-Boundaries";
+    request.budget.cancel = &cancel;
+  }
+  BatchOptions options;
+  options.num_threads = 4;
+  BatchResult batch = personalizer.PersonalizeBatch(requests, options);
+  ASSERT_EQ(batch.results.size(), requests.size());
+  EXPECT_EQ(batch.ok_count(), requests.size());
+  EXPECT_EQ(batch.degraded, requests.size());
+  for (const auto& result : batch.results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->degraded());
+    EXPECT_NE(result->final_sql.find("SELECT"), std::string::npos);
+    // The answer is internally consistent: whatever rung answered, the
+    // chosen set and the printed SQL agree on the number of sub-queries.
+    EXPECT_EQ(result->personalized.L(), result->solution.feasible
+                                            ? result->personalized.L()
+                                            : 0u);
+  }
+}
+
+TEST_F(PersonalizerTest, EmptyBatchIsANoOp) {
+  Personalizer personalizer(&db_, graph_.get());
+  BatchResult batch = personalizer.PersonalizeBatch({});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.ok_count(), 0u);
+  EXPECT_EQ(batch.degraded, 0u);
 }
 
 // ---------- degradation ladder ----------

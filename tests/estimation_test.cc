@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "estimation/estimate.h"
+#include "estimation/eval_cache.h"
 #include "estimation/evaluator.h"
 #include "sql/parser.h"
 #include "test_util.h"
@@ -216,6 +217,112 @@ TEST_F(EvaluatorTest, SumCappedModelApplies) {
   EXPECT_NEAR(s.doi,
               std::min(1.0, space_.prefs[0].doi + space_.prefs[1].doi),
               1e-12);
+}
+
+// ---------- EvalCache ----------
+
+TEST(EvalCacheTest, FindMissThenInsertThenHit) {
+  EvalCache cache;
+  StateParams params;
+  EXPECT_FALSE(cache.Find(0b101, &params));
+  StateParams stored;
+  stored.doi = 0.5;
+  stored.cost_ms = 12.0;
+  stored.size = 30.0;
+  stored.count = 2;
+  cache.Insert(0b101, stored);
+  ASSERT_TRUE(cache.Find(0b101, &params));
+  EXPECT_DOUBLE_EQ(params.doi, 0.5);
+  EXPECT_DOUBLE_EQ(params.cost_ms, 12.0);
+  EXPECT_DOUBLE_EQ(params.size, 30.0);
+  EXPECT_EQ(params.count, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCacheTest, ClearEmptiesTheCache) {
+  EvalCache cache;
+  cache.Insert(1, StateParams{});
+  cache.Insert(2, StateParams{});
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  StateParams params;
+  EXPECT_FALSE(cache.Find(1, &params));
+}
+
+TEST(EvalCacheTest, InsertIsBoundedButUpdatesExistingKeys) {
+  EvalCache cache(/*max_entries=*/2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  cache.Insert(1, StateParams{});
+  cache.Insert(2, StateParams{});
+  cache.Insert(3, StateParams{});  // at capacity: dropped
+  EXPECT_EQ(cache.size(), 2u);
+  StateParams params;
+  EXPECT_FALSE(cache.Find(3, &params));
+  // Overwriting a resident key is still allowed at capacity.
+  StateParams updated;
+  updated.doi = 0.9;
+  cache.Insert(2, updated);
+  ASSERT_TRUE(cache.Find(2, &params));
+  EXPECT_DOUBLE_EQ(params.doi, 0.9);
+}
+
+TEST_F(EvaluatorTest, EvaluateBitsMatchesEvaluate) {
+  StateEvaluator eval = space_.MakeEvaluator();
+  Rng rng(7);
+  for (int round = 0; round < 64; ++round) {
+    uint64_t bits = rng.Next() & 0xffull;  // K = 8
+    std::vector<int32_t> members;
+    for (int32_t i = 0; i < 8; ++i) {
+      if ((bits >> i) & 1) members.push_back(i);
+    }
+    StateParams via_bits = eval.EvaluateBits(bits);
+    StateParams via_set = eval.Evaluate(IndexSet::FromUnsorted(members));
+    EXPECT_EQ(via_bits.doi, via_set.doi);
+    EXPECT_EQ(via_bits.cost_ms, via_set.cost_ms);
+    EXPECT_EQ(via_bits.size, via_set.size);
+    EXPECT_EQ(via_bits.count, via_set.count);
+  }
+}
+
+TEST_F(EvaluatorTest, CachedEvaluateIsBitForBitIdentical) {
+  StateEvaluator plain = space_.MakeEvaluator();
+  EvalCache cache;
+  StateEvaluator cached = space_.MakeEvaluator(&cache);
+  ASSERT_EQ(cached.cache(), &cache);
+  // Two passes over the same states: the second is served from the cache
+  // and must reproduce the uncached params exactly (==, not NEAR).
+  for (int pass = 0; pass < 2; ++pass) {
+    Rng rng(11);
+    for (int round = 0; round < 64; ++round) {
+      uint64_t bits = rng.Next() & 0xffull;
+      std::vector<int32_t> members;
+      for (int32_t i = 0; i < 8; ++i) {
+        if ((bits >> i) & 1) members.push_back(i);
+      }
+      IndexSet state = IndexSet::FromUnsorted(members);
+      StateParams want = plain.Evaluate(state);
+      StateParams got = cached.Evaluate(state);
+      EXPECT_EQ(got.doi, want.doi);
+      EXPECT_EQ(got.cost_ms, want.cost_ms);
+      EXPECT_EQ(got.size, want.size);
+      EXPECT_EQ(got.count, want.count);
+    }
+  }
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST_F(EvaluatorTest, EvaluateBitsCachedReportsHitsAndMisses) {
+  EvalCache cache;
+  StateEvaluator eval = space_.MakeEvaluator(&cache);
+  bool hit = true;
+  StateParams first = eval.EvaluateBitsCached(0b1010, &hit);
+  EXPECT_FALSE(hit);
+  StateParams second = eval.EvaluateBitsCached(0b1010, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.doi, second.doi);
+  EXPECT_EQ(first.cost_ms, second.cost_ms);
+  EXPECT_EQ(first.size, second.size);
 }
 
 }  // namespace

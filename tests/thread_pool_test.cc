@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+
+namespace cqp {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitAllIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 1);
+  // An idle WaitAll returns immediately; the pool accepts new work after.
+  pool.WaitAll();
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No WaitAll: the destructor must still run every queued task.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that each wait for the other can only finish if two workers
+  // run them at the same time.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&arrived] {
+      arrived.fetch_add(1);
+      while (arrived.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPoolTest, MidFlightCancelTokenStopsCooperativeTasks) {
+  // The pool never kills tasks; cancellation is cooperative. Every task
+  // polls the shared CancelToken exactly as budgeted searches do, so one
+  // Cancel() while tasks are mid-flight must make all of them return
+  // early — and WaitAll() must come back promptly, not after the full
+  // (deliberately enormous) loop.
+  ThreadPool pool(4);
+  CancelToken cancel;
+  std::atomic<int> started{0};
+  std::atomic<int> cancelled_early{0};
+  std::atomic<int> ran_to_completion{0};
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      started.fetch_add(1);
+      // ~100 s of sleeping if never cancelled; the test would time out.
+      for (int step = 0; step < 1'000'000; ++step) {
+        if (cancel.cancelled()) {
+          cancelled_early.fetch_add(1);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      ran_to_completion.fetch_add(1);
+    });
+  }
+  // Wait until at least one task is genuinely mid-flight, then cancel.
+  while (started.load() == 0) std::this_thread::yield();
+  cancel.Cancel();
+  pool.WaitAll();
+  EXPECT_EQ(cancelled_early.load() + ran_to_completion.load(), kTasks);
+  EXPECT_EQ(ran_to_completion.load(), 0);
+  EXPECT_EQ(cancelled_early.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitFromWithinATask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count.fetch_add(1);
+    pool.Submit([&count] { count.fetch_add(1); });
+  });
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace cqp
