@@ -1,0 +1,414 @@
+// Closed-loop load bench for the personalization server: an in-process
+// server::Server on a real loopback socket, hammered by closed-loop client
+// threads over the full concurrency {1, 8, 32} x deadline {10 ms, 50 ms,
+// inf} grid.
+//
+// Each cell reports throughput, client-observed p50/p99 latency, degraded
+// and errored request counts. In the infinite-deadline cells every
+// response is additionally compared field-for-field against a direct
+// in-process Personalize() with the server's own defaults — the wire path
+// must be bit-identical to the library path. A final shed probe restarts
+// the server with max_pending = 1 and verifies that every overloaded
+// request comes back as an explicit ResourceExhausted error, never a
+// silent drop or a hang (the bench finishing IS the no-hung-connections
+// check: every client runs a blocking closed loop).
+//
+// Flags: --smoke   reduced grid (concurrency {1,8} x deadline {50ms, inf})
+//        --json P  write the JSON record to P (default BENCH_server.json)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "construct/personalizer.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/profile_store.h"
+#include "server/server.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+
+namespace {
+
+using namespace cqp;  // NOLINT
+
+const std::vector<std::string>& BenchQueries() {
+  static const std::vector<std::string>& queries =
+      *new std::vector<std::string>{
+          "SELECT title FROM MOVIE",
+          "SELECT title FROM MOVIE WHERE MOVIE.year >= 1990",
+          "SELECT MOVIE.title, DIRECTOR.name FROM MOVIE, DIRECTOR "
+          "WHERE MOVIE.did = DIRECTOR.did",
+      };
+  return queries;
+}
+
+struct CellResult {
+  size_t concurrency = 0;
+  double deadline_ms = 0.0;  ///< 0 = unlimited
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t degraded = 0;
+  size_t transport_errors = 0;  ///< broken connection / unparsable frame
+  std::map<std::string, size_t> error_codes;  ///< typed wire errors
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t identity_checked = 0;
+  size_t identity_mismatches = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size()));
+  return values[std::min(idx, values.size() - 1)];
+}
+
+/// Direct in-process reference answers, one per bench query, computed with
+/// exactly the server's defaults.
+std::vector<construct::PersonalizeResult> ReferenceResults(
+    const storage::Database& db, server::ProfileStore& profiles,
+    const server::ServerOptions& options) {
+  auto graph = profiles.Find("default");
+  CQP_CHECK(graph != nullptr);
+  construct::Personalizer personalizer(&db, graph.get());
+  std::vector<construct::PersonalizeResult> results;
+  for (const std::string& sql : BenchQueries()) {
+    construct::PersonalizeRequest request;
+    request.sql = sql;
+    request.problem = options.default_problem;
+    request.algorithm = options.default_algorithm;
+    request.space_options.max_k = options.default_max_k;
+    auto result = personalizer.Personalize(request);
+    CQP_CHECK(result.ok());
+    results.push_back(*std::move(result));
+  }
+  return results;
+}
+
+bool MatchesReference(const server::PersonalizeResultPayload& got,
+                      const construct::PersonalizeResult& want) {
+  return got.final_sql == want.final_sql &&
+         got.feasible == want.solution.feasible &&
+         got.chosen == std::vector<int32_t>(want.solution.chosen.begin(),
+                                            want.solution.chosen.end()) &&
+         got.doi == want.solution.params.doi &&
+         got.cost_ms == want.solution.params.cost_ms &&
+         got.size == want.solution.params.size;
+}
+
+CellResult RunCell(int port, size_t concurrency, double deadline_ms,
+                   size_t requests_per_client,
+                   const std::vector<construct::PersonalizeResult>* reference) {
+  CellResult cell;
+  cell.concurrency = concurrency;
+  cell.deadline_ms = deadline_ms;
+  cell.requests = concurrency * requests_per_client;
+
+  std::mutex mu;  // guards the aggregates below
+  std::vector<double> latencies;
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        cell.transport_errors += requests_per_client;
+        return;
+      }
+      std::vector<double> my_latencies;
+      size_t my_ok = 0, my_degraded = 0, my_transport = 0;
+      size_t my_checked = 0, my_mismatched = 0;
+      std::map<std::string, size_t> my_errors;
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        size_t query = (c * requests_per_client + i) % BenchQueries().size();
+        server::WireRequest request;
+        request.op = server::RequestOp::kPersonalize;
+        request.personalize.sql = BenchQueries()[query];
+        request.personalize.deadline_ms = deadline_ms;
+        Stopwatch timer;
+        auto response = client.Call(request);
+        my_latencies.push_back(timer.ElapsedMillis());
+        if (!response.ok()) {
+          ++my_transport;
+          continue;  // connection is gone; further calls fail fast
+        }
+        if (!response->ok()) {
+          ++my_errors[StatusCodeName(response->status.code())];
+          continue;
+        }
+        ++my_ok;
+        const server::PersonalizeResultPayload& r = *response->personalize;
+        if (r.degraded) ++my_degraded;
+        if (reference != nullptr) {
+          ++my_checked;
+          if (!MatchesReference(r, (*reference)[query])) ++my_mismatched;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), my_latencies.begin(),
+                       my_latencies.end());
+      cell.ok += my_ok;
+      cell.degraded += my_degraded;
+      cell.transport_errors += my_transport;
+      cell.identity_checked += my_checked;
+      cell.identity_mismatches += my_mismatched;
+      for (const auto& [code, n] : my_errors) cell.error_codes[code] += n;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  cell.wall_ms = wall.ElapsedMillis();
+  cell.qps = cell.wall_ms > 0.0 ? 1000.0 * static_cast<double>(cell.requests) /
+                                      cell.wall_ms
+                                : 0.0;
+  cell.p50_ms = Percentile(latencies, 0.50);
+  cell.p99_ms = Percentile(latencies, 0.99);
+  return cell;
+}
+
+server::JsonValue CellToJson(const CellResult& cell) {
+  using server::JsonValue;
+  JsonValue obj = JsonValue::Object();
+  obj.Set("concurrency",
+          JsonValue::Number(static_cast<double>(cell.concurrency)));
+  obj.Set("deadline_ms", cell.deadline_ms > 0.0
+                             ? JsonValue::Number(cell.deadline_ms)
+                             : JsonValue::Null());
+  obj.Set("requests", JsonValue::Number(static_cast<double>(cell.requests)));
+  obj.Set("ok", JsonValue::Number(static_cast<double>(cell.ok)));
+  obj.Set("degraded", JsonValue::Number(static_cast<double>(cell.degraded)));
+  obj.Set("transport_errors",
+          JsonValue::Number(static_cast<double>(cell.transport_errors)));
+  JsonValue errors = JsonValue::Object();
+  for (const auto& [code, n] : cell.error_codes) {
+    errors.Set(code, JsonValue::Number(static_cast<double>(n)));
+  }
+  obj.Set("error_codes", std::move(errors));
+  obj.Set("wall_ms", JsonValue::Number(cell.wall_ms));
+  obj.Set("qps", JsonValue::Number(cell.qps));
+  obj.Set("p50_ms", JsonValue::Number(cell.p50_ms));
+  obj.Set("p99_ms", JsonValue::Number(cell.p99_ms));
+  obj.Set("identity_checked",
+          JsonValue::Number(static_cast<double>(cell.identity_checked)));
+  obj.Set("identity_mismatches",
+          JsonValue::Number(static_cast<double>(cell.identity_mismatches)));
+  return obj;
+}
+
+/// Overload probe: a server with max_pending = 1 and one worker must
+/// answer every overloaded request with an explicit ResourceExhausted —
+/// ok + shed must account for every single request sent.
+server::JsonValue RunShedProbe(const storage::Database& db,
+                               server::ProfileStore& profiles, bool smoke) {
+  server::ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.admission.max_pending = 1;
+  server::Server overloaded(&db, &profiles, options);
+  CQP_CHECK(overloaded.Start().ok());
+
+  const size_t clients = smoke ? 4 : 8;
+  const size_t per_client = smoke ? 4 : 8;
+  std::atomic<size_t> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", overloaded.port()).ok()) {
+        other.fetch_add(per_client);
+        return;
+      }
+      for (size_t i = 0; i < per_client; ++i) {
+        server::WireRequest request;
+        request.op = server::RequestOp::kPersonalize;
+        request.personalize.sql = BenchQueries()[0];
+        auto response = client.Call(request);
+        if (!response.ok()) {
+          other.fetch_add(1);
+        } else if (response->ok()) {
+          ok.fetch_add(1);
+        } else if (response->status.code() == StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  overloaded.Stop();
+
+  const size_t total = clients * per_client;
+  std::printf(
+      "shed probe (max_pending=1): %zu requests -> %zu ok, %zu shed "
+      "(ResourceExhausted), %zu other%s\n",
+      total, ok.load(), shed.load(), other.load(),
+      other.load() == 0 && ok.load() + shed.load() == total
+          ? " -- every request accounted for"
+          : "  ** UNACCOUNTED REQUESTS **");
+
+  using server::JsonValue;
+  JsonValue obj = JsonValue::Object();
+  obj.Set("requests", JsonValue::Number(static_cast<double>(total)));
+  obj.Set("ok", JsonValue::Number(static_cast<double>(ok.load())));
+  obj.Set("shed", JsonValue::Number(static_cast<double>(shed.load())));
+  obj.Set("other", JsonValue::Number(static_cast<double>(other.load())));
+  obj.Set("all_accounted",
+          JsonValue::Bool(other.load() == 0 && ok.load() + shed.load() == total));
+  return obj;
+}
+
+int Run(bool smoke, const std::string& json_path) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const int64_t movies = smoke ? 500 : 2000;
+  std::printf("Personalization server load bench — %lld movies, %zu queries\n",
+              static_cast<long long>(movies), BenchQueries().size());
+
+  workload::MovieDbConfig db_config;
+  db_config.n_movies = movies;
+  db_config.n_directors = std::max<int64_t>(10, movies / 10);
+  db_config.n_actors = std::max<int64_t>(20, movies / 5);
+  auto db_or = workload::BuildMovieDatabase(db_config);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "db: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  storage::Database db = *std::move(db_or);
+  server::ProfileStore profiles(&db);
+  auto profile = workload::GenerateProfile({}, db_config);
+  if (!profile.ok() || !profiles.Put("default", *profile).ok()) {
+    std::fprintf(stderr, "cannot build the bench profile\n");
+    return 1;
+  }
+
+  server::ServerOptions options;
+  options.port = 0;
+  server::Server server(&db, &profiles, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("server on 127.0.0.1:%d\n\n", server.port());
+
+  auto reference = ReferenceResults(db, profiles, options);
+
+  std::vector<size_t> concurrencies =
+      smoke ? std::vector<size_t>{1, 8} : std::vector<size_t>{1, 8, 32};
+  std::vector<double> deadlines =
+      smoke ? std::vector<double>{50.0, 0.0}
+            : std::vector<double>{10.0, 50.0, 0.0};
+  const size_t requests_per_client = smoke ? 4 : 16;
+
+  std::printf("%6s %9s %9s %10s %8s %8s %6s %6s %6s %10s\n", "conc",
+              "deadline", "requests", "q/s", "p50_ms", "p99_ms", "ok", "degr",
+              "err", "identity");
+  server::JsonValue cells = server::JsonValue::Array();
+  size_t mismatches = 0;
+  for (size_t concurrency : concurrencies) {
+    for (double deadline_ms : deadlines) {
+      // Identity is only checked where it must hold exactly: with no
+      // deadline nothing can degrade, so the wire answer has to equal the
+      // direct library answer bit for bit.
+      const bool check = deadline_ms == 0.0;
+      CellResult cell = RunCell(server.port(), concurrency, deadline_ms,
+                                requests_per_client,
+                                check ? &reference : nullptr);
+      size_t errors = cell.transport_errors;
+      for (const auto& [code, n] : cell.error_codes) errors += n;
+      char deadline_buf[16];
+      if (deadline_ms > 0.0) {
+        std::snprintf(deadline_buf, sizeof deadline_buf, "%.0fms",
+                      deadline_ms);
+      } else {
+        std::snprintf(deadline_buf, sizeof deadline_buf, "inf");
+      }
+      char identity_buf[32];
+      if (check) {
+        std::snprintf(identity_buf, sizeof identity_buf, "%zu/%zu ok",
+                      cell.identity_checked - cell.identity_mismatches,
+                      cell.identity_checked);
+      } else {
+        std::snprintf(identity_buf, sizeof identity_buf, "-");
+      }
+      std::printf("%6zu %9s %9zu %10.1f %8.2f %8.2f %6zu %6zu %6zu %10s\n",
+                  cell.concurrency, deadline_buf, cell.requests, cell.qps,
+                  cell.p50_ms, cell.p99_ms, cell.ok, cell.degraded, errors,
+                  identity_buf);
+      mismatches += cell.identity_mismatches;
+      cells.Append(CellToJson(cell));
+    }
+  }
+  server.Stop();
+  std::printf("\n");
+
+  server::JsonValue shed_probe = RunShedProbe(db, profiles, smoke);
+
+  using server::JsonValue;
+  JsonValue record = JsonValue::Object();
+  record.Set("bench", JsonValue::Str("server"));
+  JsonValue workload = JsonValue::Object();
+  workload.Set("movies", JsonValue::Number(static_cast<double>(movies)));
+  workload.Set("queries",
+               JsonValue::Number(static_cast<double>(BenchQueries().size())));
+  workload.Set("k", JsonValue::Number(
+                        static_cast<double>(options.default_max_k)));
+  workload.Set("algorithm", JsonValue::Str(options.default_algorithm));
+  record.Set("workload", std::move(workload));
+  record.Set("hardware_threads",
+             JsonValue::Number(std::thread::hardware_concurrency()));
+  record.Set("smoke", JsonValue::Bool(smoke));
+  record.Set("cells", std::move(cells));
+  record.Set("shed_probe", std::move(shed_probe));
+
+  std::string json = record.Dump();
+  std::printf("%s\n", json.c_str());
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%zu identity mismatches vs direct Personalize()\n",
+                 mismatches);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return Run(smoke, json_path);
+}

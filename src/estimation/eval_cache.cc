@@ -30,4 +30,54 @@ size_t EvalCache::size() const {
   return map_.size();
 }
 
+EvalCacheRegistry::EvalCacheRegistry(size_t max_entries_per_cache)
+    : max_entries_per_cache_(max_entries_per_cache) {}
+
+std::shared_ptr<EvalCache> EvalCacheRegistry::GetOrCreate(
+    const std::string& profile_id, const std::string& query_key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto profile_it = caches_.find(profile_id);
+    if (profile_it != caches_.end()) {
+      auto query_it = profile_it->second.find(query_key);
+      if (query_it != profile_it->second.end()) return query_it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::shared_ptr<EvalCache>& slot = caches_[profile_id][query_key];
+  if (slot == nullptr) {
+    slot = std::make_shared<EvalCache>(max_entries_per_cache_);
+  }
+  return slot;
+}
+
+size_t EvalCacheRegistry::InvalidateProfile(const std::string& profile_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = caches_.find(profile_id);
+  if (it == caches_.end()) return 0;
+  size_t dropped = it->second.size();
+  caches_.erase(it);
+  return dropped;
+}
+
+void EvalCacheRegistry::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  caches_.clear();
+}
+
+size_t EvalCacheRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, by_query] : caches_) n += by_query.size();
+  return n;
+}
+
+std::vector<std::string> EvalCacheRegistry::ProfileIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(caches_.size());
+  for (const auto& [id, by_query] : caches_) ids.push_back(id);
+  return ids;
+}
+
 }  // namespace cqp::estimation

@@ -3,8 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "estimation/evaluator.h"
 
@@ -52,6 +56,58 @@ class EvalCache {
   const size_t max_entries_;
   mutable std::shared_mutex mu_;
   std::unordered_map<uint64_t, StateParams> map_;
+};
+
+/// Keyed collection of EvalCaches for a long-running service: one cache per
+/// (profile id, query key) pair, created lazily and shared across requests
+/// of the same pair. The query key is an opaque caller-chosen string (the
+/// personalization server uses the raw SQL text — conservative: textually
+/// different but equivalent queries get separate caches, which is always
+/// safe).
+///
+/// Invalidation granularity: a profile update must drop every cache built
+/// under that profile, whatever the query — EvalCache alone only supports
+/// per-(query, profile) invalidation via Clear(). InvalidateProfile()
+/// detaches all of a profile's caches at once; requests already holding a
+/// shared_ptr keep their (still internally consistent) memo until they
+/// finish, while every later GetOrCreate() sees a fresh cache.
+///
+/// Thread safety: fully thread-safe (shared_mutex; lookups take the shared
+/// lock on the hit path).
+class EvalCacheRegistry {
+ public:
+  explicit EvalCacheRegistry(
+      size_t max_entries_per_cache = EvalCache::kDefaultMaxEntries);
+
+  EvalCacheRegistry(const EvalCacheRegistry&) = delete;
+  EvalCacheRegistry& operator=(const EvalCacheRegistry&) = delete;
+
+  /// Returns the cache for (profile_id, query_key), creating it on first
+  /// use. Never null.
+  std::shared_ptr<EvalCache> GetOrCreate(const std::string& profile_id,
+                                         const std::string& query_key);
+
+  /// Drops every cache registered under `profile_id` (all query keys).
+  /// Returns the number of caches dropped. In-flight holders of the old
+  /// shared_ptrs are unaffected; new lookups start cold.
+  size_t InvalidateProfile(const std::string& profile_id);
+
+  /// Drops every cache for every profile.
+  void Clear();
+
+  /// Number of live (profile, query) caches.
+  size_t size() const;
+
+  /// Profile ids currently holding at least one cache (sorted).
+  std::vector<std::string> ProfileIds() const;
+
+ private:
+  const size_t max_entries_per_cache_;
+  mutable std::shared_mutex mu_;
+  /// profile id -> query key -> cache. The two-level map makes
+  /// InvalidateProfile a single erase.
+  std::map<std::string, std::map<std::string, std::shared_ptr<EvalCache>>>
+      caches_;
 };
 
 }  // namespace cqp::estimation

@@ -1,0 +1,22 @@
+#include "server/admission.h"
+
+namespace cqp::server {
+
+AdmissionController::Ticket AdmissionController::TryAdmit() {
+  size_t pending = pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (pending > options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{false, false};
+  }
+  admitted_total_.fetch_add(1, std::memory_order_relaxed);
+  bool degrade = options_.soft_pending != 0 && pending > options_.soft_pending;
+  if (degrade) degraded_total_.fetch_add(1, std::memory_order_relaxed);
+  return Ticket{true, degrade};
+}
+
+void AdmissionController::Release() {
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace cqp::server

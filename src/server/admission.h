@@ -1,0 +1,77 @@
+#ifndef CQP_SERVER_ADMISSION_H_
+#define CQP_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cqp::server {
+
+/// Admission-control knobs. The pending gauge counts requests admitted but
+/// not yet answered (queued on the worker pool or in flight).
+struct AdmissionOptions {
+  /// Hard high-watermark: a request arriving with `max_pending` already
+  /// pending is shed immediately with kResourceExhausted. Load-shedding
+  /// beats unbounded queueing: a queued request that cannot start before
+  /// its deadline wastes a worker slot proving it.
+  size_t max_pending = 256;
+  /// Soft watermark (0 = disabled): above it requests are still admitted
+  /// but enter degraded mode — their deadline is clamped to
+  /// `degraded_deadline_ms`, which drives the PR 1 fallback ladder and
+  /// drains the backlog with cheap (possibly degraded) answers instead of
+  /// letting latency collapse for everyone.
+  size_t soft_pending = 0;
+  /// Deadline imposed on requests admitted above the soft watermark.
+  double degraded_deadline_ms = 25.0;
+};
+
+/// Bounded-queue admission controller. Lock-free: one atomic gauge plus
+/// monotonic counters; TryAdmit/Release are called from connection reader
+/// threads and worker threads respectively.
+class AdmissionController {
+ public:
+  struct Ticket {
+    bool admitted = false;
+    /// Soft watermark exceeded: the caller must clamp the request's
+    /// deadline to options().degraded_deadline_ms.
+    bool degrade = false;
+  };
+
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits or sheds one request. On admission the pending gauge is
+  /// incremented; the caller MUST pair it with exactly one Release() once
+  /// the response has been written (or the request abandoned).
+  Ticket TryAdmit();
+
+  /// Marks one admitted request finished.
+  void Release();
+
+  size_t pending() const { return pending_.load(std::memory_order_acquire); }
+  uint64_t admitted_total() const {
+    return admitted_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_total() const {
+    return degraded_total_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  const AdmissionOptions options_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> admitted_total_{0};
+  std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> degraded_total_{0};
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_ADMISSION_H_

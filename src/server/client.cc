@@ -1,0 +1,110 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cqp::server {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("bad host '" + host + "' (use a dotted IPv4)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Internal("connect(" + host + ":" + std::to_string(port) +
+                             "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<WireResponse> Client::Call(const WireRequest& request) {
+  CQP_ASSIGN_OR_RETURN(std::string line, CallRaw(SerializeRequest(request)));
+  return ParseResponse(line);
+}
+
+StatusOr<std::string> Client::CallRaw(const std::string& line) {
+  if (fd_ < 0) return FailedPrecondition("not connected");
+  std::string frame = line;
+  frame.push_back('\n');
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Internal(std::string("send(): ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return ReadLine();
+}
+
+StatusOr<std::string> Client::ReadLine() {
+  char chunk[4096];
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    if (buffer_.size() > kMaxFrameBytes) {
+      Close();
+      return Internal("response frame exceeds the 1 MiB protocol cap");
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Internal("connection closed by server while awaiting response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace cqp::server

@@ -1,0 +1,50 @@
+#ifndef CQP_SERVER_CLIENT_H_
+#define CQP_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace cqp::server {
+
+/// Minimal blocking client for the line-delimited JSON protocol. One
+/// request in flight at a time (Call = write one line, read one line);
+/// used by the shell's `.connect`, the load bench and the e2e tests.
+/// Not thread-safe — share nothing, or lock around Call().
+class Client {
+ public:
+  Client() = default;
+  ~Client();  ///< closes the socket
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. kInternal on connection failure.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `request` and blocks for its response. The response's `id` is
+  /// NOT matched against the request's — this client never pipelines, so
+  /// the next line is by construction the answer.
+  StatusOr<WireResponse> Call(const WireRequest& request);
+
+  /// Raw round trip: sends `line` verbatim (plus '\n') and returns the
+  /// next response line (without the '\n'). Lets tests exercise malformed
+  /// frames.
+  StatusOr<std::string> CallRaw(const std::string& line);
+
+ private:
+  StatusOr<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_CLIENT_H_

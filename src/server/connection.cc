@@ -1,0 +1,39 @@
+#include "server/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cqp::server {
+
+Connection::Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (write_failed_) return false;
+  std::string frame = line;
+  frame.push_back('\n');
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE instead of killing the
+    // process with SIGPIPE.
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_failed_ = true;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void Connection::Shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+}  // namespace cqp::server

@@ -1,0 +1,58 @@
+#ifndef CQP_SERVER_CONNECTION_H_
+#define CQP_SERVER_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/budget.h"
+
+namespace cqp::server {
+
+/// One accepted client socket. Owns the fd; thread-safe response writer
+/// (the reader thread answers administrative ops inline while worker
+/// threads stream personalize responses, so frames must not interleave).
+///
+/// The per-connection CancelToken is wired into every in-flight request's
+/// SearchBudget: when the peer disappears, the reader cancels the token
+/// and the searches unwind cooperatively instead of burning workers on
+/// answers nobody will read.
+class Connection {
+ public:
+  Connection(int fd, uint64_t id);
+  ~Connection();  ///< closes the fd
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  CancelToken& cancel_token() { return cancel_; }
+
+  /// Writes `line` plus '\n' atomically with respect to other WriteLine
+  /// calls. Returns false once the peer is gone (EPIPE and friends); the
+  /// error is latched, so later calls fail fast.
+  bool WriteLine(const std::string& line);
+
+  /// shutdown(SHUT_RDWR): unblocks a reader stuck in read() so the server
+  /// can join it. The fd stays open until destruction.
+  void Shutdown();
+
+  /// True once the reader loop has exited (set by the server).
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  void MarkClosed() { closed_.store(true, std::memory_order_release); }
+
+ private:
+  const int fd_;
+  const uint64_t id_;
+  CancelToken cancel_;
+  std::mutex write_mu_;
+  bool write_failed_ = false;  ///< guarded by write_mu_
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_CONNECTION_H_

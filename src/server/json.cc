@@ -1,0 +1,400 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace cqp::server {
+
+bool JsonValue::bool_value() const {
+  CQP_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  CQP_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  CQP_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array_items() const {
+  CQP_CHECK(is_array());
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::object_members() const {
+  CQP_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  CQP_CHECK(is_object());
+  object_[key] = std::move(value);
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  CQP_CHECK(is_array());
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double d) {
+  // Integers (the common case: counts, ports, ids) print without a
+  // fractional part; everything else uses %.17g, which round-trips doubles.
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN; null is the least-wrong encoding
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void DumpTo(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += v.bool_value() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber:
+      AppendNumber(out, v.number_value());
+      return;
+    case JsonValue::Type::kString:
+      AppendEscaped(out, v.string_value());
+      return;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.array_items()) {
+        if (!first) out += ',';
+        first = false;
+        DumpTo(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object_members()) {
+        if (!first) out += ',';
+        first = false;
+        AppendEscaped(out, key);
+        out += ':';
+        DumpTo(value, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    CQP_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgument("json: trailing characters at offset " +
+                             std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& what) {
+    return InvalidArgument("json: " + what + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        CQP_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::Str(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return JsonValue::Bool(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return JsonValue::Bool(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return JsonValue::Null();
+        }
+        return Err("bad literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(d)) {
+      pos_ = start;
+      return Err("bad number '" + token + "'");
+    }
+    return JsonValue::Number(d);
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) return Err("expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Err("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Err("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Err("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences; the protocol never emits them).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Err(std::string("bad escape '\\") + e + "'");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    CQP_CHECK(Consume('{'));
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      CQP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Err("expected ':'");
+      CQP_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    CQP_CHECK(Consume('['));
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      CQP_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace cqp::server

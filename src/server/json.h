@@ -1,0 +1,98 @@
+#ifndef CQP_SERVER_JSON_H_
+#define CQP_SERVER_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cqp::server {
+
+/// A minimal JSON value for the wire protocol: null, bool, double, string,
+/// array, object. Objects keep their members in a std::map, so Dump() is
+/// deterministic (sorted keys) — handy for tests and for diffing captured
+/// frames. No external dependency; the subset implemented is exactly what
+/// the protocol needs (no comments, no NaN/Inf literals).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a fatal error (CQP_CHECK),
+  /// so parsers must test the type (or use the Get* helpers) first.
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array_items() const;
+  const std::map<std::string, JsonValue>& object_members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Object/array builders.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  JsonValue& Append(JsonValue value);
+
+  /// Compact single-line rendering (object keys sorted).
+  std::string Dump() const;
+
+  /// Strict parse of a complete JSON document (trailing garbage rejected).
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_JSON_H_

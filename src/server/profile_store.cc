@@ -1,0 +1,133 @@
+#include "server/profile_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace cqp::server {
+
+ProfileStore::ProfileStore(const storage::Database* db) : db_(db) {
+  CQP_CHECK(db_ != nullptr);
+}
+
+Status ProfileStore::Put(const std::string& id, prefs::Profile profile) {
+  if (id.empty()) return InvalidArgument("profile id must be non-empty");
+  CQP_ASSIGN_OR_RETURN(
+      prefs::PersonalizationGraph graph,
+      prefs::PersonalizationGraph::Build(std::move(profile), *db_));
+  auto shared =
+      std::make_shared<const prefs::PersonalizationGraph>(std::move(graph));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Snapshot& slot = graphs_[id];
+    slot.graph = std::move(shared);
+    slot.version = next_version_++;
+  }
+  // Drop the replaced version's caches. Correctness does not depend on
+  // this ordering: cache keys embed the snapshot version, so a request
+  // still holding the old graph can only touch old-version caches. The
+  // invalidation reclaims their memory.
+  caches_.InvalidateProfile(id);
+  return Status::OK();
+}
+
+Status ProfileStore::Remove(const std::string& id) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (graphs_.erase(id) == 0) {
+      return NotFound("no profile '" + id + "'");
+    }
+  }
+  caches_.InvalidateProfile(id);
+  return Status::OK();
+}
+
+ProfileStore::Snapshot ProfileStore::FindSnapshot(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = graphs_.find(id);
+  return it == graphs_.end() ? Snapshot{} : it->second;
+}
+
+std::shared_ptr<const prefs::PersonalizationGraph> ProfileStore::Find(
+    const std::string& id) const {
+  return FindSnapshot(id).graph;
+}
+
+StatusOr<size_t> ProfileStore::LoadDirectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return NotFound("cannot read profile directory '" + dir +
+                    "': " + ec.message());
+  }
+  size_t loaded = 0;
+  std::string problems;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".profile") continue;
+    std::ifstream in(path);
+    if (!in) {
+      problems += " " + path.filename().string() + ": unreadable;";
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    StatusOr<prefs::Profile> profile = prefs::Profile::Parse(buffer.str());
+    if (!profile.ok()) {
+      problems +=
+          " " + path.filename().string() + ": " + profile.status().ToString() + ";";
+      continue;
+    }
+    Status put = Put(path.stem().string(), *std::move(profile));
+    if (!put.ok()) {
+      problems += " " + path.filename().string() + ": " + put.ToString() + ";";
+      continue;
+    }
+    ++loaded;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    directory_ = dir;
+  }
+  if (loaded == 0 && !problems.empty()) {
+    return InvalidArgument("no profile loaded from '" + dir + "':" + problems);
+  }
+  if (!problems.empty()) {
+    std::fprintf(stderr, "profile store: skipped files in %s:%s\n",
+                 dir.c_str(), problems.c_str());
+  }
+  return loaded;
+}
+
+StatusOr<size_t> ProfileStore::Reload() {
+  std::string dir;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    dir = directory_;
+  }
+  if (dir.empty()) {
+    return FailedPrecondition(
+        "profile store was not loaded from a directory; nothing to reload");
+  }
+  return LoadDirectory(dir);
+}
+
+std::vector<std::string> ProfileStore::Ids() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(graphs_.size());
+  for (const auto& [id, graph] : graphs_) ids.push_back(id);
+  return ids;
+}
+
+size_t ProfileStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace cqp::server

@@ -1,0 +1,100 @@
+#ifndef CQP_SERVER_PROFILE_STORE_H_
+#define CQP_SERVER_PROFILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimation/eval_cache.h"
+#include "prefs/graph.h"
+#include "prefs/profile.h"
+#include "storage/database.h"
+
+namespace cqp::server {
+
+/// In-memory id → user-profile registry for the personalization server.
+///
+/// Each stored profile is kept as a fully built PersonalizationGraph
+/// (validated against the database at Put time, so serving never pays the
+/// validation and a bad profile is rejected before it can break requests).
+/// Graphs are handed out as shared_ptr<const …>: a hot-reload replacing a
+/// profile never invalidates the graph an in-flight request is using.
+///
+/// The store owns an EvalCacheRegistry and invalidates a profile's caches
+/// on every Put/Remove — the invalidation hook that keeps the server's
+/// cross-request memoization coherent with profile updates.
+///
+/// Thread safety: all methods are thread-safe (shared_mutex; Find takes
+/// the shared lock).
+class ProfileStore {
+ public:
+  /// `db` must be Analyze()d and outlive the store.
+  explicit ProfileStore(const storage::Database* db);
+
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
+
+  /// Validates `profile` against the database, builds its graph and stores
+  /// it under `id` (replacing any previous version). Invalidates the id's
+  /// evaluation caches.
+  Status Put(const std::string& id, prefs::Profile profile);
+
+  /// Removes `id` (and its caches). NotFound when absent.
+  Status Remove(const std::string& id);
+
+  /// One consistent view of a stored profile: the graph plus the version
+  /// stamped at Put time. The version participates in evaluation-cache
+  /// keys, so a request racing a hot-reload can only ever populate (and
+  /// read) a cache matching the graph it actually holds — stale cache
+  /// entries under a newer graph are impossible by construction, not just
+  /// by invalidation timing.
+  struct Snapshot {
+    std::shared_ptr<const prefs::PersonalizationGraph> graph;  ///< null if unknown
+    uint64_t version = 0;
+  };
+
+  /// The stored graph + version; Snapshot::graph is nullptr when `id` is
+  /// unknown.
+  Snapshot FindSnapshot(const std::string& id) const;
+
+  /// The stored graph, or nullptr when `id` is unknown.
+  std::shared_ptr<const prefs::PersonalizationGraph> Find(
+      const std::string& id) const;
+
+  /// Loads every `*.profile` file in `dir` (id = file name without the
+  /// extension) and remembers the directory for Reload(). Files that fail
+  /// to parse or validate are reported in the returned status message but
+  /// do not abort the load (the other profiles still land); the returned
+  /// value is the number of profiles loaded.
+  StatusOr<size_t> LoadDirectory(const std::string& dir);
+
+  /// Re-runs LoadDirectory on the remembered directory — the hot-reload
+  /// command. Profiles whose file disappeared stay in the store (serving
+  /// keeps working); updated files replace their profile and invalidate
+  /// its caches. FailedPrecondition when no directory was ever loaded.
+  StatusOr<size_t> Reload();
+
+  /// Stored ids, sorted.
+  std::vector<std::string> Ids() const;
+
+  size_t size() const;
+
+  /// The per-(profile, query) evaluation-cache registry the server shares
+  /// across requests. Put/Remove invalidate per profile id automatically.
+  estimation::EvalCacheRegistry& caches() { return caches_; }
+
+ private:
+  const storage::Database* db_;
+  estimation::EvalCacheRegistry caches_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Snapshot> graphs_;
+  uint64_t next_version_ = 1;  ///< guarded by mu_
+  std::string directory_;      ///< guarded by mu_
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_PROFILE_STORE_H_

@@ -1,0 +1,437 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace cqp::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(const storage::Database* db, ProfileStore* profiles,
+               ServerOptions options)
+    : db_(db),
+      profiles_(profiles),
+      options_(std::move(options)),
+      admission_(options_.admission) {
+  CQP_CHECK(db_ != nullptr);
+  CQP_CHECK(profiles_ != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPrecondition("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InvalidArgument("bad bind address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Internal("bind(" + options_.host + ":" +
+                             std::to_string(options_.port) +
+                             "): " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    Status status =
+        Internal(std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.stats_interval_s > 0.0) {
+    stats_thread_ = std::thread([this] { StatsLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // 1. Unblock and join the accept loop.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (stats_thread_.joinable()) stats_thread_.join();
+
+  // 2. Cancel in-flight searches and unblock every reader.
+  std::map<uint64_t, std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      conn->cancel_token().Cancel();
+      conn->Shutdown();
+    }
+    readers = std::move(readers_);
+    readers_.clear();
+    finished_readers_.clear();
+  }
+  for (auto& [id, thread] : readers) {
+    if (thread.joinable()) thread.join();
+  }
+
+  // 3. Drain the worker pool (workers hold shared_ptr<Connection>, so the
+  // sockets stay valid even though conns_ is about to be cleared; their
+  // writes fail fast on the shut-down fds).
+  pool_.reset();
+
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.clear();
+}
+
+void Server::ReapFinishedReaders() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (uint64_t id : finished_readers_) {
+      auto it = readers_.find(id);
+      if (it == readers_.end()) continue;
+      done.push_back(std::move(it->second));
+      readers_.erase(it);
+    }
+    finished_readers_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  // listen_fd_ is fixed for the lifetime of this thread (Start() set it
+  // before spawning us; Stop() only overwrites it after shutdown(), which
+  // is what actually unblocks accept()), so snapshot it once instead of
+  // racing Stop()'s listen_fd_ = -1 store.
+  const int listen_fd = listen_fd_;
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop(), or fatal
+    }
+    stats_.OnConnectionOpened();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    uint64_t id = next_conn_id_++;
+    auto conn = std::make_shared<Connection>(fd, id);
+    conns_[id] = conn;
+    readers_[id] = std::thread([this, conn] { ReaderLoop(conn); });
+    // Opportunistically join readers whose connection already ended, so a
+    // long-lived server does not accumulate dead thread handles.
+    std::vector<std::thread> done;
+    for (uint64_t fid : finished_readers_) {
+      auto it = readers_.find(fid);
+      if (it != readers_.end()) {
+        done.push_back(std::move(it->second));
+        readers_.erase(it);
+      }
+    }
+    finished_readers_.clear();
+    for (std::thread& thread : done) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_requested = false;
+  while (!close_requested) {
+    ssize_t n = ::read(conn->fd(), chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, or Shutdown() during Stop()
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = nl + 1;
+      if (!line.empty() && !HandleLine(conn, line)) {
+        close_requested = true;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxFrameBytes) {
+      stats_.OnProtocolError();
+      WireResponse response;
+      response.status = InvalidArgument(
+          "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes");
+      conn->WriteLine(SerializeResponse(response));
+      break;
+    }
+  }
+  // The peer is gone (or the server is stopping): cancel this connection's
+  // in-flight searches so workers stop burning CPU on unanswerable work.
+  conn->cancel_token().Cancel();
+  conn->Shutdown();
+  conn->MarkClosed();
+  stats_.OnConnectionClosed();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn->id());
+    finished_readers_.push_back(conn->id());
+  }
+}
+
+bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
+                        const std::string& line) {
+  StatusOr<WireRequest> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    // Malformed frames get a typed error response but do NOT close the
+    // connection: one bad request must not kill a pipelining client's
+    // other requests.
+    stats_.OnProtocolError();
+    WireResponse response;
+    response.status = parsed.status();
+    return conn->WriteLine(SerializeResponse(response));
+  }
+  WireRequest request = *std::move(parsed);
+  switch (request.op) {
+    case RequestOp::kPersonalize:
+      HandlePersonalize(conn, std::move(request));
+      return true;
+    case RequestOp::kPing: {
+      WireResponse response;
+      response.id = request.id;
+      response.extra = JsonValue::Object();
+      response.extra.Set("pong", JsonValue::Bool(true));
+      return conn->WriteLine(SerializeResponse(response));
+    }
+    case RequestOp::kStats: {
+      WireResponse response;
+      response.id = request.id;
+      response.extra = stats_.ToJson();
+      JsonValue admission = JsonValue::Object();
+      admission.Set("pending", JsonValue::Number(
+                                   static_cast<double>(admission_.pending())));
+      admission.Set("max_pending",
+                    JsonValue::Number(static_cast<double>(
+                        admission_.options().max_pending)));
+      admission.Set("soft_pending",
+                    JsonValue::Number(static_cast<double>(
+                        admission_.options().soft_pending)));
+      response.extra.Set("admission", std::move(admission));
+      return conn->WriteLine(SerializeResponse(response));
+    }
+    case RequestOp::kProfiles: {
+      WireResponse response;
+      response.id = request.id;
+      response.extra = JsonValue::Object();
+      JsonValue ids = JsonValue::Array();
+      for (const std::string& id : profiles_->Ids()) {
+        ids.Append(JsonValue::Str(id));
+      }
+      response.extra.Set("profiles", std::move(ids));
+      return conn->WriteLine(SerializeResponse(response));
+    }
+    case RequestOp::kReload: {
+      WireResponse response;
+      response.id = request.id;
+      StatusOr<size_t> reloaded = profiles_->Reload();
+      if (reloaded.ok()) {
+        response.extra = JsonValue::Object();
+        response.extra.Set(
+            "reloaded", JsonValue::Number(static_cast<double>(*reloaded)));
+      } else {
+        response.status = reloaded.status();
+      }
+      return conn->WriteLine(SerializeResponse(response));
+    }
+  }
+  return true;
+}
+
+void Server::HandlePersonalize(const std::shared_ptr<Connection>& conn,
+                               WireRequest request) {
+  AdmissionController::Ticket ticket = admission_.TryAdmit();
+  if (!ticket.admitted) {
+    // Shedding is always explicit on the wire — never a silent drop.
+    stats_.OnShed();
+    WireResponse response;
+    response.id = request.id;
+    response.status = ResourceExhausted(
+        "server overloaded: " + std::to_string(admission_.pending()) +
+        " requests pending (max " +
+        std::to_string(admission_.options().max_pending) + ")");
+    conn->WriteLine(SerializeResponse(response));
+    return;
+  }
+  stats_.OnAdmitted();
+  if (ticket.degrade) stats_.OnDegradedAdmission();
+  // The deadline anchors HERE: time spent queued on the pool counts
+  // against it, so backlogged requests degrade instead of stacking up.
+  Clock::time_point admitted_at = Clock::now();
+  bool degrade = ticket.degrade;
+  pool_->Submit([this, conn, request = std::move(request), admitted_at,
+                 degrade] {
+    RunPersonalize(conn, request, admitted_at, degrade);
+    admission_.Release();
+  });
+}
+
+void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
+                            const WireRequest& request,
+                            Clock::time_point admitted_at, bool degrade) {
+  const PersonalizePayload& payload = request.personalize;
+  WireResponse response;
+  response.id = request.id;
+
+  if (conn->cancel_token().cancelled()) {
+    // Peer vanished while we were queued: there is nobody to answer, so
+    // skip the search entirely (the whole point of connection-scoped
+    // cancellation). Still counted as an errored request.
+    stats_.OnRequestDone(/*ok=*/false, /*degraded_answer=*/false,
+                         MillisSince(admitted_at), 0, 0, 0);
+    return;
+  }
+
+  ProfileStore::Snapshot snapshot = profiles_->FindSnapshot(payload.profile_id);
+  if (snapshot.graph == nullptr) {
+    response.status = NotFound("no profile '" + payload.profile_id + "'");
+    stats_.OnRequestDone(false, false, MillisSince(admitted_at), 0, 0, 0);
+    conn->WriteLine(SerializeResponse(response));
+    return;
+  }
+
+  construct::PersonalizeRequest engine_request;
+  engine_request.sql = payload.sql;
+  engine_request.problem =
+      payload.problem.has_value() ? *payload.problem : options_.default_problem;
+  engine_request.algorithm = payload.algorithm.empty()
+                                 ? options_.default_algorithm
+                                 : payload.algorithm;
+  engine_request.space_options.max_k =
+      payload.max_k != 0 ? payload.max_k : options_.default_max_k;
+  engine_request.graph = snapshot.graph.get();
+
+  SearchBudget budget;
+  if (payload.deadline_ms > 0.0) {
+    budget.deadline =
+        admitted_at + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              payload.deadline_ms));
+  }
+  if (degrade) {
+    // Above the soft watermark every request gets at most the degraded
+    // deadline — this is what drives the PR 1 fallback ladder under load.
+    Clock::time_point clamp =
+        admitted_at + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              admission_.options().degraded_deadline_ms));
+    if (!budget.deadline.has_value() || clamp < *budget.deadline) {
+      budget.deadline = clamp;
+    }
+  }
+  budget.max_expansions = payload.max_expansions;
+  budget.max_memory_bytes =
+      static_cast<size_t>(payload.max_memory_mb * 1024.0 * 1024.0);
+  budget.cancel = &conn->cancel_token();
+  engine_request.budget = budget;
+
+  // Cross-request memoization: one EvalCache per (profile, query) pair,
+  // keyed additionally by the profile snapshot's version so a hot-reload
+  // can never serve values computed under the replaced graph.
+  std::shared_ptr<estimation::EvalCache> cache =
+      profiles_->caches().GetOrCreate(
+          payload.profile_id,
+          std::to_string(snapshot.version) + ":" + payload.sql);
+  engine_request.eval_cache = cache.get();
+
+  construct::Personalizer personalizer(db_, snapshot.graph.get());
+  StatusOr<construct::PersonalizeResult> result =
+      personalizer.Personalize(engine_request);
+
+  double latency_ms = MillisSince(admitted_at);
+  if (!result.ok()) {
+    response.status = result.status();
+    stats_.OnRequestDone(false, false, latency_ms, 0, 0, 0);
+    conn->WriteLine(SerializeResponse(response));
+    return;
+  }
+
+  const construct::PersonalizeResult& r = *result;
+  PersonalizeResultPayload out;
+  out.final_sql = r.final_sql;
+  out.rung = construct::FallbackRungName(r.rung);
+  out.degraded = r.degraded();
+  out.feasible = r.solution.feasible;
+  out.chosen.assign(r.solution.chosen.begin(), r.solution.chosen.end());
+  out.doi = r.solution.params.doi;
+  out.cost_ms = r.solution.params.cost_ms;
+  out.size = r.solution.params.size;
+  out.states_examined = r.metrics.states_examined;
+  out.search_wall_ms = r.metrics.wall_ms;
+  out.eval_cache_hits = r.metrics.eval_cache_hits;
+  out.eval_cache_misses = r.metrics.eval_cache_misses;
+  out.server_ms = latency_ms;
+  out.attempts = r.attempts;
+  response.personalize = std::move(out);
+
+  stats_.OnRequestDone(/*ok=*/true, r.degraded(), latency_ms,
+                       r.metrics.eval_cache_hits, r.metrics.eval_cache_misses,
+                       r.metrics.states_examined);
+  conn->WriteLine(SerializeResponse(response));
+}
+
+void Server::StatsLoop() {
+  auto next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     options_.stats_interval_s));
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (Clock::now() < next) continue;
+    next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  options_.stats_interval_s));
+    std::fprintf(stderr, "cqp_serve stats %s\n",
+                 stats_.ToJsonString().c_str());
+  }
+}
+
+}  // namespace cqp::server

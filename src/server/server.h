@@ -1,0 +1,131 @@
+#ifndef CQP_SERVER_SERVER_H_
+#define CQP_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "construct/personalizer.h"
+#include "cqp/problem.h"
+#include "server/admission.h"
+#include "server/connection.h"
+#include "server/profile_store.h"
+#include "server/protocol.h"
+#include "server/server_stats.h"
+#include "storage/database.h"
+
+namespace cqp::server {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Bind address. The default only answers local clients; widen on
+  /// purpose, not by default.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Worker threads running searches; 0 = hardware_concurrency.
+  size_t num_threads = 0;
+  AdmissionOptions admission;
+  /// Seconds between periodic stats log lines on stderr; 0 disables.
+  double stats_interval_s = 0.0;
+  /// Problem applied when a request carries no constraint bounds.
+  cqp::ProblemSpec default_problem = cqp::ProblemSpec::Problem2(400.0);
+  /// Algorithm used when a request names none ("auto" = match objective).
+  std::string default_algorithm = "auto";
+  /// Preference-space cap applied when a request sends no max_k.
+  size_t default_max_k = 20;
+};
+
+/// The personalization server: accepts line-delimited JSON requests over
+/// TCP and answers them with the same engine (and bit-identical results)
+/// as a direct construct::Personalizer::Personalize() call.
+///
+/// Threading model:
+///  * one accept thread;
+///  * one reader thread per connection (framing + inline administrative
+///    ops — ping/stats/profiles/reload are O(µs) and never queue);
+///  * personalize work runs on a shared ThreadPool, gated by the
+///    AdmissionController. The request's SearchBudget deadline is anchored
+///    at ADMISSION time, so queueing delay counts against the deadline and
+///    a request that waited too long degrades (or answers with its
+///    original query) instead of blowing its latency target.
+///  * Each request's budget carries the connection's CancelToken: when the
+///    peer drops, the reader cancels it and in-flight searches for that
+///    connection unwind at the next ShouldStop() poll.
+///
+/// Stop() is graceful and idempotent: close the listener, join the accept
+/// thread, cancel + shut down every connection, join the readers, drain
+/// the worker pool.
+class Server {
+ public:
+  /// `db` must be Analyze()d and outlive the server; `profiles` supplies
+  /// per-request graphs and evaluation caches and must outlive the server.
+  Server(const storage::Database* db, ProfileStore* profiles,
+         ServerOptions options = ServerOptions());
+  ~Server();  ///< calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept loop. kInternal when the port is
+  /// taken, kInvalidArgument for a bad host.
+  Status Start();
+
+  /// Graceful shutdown; safe to call twice, and from any thread.
+  void Stop();
+
+  /// The bound port (resolves port 0), valid after Start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats& stats() { return stats_; }
+  const ServerOptions& options() const { return options_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// Parses and dispatches one frame; returns false when the connection
+  /// must close (oversized frame or unwritable peer).
+  bool HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  void HandlePersonalize(const std::shared_ptr<Connection>& conn,
+                         WireRequest request);
+  /// Runs on a worker thread: the admitted search itself.
+  void RunPersonalize(const std::shared_ptr<Connection>& conn,
+                      const WireRequest& request,
+                      std::chrono::steady_clock::time_point admitted_at,
+                      bool degrade);
+  void StatsLoop();
+  void ReapFinishedReaders();
+
+  const storage::Database* db_;
+  ProfileStore* profiles_;
+  const ServerOptions options_;
+  AdmissionController admission_;
+  ServerStats stats_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::thread stats_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex conns_mu_;
+  uint64_t next_conn_id_ = 1;                 ///< guarded by conns_mu_
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;  ///< guarded
+  std::map<uint64_t, std::thread> readers_;   ///< guarded by conns_mu_
+  std::vector<uint64_t> finished_readers_;    ///< guarded by conns_mu_
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_SERVER_H_

@@ -1,0 +1,99 @@
+#ifndef CQP_SERVER_SERVER_STATS_H_
+#define CQP_SERVER_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "server/json.h"
+
+namespace cqp::server {
+
+/// Lock-free latency histogram: power-of-two buckets over microseconds.
+/// Bucket i counts samples in [2^i, 2^(i+1)) µs (bucket 0 additionally
+/// absorbs sub-µs samples); the top bucket absorbs everything ≥ ~1.2 h.
+/// Percentiles are estimated at bucket upper bounds — within 2× of the
+/// true value, which is the resolution an ops dashboard needs.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(double millis);
+
+  uint64_t TotalCount() const;
+
+  /// Estimated p-quantile (p in [0,1]) in milliseconds; 0 when empty.
+  double PercentileMillis(double p) const;
+
+  /// {"count": n, "p50_ms": …, "p90_ms": …, "p99_ms": …,
+  ///  "buckets": [{"le_us": 2^i+1, "count": …}, …]} — zero buckets omitted.
+  JsonValue ToJson() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Whole-server counters, updated per request. Everything is an atomic and
+/// every mutation is a single relaxed RMW, so recording never serializes
+/// worker threads; Snapshot/ToJson read a (possibly slightly torn across
+/// counters, individually consistent) view, which is fine for monitoring.
+class ServerStats {
+ public:
+  void OnConnectionOpened();
+  void OnConnectionClosed();
+  void OnProtocolError();
+
+  void OnAdmitted();
+  void OnShed();
+  void OnDegradedAdmission();
+
+  /// One finished personalize request.
+  void OnRequestDone(bool ok, bool degraded_answer, double latency_ms,
+                     uint64_t cache_hits, uint64_t cache_misses,
+                     uint64_t states_examined);
+
+  uint64_t requests_total() const {
+    return requests_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t errors_total() const {
+    return errors_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_total() const {
+    return degraded_answers_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_opened() const {
+    return connections_opened_.load(std::memory_order_relaxed);
+  }
+
+  const LatencyHistogram& latency() const { return latency_; }
+
+  /// Full JSON snapshot (the `.stats` wire command and the periodic log
+  /// line both emit exactly this object — benches scrape it).
+  JsonValue ToJson() const;
+  std::string ToJsonString() const;
+
+ private:
+  LatencyHistogram latency_;
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> admitted_total_{0};
+  std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> degraded_admissions_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> errors_total_{0};
+  std::atomic<uint64_t> degraded_answers_total_{0};
+  std::atomic<uint64_t> cache_hits_total_{0};
+  std::atomic<uint64_t> cache_misses_total_{0};
+  std::atomic<uint64_t> states_total_{0};
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_SERVER_STATS_H_

@@ -51,6 +51,11 @@ constexpr const char* kHelp = R"(commands:
   .batch [n=N] [threads=T] QUERY
                               personalize N copies of QUERY on a worker
                               pool (default n=8, threads=hardware)
+  .serve [port]               serve this database/profile over TCP
+                              (port 0 or omitted = ephemeral; see docs/server.md)
+  .serve stop                 stop the embedded server
+  .connect host:port          route queries to a remote cqp server
+  .disconnect                 drop the remote connection
   QUERY                       personalize QUERY and execute
   .quit                       exit
 )";
@@ -165,6 +170,7 @@ bool CqpShell::ProcessLine(const std::string& raw, std::ostream& out) {
 
 Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
   if (line[0] != '.') {
+    if (client_.connected()) return HandleRemoteQuery(line, out);
     return HandleQuery(line, /*execute=*/true, out);
   }
   auto [cmd, args] = SplitCommand(line);
@@ -229,10 +235,22 @@ Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
     return HandleQuery(args, /*execute=*/false, out);
   }
   if (command == ".batch") return HandleBatch(args, out);
+  if (command == ".serve") return HandleServe(args, out);
+  if (command == ".connect") return HandleConnect(args, out);
+  if (command == ".disconnect") {
+    if (!client_.connected()) return FailedPrecondition("not connected");
+    client_.Close();
+    out << "disconnected\n";
+    return Status::OK();
+  }
   return InvalidArgument("unknown command " + command + " (try .help)");
 }
 
 Status CqpShell::HandleGen(const std::string& args) {
+  if (server_ != nullptr) {
+    return FailedPrecondition(
+        "the embedded server holds this database; .serve stop first");
+  }
   auto [kind, rest] = SplitCommand(args);
   if (EqualsIgnoreCase(kind, "movies")) {
     workload::MovieDbConfig config;
@@ -261,6 +279,10 @@ Status CqpShell::HandleGen(const std::string& args) {
 }
 
 Status CqpShell::HandleLoad(const std::string& args) {
+  if (server_ != nullptr) {
+    return FailedPrecondition(
+        "the embedded server holds this database; .serve stop first");
+  }
   size_t close = args.rfind(')');
   if (close == std::string::npos) {
     return InvalidArgument(".load REL(a INT, ...) file.csv");
@@ -420,6 +442,110 @@ Status CqpShell::RebuildGraph() {
       prefs::PersonalizationGraph graph,
       prefs::PersonalizationGraph::Build(profile_, *db_));
   graph_ = std::make_unique<prefs::PersonalizationGraph>(std::move(graph));
+  if (profile_store_ != nullptr) {
+    // The embedded server serves this profile as "default": keep its store
+    // (and through it the eval caches) in step with .profile edits.
+    CQP_RETURN_IF_ERROR(profile_store_->Put("default", profile_));
+  }
+  return Status::OK();
+}
+
+Status CqpShell::HandleServe(const std::string& args, std::ostream& out) {
+  if (EqualsIgnoreCase(args, "stop")) {
+    if (server_ == nullptr) return FailedPrecondition("no server running");
+    server_->Stop();
+    out << "server stopped; " << server_->stats().requests_total()
+        << " requests served\n";
+    server_.reset();
+    profile_store_.reset();
+    return Status::OK();
+  }
+  if (server_ != nullptr) {
+    return AlreadyExists("server already running on port " +
+                         std::to_string(server_->port()));
+  }
+  if (db_ == nullptr) {
+    return FailedPrecondition("no database loaded (.gen or .load first)");
+  }
+  if (profile_.empty()) {
+    return FailedPrecondition("empty profile (.profile add first)");
+  }
+  server::ServerOptions options;
+  if (!args.empty()) {
+    int64_t port = 0;
+    if (!ParseIntStrict(args, &port) || port < 0 || port > 65535) {
+      return InvalidArgument(".serve expects a port in [0, 65535] or 'stop'");
+    }
+    options.port = static_cast<int>(port);
+  }
+  options.default_problem = problem_;
+  options.default_algorithm = algorithm_;
+  options.default_max_k = space_options_.max_k;
+  auto store = std::make_unique<server::ProfileStore>(db_.get());
+  CQP_RETURN_IF_ERROR(store->Put("default", profile_));
+  auto server = std::make_unique<server::Server>(db_.get(), store.get(),
+                                                 std::move(options));
+  CQP_RETURN_IF_ERROR(server->Start());
+  out << "serving on 127.0.0.1:" << server->port()
+      << " (profile 'default'; .serve stop to halt)\n";
+  profile_store_ = std::move(store);
+  server_ = std::move(server);
+  return Status::OK();
+}
+
+Status CqpShell::HandleConnect(const std::string& args, std::ostream& out) {
+  size_t colon = args.rfind(':');
+  if (colon == std::string::npos) {
+    return InvalidArgument(".connect expects host:port");
+  }
+  std::string host = args.substr(0, colon);
+  int64_t port = 0;
+  if (!ParseIntStrict(args.substr(colon + 1), &port) || port <= 0 ||
+      port > 65535) {
+    return InvalidArgument("bad port in '" + args + "'");
+  }
+  CQP_RETURN_IF_ERROR(client_.Connect(host, static_cast<int>(port)));
+  server::WireRequest ping;
+  ping.op = server::RequestOp::kPing;
+  CQP_ASSIGN_OR_RETURN(server::WireResponse pong, client_.Call(ping));
+  if (!pong.ok()) return pong.status;
+  out << "connected to " << host << ":" << port
+      << "; queries now run remotely (.disconnect to go local)\n";
+  return Status::OK();
+}
+
+Status CqpShell::HandleRemoteQuery(const std::string& sql, std::ostream& out) {
+  server::WireRequest request;
+  request.op = server::RequestOp::kPersonalize;
+  request.personalize.sql = sql;
+  request.personalize.algorithm = algorithm_;
+  request.personalize.deadline_ms = budget_deadline_ms_;
+  request.personalize.max_expansions = budget_states_;
+  request.personalize.max_memory_mb = budget_memory_mb_;
+  request.personalize.max_k = space_options_.max_k;
+  request.personalize.problem = problem_;
+  CQP_ASSIGN_OR_RETURN(server::WireResponse response, client_.Call(request));
+  if (!response.ok()) return response.status;
+  if (!response.personalize.has_value()) {
+    return Internal("server sent no personalize result");
+  }
+  const server::PersonalizeResultPayload& r = *response.personalize;
+  if (r.degraded) {
+    out << "degraded answer (rung: " << r.rung << ")\n";
+    for (const std::string& attempt : r.attempts) {
+      out << "  " << attempt << "\n";
+    }
+  }
+  if (!r.feasible) {
+    out << "no feasible personalized query; the original query applies\n";
+  } else {
+    out << StrFormat(
+        "estimates: doi=%.3f cost=%.1fms size=%.1f  (%llu states, %.2f ms search, %.2f ms server)\n",
+        r.doi, r.cost_ms, r.size,
+        static_cast<unsigned long long>(r.states_examined), r.search_wall_ms,
+        r.server_ms);
+  }
+  out << "sql:\n" << r.final_sql << "\n";
   return Status::OK();
 }
 

@@ -8,6 +8,9 @@
 #include "common/budget.h"
 #include "cqp/problem.h"
 #include "prefs/graph.h"
+#include "server/client.h"
+#include "server/profile_store.h"
+#include "server/server.h"
 #include "space/preference_space.h"
 #include "storage/database.h"
 
@@ -43,6 +46,10 @@ namespace cqp::shell {
 ///   .batch [n=N] [threads=T] QUERY
 ///                               personalize N copies of QUERY on a worker
 ///                               pool, print throughput/latency/cache stats
+///   .serve [port]               serve this database/profile over TCP
+///   .serve stop                 stop the embedded server
+///   .connect host:port          route queries to a remote server
+///   .disconnect                 go back to local personalization
 ///   QUERY                       personalize QUERY and execute it
 ///   .quit                       leave the shell
 class CqpShell {
@@ -67,6 +74,10 @@ class CqpShell {
   Status HandleQuery(const std::string& sql, bool execute, std::ostream& out);
   Status HandleBatch(const std::string& args, std::ostream& out);
   Status HandleRawSql(const std::string& sql, std::ostream& out);
+  Status HandleServe(const std::string& args, std::ostream& out);
+  Status HandleConnect(const std::string& args, std::ostream& out);
+  /// Sends the query to the `.connect`-ed server and prints the response.
+  Status HandleRemoteQuery(const std::string& sql, std::ostream& out);
   Status RebuildGraph();
   /// Builds a fresh SearchBudget from the .budget knobs (the deadline is
   /// re-anchored at call time).
@@ -83,6 +94,12 @@ class CqpShell {
   double budget_deadline_ms_ = 0.0;
   uint64_t budget_states_ = 0;
   double budget_memory_mb_ = 0.0;
+  /// Embedded personalization server (.serve); holds pointers into db_, so
+  /// .gen/.load are refused while it runs.
+  std::unique_ptr<server::ProfileStore> profile_store_;
+  std::unique_ptr<server::Server> server_;
+  /// Remote connection (.connect); when live, queries go over the wire.
+  server::Client client_;
 };
 
 }  // namespace cqp::shell

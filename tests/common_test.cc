@@ -216,6 +216,47 @@ TEST(IndexSetTest, MembersBeyond64FallBackToElementLoops) {
   EXPECT_EQ(large.WithReplaced(100, 20).ToString(), "{10,20}");
 }
 
+TEST(IndexSetTest, SixtyFourMemberBoundary) {
+  // The mask representation is bounded by member VALUE, not set size: a
+  // K = 64 space's full state {0..63} has 64 members yet every one fits a
+  // 64-bit mask, so the fast path applies with an all-ones mask — this
+  // exercises the t >= 63 guard in the Dominates threshold masks, where
+  // `1 << (t + 1)` would be undefined behavior.
+  std::vector<int32_t> all;
+  for (int32_t i = 0; i < 64; ++i) all.push_back(i);
+  IndexSet full = IndexSet::FromUnsorted(all);
+  ASSERT_EQ(full.size(), 64u);
+  EXPECT_EQ(full.Bits(), ~uint64_t{0});
+  EXPECT_TRUE(full.Dominates(full));
+  EXPECT_TRUE(full.Contains(63));
+  EXPECT_FALSE(full.Contains(64));
+
+  // Shift by one: member 64 appears (the last index of a K = 65 space) and
+  // the set must leave the mask representation for the element loops.
+  std::vector<int32_t> shifted;
+  for (int32_t i = 1; i <= 64; ++i) shifted.push_back(i);
+  IndexSet beyond = IndexSet::FromUnsorted(shifted);
+  ASSERT_EQ(beyond.size(), 64u);
+  EXPECT_TRUE(beyond.Contains(64));
+  // Mixed-representation comparisons agree with the componentwise
+  // definition: i <= i + 1 at every position.
+  EXPECT_TRUE(full.Dominates(beyond));
+  EXPECT_FALSE(beyond.Dominates(full));
+  EXPECT_FALSE(full.IsSubsetOf(beyond));
+
+  // Regression: Dominates on unequal sizes is false in both directions,
+  // whatever representation either side uses — the popcount comparison
+  // must never be consulted for mismatched sizes.
+  IndexSet prefix = full.Prefix(63);
+  EXPECT_FALSE(prefix.Dominates(full));
+  EXPECT_FALSE(full.Dominates(prefix));
+  EXPECT_FALSE(prefix.Dominates(beyond));
+  EXPECT_FALSE(beyond.Dominates(prefix));
+  EXPECT_FALSE(IndexSet().Dominates(full));
+  EXPECT_FALSE(full.Dominates(IndexSet()));
+  EXPECT_TRUE(IndexSet().Dominates(IndexSet()));
+}
+
 TEST(IndexSetTest, MutationsKeepBitsInSync) {
   IndexSet s{1, 5};
   EXPECT_EQ(s.WithAdded(3).Bits(), (uint64_t{1} << 1) | (uint64_t{1} << 3) |

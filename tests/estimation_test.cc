@@ -325,5 +325,70 @@ TEST_F(EvaluatorTest, EvaluateBitsCachedReportsHitsAndMisses) {
   EXPECT_EQ(first.size, second.size);
 }
 
+// ---------- EvalCacheRegistry ----------
+
+TEST(EvalCacheRegistryTest, GetOrCreateIsStablePerPair) {
+  EvalCacheRegistry registry;
+  auto a1 = registry.GetOrCreate("alice", "Q1");
+  auto a2 = registry.GetOrCreate("alice", "Q1");
+  EXPECT_EQ(a1.get(), a2.get());  // same pair, same cache
+  auto b = registry.GetOrCreate("alice", "Q2");
+  auto c = registry.GetOrCreate("bob", "Q1");
+  EXPECT_NE(a1.get(), b.get());  // different query
+  EXPECT_NE(a1.get(), c.get());  // different profile
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.ProfileIds(), (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(EvalCacheRegistryTest, InvalidateProfileDropsOnlyThatProfile) {
+  EvalCacheRegistry registry;
+  StateParams params;
+  params.doi = 0.5;
+  registry.GetOrCreate("alice", "Q1")->Insert(0b01, params);
+  registry.GetOrCreate("alice", "Q2")->Insert(0b10, params);
+  registry.GetOrCreate("bob", "Q1")->Insert(0b01, params);
+
+  EXPECT_EQ(registry.InvalidateProfile("alice"), 2u);  // both query keys
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.ProfileIds(), (std::vector<std::string>{"bob"}));
+  EXPECT_EQ(registry.InvalidateProfile("alice"), 0u);  // already gone
+
+  // Stale-hit absence: after invalidation, the pair's cache starts cold —
+  // a lookup of the previously memoized state misses.
+  StateParams out;
+  EXPECT_FALSE(registry.GetOrCreate("alice", "Q1")->Find(0b01, &out));
+  // The untouched profile still hits.
+  EXPECT_TRUE(registry.GetOrCreate("bob", "Q1")->Find(0b01, &out));
+  EXPECT_EQ(out.doi, 0.5);
+}
+
+TEST(EvalCacheRegistryTest, InFlightHoldersSurviveInvalidation) {
+  EvalCacheRegistry registry;
+  StateParams params;
+  params.doi = 0.25;
+  auto held = registry.GetOrCreate("alice", "Q1");
+  held->Insert(0b11, params);
+  registry.InvalidateProfile("alice");
+
+  // A request that grabbed the cache before the invalidation keeps its
+  // (internally consistent) memo until it finishes…
+  StateParams out;
+  EXPECT_TRUE(held->Find(0b11, &out));
+  EXPECT_EQ(out.doi, 0.25);
+  // …while new lookups get a fresh, unrelated cache.
+  auto fresh = registry.GetOrCreate("alice", "Q1");
+  EXPECT_NE(fresh.get(), held.get());
+  EXPECT_FALSE(fresh->Find(0b11, &out));
+}
+
+TEST(EvalCacheRegistryTest, ClearDropsEverything) {
+  EvalCacheRegistry registry;
+  registry.GetOrCreate("alice", "Q1");
+  registry.GetOrCreate("bob", "Q1");
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_TRUE(registry.ProfileIds().empty());
+}
+
 }  // namespace
 }  // namespace cqp::estimation

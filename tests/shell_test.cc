@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -92,6 +93,52 @@ TEST_F(ShellWithDbTest, FullPersonalizationFlow) {
 
   out = RunLine(shell_, "SELECT title FROM MOVIE");
   EXPECT_NE(out.find("rows"), std::string::npos);
+}
+
+TEST_F(ShellWithDbTest, ServeAndConnectRoundTrip) {
+  EXPECT_EQ(RunLine(shell_, ".profile add doi(MOVIE.year >= 1990) = 0.7"), "");
+  std::string out = RunLine(shell_, ".serve");  // no port = ephemeral
+  ASSERT_NE(out.find("serving on 127.0.0.1:"), std::string::npos) << out;
+  int port = std::atoi(out.c_str() + out.find(':', out.find("127.0.0.1")) + 1);
+  ASSERT_GT(port, 0);
+
+  // While the embedded server holds the database, swapping it is refused.
+  EXPECT_NE(RunLine(shell_, ".gen movies 100").find("error:"),
+            std::string::npos);
+  // A second .serve is too.
+  EXPECT_NE(RunLine(shell_, ".serve").find("error:"), std::string::npos);
+
+  // A second shell acts as the client: its queries run remotely.
+  CqpShell client;
+  std::string connected =
+      RunLine(client, ".connect 127.0.0.1:" + std::to_string(port));
+  ASSERT_NE(connected.find("connected to"), std::string::npos) << connected;
+  std::string answer = RunLine(client, "SELECT title FROM MOVIE");
+  EXPECT_NE(answer.find("sql:"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("SELECT"), std::string::npos) << answer;
+  EXPECT_NE(RunLine(client, ".disconnect").find("disconnected"),
+            std::string::npos);
+
+  std::string stopped = RunLine(shell_, ".serve stop");
+  EXPECT_NE(stopped.find("server stopped"), std::string::npos) << stopped;
+  // With the server gone, .gen works again.
+  EXPECT_EQ(RunLine(shell_, ".gen movies 100"), "");
+}
+
+TEST_F(ShellWithDbTest, ServeRequiresProfile) {
+  EXPECT_NE(RunLine(shell_, ".serve").find("empty profile"), std::string::npos);
+  EXPECT_NE(RunLine(shell_, ".serve stop").find("no server running"),
+            std::string::npos);
+  EXPECT_NE(RunLine(shell_, ".serve 70000").find("error:"), std::string::npos);
+}
+
+TEST(ShellTest, ConnectRejectsBadTargets) {
+  CqpShell shell;
+  EXPECT_NE(RunLine(shell, ".connect nohost").find("error:"),
+            std::string::npos);
+  EXPECT_NE(RunLine(shell, ".connect 127.0.0.1:notaport").find("error:"),
+            std::string::npos);
+  EXPECT_NE(RunLine(shell, ".disconnect").find("error:"), std::string::npos);
 }
 
 TEST_F(ShellWithDbTest, SettingsReflectChanges) {

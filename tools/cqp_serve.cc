@@ -1,0 +1,181 @@
+// cqp_serve — the personalization server binary.
+//
+//   $ cqp_serve --port 7433 --movies 5000 --profiles ./profiles
+//   serving on 127.0.0.1:7433 (3 profiles)
+//
+// Speaks the line-delimited JSON protocol of docs/server.md. Without
+// --profiles it serves one generated profile under the id "default", so a
+// fresh checkout can talk to a live server in two commands. Reads stdin:
+// 'stats' prints a stats snapshot, 'quit' (or EOF) shuts down gracefully.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/profile_store.h"
+#include "server/server.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+#include "workload/tourist_gen.h"
+
+namespace {
+
+struct Flags {
+  int port = 7433;
+  int64_t movies = 5000;
+  bool tourist = false;
+  std::string profiles_dir;
+  size_t threads = 0;
+  size_t max_pending = 256;
+  size_t soft_pending = 0;
+  double degraded_deadline_ms = 25.0;
+  double stats_interval_s = 0.0;
+  double cmax_ms = 400.0;
+  size_t max_k = 20;
+  std::string algorithm = "auto";
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--movies N | --tourist]\n"
+               "          [--profiles DIR] [--threads N]\n"
+               "          [--max-pending N] [--soft-pending N]\n"
+               "          [--degraded-deadline-ms MS] [--stats-interval S]\n"
+               "          [--cmax MS] [--k N] [--algorithm NAME]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *out = std::strtod(argv[++i], &end);
+      return end != argv[i] && *end == '\0';
+    };
+    double value = 0.0;
+    if (arg == "--tourist") {
+      flags->tourist = true;
+    } else if (arg == "--profiles" && i + 1 < argc) {
+      flags->profiles_dir = argv[++i];
+    } else if (arg == "--algorithm" && i + 1 < argc) {
+      flags->algorithm = argv[++i];
+    } else if (arg == "--port" && next(&value)) {
+      flags->port = static_cast<int>(value);
+    } else if (arg == "--movies" && next(&value)) {
+      flags->movies = static_cast<int64_t>(value);
+    } else if (arg == "--threads" && next(&value)) {
+      flags->threads = static_cast<size_t>(value);
+    } else if (arg == "--max-pending" && next(&value)) {
+      flags->max_pending = static_cast<size_t>(value);
+    } else if (arg == "--soft-pending" && next(&value)) {
+      flags->soft_pending = static_cast<size_t>(value);
+    } else if (arg == "--degraded-deadline-ms" && next(&value)) {
+      flags->degraded_deadline_ms = value;
+    } else if (arg == "--stats-interval" && next(&value)) {
+      flags->stats_interval_s = value;
+    } else if (arg == "--cmax" && next(&value)) {
+      flags->cmax_ms = value;
+    } else if (arg == "--k" && next(&value)) {
+      flags->max_k = static_cast<size_t>(value);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqp;  // NOLINT
+
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
+
+  // 1. The database.
+  storage::Database db;
+  workload::MovieDbConfig movie_config;
+  if (flags.tourist) {
+    auto built = workload::BuildTouristDatabase({});
+    if (!built.ok()) {
+      std::fprintf(stderr, "tourist db: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    db = *std::move(built);
+  } else {
+    movie_config.n_movies = flags.movies;
+    movie_config.n_directors = std::max<int64_t>(10, flags.movies / 10);
+    movie_config.n_actors = std::max<int64_t>(20, flags.movies / 5);
+    auto built = workload::BuildMovieDatabase(movie_config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "movie db: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    db = *std::move(built);
+  }
+
+  // 2. The profiles.
+  server::ProfileStore profiles(&db);
+  if (!flags.profiles_dir.empty()) {
+    auto loaded = profiles.LoadDirectory(flags.profiles_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "profiles: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %zu profiles from %s\n", *loaded,
+                 flags.profiles_dir.c_str());
+  } else if (!flags.tourist) {
+    auto profile = workload::GenerateProfile({}, movie_config);
+    if (!profile.ok() || !profiles.Put("default", *profile).ok()) {
+      std::fprintf(stderr, "cannot build the default profile\n");
+      return 1;
+    }
+    std::fprintf(stderr, "serving one generated profile as 'default'\n");
+  } else {
+    std::fprintf(stderr,
+                 "warning: --tourist without --profiles serves no profile; "
+                 "personalize requests will fail with NotFound\n");
+  }
+
+  // 3. The server.
+  server::ServerOptions options;
+  options.port = flags.port;
+  options.num_threads = flags.threads;
+  options.admission.max_pending = flags.max_pending;
+  options.admission.soft_pending = flags.soft_pending;
+  options.admission.degraded_deadline_ms = flags.degraded_deadline_ms;
+  options.stats_interval_s = flags.stats_interval_s;
+  options.default_problem = ::cqp::cqp::ProblemSpec::Problem2(flags.cmax_ms);
+  options.default_algorithm = flags.algorithm;
+  options.default_max_k = flags.max_k;
+
+  server::Server server(&db, &profiles, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%d (%zu profiles)\n", server.port(),
+              profiles.size());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "stop" || line == "exit") break;
+    if (line == "stats") {
+      std::printf("%s\n", server.stats().ToJsonString().c_str());
+      std::fflush(stdout);
+    }
+  }
+  server.Stop();
+  std::printf("stopped after %llu requests\n",
+              static_cast<unsigned long long>(server.stats().requests_total()));
+  return 0;
+}
