@@ -44,6 +44,12 @@ void BbRecurse(BbContext& ctx, size_t i,
   //  * cost only grows; a state at or above the incumbent cannot win;
   //  * doi can at most reach the combination with the whole suffix;
   //  * size only shrinks, so smin, once violated, stays violated.
+  // The doi/size bounds are admissible in real arithmetic but are computed
+  // in a different operation order than a full evaluation, so they are
+  // padded by an ulp-scale slack: without it a bound landing one ulp below
+  // a dmin that exactly equals a reachable state's doi prunes the subtree
+  // holding the optimum.
+  constexpr double kFpSlack = 1e-12;
   if (ctx.best.feasible && params.cost_ms >= ctx.best.params.cost_ms) return;
   if (problem.dmin) {
     double max_doi =
@@ -52,9 +58,9 @@ void BbRecurse(BbContext& ctx, size_t i,
         prefs::ConjunctionModel::kSumCapped) {
       max_doi = std::min(1.0, params.doi + ctx.suffix_doi[i]);
     }
-    if (max_doi < *problem.dmin) return;
+    if (max_doi < *problem.dmin - kFpSlack) return;
   }
-  if (problem.smin && params.size < *problem.smin) return;
+  if (problem.smin && params.size < *problem.smin * (1.0 - kFpSlack)) return;
 
   // Include order[i] first (cheapest-first tends to find good incumbents
   // early, tightening the cost bound).

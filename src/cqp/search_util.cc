@@ -149,8 +149,12 @@ Solution BestFeasibleBelowBoundaries(const SpaceView& view,
     if (greedy_exact) {
       IndexSet candidate = GreedyMaxDoiBelow(view, boundary);
       estimation::StateParams params = view.Evaluate(candidate, ctx.metrics);
-      CQP_CHECK(view.WithinBound(params))
-          << "slot-swap left the binding bound: " << candidate.ToString();
+      // The slot-swap keeps the bound in real arithmetic (each member moves
+      // to a position with a no-larger bound parameter), but the swapped
+      // set's sum/product is computed over a different member sequence, so
+      // with a bound sitting exactly on a reachable state it can land an
+      // ulp outside. Such a candidate is simply not usable.
+      if (!view.WithinBound(params)) continue;
       if (view.Feasible(params) &&
           (!best.feasible || view.problem().Better(params, best.params))) {
         best = MakeSolution(view, candidate, params);

@@ -1,0 +1,311 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/index_set.h"
+#include "common/str_util.h"
+
+namespace cqp::testing {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+/// Draws the per-preference doi values for the requested shape.
+std::vector<double> DrawDois(Rng& rng, size_t k, DoiShape shape) {
+  std::vector<double> dois(k);
+  switch (shape) {
+    case DoiShape::kUniform:
+      for (double& d : dois) d = rng.UniformDouble(0.01, 0.99);
+      break;
+    case DoiShape::kClustered: {
+      size_t centers = static_cast<size_t>(rng.Uniform(1, 3));
+      std::vector<double> center(centers);
+      for (double& c : center) c = rng.UniformDouble(0.1, 0.9);
+      for (double& d : dois) {
+        double c = center[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(centers) - 1))];
+        d = Clamp01(c + 0.05 * rng.Gaussian());
+      }
+      break;
+    }
+    case DoiShape::kTies: {
+      // A handful of distinct levels, so many prefs share a doi exactly:
+      // tie-breaking in the pointer vectors and set-vs-set comparisons in
+      // the algorithms must stay deterministic.
+      size_t levels = static_cast<size_t>(rng.Uniform(2, 4));
+      std::vector<double> level(levels);
+      for (double& l : level) l = rng.UniformDouble(0.05, 0.95);
+      for (double& d : dois) {
+        d = level[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(levels) - 1))];
+      }
+      break;
+    }
+    case DoiShape::kExtreme:
+      for (double& d : dois) {
+        switch (rng.Uniform(0, 4)) {
+          case 0: d = 0.0; break;
+          case 1: d = 1.0; break;
+          case 2: d = 1e-9; break;
+          case 3: d = 1.0 - 1e-9; break;
+          default: d = rng.UniformDouble(0.0, 1.0); break;
+        }
+      }
+      break;
+  }
+  return dois;
+}
+
+/// A random (possibly empty) subset of [0, k) with each member included
+/// independently; used to place boundary-regime bounds EXACTLY on a
+/// reachable state's parameters.
+IndexSet DrawSubset(Rng& rng, size_t k) {
+  std::vector<int32_t> members;
+  for (size_t i = 0; i < k; ++i) {
+    if (rng.Bernoulli(0.5)) members.push_back(static_cast<int32_t>(i));
+  }
+  return IndexSet::FromUnsorted(std::move(members));
+}
+
+}  // namespace
+
+const char* DoiShapeName(DoiShape shape) {
+  switch (shape) {
+    case DoiShape::kUniform: return "uniform";
+    case DoiShape::kClustered: return "clustered";
+    case DoiShape::kTies: return "ties";
+    case DoiShape::kExtreme: return "extreme";
+  }
+  return "?";
+}
+
+const char* BoundRegimeName(BoundRegime regime) {
+  switch (regime) {
+    case BoundRegime::kTight: return "tight";
+    case BoundRegime::kLoose: return "loose";
+    case BoundRegime::kInfeasible: return "infeasible";
+    case BoundRegime::kBoundary: return "boundary";
+  }
+  return "?";
+}
+
+CqpInstance GenerateInstance(Rng& rng, const GeneratorConfig& config) {
+  CqpInstance instance;
+
+  size_t k = static_cast<size_t>(
+      rng.Uniform(static_cast<int64_t>(config.k_min),
+                  static_cast<int64_t>(config.k_max)));
+  int problem_class = config.problem_class > 0
+                          ? config.problem_class
+                          : static_cast<int>(rng.Uniform(1, 6));
+  DoiShape shape = config.doi_shape >= 0
+                       ? static_cast<DoiShape>(config.doi_shape)
+                       : static_cast<DoiShape>(rng.Uniform(0, 3));
+  BoundRegime regime = config.bound_regime >= 0
+                           ? static_cast<BoundRegime>(config.bound_regime)
+                           : static_cast<BoundRegime>(rng.Uniform(0, 3));
+
+  double base_cost = rng.UniformDouble(1.0, 500.0);
+  double base_size = rng.Bernoulli(0.05)
+                         ? 0.0  // empty original answer: size stays 0
+                         : rng.UniformDouble(1.0, 1e6);
+  instance.space.base.cost_ms = base_cost;
+  instance.space.base.size = base_size;
+
+  std::vector<double> dois = DrawDois(rng, k, shape);
+  for (size_t i = 0; i < k; ++i) {
+    // Cost ties with the base (selection pushed into an existing scan) are
+    // common in real plans and are where cost-sorted tie-breaks matter.
+    double cost = rng.Bernoulli(0.2)
+                      ? base_cost
+                      : base_cost + rng.UniformDouble(0.1, 3.0 * base_cost);
+    double sel;
+    if (rng.Bernoulli(0.05)) {
+      sel = 0.0;  // predicate matches nothing
+    } else if (rng.Bernoulli(0.1)) {
+      sel = 1.0;  // predicate filters nothing
+    } else {
+      sel = rng.UniformDouble(0.001, 0.999);
+    }
+    instance.space.prefs.push_back(
+        MakeSyntheticPref(i, dois[i], cost, sel, base_size));
+  }
+  instance.Canonicalize();
+
+  // Bounds are placed relative to the actually reachable parameter range:
+  // empty state (max size, min cost, doi 0) .. supreme state (min size,
+  // max cost, max doi).
+  estimation::StateEvaluator evaluator = instance.space.MakeEvaluator();
+  estimation::StateParams empty = evaluator.EmptyState();
+  estimation::StateParams supreme = evaluator.SupremeState();
+  estimation::StateParams pivot = evaluator.Evaluate(DrawSubset(rng, k));
+
+  auto draw_cmax = [&]() -> double {
+    switch (regime) {
+      case BoundRegime::kTight:
+        return rng.UniformDouble(empty.cost_ms, supreme.cost_ms);
+      case BoundRegime::kLoose:
+        return supreme.cost_ms * rng.UniformDouble(1.0, 2.0) + 1.0;
+      case BoundRegime::kInfeasible:
+        // Below even the original query's cost: no state qualifies.
+        return empty.cost_ms * rng.UniformDouble(0.1, 0.9);
+      case BoundRegime::kBoundary:
+        return pivot.cost_ms;
+    }
+    return empty.cost_ms;
+  };
+  auto draw_dmin = [&]() -> double {
+    switch (regime) {
+      case BoundRegime::kTight:
+        return rng.UniformDouble(0.0, supreme.doi);
+      case BoundRegime::kLoose:
+        return 0.0;  // doi >= 0 holds for every state
+      case BoundRegime::kInfeasible: {
+        // Above even the supreme doi. Noisy-or can reach exactly 1.0 (a
+        // member with doi 1), in which case no infeasible dmin exists —
+        // fall back to the boundary value.
+        double d = std::nextafter(supreme.doi, 2.0);
+        return d <= 1.0 ? d : supreme.doi;
+      }
+      case BoundRegime::kBoundary:
+        return pivot.doi;
+    }
+    return 0.0;
+  };
+  // Sizes shrink from base_size (empty) down to supreme.size (all prefs).
+  auto draw_size_band = [&](std::optional<double>* smin,
+                            std::optional<double>* smax) {
+    bool lo = rng.Bernoulli(0.7);
+    bool hi = rng.Bernoulli(0.7);
+    if (!lo && !hi) lo = true;  // the class needs at least one size bound
+    switch (regime) {
+      case BoundRegime::kTight: {
+        double a = rng.UniformDouble(supreme.size, empty.size);
+        double b = rng.UniformDouble(supreme.size, empty.size);
+        if (a > b) std::swap(a, b);
+        if (lo) *smin = a;
+        if (hi) *smax = b;
+        break;
+      }
+      case BoundRegime::kLoose:
+        if (lo) *smin = 0.0;
+        if (hi) *smax = empty.size * 2.0 + 1.0;
+        break;
+      case BoundRegime::kInfeasible:
+        // A band above the largest reachable size: even the original query
+        // is too small.
+        *smin = empty.size * 1.5 + 1.0;
+        *smax = empty.size * 3.0 + 2.0;
+        break;
+      case BoundRegime::kBoundary:
+        if (lo) *smin = pivot.size;
+        if (hi) *smax = pivot.size;
+        if (lo && hi && *smin > *smax) std::swap(*smin, *smax);
+        break;
+    }
+  };
+
+  cqp::ProblemSpec& p = instance.problem;
+  switch (problem_class) {
+    case 1:
+      p.objective = cqp::Objective::kMaximizeDoi;
+      draw_size_band(&p.smin, &p.smax);
+      break;
+    case 2:
+      p.objective = cqp::Objective::kMaximizeDoi;
+      p.cmax_ms = draw_cmax();
+      break;
+    case 3:
+      p.objective = cqp::Objective::kMaximizeDoi;
+      p.cmax_ms = draw_cmax();
+      draw_size_band(&p.smin, &p.smax);
+      break;
+    case 4:
+      p.objective = cqp::Objective::kMinimizeCost;
+      p.dmin = draw_dmin();
+      break;
+    case 5:
+      p.objective = cqp::Objective::kMinimizeCost;
+      p.dmin = draw_dmin();
+      draw_size_band(&p.smin, &p.smax);
+      break;
+    case 6:
+    default:
+      p.objective = cqp::Objective::kMinimizeCost;
+      draw_size_band(&p.smin, &p.smax);
+      break;
+  }
+
+  instance.note = StrFormat("generated: class=P%d k=%zu doi=%s bounds=%s",
+                            problem_class, k, DoiShapeName(shape),
+                            BoundRegimeName(regime));
+  return instance;
+}
+
+std::string RandomJunk(Rng& rng, size_t n) {
+  static constexpr char kPrintable[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+      "{}[]\":,.\\/ ";
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out += kPrintable[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(sizeof(kPrintable)) - 2))];
+  }
+  return out;
+}
+
+std::string CorruptFrame(Rng& rng, const std::string& frame) {
+  std::string out = frame;
+  switch (rng.Uniform(0, 4)) {
+    case 0: {  // truncate
+      if (out.empty()) return out;
+      out.resize(static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(out.size()) - 1)));
+      break;
+    }
+    case 1: {  // flip random bytes
+      if (out.empty()) return out;
+      int flips = static_cast<int>(rng.Uniform(1, 8));
+      for (int i = 0; i < flips; ++i) {
+        size_t pos = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(out.size()) - 1));
+        char c = static_cast<char>(rng.Uniform(1, 126));  // never '\0' here
+        if (c == '\n') c = ' ';
+        out[pos] = c;
+      }
+      break;
+    }
+    case 2: {  // inject NUL bytes
+      size_t pos = out.empty() ? 0
+                               : static_cast<size_t>(rng.Uniform(
+                                     0, static_cast<int64_t>(out.size())));
+      out.insert(pos, std::string(static_cast<size_t>(rng.Uniform(1, 4)),
+                                  '\0'));
+      break;
+    }
+    case 3: {  // inject invalid UTF-8 (lone continuation / overlong lead)
+      static constexpr const char* kBad[] = {"\x80", "\xc0\xaf", "\xff\xfe",
+                                             "\xed\xa0\x80"};
+      size_t pos = out.empty() ? 0
+                               : static_cast<size_t>(rng.Uniform(
+                                     0, static_cast<int64_t>(out.size())));
+      out.insert(pos, kBad[rng.Uniform(0, 3)]);
+      break;
+    }
+    default: {  // splice printable junk into the middle
+      size_t pos = out.empty() ? 0
+                               : static_cast<size_t>(rng.Uniform(
+                                     0, static_cast<int64_t>(out.size())));
+      out.insert(pos, RandomJunk(rng, static_cast<size_t>(
+                                          rng.Uniform(1, 64))));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cqp::testing

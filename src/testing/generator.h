@@ -1,0 +1,66 @@
+#ifndef CQP_TESTING_GENERATOR_H_
+#define CQP_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "testing/instance.h"
+
+namespace cqp::testing {
+
+/// Shape of the generated doi distribution. Each shape targets a different
+/// failure mode: ties exercise pointer-vector tie-breaking and cache-key
+/// collisions, extremes exercise the [0,1] boundaries of the noisy-or
+/// composition, clusters mimic real profiles where a few interests dominate.
+enum class DoiShape {
+  kUniform = 0,
+  kClustered,
+  kTies,
+  kExtreme,
+};
+
+/// Where the constraint bounds land relative to the instance's reachable
+/// parameter range (empty state .. supreme state).
+enum class BoundRegime {
+  kTight = 0,   ///< inside the reachable range: the interesting search region
+  kLoose,       ///< beyond the supreme state: everything feasible
+  kInfeasible,  ///< stricter than every state, including the original query
+  kBoundary,    ///< EXACTLY the parameters of a random state (off-by-one trap)
+};
+
+const char* DoiShapeName(DoiShape shape);
+const char* BoundRegimeName(BoundRegime regime);
+
+struct GeneratorConfig {
+  /// K is drawn uniformly from [k_min, k_max]. Keep k_max <= 25 so the
+  /// Exhaustive oracle stays willing (and fast) — the harness's whole point
+  /// is comparing against it.
+  size_t k_min = 2;
+  size_t k_max = 12;
+  /// Pin the Table 1 problem class (1-6); 0 draws one per instance.
+  int problem_class = 0;
+  /// Pin the doi shape; -1 draws one per instance.
+  int doi_shape = -1;
+  /// Pin the bound regime; -1 draws one per instance.
+  int bound_regime = -1;
+};
+
+/// Generates one CQP instance. Deterministic in `rng`'s state; the drawn
+/// class/shape/regime are recorded in the instance note. Always yields a
+/// spec with ProblemSpec::Validate() == OK.
+CqpInstance GenerateInstance(Rng& rng, const GeneratorConfig& config = {});
+
+/// Deterministically corrupts one wire-protocol frame for robustness
+/// corpora: truncation, random byte flips, NUL injection, invalid UTF-8
+/// sequences, or junk insertion. The result is NOT guaranteed to be
+/// invalid (a flip inside a string literal may keep the frame well-formed);
+/// callers assert "parses or is rejected, never crashes" semantics.
+std::string CorruptFrame(Rng& rng, const std::string& frame);
+
+/// `n` bytes of printable junk (never '\n', so the result stays one frame).
+std::string RandomJunk(Rng& rng, size_t n);
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTING_GENERATOR_H_

@@ -1,0 +1,229 @@
+#include "testing/instance.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace cqp::testing {
+
+namespace {
+
+constexpr const char* kHeader = "cqp-repro v1";
+
+/// %.17g: the shortest printf precision that round-trips every double
+/// through strtod bit-for-bit.
+std::string G17(double v) { return StrFormat("%.17g", v); }
+
+StatusOr<double> ParseDouble(std::string_view token) {
+  std::string s(token);
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return InvalidArgument("bad number '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+estimation::ScoredPreference MakeSyntheticPref(size_t i, double doi,
+                                               double cost_ms,
+                                               double selectivity,
+                                               double base_size) {
+  estimation::ScoredPreference p;
+  p.doi = doi;
+  p.cost_ms = cost_ms;
+  p.selectivity = selectivity;
+  p.size = base_size * selectivity;
+  p.pref.selection.relation = "R";
+  p.pref.selection.attribute = "a" + std::to_string(i);
+  p.pref.selection.value = catalog::Value(static_cast<int64_t>(i));
+  p.pref.selection.doi = doi;
+  return p;
+}
+
+void CqpInstance::Canonicalize() {
+  std::stable_sort(space.prefs.begin(), space.prefs.end(),
+                   [](const estimation::ScoredPreference& a,
+                      const estimation::ScoredPreference& b) {
+                     return a.doi > b.doi;
+                   });
+  for (size_t i = 0; i < space.prefs.size(); ++i) {
+    estimation::ScoredPreference& p = space.prefs[i];
+    p.size = space.base.size * p.selectivity;
+    p = MakeSyntheticPref(i, p.doi, p.cost_ms, p.selectivity, space.base.size);
+  }
+  space::BuildPointerVectors(space.prefs, &space.D, &space.C, &space.S);
+}
+
+std::string CqpInstance::Summary() const {
+  return StrFormat("P%d K=%zu %s", problem.ProblemNumber(), K(),
+                   problem.ToString().c_str());
+}
+
+std::string CqpInstance::Serialize() const {
+  std::string out = kHeader;
+  out += "\n";
+  if (!note.empty()) {
+    for (const std::string& line : Split(note, '\n')) {
+      out += "# " + line + "\n";
+    }
+  }
+  out += "seed " + std::to_string(seed) + "\n";
+  out += std::string("objective ") +
+         (problem.objective == cqp::Objective::kMaximizeDoi ? "max_doi"
+                                                            : "min_cost") +
+         "\n";
+  if (problem.cmax_ms) out += "cmax " + G17(*problem.cmax_ms) + "\n";
+  if (problem.dmin) out += "dmin " + G17(*problem.dmin) + "\n";
+  if (problem.smin) out += "smin " + G17(*problem.smin) + "\n";
+  if (problem.smax) out += "smax " + G17(*problem.smax) + "\n";
+  out += "base_cost " + G17(space.base.cost_ms) + "\n";
+  out += "base_size " + G17(space.base.size) + "\n";
+  for (const estimation::ScoredPreference& p : space.prefs) {
+    out += "pref " + G17(p.doi) + " " + G17(p.cost_ms) + " " +
+           G17(p.selectivity) + "\n";
+  }
+  return out;
+}
+
+StatusOr<CqpInstance> CqpInstance::Parse(const std::string& text) {
+  CqpInstance instance;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  bool saw_base_cost = false, saw_base_size = false;
+  std::vector<std::string> note_lines;
+  struct RawPref {
+    double doi, cost, sel;
+  };
+  std::vector<RawPref> raw;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (!saw_header) {
+      if (stripped != kHeader) {
+        return InvalidArgument("reproducer must start with '" +
+                               std::string(kHeader) + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (stripped[0] == '#') {
+      note_lines.push_back(std::string(StripWhitespace(stripped.substr(1))));
+      continue;
+    }
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(std::string(stripped), ' ')) {
+      if (!t.empty()) tokens.push_back(t);
+    }
+    const std::string& key = tokens[0];
+    auto one_value = [&]() -> StatusOr<double> {
+      if (tokens.size() != 2) {
+        return InvalidArgument(StrFormat("line %d: '%s' needs one value",
+                                         line_no, key.c_str()));
+      }
+      return ParseDouble(tokens[1]);
+    };
+    if (key == "seed") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.seed = static_cast<uint64_t>(v);
+    } else if (key == "objective") {
+      if (tokens.size() != 2) {
+        return InvalidArgument("objective needs a value");
+      }
+      if (tokens[1] == "max_doi") {
+        instance.problem.objective = cqp::Objective::kMaximizeDoi;
+      } else if (tokens[1] == "min_cost") {
+        instance.problem.objective = cqp::Objective::kMinimizeCost;
+      } else {
+        return InvalidArgument("unknown objective '" + tokens[1] + "'");
+      }
+    } else if (key == "cmax") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.problem.cmax_ms = v;
+    } else if (key == "dmin") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.problem.dmin = v;
+    } else if (key == "smin") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.problem.smin = v;
+    } else if (key == "smax") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.problem.smax = v;
+    } else if (key == "base_cost") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.space.base.cost_ms = v;
+      saw_base_cost = true;
+    } else if (key == "base_size") {
+      CQP_ASSIGN_OR_RETURN(double v, one_value());
+      instance.space.base.size = v;
+      saw_base_size = true;
+    } else if (key == "pref") {
+      if (tokens.size() != 4) {
+        return InvalidArgument(
+            StrFormat("line %d: pref needs 'doi cost sel'", line_no));
+      }
+      RawPref p;
+      CQP_ASSIGN_OR_RETURN(p.doi, ParseDouble(tokens[1]));
+      CQP_ASSIGN_OR_RETURN(p.cost, ParseDouble(tokens[2]));
+      CQP_ASSIGN_OR_RETURN(p.sel, ParseDouble(tokens[3]));
+      raw.push_back(p);
+    } else {
+      return InvalidArgument(
+          StrFormat("line %d: unknown directive '%s'", line_no, key.c_str()));
+    }
+  }
+  if (!saw_header) return InvalidArgument("empty reproducer");
+  if (!saw_base_cost || !saw_base_size) {
+    return InvalidArgument("reproducer needs base_cost and base_size");
+  }
+  for (const RawPref& p : raw) {
+    if (p.doi < 0.0 || p.doi > 1.0) {
+      return InvalidArgument("pref doi out of [0,1]");
+    }
+    if (p.sel < 0.0 || p.sel > 1.0) {
+      return InvalidArgument("pref selectivity out of [0,1]");
+    }
+    if (p.cost < instance.space.base.cost_ms) {
+      return InvalidArgument("pref cost below the base cost");
+    }
+    instance.space.prefs.push_back(MakeSyntheticPref(
+        instance.space.prefs.size(), p.doi, p.cost, p.sel,
+        instance.space.base.size));
+  }
+  instance.note = Join(note_lines, "\n");
+  instance.Canonicalize();
+  CQP_RETURN_IF_ERROR(instance.problem.Validate());
+  return instance;
+}
+
+Status CqpInstance::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Internal("cannot create " + path);
+  out << Serialize();
+  out.close();
+  if (!out) return Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<CqpInstance> CqpInstance::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Parse(buf.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + std::string(parsed.status().message()));
+  }
+  return parsed;
+}
+
+}  // namespace cqp::testing

@@ -1,0 +1,66 @@
+#ifndef CQP_TESTING_INSTANCE_H_
+#define CQP_TESTING_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cqp/problem.h"
+#include "estimation/evaluator.h"
+#include "space/preference_space.h"
+
+namespace cqp::testing {
+
+/// One self-contained CQP problem instance for the differential harness: a
+/// synthetic preference space plus a constraint spec. Everything the search
+/// layer consumes is here — no database, profile or SQL text is needed to
+/// reproduce a search-level bug, which keeps reproducer files tiny.
+struct CqpInstance {
+  /// Seed and generator note, carried for provenance only ("# ..." lines in
+  /// the reproducer file). Never affects behavior.
+  uint64_t seed = 0;
+  std::string note;
+
+  cqp::ProblemSpec problem;
+  space::PreferenceSpaceResult space;
+
+  size_t K() const { return space.K(); }
+
+  /// Rebuilds the D/C/S pointer vectors and re-sorts prefs doi-descending
+  /// (stable). Call after any mutation of prefs — the search algorithms
+  /// require P to be doi-sorted with D = identity, exactly as
+  /// ExtractPreferenceSpace guarantees.
+  void Canonicalize();
+
+  /// Serializes to the `cqp-repro v1` text format. Doubles are printed with
+  /// %.17g, so a parse of the output is bit-for-bit identical.
+  std::string Serialize() const;
+
+  /// Parses a reproducer produced by Serialize() (or written by hand; see
+  /// docs/testing.md for the grammar). Unknown directives are an error so a
+  /// typo cannot silently weaken a corpus entry.
+  static StatusOr<CqpInstance> Parse(const std::string& text);
+
+  /// Serialize() written to `path`; kInternal when the file cannot be
+  /// created.
+  Status WriteFile(const std::string& path) const;
+
+  /// Parse() of the contents of `path`.
+  static StatusOr<CqpInstance> ReadFile(const std::string& path);
+
+  /// Short human description, e.g. "P2 K=8 cmax=350.5".
+  std::string Summary() const;
+};
+
+/// Builds a ScoredPreference with the synthetic selection "R.a<i> = i" that
+/// instance prefs use (search algorithms only read doi/cost_ms/selectivity/
+/// size; the selection fields just have to be present and distinct).
+estimation::ScoredPreference MakeSyntheticPref(size_t i, double doi,
+                                               double cost_ms,
+                                               double selectivity,
+                                               double base_size);
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTING_INSTANCE_H_

@@ -1,0 +1,95 @@
+#include "testing/isolation.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cqp::testing {
+
+IsolatedOutcome RunIsolated(
+    const std::function<bool(std::string* report_text, int* solves)>& probe) {
+  IsolatedOutcome out;
+
+  int fds[2];
+  if (pipe(fds) != 0) {
+    // No pipe, no isolation: run inline and hope the probe is well-behaved.
+    out.failed = probe(&out.report_text, &out.solves);
+    return out;
+  }
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    out.failed = probe(&out.report_text, &out.solves);
+    return out;
+  }
+
+  if (pid == 0) {
+    // Child: run the probe, stream "<failed> <solves>\n<report>" back and
+    // exit without running atexit handlers (the parent owns all state).
+    close(fds[0]);
+    std::string text;
+    int solves = 0;
+    bool failed = probe(&text, &solves);
+    char header[64];
+    int n = std::snprintf(header, sizeof(header), "%d %d\n", failed ? 1 : 0,
+                          solves);
+    std::string payload(header, static_cast<size_t>(n));
+    payload += text;
+    size_t off = 0;
+    while (off < payload.size()) {
+      ssize_t w = write(fds[1], payload.data() + off, payload.size() - off);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+
+  // Parent: drain the pipe, then reap.
+  close(fds[1]);
+  std::string payload;
+  char buf[4096];
+  ssize_t r;
+  while ((r = read(fds[0], buf, sizeof(buf))) > 0) {
+    payload.append(buf, static_cast<size_t>(r));
+  }
+  close(fds[0]);
+  int status = 0;
+  while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  if (WIFSIGNALED(status)) {
+    out.crashed = true;
+    out.signal = WTERMSIG(status);
+    out.failed = true;
+    out.report_text =
+        "crash: child terminated by signal " + std::to_string(out.signal);
+    if (!payload.empty()) out.report_text += "\npartial output:\n" + payload;
+    return out;
+  }
+
+  int failed = 0;
+  int solves = 0;
+  size_t newline = payload.find('\n');
+  if (newline != std::string::npos &&
+      std::sscanf(payload.c_str(), "%d %d", &failed, &solves) == 2) {
+    out.failed = failed != 0;
+    out.solves = solves;
+    out.report_text = payload.substr(newline + 1);
+  } else {
+    // The child exited before writing its header (e.g. std::exit from a
+    // library); treat like a crash so the caller still gets a verdict.
+    out.crashed = true;
+    out.failed = true;
+    out.report_text = "crash: child produced no verdict";
+  }
+  return out;
+}
+
+}  // namespace cqp::testing

@@ -1,0 +1,29 @@
+#ifndef CQP_TESTING_ISOLATION_H_
+#define CQP_TESTING_ISOLATION_H_
+
+#include <functional>
+#include <string>
+
+namespace cqp::testing {
+
+/// Outcome of a probe executed in a forked child process.
+struct IsolatedOutcome {
+  bool crashed = false;    ///< child died on a signal (CHECK abort, segfault)
+  int signal = 0;          ///< the terminating signal when crashed
+  bool failed = false;     ///< probe reported failure (crashes count as failed)
+  int solves = 0;          ///< solve count forwarded from the child
+  std::string report_text; ///< CheckReport::ToString() (or crash description)
+};
+
+/// Runs `probe` in a forked child so that a CHECK abort or segfault inside
+/// the code under test cannot take down the fuzzing driver: a buggy
+/// algorithm under delta-debugging routinely crashes on the very smallest
+/// candidates. The probe returns whether the candidate fails and fills the
+/// human-readable report plus its solve count; both are piped back to the
+/// parent. A crashed child is reported as failed with a synthetic report.
+IsolatedOutcome RunIsolated(
+    const std::function<bool(std::string* report_text, int* solves)>& probe);
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTING_ISOLATION_H_

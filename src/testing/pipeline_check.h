@@ -1,0 +1,44 @@
+#ifndef CQP_TESTING_PIPELINE_CHECK_H_
+#define CQP_TESTING_PIPELINE_CHECK_H_
+
+#include <cstdint>
+
+#include "testing/oracle.h"
+
+namespace cqp::testing {
+
+/// Configuration of the end-to-end execution-path parity sweep.
+struct PipelineCheckConfig {
+  uint64_t seed = 1;
+  size_t n_queries = 4;
+  size_t n_profiles = 2;
+  /// Preference-space cap for every request (keeps K small enough for
+  /// exact solvers on every query).
+  size_t max_k = 10;
+  bool check_batch = true;       ///< serial vs PersonalizeBatch
+  bool check_shared_cache = true;///< private vs shared warm EvalCache
+  bool check_server = true;      ///< direct vs loopback server round trip
+  bool check_failpoints = true;  ///< injected faults + tight budgets degrade
+};
+
+struct PipelineCheckResult {
+  CheckReport report;     ///< violations across all paths
+  size_t requests = 0;    ///< personalization requests compared
+};
+
+/// Tentpole check (d)+(e) at the whole-pipeline level: builds a synthetic
+/// movie database, generated profiles and an SPJ query workload, then
+/// requires field-for-field agreement between
+///   * sequential Personalize() calls (the reference),
+///   * PersonalizeBatch() over the same requests,
+///   * Personalize() with a shared, pre-warmed EvalCache,
+///   * a loopback server round trip (JSON wire protocol),
+/// and — under injected failpoints plus tight expansion budgets — that
+/// every answer is still OK, feasible solutions verify against their
+/// problem bounds, and non-Primary answers are tagged degraded.
+PipelineCheckResult RunPipelineCheck(
+    const PipelineCheckConfig& config = PipelineCheckConfig());
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTING_PIPELINE_CHECK_H_

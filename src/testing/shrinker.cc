@@ -1,0 +1,228 @@
+#include "testing/shrinker.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testing/isolation.h"
+
+namespace cqp::testing {
+
+namespace {
+
+/// The names of the checks the original instance fails; a shrink step must
+/// keep at least one of them failing.
+std::set<std::string> FailingChecks(const CheckReport& report) {
+  std::set<std::string> names;
+  for (const Violation& v : report.violations) names.insert(v.check);
+  return names;
+}
+
+/// Runs the predicate in a forked child: smaller candidates of a genuinely
+/// buggy instance often CHECK-abort outright (e.g. an off-by-one start
+/// state indexing past a one-preference space), and such a crash must count
+/// as "still failing", not take down the driver.
+IsolatedOutcome Probe(const FailurePredicate& fails,
+                      const CqpInstance& candidate) {
+  return RunIsolated([&](std::string* text, int* solves) {
+    CheckReport report;
+    bool failed = fails(candidate, &report);
+    *text = report.ToString();
+    *solves = static_cast<int>(report.solves);
+    return failed;
+  });
+}
+
+struct Shrinker {
+  const FailurePredicate& fails;
+  CqpInstance best;
+  IsolatedOutcome best_outcome;
+  int steps = 0;
+  int probes = 0;
+
+  /// True (and adopts `candidate`) when it still fails the predicate.
+  bool Try(CqpInstance candidate) {
+    candidate.Canonicalize();
+    if (!candidate.problem.Validate().ok()) return false;
+    ++probes;
+    IsolatedOutcome outcome = Probe(fails, candidate);
+    if (!outcome.failed) return false;
+    best = std::move(candidate);
+    best_outcome = std::move(outcome);
+    ++steps;
+    return true;
+  }
+
+  /// Classic ddmin over the preference list: try dropping chunks of
+  /// decreasing size until no single preference can be removed.
+  void DdminPrefs() {
+    size_t chunk = (best.K() + 1) / 2;
+    while (chunk >= 1) {
+      bool removed_any = false;
+      for (size_t start = 0; start + chunk <= best.K();) {
+        CqpInstance candidate = best;
+        candidate.space.prefs.erase(
+            candidate.space.prefs.begin() + static_cast<long>(start),
+            candidate.space.prefs.begin() + static_cast<long>(start + chunk));
+        if (candidate.K() > 0 && Try(std::move(candidate))) {
+          removed_any = true;  // best shrank; same start now names new prefs
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        if (!removed_any) break;
+      } else if (!removed_any) {
+        chunk /= 2;
+      }
+    }
+  }
+
+  /// Simplifies the surviving preferences' parameters toward "round"
+  /// values, one field at a time.
+  void SimplifyValues() {
+    for (size_t i = 0; i < best.K(); ++i) {
+      {
+        CqpInstance candidate = best;
+        candidate.space.prefs[i].selectivity = 1.0;
+        Try(std::move(candidate));
+      }
+      {
+        CqpInstance candidate = best;
+        candidate.space.prefs[i].cost_ms = candidate.space.base.cost_ms;
+        Try(std::move(candidate));
+      }
+      for (double digits : {1.0, 100.0}) {
+        CqpInstance candidate = best;
+        double rounded =
+            std::round(candidate.space.prefs[i].doi * digits) / digits;
+        if (rounded < 0.0 || rounded > 1.0 ||
+            rounded == candidate.space.prefs[i].doi) {
+          continue;
+        }
+        candidate.space.prefs[i].doi = rounded;
+        Try(std::move(candidate));
+      }
+    }
+    // Base parameters: a unit base is the easiest to reason about.
+    for (double base_cost : {1.0, 100.0}) {
+      CqpInstance candidate = best;
+      candidate.space.base.cost_ms = base_cost;
+      for (auto& p : candidate.space.prefs) {
+        if (p.cost_ms < base_cost) p.cost_ms = base_cost;
+      }
+      Try(std::move(candidate));
+    }
+    for (double base_size : {1.0, 1000.0}) {
+      CqpInstance candidate = best;
+      candidate.space.base.size = base_size;
+      Try(std::move(candidate));
+    }
+  }
+
+  /// Rounds the constraint bounds; boundary-regime reproducers often carry
+  /// 17 significant digits that are irrelevant to the bug.
+  void SimplifyBounds() {
+    auto try_rounded = [&](std::optional<double> cqp::ProblemSpec::*field) {
+      if (!(best.problem.*field).has_value()) return;
+      for (double digits : {1.0, 1000.0}) {
+        CqpInstance candidate = best;
+        double v = *(candidate.problem.*field);
+        double rounded = std::round(v * digits) / digits;
+        if (rounded == v) continue;
+        candidate.problem.*field = rounded;
+        Try(std::move(candidate));
+      }
+    };
+    try_rounded(&cqp::ProblemSpec::cmax_ms);
+    try_rounded(&cqp::ProblemSpec::dmin);
+    try_rounded(&cqp::ProblemSpec::smin);
+    try_rounded(&cqp::ProblemSpec::smax);
+  }
+};
+
+}  // namespace
+
+ShrinkResult ShrinkInstanceWith(const CqpInstance& instance,
+                                const FailurePredicate& fails) {
+  ShrinkResult result;
+  result.instance = instance;
+  IsolatedOutcome initial = Probe(fails, instance);
+  if (!initial.failed) return result;  // nothing to shrink
+
+  Shrinker shrinker{fails, instance, std::move(initial)};
+  // Alternate removal and simplification to a fixpoint: simplified values
+  // can unlock further removals and vice versa.
+  int prev_steps = -1;
+  for (int round = 0; round < 8 && shrinker.steps != prev_steps; ++round) {
+    prev_steps = shrinker.steps;
+    shrinker.DdminPrefs();
+    shrinker.SimplifyValues();
+    shrinker.SimplifyBounds();
+  }
+
+  result.instance = shrinker.best;
+  result.instance.note += "\nshrunk from K=" + std::to_string(instance.K()) +
+                          " in " + std::to_string(shrinker.steps) + " steps";
+  result.instance.Canonicalize();
+  // The minimized instance's report: re-run inline when the winning probe
+  // exited cleanly (so callers get a structured CheckReport), synthesize a
+  // crash entry otherwise — re-running a crasher inline would abort here.
+  if (shrinker.best_outcome.crashed) {
+    result.report.Add("crash", "", shrinker.best_outcome.report_text);
+  } else {
+    fails(shrinker.best, &result.report);
+  }
+  result.steps = shrinker.steps;
+  result.probes = shrinker.probes;
+  return result;
+}
+
+ShrinkResult ShrinkInstance(const CqpInstance& instance,
+                            const CheckOptions& options) {
+  // First verdict in isolation: the instance itself may crash the code
+  // under test, and that is still a shrinkable failure.
+  IsolatedOutcome first =
+      Probe([&](const CqpInstance& candidate, CheckReport* report) {
+        *report = CheckInstance(candidate, options);
+        return !report->ok();
+      },
+            instance);
+  if (!first.failed) {
+    ShrinkResult result;
+    result.instance = instance;
+    return result;
+  }
+  if (first.crashed) {
+    // Crash mode: keep only candidates that also crash (the predicate runs
+    // the checks for their side effect of possibly aborting the child and
+    // rejects every candidate that survives them).
+    return ShrinkInstanceWith(
+        instance, [&](const CqpInstance& candidate, CheckReport*) {
+          CheckInstance(candidate, options);
+          return false;
+        });
+  }
+  // Non-crashing failure: the inline re-run is safe and yields the original
+  // violation names, which gate every shrink step so the minimizer cannot
+  // wander off to an unrelated failure.
+  CheckReport original = CheckInstance(instance, options);
+  std::set<std::string> targets = FailingChecks(original);
+  return ShrinkInstanceWith(
+      instance, [&](const CqpInstance& candidate, CheckReport* report) {
+        CheckReport r = CheckInstance(candidate, options);
+        bool still_fails = false;
+        for (const Violation& v : r.violations) {
+          if (targets.count(v.check) != 0) {
+            still_fails = true;
+            break;
+          }
+        }
+        if (still_fails) *report = std::move(r);
+        return still_fails;
+      });
+}
+
+}  // namespace cqp::testing

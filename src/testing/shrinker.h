@@ -1,0 +1,47 @@
+#ifndef CQP_TESTING_SHRINKER_H_
+#define CQP_TESTING_SHRINKER_H_
+
+#include <functional>
+
+#include "testing/instance.h"
+#include "testing/oracle.h"
+
+namespace cqp::testing {
+
+struct ShrinkResult {
+  CqpInstance instance;  ///< the minimized instance
+  CheckReport report;    ///< CheckInstance() on the minimized instance
+  int steps = 0;         ///< accepted reductions
+  int probes = 0;        ///< candidate instances evaluated
+};
+
+/// Delta-debugging minimization of a failing instance: repeatedly drops
+/// preference chunks (ddmin), simplifies surviving preference parameters
+/// (selectivity -> 1, cost -> base, doi rounding) and rounds the constraint
+/// bounds — accepting a candidate only while CheckInstance() still reports
+/// at least one violation with a check name present in the ORIGINAL
+/// report. That guard stops the shrinker from wandering to a different,
+/// unrelated failure.
+///
+/// `instance` must actually fail under `options`; if it does not, the
+/// result is the unchanged instance with an empty report.
+ShrinkResult ShrinkInstance(const CqpInstance& instance,
+                            const CheckOptions& options = CheckOptions());
+
+/// Same minimization loop against an arbitrary predicate: a candidate is
+/// kept while `fails` returns true for it (filling `*report` is optional —
+/// pass what the caller should see for the final instance). Used by tests
+/// and by harnesses with custom oracles.
+///
+/// Each probe runs in a forked child process, so a candidate that crashes
+/// the code under test counts as "still failing" instead of killing the
+/// caller; consequently the predicate must not rely on side effects being
+/// visible to the parent (captured state mutates in the child only).
+using FailurePredicate =
+    std::function<bool(const CqpInstance& candidate, CheckReport* report)>;
+ShrinkResult ShrinkInstanceWith(const CqpInstance& instance,
+                                const FailurePredicate& fails);
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTING_SHRINKER_H_

@@ -257,6 +257,28 @@ TEST(IndexSetTest, SixtyFourMemberBoundary) {
   EXPECT_TRUE(IndexSet().Dominates(IndexSet()));
 }
 
+TEST(IndexSetTest, DominatesUnequalSizesAcrossBitmaskGate) {
+  // Unequal sizes are never comparable, regardless of which side of the
+  // 64-member value gate each representation falls on: small vs small,
+  // large vs small, and large vs large must all agree with the size check
+  // before any mask or element loop runs.
+  IndexSet small2{0, 1};
+  IndexSet small3{0, 1, 2};
+  IndexSet large2 = IndexSet::FromUnsorted({9, 99});
+  IndexSet large3 = IndexSet::FromUnsorted({9, 99, 200});
+  EXPECT_FALSE(small2.Dominates(small3));
+  EXPECT_FALSE(small3.Dominates(small2));
+  EXPECT_FALSE(large2.Dominates(small3));
+  EXPECT_FALSE(small3.Dominates(large2));
+  EXPECT_FALSE(large2.Dominates(large3));
+  EXPECT_FALSE(large3.Dominates(large2));
+
+  // Equal sizes across the gate: {63} is the last mask-representable
+  // singleton, {64} the first that is not. Componentwise 63 <= 64.
+  EXPECT_TRUE((IndexSet{63}).Dominates(IndexSet::FromUnsorted({64})));
+  EXPECT_FALSE((IndexSet::FromUnsorted({64})).Dominates(IndexSet{63}));
+}
+
 TEST(IndexSetTest, MutationsKeepBitsInSync) {
   IndexSet s{1, 5};
   EXPECT_EQ(s.WithAdded(3).Bits(), (uint64_t{1} << 1) | (uint64_t{1} << 3) |

@@ -24,25 +24,28 @@ class StatsSweep : public ::testing::TestWithParam<int> {
  protected:
   storage::Database MakeDb(Rng& rng) {
     storage::Database db;
-    storage::Table* t = *db.CreateTable(catalog::RelationDef(
-        "R", {{"a", catalog::ValueType::kInt},
-              {"b", catalog::ValueType::kDouble},
-              {"c", catalog::ValueType::kString}}));
-    int rows = static_cast<int>(rng.Uniform(1, 300));
-    for (int i = 0; i < rows; ++i) {
-      CQP_CHECK(t->Insert(storage::Tuple(
-                              {Value(rng.Uniform(-20, 20)),
-                               Value(rng.UniformDouble(-5, 5)),
-                               Value("s" + std::to_string(rng.Uniform(0, 9)))}))
-                    .ok());
-    }
+    ::cqp::testing::AddRandomTable(
+        rng, db, "R",
+        {{"a", catalog::ValueType::kInt},
+         {"b", catalog::ValueType::kDouble},
+         {"c", catalog::ValueType::kString}},
+        1, 300, [](Rng& r, const catalog::AttributeDef& attr) {
+          switch (attr.type) {
+            case catalog::ValueType::kInt:
+              return Value(r.Uniform(-20, 20));
+            case catalog::ValueType::kDouble:
+              return Value(r.UniformDouble(-5, 5));
+            default:
+              return Value("s" + std::to_string(r.Uniform(0, 9)));
+          }
+        });
     db.Analyze(static_cast<size_t>(rng.Uniform(1, 20)));
     return db;
   }
 };
 
 TEST_P(StatsSweep, SelectivityAlwaysInUnitInterval) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 101);
+  Rng rng = ::cqp::testing::SeededRng(GetParam(), 101);
   storage::Database db = MakeDb(rng);
   ParameterEstimator estimator(&db);
   static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
@@ -69,7 +72,7 @@ TEST_P(StatsSweep, SelectivityAlwaysInUnitInterval) {
 }
 
 TEST_P(StatsSweep, EqAndNeAreComplements) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 211);
+  Rng rng = ::cqp::testing::SeededRng(GetParam(), 211);
   storage::Database db = MakeDb(rng);
   ParameterEstimator estimator(&db);
   for (int trial = 0; trial < 100; ++trial) {
@@ -81,7 +84,7 @@ TEST_P(StatsSweep, EqAndNeAreComplements) {
 }
 
 TEST_P(StatsSweep, McvMassSumsToAtMostOne) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 307);
+  Rng rng = ::cqp::testing::SeededRng(GetParam(), 307);
   storage::Database db = MakeDb(rng);
   const catalog::RelationStats* stats = *db.GetStats("R");
   for (const catalog::AttributeStats& attr : stats->attributes) {
@@ -94,7 +97,7 @@ TEST_P(StatsSweep, McvMassSumsToAtMostOne) {
 }
 
 TEST_P(StatsSweep, RangeSelectivityMonotoneInThreshold) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 401);
+  Rng rng = ::cqp::testing::SeededRng(GetParam(), 401);
   storage::Database db = MakeDb(rng);
   ParameterEstimator estimator(&db);
   double prev = -1;

@@ -14,6 +14,7 @@
 #include "exec/executor.h"
 #include "sql/ast.h"
 #include "storage/database.h"
+#include "test_util.h"
 
 namespace cqp::exec {
 namespace {
@@ -35,21 +36,16 @@ storage::Database MakeRandomDb(Rng& rng) {
   storage::Database db;
   int n_tables = static_cast<int>(rng.Uniform(2, 3));
   for (int t = 0; t < n_tables; ++t) {
-    std::string name = "T" + std::to_string(t);
     int n_cols = static_cast<int>(rng.Uniform(2, 4));
     std::vector<AttributeDef> attrs;
     for (int c = 0; c < n_cols; ++c) {
       attrs.push_back(AttributeDef{"c" + std::to_string(c), ValueType::kInt});
     }
-    storage::Table* table = *db.CreateTable(RelationDef(name, attrs));
-    int n_rows = static_cast<int>(rng.Uniform(0, 12));
-    for (int r = 0; r < n_rows; ++r) {
-      std::vector<Value> row;
-      for (int c = 0; c < n_cols; ++c) {
-        row.emplace_back(rng.Uniform(0, 4));  // tiny domain: collisions
-      }
-      CQP_CHECK(table->Insert(Tuple(std::move(row))).ok());
-    }
+    ::cqp::testing::AddRandomTable(
+        rng, db, "T" + std::to_string(t), attrs, 0, 12,
+        [](Rng& r, const AttributeDef&) {
+          return Value(r.Uniform(0, 4));  // tiny domain: collisions
+        });
   }
   db.Analyze();
   return db;
@@ -177,7 +173,7 @@ StatusOr<std::multiset<std::string>> ReferenceEval(
 class ExecFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExecFuzz, MatchesNaiveReference) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  Rng rng = ::cqp::testing::SeededRng(GetParam(), 7919);
   storage::Database db = MakeRandomDb(rng);
   Executor executor(&db);
 

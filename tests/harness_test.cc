@@ -1,0 +1,206 @@
+// Tier-1 coverage for the differential & metamorphic harness itself: the
+// generator must be deterministic and cover every Table 1 problem class,
+// reproducer files must round-trip bit-for-bit, a sweep of generated
+// instances must pass every oracle/invariant/parity check, the checked-in
+// regression corpus must replay clean, and the shrinker must minimize
+// against an arbitrary predicate. The long-running entry point is
+// tools/cqp_fuzz; this file keeps a fast slice of it in ctest.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "testing/generator.h"
+#include "testing/instance.h"
+#include "testing/isolation.h"
+#include "testing/oracle.h"
+#include "testing/shrinker.h"
+
+namespace cqp::testing {
+namespace {
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig config;
+  for (uint64_t seed : {1u, 7u, 99u}) {
+    Rng a(seed);
+    Rng b(seed);
+    EXPECT_EQ(GenerateInstance(a, config).Serialize(),
+              GenerateInstance(b, config).Serialize());
+  }
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(GenerateInstance(a, config).Serialize(),
+            GenerateInstance(b, config).Serialize());
+}
+
+TEST(Generator, CoversAllSixProblemClasses) {
+  GeneratorConfig config;
+  std::set<int> classes;
+  Rng rng(42);
+  for (int i = 0; i < 60; ++i) {
+    CqpInstance instance = GenerateInstance(rng, config);
+    ASSERT_TRUE(instance.problem.Validate().ok()) << instance.Summary();
+    classes.insert(instance.problem.ProblemNumber());
+    EXPECT_GE(instance.K(), config.k_min);
+    EXPECT_LE(instance.K(), config.k_max);
+  }
+  EXPECT_EQ(classes, (std::set<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Generator, PinnedClassIsHonored) {
+  for (int cls = 1; cls <= 6; ++cls) {
+    GeneratorConfig config;
+    config.problem_class = cls;
+    Rng rng(static_cast<uint64_t>(cls) * 13);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(GenerateInstance(rng, config).problem.ProblemNumber(), cls);
+    }
+  }
+}
+
+TEST(Instance, SerializeRoundTripsBitForBit) {
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    CqpInstance instance = GenerateInstance(rng);
+    std::string text = instance.Serialize();
+    auto parsed = CqpInstance::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Serialize(), text);
+    ASSERT_EQ(parsed->K(), instance.K());
+    for (size_t p = 0; p < instance.K(); ++p) {
+      EXPECT_EQ(parsed->space.prefs[p].doi, instance.space.prefs[p].doi);
+      EXPECT_EQ(parsed->space.prefs[p].cost_ms,
+                instance.space.prefs[p].cost_ms);
+      EXPECT_EQ(parsed->space.prefs[p].selectivity,
+                instance.space.prefs[p].selectivity);
+    }
+  }
+}
+
+TEST(Instance, ParseRejectsUnknownDirective) {
+  EXPECT_FALSE(CqpInstance::Parse("cqp-repro v1\nobjective max_doi\n"
+                                  "frobnicate 3\npref 0.5 120 0.5\n")
+                   .ok());
+  EXPECT_FALSE(CqpInstance::Parse("not a repro at all").ok());
+}
+
+TEST(Harness, GeneratedSweepIsViolationFree) {
+  // A fast slice of the 10k-instance cqp_fuzz campaign: every problem
+  // class, every check enabled.
+  for (int cls = 1; cls <= 6; ++cls) {
+    GeneratorConfig config;
+    config.problem_class = cls;
+    int checked = 0;
+    for (uint64_t i = 0; i < 40; ++i) {
+      Rng rng(static_cast<uint64_t>(cls) * 100000 + i);
+      CqpInstance instance = GenerateInstance(rng, config);
+      instance.seed = static_cast<uint64_t>(cls) * 100000 + i;
+      CheckReport report = CheckInstance(instance);
+      EXPECT_TRUE(report.ok()) << "class " << cls << " seed " << instance.seed
+                               << "\n" << report.ToString() << "\n"
+                               << instance.Serialize();
+      checked += static_cast<int>(report.algorithms_checked);
+    }
+    EXPECT_GT(checked, 0) << "class " << cls;
+  }
+}
+
+TEST(Harness, CorpusReplaysClean) {
+  // Historical regressions checked in under tests/corpus (see the
+  // "# regression:" note in each file). Every entry once failed a check or
+  // crashed an algorithm; all must pass on current code.
+  std::filesystem::path dir(CQP_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".cqprepro") continue;
+    auto instance = CqpInstance::ReadFile(entry.path().string());
+    ASSERT_TRUE(instance.ok()) << entry.path() << ": "
+                               << instance.status().ToString();
+    CheckReport report = CheckInstance(*instance);
+    EXPECT_TRUE(report.ok()) << entry.path() << "\n" << report.ToString();
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 6);
+}
+
+TEST(Shrinker, MinimizesAgainstPredicate) {
+  // No real bug needed: shrink against "keeps at least 3 preferences with
+  // doi above 0.5". The minimum satisfying instance has exactly 3 prefs.
+  Rng rng(11);
+  GeneratorConfig config;
+  config.k_min = 10;
+  config.k_max = 12;
+  config.doi_shape = static_cast<int>(DoiShape::kUniform);
+  CqpInstance instance = GenerateInstance(rng, config);
+  auto high_doi_count = [](const CqpInstance& candidate) {
+    int n = 0;
+    for (const auto& p : candidate.space.prefs) n += p.doi > 0.5 ? 1 : 0;
+    return n;
+  };
+  ASSERT_GE(high_doi_count(instance), 3) << instance.Serialize();
+
+  ShrinkResult shrunk = ShrinkInstanceWith(
+      instance, [&](const CqpInstance& candidate, CheckReport*) {
+        return high_doi_count(candidate) >= 3;
+      });
+  EXPECT_GE(shrunk.steps, 1);
+  EXPECT_GT(shrunk.probes, shrunk.steps);
+  EXPECT_EQ(shrunk.instance.K(), 3u) << shrunk.instance.Serialize();
+  EXPECT_EQ(high_doi_count(shrunk.instance), 3);
+  EXPECT_NE(shrunk.instance.note.find("shrunk from"), std::string::npos);
+}
+
+TEST(Shrinker, PassingInstanceIsLeftAlone) {
+  Rng rng(3);
+  CqpInstance instance = GenerateInstance(rng);
+  ShrinkResult result = ShrinkInstanceWith(
+      instance, [](const CqpInstance&, CheckReport*) { return false; });
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.instance.K(), instance.K());
+}
+
+TEST(Isolation, SurvivesCrashingProbe) {
+  IsolatedOutcome outcome = RunIsolated([](std::string*, int*) -> bool {
+    std::abort();  // what a CHECK failure in the code under test does
+  });
+  EXPECT_TRUE(outcome.crashed);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_NE(outcome.report_text.find("signal"), std::string::npos);
+}
+
+TEST(Isolation, ForwardsVerdictAndReport) {
+  IsolatedOutcome outcome = RunIsolated([](std::string* text, int* solves) {
+    *text = "the-report";
+    *solves = 17;
+    return true;
+  });
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.solves, 17);
+  EXPECT_EQ(outcome.report_text, "the-report");
+
+  outcome = RunIsolated([](std::string*, int*) { return false; });
+  EXPECT_FALSE(outcome.failed);
+}
+
+TEST(Generator, CorruptFrameAndJunkAreDeterministic) {
+  std::string frame = "{\"op\":\"personalize\",\"id\":\"x\"}";
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(CorruptFrame(a, frame), CorruptFrame(b, frame));
+  }
+  Rng c(6);
+  Rng d(6);
+  std::string junk = RandomJunk(c, 256);
+  EXPECT_EQ(junk, RandomJunk(d, 256));
+  EXPECT_EQ(junk.find('\n'), std::string::npos);
+  EXPECT_EQ(junk.size(), 256u);
+}
+
+}  // namespace
+}  // namespace cqp::testing

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "server/json.h"
 #include "server/protocol.h"
+#include "testing/generator.h"
 
 namespace cqp::server {
 namespace {
@@ -306,6 +308,130 @@ TEST(Protocol, OversizedFrameIsRejected) {
   big += "\"}";
   EXPECT_FALSE(ParseRequest(big).ok());
   EXPECT_FALSE(ParseResponse(big).ok());
+}
+
+// ------------------------------------- generated malformed-frame corpus
+//
+// The seeded corruption helpers live in src/testing/generator.h and are
+// shared with tools/cqp_fuzz. A corrupted frame is not guaranteed to be
+// invalid (a byte flip inside a string literal can keep it well-formed),
+// so the contract here is: the parsers always return a verdict — never
+// crash — and anything they accept must survive a serialize/parse round
+// trip.
+
+/// Representative valid frames to corrupt: one of each direction.
+std::vector<std::string> BaseFrames() {
+  WireRequest request;
+  request.op = RequestOp::kPersonalize;
+  request.id = "corpus";
+  request.personalize.sql = "SELECT title FROM MOVIE";
+  request.personalize.problem = cqp::ProblemSpec::Problem3(400.0, 1.0, 50.0);
+
+  WireResponse response;
+  response.id = "corpus";
+  PersonalizeResultPayload r;
+  r.final_sql = "SELECT title FROM MOVIE WHERE year > 1990";
+  r.rung = "Primary";
+  r.feasible = true;
+  r.chosen = {0, 2};
+  r.doi = 0.5;
+  response.personalize = r;
+
+  WireResponse error;
+  error.id = "corpus";
+  error.status = Infeasible("no solution");
+
+  return {SerializeRequest(request), SerializeResponse(response),
+          SerializeResponse(error)};
+}
+
+TEST(ProtocolFuzz, CorruptedFramesNeverCrashAndAcceptedOnesRoundTrip) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    for (const std::string& base : BaseFrames()) {
+      std::string frame = ::cqp::testing::CorruptFrame(rng, base);
+      auto request = ParseRequest(frame);
+      if (request.ok()) {
+        EXPECT_TRUE(ParseRequest(SerializeRequest(*request)).ok())
+            << "accepted but not round-trippable: " << frame;
+      }
+      auto response = ParseResponse(frame);
+      if (response.ok()) {
+        EXPECT_TRUE(ParseResponse(SerializeResponse(*response)).ok())
+            << "accepted but not round-trippable: " << frame;
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomJunkFramesAreRejected) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 31);
+    std::string junk =
+        ::cqp::testing::RandomJunk(rng, rng.Uniform(1, 2048));
+    EXPECT_FALSE(ParseRequest(junk).ok()) << "accepted: " << junk;
+    EXPECT_FALSE(ParseResponse(junk).ok()) << "accepted: " << junk;
+  }
+}
+
+TEST(ProtocolFuzz, EveryTruncatedPrefixIsRejected) {
+  for (const std::string& base : BaseFrames()) {
+    for (size_t len = 0; len < base.size(); ++len) {
+      std::string prefix = base.substr(0, len);
+      EXPECT_FALSE(ParseRequest(prefix).ok()) << "accepted: " << prefix;
+      EXPECT_FALSE(ParseResponse(prefix).ok()) << "accepted: " << prefix;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, FrameAtExactlyTheCapParsesAndOneByteOverIsRejected) {
+  // Pad the sql payload until the serialized frame is exactly
+  // kMaxFrameBytes: that must still parse (the cap is inclusive), and one
+  // more byte must be rejected by the size check, not the JSON parser.
+  WireRequest request;
+  request.op = RequestOp::kPersonalize;
+  request.personalize.sql = "S";
+  std::string frame = SerializeRequest(request);
+  ASSERT_LT(frame.size(), kMaxFrameBytes);
+  request.personalize.sql += std::string(kMaxFrameBytes - frame.size(), 'x');
+  frame = SerializeRequest(request);
+  ASSERT_EQ(frame.size(), kMaxFrameBytes);
+  EXPECT_TRUE(ParseRequest(frame).ok());
+
+  request.personalize.sql += 'x';
+  frame = SerializeRequest(request);
+  ASSERT_EQ(frame.size(), kMaxFrameBytes + 1);
+  EXPECT_FALSE(ParseRequest(frame).ok());
+}
+
+TEST(ProtocolFuzz, RawNulBytesInsideStringsAreRejected) {
+  // A raw NUL is a control character; the JSON grammar requires \u0000 escaping.
+  std::string frame = R"({"v":1,"op":"personalize","sql":"SEL)";
+  frame += '\0';
+  frame += R"(ECT 1"})";
+  EXPECT_FALSE(ParseRequest(frame).ok());
+  // The escaped form is legal and round-trips through the dumper.
+  auto parsed =
+      ParseRequest(R"({"v":1,"op":"personalize","sql":"a\u0000b"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->personalize.sql, std::string("a\0b", 3));
+  EXPECT_TRUE(ParseRequest(SerializeRequest(*parsed)).ok());
+}
+
+TEST(ProtocolFuzz, InvalidUtf8PassesThroughByteTransparently) {
+  // The frame layer is deliberately byte-transparent above 0x7f: lone
+  // continuation bytes, overlong encodings, and unpaired surrogates are
+  // carried verbatim rather than rejected, so corrupting a profile string
+  // can never wedge the connection. What matters is the round trip.
+  const char* payloads[] = {"\x80", "\xc0\xaf", "\xed\xa0\x80", "\xff\xfe"};
+  for (const char* bytes : payloads) {
+    WireRequest request;
+    request.op = RequestOp::kPersonalize;
+    request.personalize.sql = std::string("SELECT ") + bytes;
+    auto parsed = ParseRequest(SerializeRequest(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->personalize.sql, request.personalize.sql);
+  }
 }
 
 TEST(Protocol, SerializedFramesAreSingleLines) {

@@ -13,6 +13,37 @@
 
 namespace cqp::testing {
 
+/// Seeded RNG for a gtest TestWithParam<int> sweep: multiplying by a
+/// suite-specific odd salt decorrelates suites that share the same small
+/// parameter values.
+inline Rng SeededRng(int param, uint64_t salt) {
+  return Rng(static_cast<uint64_t>(param) * salt);
+}
+
+/// Adds one table with `attrs` and Uniform(min_rows, max_rows) random rows
+/// to `db`; `cell` produces each value from the column definition. Shared
+/// by the executor and estimation fuzz suites (the caller still picks its
+/// own domains — small ones make joins and selections actually hit).
+inline storage::Table* AddRandomTable(
+    Rng& rng, storage::Database& db, const std::string& name,
+    const std::vector<catalog::AttributeDef>& attrs, int min_rows,
+    int max_rows,
+    const std::function<catalog::Value(Rng&, const catalog::AttributeDef&)>&
+        cell) {
+  storage::Table* table =
+      *db.CreateTable(catalog::RelationDef(name, attrs));
+  int n_rows = static_cast<int>(rng.Uniform(min_rows, max_rows));
+  for (int r = 0; r < n_rows; ++r) {
+    std::vector<catalog::Value> row;
+    row.reserve(attrs.size());
+    for (const catalog::AttributeDef& attr : attrs) {
+      row.push_back(cell(rng, attr));
+    }
+    CQP_CHECK(table->Insert(storage::Tuple(std::move(row))).ok());
+  }
+  return table;
+}
+
 /// Builds a synthetic preference space for algorithm tests without a
 /// database: K preferences with dois sorted descending and random
 /// cost/selectivity, plus the C/S pointer vectors.

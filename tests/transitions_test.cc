@@ -89,6 +89,50 @@ TEST(Horizontal2Test, FullStateListsNone) {
   EXPECT_TRUE(Horizontal2Candidates(IndexSet{0, 1, 2}, 3).empty());
 }
 
+TEST(Horizontal2Test, SingleElementStateListsComplement) {
+  // A lone member at the bottom, middle, and top of the space: the
+  // candidate list is exactly the other K-1 positions, in order.
+  auto at = [](int32_t member) { return IndexSet{member}; };
+  EXPECT_EQ(Horizontal2Candidates(at(0), 5),
+            (std::vector<int32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(Horizontal2Candidates(at(2), 5),
+            (std::vector<int32_t>{0, 1, 3, 4}));
+  EXPECT_EQ(Horizontal2Candidates(at(4), 5),
+            (std::vector<int32_t>{0, 1, 2, 3}));
+  // K = 1: the single-element state is also the full state.
+  EXPECT_TRUE(Horizontal2Candidates(at(0), 1).empty());
+}
+
+TEST(Horizontal2Test, FullStateAtBitmaskBoundary) {
+  // 64 members {0..63}: the largest state that still fits the IndexSet
+  // mask fast path. As the full state of K = 64 it has no candidates; in a
+  // K = 65 space the only candidate is 64, the first non-mask position.
+  std::vector<int32_t> all;
+  for (int32_t i = 0; i < 64; ++i) all.push_back(i);
+  IndexSet full = IndexSet::FromUnsorted(all);
+  EXPECT_TRUE(Horizontal2Candidates(full, 64).empty());
+  EXPECT_EQ(Horizontal2Candidates(full, 65), (std::vector<int32_t>{64}));
+}
+
+TEST(Horizontal2Test, CandidatesAreTheAscendingComplement) {
+  // Differential check against the definition, over random states.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = static_cast<size_t>(rng.Uniform(1, 20));
+    std::vector<int32_t> members;
+    for (int32_t i = 0; i < static_cast<int32_t>(k); ++i) {
+      if (rng.Bernoulli(0.4)) members.push_back(i);
+    }
+    IndexSet state = IndexSet::FromUnsorted(members);
+    std::vector<int32_t> expected;
+    for (int32_t i = 0; i < static_cast<int32_t>(k); ++i) {
+      if (!state.Contains(i)) expected.push_back(i);
+    }
+    EXPECT_EQ(Horizontal2Candidates(state, k), expected)
+        << state.ToString() << " k=" << k;
+  }
+}
+
 // ---------- Proposition 1 & Table 4 directions ----------
 
 class DirectionTest : public ::testing::Test {
