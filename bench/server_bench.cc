@@ -13,10 +13,22 @@
 // silent drop or a hang (the bench finishing IS the no-hung-connections
 // check: every client runs a blocking closed loop).
 //
-// Flags: --smoke   reduced grid (concurrency {1,8} x deadline {50ms, inf})
-//        --json P  write the JSON record to P (default BENCH_server.json)
+// A second phase exercises the plan cache with a repeated-query workload:
+// a cold pass where every request carries a never-seen-before query (every
+// Prepare() misses), then a Zipfian-skewed warm pass over a fixed query
+// pool that was prepared once beforehand (every Prepare() hits). Both
+// passes run the same query shapes through the same server, so the
+// qps ratio isolates what the prepared-personalization pipeline saves.
+// Warm responses are compared field-for-field against direct in-process
+// Personalize() answers — a cache hit must be bit-identical to a cold
+// solve. The phase writes its own record (default BENCH_plan_cache.json).
+//
+// Flags: --smoke        reduced grid (concurrency {1,8} x deadline {50ms, inf})
+//        --json P       write the load-bench record to P (BENCH_server.json)
+//        --plan-json P  write the plan-cache record to P (BENCH_plan_cache.json)
 
 #include <algorithm>
+#include <cmath>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -75,16 +87,17 @@ double Percentile(std::vector<double> values, double p) {
   return values[std::min(idx, values.size() - 1)];
 }
 
-/// Direct in-process reference answers, one per bench query, computed with
-/// exactly the server's defaults.
+/// Direct in-process reference answers, one per query, computed with
+/// exactly the server's defaults (and no plan cache).
 std::vector<construct::PersonalizeResult> ReferenceResults(
     const storage::Database& db, server::ProfileStore& profiles,
-    const server::ServerOptions& options) {
+    const server::ServerOptions& options,
+    const std::vector<std::string>& queries) {
   auto graph = profiles.Find("default");
   CQP_CHECK(graph != nullptr);
   construct::Personalizer personalizer(&db, graph.get());
   std::vector<construct::PersonalizeResult> results;
-  for (const std::string& sql : BenchQueries()) {
+  for (const std::string& sql : queries) {
     construct::PersonalizeRequest request;
     request.sql = sql;
     request.problem = options.default_problem;
@@ -271,7 +284,322 @@ server::JsonValue RunShedProbe(const storage::Database& db,
   return obj;
 }
 
-int Run(bool smoke, const std::string& json_path) {
+// ---------------------------------------------------------------------------
+// Plan-cache phase: cold (all-miss) vs Zipfian warm (all-hit) throughput.
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// `n` pool indices drawn from a Zipf(s) distribution over `pool` ranks:
+/// rank r is picked with probability proportional to 1/r^s. Deterministic.
+std::vector<size_t> ZipfSequence(size_t n, size_t pool, double s,
+                                 uint64_t seed) {
+  std::vector<double> cdf(pool);
+  double sum = 0.0;
+  for (size_t r = 0; r < pool; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = sum;
+  }
+  std::vector<size_t> sequence;
+  sequence.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = static_cast<double>(SplitMix64(seed) >> 11) * 0x1.0p-53 * sum;
+    size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    sequence.push_back(std::min(rank, pool - 1));
+  }
+  return sequence;
+}
+
+/// One of three query shapes (single table, two-way join, three-way join)
+/// with a caller-chosen year literal. Cold and warm passes rotate the same
+/// shapes and interleave their year literals (cold odd, pool even) inside
+/// the generator's year domain, so same-shape queries in the two passes
+/// have near-identical selectivity and search spaces and differ only in
+/// their canonical fingerprint. That keeps the passes apples-to-apples —
+/// the qps gap is preparation cost, not a selectivity accident.
+std::string ShapedQuery(size_t shape, int year) {
+  if (shape % 3 == 2) {
+    return "SELECT MOVIE.title, DIRECTOR.name FROM MOVIE, DIRECTOR "
+           "WHERE MOVIE.did = DIRECTOR.did AND MOVIE.year >= " +
+           std::to_string(year);
+  }
+  return "SELECT title FROM MOVIE WHERE MOVIE.year >= " +
+         std::to_string(year);
+}
+
+/// The repeated-query pool (even years 1930, 1932, ...).
+std::string PoolQuery(size_t i) {
+  return ShapedQuery(i, 1930 + 2 * static_cast<int>(i));
+}
+
+/// Cold-pass queries (odd years 1931, 1933, ...): the same shape rotation,
+/// but a literal no other request (and no pool entry) uses, so every
+/// Prepare() is a guaranteed plan-cache miss.
+std::string ColdQuery(size_t i) {
+  return ShapedQuery(i, 1931 + 2 * static_cast<int>(i));
+}
+
+struct PlanPassResult {
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t errors = 0;  ///< transport + typed wire errors
+  size_t plan_hits = 0;  ///< responses reporting plan_cache_hit
+  size_t identity_checked = 0;
+  size_t identity_mismatches = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double server_ms_total = 0.0;  ///< sum of per-response server_ms
+  double search_ms_total = 0.0;  ///< sum of per-response search_wall_ms
+};
+
+/// Closed-loop pass: client c sends queries[c*per_client + i] in order.
+/// `reference[j]` (when non-empty) is the direct-Personalize answer request
+/// j's response must match field for field.
+PlanPassResult RunPlanPass(
+    int port, size_t concurrency, const std::vector<std::string>& queries,
+    const std::vector<const construct::PersonalizeResult*>& reference) {
+  PlanPassResult pass;
+  pass.requests = queries.size();
+  const size_t per_client = queries.size() / concurrency;
+  std::mutex mu;  // guards the aggregates below
+  std::vector<double> latencies;
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        pass.errors += per_client;
+        return;
+      }
+      std::vector<double> my_latencies;
+      size_t my_ok = 0, my_errors = 0, my_hits = 0;
+      double my_server_ms = 0.0, my_search_ms = 0.0;
+      size_t my_checked = 0, my_mismatched = 0;
+      for (size_t i = 0; i < per_client; ++i) {
+        const size_t j = c * per_client + i;
+        server::WireRequest request;
+        request.op = server::RequestOp::kPersonalize;
+        request.personalize.sql = queries[j];
+        Stopwatch timer;
+        auto response = client.Call(request);
+        my_latencies.push_back(timer.ElapsedMillis());
+        if (!response.ok() || !response->ok()) {
+          ++my_errors;
+          continue;
+        }
+        ++my_ok;
+        const server::PersonalizeResultPayload& r = *response->personalize;
+        if (r.plan_cache_hit) ++my_hits;
+        my_server_ms += r.server_ms;
+        my_search_ms += r.search_wall_ms;
+        if (!reference.empty()) {
+          ++my_checked;
+          if (!MatchesReference(r, *reference[j])) ++my_mismatched;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), my_latencies.begin(),
+                       my_latencies.end());
+      pass.ok += my_ok;
+      pass.errors += my_errors;
+      pass.plan_hits += my_hits;
+      pass.server_ms_total += my_server_ms;
+      pass.search_ms_total += my_search_ms;
+      pass.identity_checked += my_checked;
+      pass.identity_mismatches += my_mismatched;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  pass.wall_ms = wall.ElapsedMillis();
+  pass.qps = pass.wall_ms > 0.0
+                 ? 1000.0 * static_cast<double>(pass.requests) / pass.wall_ms
+                 : 0.0;
+  pass.p50_ms = Percentile(latencies, 0.50);
+  pass.p99_ms = Percentile(latencies, 0.99);
+  return pass;
+}
+
+server::JsonValue PlanPassToJson(const char* name, size_t concurrency,
+                                 const PlanPassResult& pass) {
+  using server::JsonValue;
+  JsonValue obj = JsonValue::Object();
+  obj.Set("pass", JsonValue::Str(name));
+  obj.Set("concurrency",
+          JsonValue::Number(static_cast<double>(concurrency)));
+  obj.Set("requests", JsonValue::Number(static_cast<double>(pass.requests)));
+  obj.Set("ok", JsonValue::Number(static_cast<double>(pass.ok)));
+  obj.Set("transport_errors",
+          JsonValue::Number(static_cast<double>(pass.errors)));
+  obj.Set("cache_hits",
+          JsonValue::Number(static_cast<double>(pass.plan_hits)));
+  obj.Set("wall_ms", JsonValue::Number(pass.wall_ms));
+  obj.Set("qps", JsonValue::Number(pass.qps));
+  obj.Set("p50_ms", JsonValue::Number(pass.p50_ms));
+  obj.Set("p99_ms", JsonValue::Number(pass.p99_ms));
+  obj.Set("server_ms_avg",
+          JsonValue::Number(pass.ok > 0 ? pass.server_ms_total /
+                                              static_cast<double>(pass.ok)
+                                        : 0.0));
+  obj.Set("search_ms_avg",
+          JsonValue::Number(pass.ok > 0 ? pass.search_ms_total /
+                                              static_cast<double>(pass.ok)
+                                        : 0.0));
+  obj.Set("identity_checked",
+          JsonValue::Number(static_cast<double>(pass.identity_checked)));
+  obj.Set("identity_mismatches",
+          JsonValue::Number(static_cast<double>(pass.identity_mismatches)));
+  return obj;
+}
+
+/// Runs the cold/warm plan-cache comparison on its own server (fresh
+/// ProfileStore, so the main grid's cache traffic doesn't pollute the
+/// counters) and returns the JSON record. Adds any warm-path identity
+/// mismatches (and warm requests that failed to hit the cache) to
+/// `*failures`.
+server::JsonValue RunPlanCacheWorkload(const storage::Database& db,
+                                       const prefs::Profile& profile,
+                                       bool smoke, size_t* failures) {
+  server::ProfileStore profiles(&db);
+  CQP_CHECK(profiles.Put("default", profile).ok());
+  server::ServerOptions options;
+  options.port = 0;
+  server::Server server(&db, &profiles, options);
+  CQP_CHECK(server.Start().ok());
+
+  // Year literals interleave cold/pool; keep cold small enough that every
+  // odd year stays inside the generator's [min_year, max_year] domain.
+  const size_t concurrency = smoke ? 2 : 4;
+  const size_t pool = smoke ? 8 : 12;
+  const size_t cold_per_client = smoke ? 12 : 8;
+  const size_t warm_per_client = smoke ? 32 : 64;
+  const double zipf_s = 1.1;
+
+  // Cold: every request is a first-seen query, so every Prepare() misses.
+  std::vector<std::string> cold_queries;
+  for (size_t i = 0; i < concurrency * cold_per_client; ++i) {
+    cold_queries.push_back(ColdQuery(i));
+  }
+  PlanPassResult cold = RunPlanPass(server.port(), concurrency, cold_queries,
+                                    /*reference=*/{});
+
+  // Prepare the pool once (untimed), then hammer it with a Zipfian-skewed
+  // sequence: every warm request must be a plan-cache hit.
+  std::vector<std::string> pool_queries;
+  for (size_t i = 0; i < pool; ++i) pool_queries.push_back(PoolQuery(i));
+  {
+    server::Client warmup;
+    CQP_CHECK(warmup.Connect("127.0.0.1", server.port()).ok());
+    for (const std::string& sql : pool_queries) {
+      server::WireRequest request;
+      request.op = server::RequestOp::kPersonalize;
+      request.personalize.sql = sql;
+      auto response = warmup.Call(request);
+      CQP_CHECK(response.ok() && response->ok());
+    }
+  }
+  auto pool_reference = ReferenceResults(db, profiles, options, pool_queries);
+  std::vector<size_t> sequence =
+      ZipfSequence(concurrency * warm_per_client, pool, zipf_s, /*seed=*/42);
+  std::vector<std::string> warm_queries;
+  std::vector<const construct::PersonalizeResult*> warm_reference;
+  for (size_t rank : sequence) {
+    warm_queries.push_back(pool_queries[rank]);
+    warm_reference.push_back(&pool_reference[rank]);
+  }
+  PlanPassResult warm =
+      RunPlanPass(server.port(), concurrency, warm_queries, warm_reference);
+
+  // Snapshot the server-side cache counters before shutting down.
+  construct::PlanCacheStats plan_stats = profiles.plans().stats();
+  server.Stop();
+
+  const double speedup = cold.qps > 0.0 ? warm.qps / cold.qps : 0.0;
+  if (cold.ok > 0 && warm.ok > 0) {
+    std::printf(
+        "plan cache server-side: cold %.3f ms/req (search %.3f), "
+        "warm %.3f ms/req (search %.3f)\n",
+        cold.server_ms_total / static_cast<double>(cold.ok),
+        cold.search_ms_total / static_cast<double>(cold.ok),
+        warm.server_ms_total / static_cast<double>(warm.ok),
+        warm.search_ms_total / static_cast<double>(warm.ok));
+  }
+  std::printf(
+      "plan cache: cold %.1f q/s (%zu misses), warm %.1f q/s "
+      "(%zu/%zu hits, zipf s=%.1f over %zu queries) -> %.2fx%s\n",
+      cold.qps, cold.requests, warm.qps, warm.plan_hits, warm.requests,
+      zipf_s, pool, speedup,
+      speedup >= 2.0 ? "" : "  ** below 2x target **");
+  if (warm.identity_mismatches > 0) {
+    std::fprintf(stderr,
+                 "%zu warm responses differ from direct Personalize()\n",
+                 warm.identity_mismatches);
+    *failures += warm.identity_mismatches;
+  }
+  if (warm.plan_hits != warm.ok) {
+    std::fprintf(stderr, "%zu warm responses missed the plan cache\n",
+                 warm.ok - warm.plan_hits);
+    *failures += warm.ok - warm.plan_hits;
+  }
+
+  using server::JsonValue;
+  JsonValue record = JsonValue::Object();
+  record.Set("bench", JsonValue::Str("plan_cache"));
+  JsonValue workload = JsonValue::Object();
+  workload.Set("pool", JsonValue::Number(static_cast<double>(pool)));
+  workload.Set("zipf_s", JsonValue::Number(zipf_s));
+  workload.Set("k",
+               JsonValue::Number(static_cast<double>(options.default_max_k)));
+  workload.Set("algorithm", JsonValue::Str(options.default_algorithm));
+  record.Set("workload", std::move(workload));
+  record.Set("smoke", JsonValue::Bool(smoke));
+  JsonValue cells = JsonValue::Array();
+  cells.Append(PlanPassToJson("cold", concurrency, cold));
+  cells.Append(PlanPassToJson("warm", concurrency, warm));
+  record.Set("cells", std::move(cells));
+  record.Set("warm_speedup", JsonValue::Number(speedup));
+  record.Set("meets_2x_target", JsonValue::Bool(speedup >= 2.0));
+  JsonValue plans = JsonValue::Object();
+  plans.Set("hits", JsonValue::Number(static_cast<double>(plan_stats.hits)));
+  plans.Set("misses",
+            JsonValue::Number(static_cast<double>(plan_stats.misses)));
+  plans.Set("evictions",
+            JsonValue::Number(static_cast<double>(plan_stats.evictions)));
+  plans.Set("invalidations", JsonValue::Number(static_cast<double>(
+                                 plan_stats.invalidations)));
+  plans.Set("entries",
+            JsonValue::Number(static_cast<double>(plan_stats.entries)));
+  record.Set("plan_cache", std::move(plans));
+  return record;
+}
+
+bool WriteJson(const server::JsonValue& record, const std::string& path) {
+  std::string json = record.Dump();
+  std::printf("%s\n", json.c_str());
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int Run(bool smoke, const std::string& json_path,
+        const std::string& plan_json_path) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   const int64_t movies = smoke ? 500 : 2000;
   std::printf("Personalization server load bench — %lld movies, %zu queries\n",
@@ -304,7 +632,7 @@ int Run(bool smoke, const std::string& json_path) {
   }
   std::printf("server on 127.0.0.1:%d\n\n", server.port());
 
-  auto reference = ReferenceResults(db, profiles, options);
+  auto reference = ReferenceResults(db, profiles, options, BenchQueries());
 
   std::vector<size_t> concurrencies =
       smoke ? std::vector<size_t>{1, 8} : std::vector<size_t>{1, 8, 32};
@@ -357,6 +685,11 @@ int Run(bool smoke, const std::string& json_path) {
 
   server::JsonValue shed_probe = RunShedProbe(db, profiles, smoke);
 
+  size_t failures = 0;
+  server::JsonValue plan_record =
+      RunPlanCacheWorkload(db, *profile, smoke, &failures);
+  std::printf("\n");
+
   using server::JsonValue;
   JsonValue record = JsonValue::Object();
   record.Set("bench", JsonValue::Str("server"));
@@ -374,22 +707,15 @@ int Run(bool smoke, const std::string& json_path) {
   record.Set("cells", std::move(cells));
   record.Set("shed_probe", std::move(shed_probe));
 
-  std::string json = record.Dump();
-  std::printf("%s\n", json.c_str());
-  if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fputs(json.c_str(), f);
-    std::fputs("\n", f);
-    std::fclose(f);
-    std::printf("wrote %s\n", json_path.c_str());
-  }
+  if (!WriteJson(record, json_path)) return 1;
+  if (!WriteJson(plan_record, plan_json_path)) return 1;
   if (mismatches > 0) {
     std::fprintf(stderr, "%zu identity mismatches vs direct Personalize()\n",
                  mismatches);
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%zu plan-cache parity failures\n", failures);
     return 1;
   }
   return 0;
@@ -400,15 +726,20 @@ int Run(bool smoke, const std::string& json_path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_server.json";
+  std::string plan_json_path = "BENCH_plan_cache.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--plan-json") == 0 && i + 1 < argc) {
+      plan_json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--plan-json PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return Run(smoke, json_path);
+  return Run(smoke, json_path, plan_json_path);
 }

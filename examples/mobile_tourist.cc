@@ -30,7 +30,7 @@ void Report(const char* context, const Personalizer& personalizer,
   }
   std::printf("integrated preferences:\n");
   for (int32_t i : result.solution.chosen) {
-    const auto& p = result.space.prefs[static_cast<size_t>(i)];
+    const auto& p = result.space->prefs[static_cast<size_t>(i)];
     std::printf("  doi=%.2f  %s\n", p.doi, p.pref.ConditionString().c_str());
   }
   std::printf("estimates: doi=%.3f cost=%.1fms size=%.1f\n",

@@ -91,8 +91,8 @@ int Run() {
     std::printf("original query : %s\n", request.sql.c_str());
     std::printf("problem        : %s\n", request.problem.ToString().c_str());
     if (first) {
-      std::printf("preference space (K=%zu):\n", result.space.K());
-      for (const auto& p : result.space.prefs) {
+      std::printf("preference space (K=%zu):\n", result.space->K());
+      for (const auto& p : result.space->prefs) {
         std::printf("  doi=%.3f cost=%7.1fms size=%8.1f  %s\n", p.doi,
                     p.cost_ms, p.size, p.pref.ConditionString().c_str());
       }

@@ -27,7 +27,8 @@ import sys
 HIGHER_IS_BETTER = {"qps", "ok", "cache_hit_rate", "cache_hits"}
 # Metrics where a HIGHER working-tree value is a regression.
 LOWER_IS_BETTER = {"wall_ms", "p50_ms", "p99_ms", "degraded",
-                   "transport_errors", "identity_mismatches", "cache_misses"}
+                   "transport_errors", "identity_mismatches", "cache_misses",
+                   "server_ms_avg", "search_ms_avg"}
 # Measured values that are neither identity nor judged (counters that
 # legitimately move when the code under test changes).
 IGNORED = {"states", "requests", "identity_checked", "shed", "other"}

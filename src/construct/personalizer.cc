@@ -1,5 +1,6 @@
 #include "construct/personalizer.h"
 
+#include <bit>
 #include <optional>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "estimation/eval_cache.h"
 #include "exec/executor.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 
 namespace cqp::construct {
@@ -97,37 +99,122 @@ cqp::Solution OriginalQuerySolution() {
   return s;
 }
 
+/// The K=0 space a result falls back to when extraction itself failed, so
+/// PersonalizeResult::space is never null. Shared process-wide (immutable).
+std::shared_ptr<const space::PreferenceSpaceResult> EmptySpace() {
+  static const auto* empty =
+      new std::shared_ptr<const space::PreferenceSpaceResult>(
+          std::make_shared<const space::PreferenceSpaceResult>());
+  return *empty;
+}
+
+std::string DoubleBits(double v) {
+  return StrFormat(
+      "%llx", static_cast<unsigned long long>(std::bit_cast<uint64_t>(v)));
+}
+
+/// Plan-cache config key: every knob extraction (and hence the cached
+/// artifact) depends on besides query and profile. Exact bit patterns, so
+/// "almost equal" configs never share an entry.
+std::string PlanConfigKey(const exec::CostModelParams& cost,
+                          const space::PreferenceSpaceOptions& options) {
+  return StrFormat("b%s:t%s:k%zu:j%zu:p%d:c%d:d%s:v%d",
+                   DoubleBits(cost.millis_per_block).c_str(),
+                   DoubleBits(cost.micros_per_tuple).c_str(), options.max_k,
+                   options.max_path_joins,
+                   static_cast<int>(options.path_composition),
+                   static_cast<int>(options.conjunction_model),
+                   DoubleBits(options.min_doi).c_str(),
+                   options.build_cost_size_vectors ? 1 : 0);
+}
+
 }  // namespace
 
-StatusOr<PersonalizeResult> Personalizer::Personalize(
+StatusOr<Personalizer::ResolvedAlgorithm> Personalizer::ResolveAlgorithm(
+    const PersonalizeRequest& request) const {
+  CQP_RETURN_IF_ERROR(request.problem.Validate());
+  ResolvedAlgorithm resolved;
+  resolved.doi_objective =
+      request.problem.objective == cqp::Objective::kMaximizeDoi;
+  // "auto": the exact boundary algorithm for doi maximization, the exact
+  // branch-and-bound for cost minimization.
+  resolved.name = request.algorithm;
+  if (EqualsIgnoreCase(resolved.name, "auto")) {
+    resolved.name = resolved.doi_objective ? "C-Boundaries" : "MinCost-BB";
+  }
+  CQP_ASSIGN_OR_RETURN(resolved.algorithm, cqp::GetAlgorithm(resolved.name));
+  if (!resolved.algorithm->Supports(request.problem)) {
+    return FailedPrecondition(std::string(resolved.algorithm->name()) +
+                              " does not support problem: " +
+                              request.problem.ToString());
+  }
+  return resolved;
+}
+
+StatusOr<PreparedQuery> Personalizer::PrepareParsed(
+    sql::SelectQuery query, const PersonalizeRequest& request) const {
+  PreparedQuery prepared;
+  prepared.query = std::move(query);
+  prepared.fingerprint = sql::QueryFingerprint(prepared.query);
+
+  PlanCache::Key key;
+  if (request.plan_cache != nullptr) {
+    key.query_fingerprint = prepared.fingerprint;
+    key.profile_id = request.profile_id;
+    key.profile_version = request.profile_version;
+    key.config = PlanConfigKey(cost_params_, request.space_options);
+    if (auto cached = request.plan_cache->Find(key)) {
+      prepared.space = std::move(cached);
+      prepared.cache_hit = true;
+      return prepared;
+    }
+  }
+
+  const prefs::PersonalizationGraph& graph =
+      request.graph != nullptr ? *request.graph : *graph_;
+  estimation::ParameterEstimator estimator(db_, cost_params_);
+  CQP_ASSIGN_OR_RETURN(space::PreferenceSpaceResult extracted,
+                       space::ExtractPreferenceSpace(
+                           prepared.query, graph, estimator,
+                           request.space_options));
+  prepared.space = space::PreparedSpace::Create(std::move(extracted));
+  if (request.plan_cache != nullptr) {
+    request.plan_cache->Insert(key, prepared.space);
+  }
+  return prepared;
+}
+
+StatusOr<PreparedQuery> Personalizer::Prepare(
     const PersonalizeRequest& request) const {
   sql::SelectQuery query = request.query;
   if (query.from.empty()) {
     CQP_ASSIGN_OR_RETURN(query, sql::ParseSelect(request.sql));
   }
-  CQP_RETURN_IF_ERROR(request.problem.Validate());
-  // "auto": the exact boundary algorithm for doi maximization, the exact
-  // branch-and-bound for cost minimization.
-  std::string algorithm_name = request.algorithm;
-  const bool doi_objective =
-      request.problem.objective == cqp::Objective::kMaximizeDoi;
-  if (EqualsIgnoreCase(algorithm_name, "auto")) {
-    algorithm_name = doi_objective ? "C-Boundaries" : "MinCost-BB";
-  }
-  CQP_ASSIGN_OR_RETURN(const cqp::Algorithm* algorithm,
-                       cqp::GetAlgorithm(algorithm_name));
-  if (!algorithm->Supports(request.problem)) {
-    return FailedPrecondition(std::string(algorithm->name()) +
-                              " does not support problem: " +
-                              request.problem.ToString());
-  }
+  return PrepareParsed(std::move(query), request);
+}
 
-  estimation::ParameterEstimator estimator(db_, cost_params_);
+StatusOr<PersonalizeResult> Personalizer::Solve(
+    const PreparedQuery& prepared, const PersonalizeRequest& request) const {
+  CQP_CHECK(prepared.space != nullptr);
+  CQP_ASSIGN_OR_RETURN(ResolvedAlgorithm resolved, ResolveAlgorithm(request));
+  return SolveResolved(prepared, request, resolved);
+}
+
+StatusOr<PersonalizeResult> Personalizer::SolveResolved(
+    const PreparedQuery& prepared, const PersonalizeRequest& request,
+    const ResolvedAlgorithm& resolved) const {
   const bool fallback = request.fallback.enabled;
-  const prefs::PersonalizationGraph& graph =
-      request.graph != nullptr ? *request.graph : *graph_;
+  const cqp::Algorithm* algorithm = resolved.algorithm;
 
   PersonalizeResult result;
+  result.plan_cache_hit = prepared.cache_hit;
+  // The problem-dependent view of the shared artifact: preferences pruned by
+  // the monotone cmax/smin bounds are gone and survivors are reindexed, so
+  // every algorithm — and Solution::chosen — sees exactly the space the
+  // single-problem extraction used to produce.
+  result.space = prepared.space->ForProblem(request.problem);
+  const space::PreferenceSpaceResult& view = *result.space;
+
   cqp::SearchContext ctx(request.budget);
   // Every rung of the ladder serves the same (query, profile) pair, so one
   // memo is valid for the whole request; callers knowing the pair is stable
@@ -137,28 +224,11 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
       request.eval_cache != nullptr ? request.eval_cache : &local_cache;
   bool answered = false;
 
-  // ---- Extraction (rung-independent input to every solver rung) ----
-  StatusOr<space::PreferenceSpaceResult> extracted =
-      space::ExtractPreferenceSpace(query, graph, estimator, request.problem,
-                                    request.space_options);
-  if (extracted.ok()) {
-    result.space = *std::move(extracted);
-  } else if (!fallback) {
-    return extracted.status();
-  } else {
-    // No preference space — nothing any solver rung could search. Straight
-    // to the terminal rung.
-    result.attempts.push_back("extract: " + extracted.status().ToString());
-    result.solution = OriginalQuerySolution();
-    result.rung = FallbackRung::kOriginal;
-    answered = true;
-  }
-
   // ---- Rung 1: the requested algorithm ----
-  if (!answered) {
+  {
     auto primary = [&]() -> StatusOr<cqp::Solution> {
       CQP_FAILPOINT("cqp.solve");
-      return algorithm->Solve(result.space, request.problem, ctx);
+      return algorithm->Solve(view, request.problem, ctx);
     };
     StatusOr<cqp::Solution> solved = primary();
     if (!fallback) {
@@ -183,15 +253,16 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
   if (!answered) {
     std::string heuristic_name = request.fallback.heuristic;
     if (heuristic_name.empty()) {
-      heuristic_name = doi_objective ? "D-HeurDoi" : "MinCost-Greedy";
+      heuristic_name =
+          resolved.doi_objective ? "D-HeurDoi" : "MinCost-Greedy";
     }
     StatusOr<const cqp::Algorithm*> heuristic =
         cqp::GetAlgorithm(heuristic_name);
-    if (heuristic.ok() && !EqualsIgnoreCase(heuristic_name, algorithm_name) &&
+    if (heuristic.ok() && !EqualsIgnoreCase(heuristic_name, resolved.name) &&
         (*heuristic)->Supports(request.problem)) {
       ctx.ResetForRetry();
       StatusOr<cqp::Solution> solved =
-          (*heuristic)->Solve(result.space, request.problem, ctx);
+          (*heuristic)->Solve(view, request.problem, ctx);
       cqp::Solution solution = solved.ok() ? *solved : cqp::Solution{};
       result.attempts.push_back(DescribeAttempt(
           (*heuristic)->name(), solved.status(), solution, ctx));
@@ -210,7 +281,7 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
   // ---- Rung 3: greedy top-k prefix of P by doi ----
   if (!answered) {
     ctx.ResetForRetry();
-    cqp::Solution solution = GreedyTopK(result.space, request.problem, ctx);
+    cqp::Solution solution = GreedyTopK(view, request.problem, ctx);
     result.attempts.push_back(
         DescribeAttempt("top-k", Status::OK(), solution, ctx));
     if (solution.feasible) {
@@ -231,9 +302,38 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
 
   CQP_ASSIGN_OR_RETURN(
       result.personalized,
-      BuildPersonalizedQuery(*db_, query, result.space.prefs,
+      BuildPersonalizedQuery(*db_, prepared.query, view.prefs,
                              result.solution.feasible ? result.solution.chosen
                                                       : IndexSet(),
+                             request.build_options));
+  result.final_sql = result.personalized.ToSql();
+  return result;
+}
+
+StatusOr<PersonalizeResult> Personalizer::Personalize(
+    const PersonalizeRequest& request) const {
+  sql::SelectQuery query = request.query;
+  if (query.from.empty()) {
+    CQP_ASSIGN_OR_RETURN(query, sql::ParseSelect(request.sql));
+  }
+  CQP_ASSIGN_OR_RETURN(ResolvedAlgorithm resolved, ResolveAlgorithm(request));
+
+  StatusOr<PreparedQuery> prepared = PrepareParsed(query, request);
+  if (prepared.ok()) {
+    return SolveResolved(*prepared, request, resolved);
+  }
+  if (!request.fallback.enabled) return prepared.status();
+
+  // No preference space — nothing any solver rung could search. Straight
+  // to the terminal rung.
+  PersonalizeResult result;
+  result.space = EmptySpace();
+  result.attempts.push_back("extract: " + prepared.status().ToString());
+  result.solution = OriginalQuerySolution();
+  result.rung = FallbackRung::kOriginal;
+  CQP_ASSIGN_OR_RETURN(
+      result.personalized,
+      BuildPersonalizedQuery(*db_, query, result.space->prefs, IndexSet(),
                              request.build_options));
   result.final_sql = result.personalized.ToSql();
   return result;
@@ -269,6 +369,7 @@ BatchResult Personalizer::PersonalizeBatch(
       batch.states_examined += r.metrics.states_examined;
       batch.eval_cache_hits += r.metrics.eval_cache_hits;
       batch.eval_cache_misses += r.metrics.eval_cache_misses;
+      if (r.plan_cache_hit) ++batch.plan_cache_hits;
       if (r.degraded()) ++batch.degraded;
     }
     batch.results.push_back(*std::move(slots[i]));

@@ -5,14 +5,18 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/budget.h"
 #include "common/status.h"
+#include "construct/plan_cache.h"
 #include "construct/query_builder.h"
 #include "cqp/algorithm.h"
 #include "cqp/problem.h"
 #include "exec/personalized_exec.h"
 #include "prefs/graph.h"
 #include "space/preference_space.h"
+#include "space/prepared_space.h"
 #include "sql/ast.h"
 #include "storage/database.h"
 
@@ -66,20 +70,47 @@ struct PersonalizeRequest {
   /// Caller-owned evaluation memo for this request's (query, profile)
   /// pair; nullptr gives the request a private cache for the duration of
   /// its fallback ladder. Share one cache across requests ONLY when they
-  /// personalize the same query under the same profile (the cache key is
-  /// the preference subset alone — see estimation/eval_cache.h).
+  /// personalize the same query under the same profile AND the same
+  /// monotone prune bounds (space::ProblemPruneKey) — the cache key is the
+  /// preference subset alone, and different bounds index different
+  /// per-problem views (see estimation/eval_cache.h).
   estimation::EvalCache* eval_cache = nullptr;
+  /// Caller-owned cache of PreparedSpace artifacts; nullptr prepares from
+  /// scratch. When set, `profile_id` + `profile_version` MUST identify the
+  /// personalization graph this request runs against (the effective graph —
+  /// the override above or the personalizer's own) or stale artifacts
+  /// become reachable. The server keys by profile snapshot version; the
+  /// shell bumps a session version whenever its profile changes.
+  PlanCache* plan_cache = nullptr;
+  std::string profile_id;
+  uint64_t profile_version = 0;
+};
+
+/// The reusable, query-dependent half of a personalization request: parsed
+/// query, canonical fingerprint and the shared PreparedSpace artifact. One
+/// PreparedQuery may be Solve()d any number of times under any ProblemSpec.
+struct PreparedQuery {
+  sql::SelectQuery query;
+  uint64_t fingerprint = 0;  ///< sql::QueryFingerprint(query)
+  std::shared_ptr<const space::PreparedSpace> space;  ///< never null when OK
+  bool cache_hit = false;  ///< true when `space` came from the plan cache
 };
 
 /// Everything a caller needs from a personalization run.
 struct PersonalizeResult {
-  space::PreferenceSpaceResult space;  ///< extracted preference space
+  /// The per-problem view of the preference space the search ran on
+  /// (solution.chosen indexes into space->prefs). Shared with the
+  /// PreparedSpace artifact — never null after a successful run, and valid
+  /// independent of any cache's lifetime.
+  std::shared_ptr<const space::PreferenceSpaceResult> space;
   cqp::Solution solution;              ///< chosen subset of P
   cqp::SearchMetrics metrics;          ///< search instrumentation
   PersonalizedQuery personalized;      ///< constructed rewriting
   std::string final_sql;               ///< rendered SQL text
   /// Which rung of the degradation ladder produced the answer.
   FallbackRung rung = FallbackRung::kPrimary;
+  /// True when preparation was served from the request's plan cache.
+  bool plan_cache_hit = false;
   /// Diagnostic trail: one line per rung tried before (and including) the
   /// answering one, e.g. "C-Boundaries: deadline exceeded".
   std::vector<std::string> attempts;
@@ -109,6 +140,7 @@ struct BatchResult {
   uint64_t states_examined = 0;
   uint64_t eval_cache_hits = 0;
   uint64_t eval_cache_misses = 0;
+  uint64_t plan_cache_hits = 0;  ///< requests whose Prepare() hit the cache
   size_t degraded = 0;  ///< OK results answered below Primary or truncated
 
   size_t ok_count() const {
@@ -132,6 +164,8 @@ class Personalizer {
                exec::CostModelParams cost_params = exec::CostModelParams());
 
   /// Runs preference extraction, search and query construction.
+  /// Equivalent to Prepare() + Solve(); repeated queries should pass a
+  /// request.plan_cache so the Prepare() half is paid once.
   /// When no feasible personalized query exists (not even the original
   /// query satisfies the constraints), the result's solution.feasible is
   /// false and the original query is returned unmodified.
@@ -142,6 +176,23 @@ class Personalizer {
   /// query — always produces an OK result.
   StatusOr<PersonalizeResult> Personalize(
       const PersonalizeRequest& request) const;
+
+  /// The query-dependent, problem-independent half: parse, fingerprint,
+  /// plan-cache lookup, and (on a miss) the unpruned preference-space
+  /// extraction. Problem/algorithm fields of `request` are ignored here.
+  /// Errors (parse, estimation) always surface — the fallback ladder is
+  /// Solve-side policy; Personalize() is where the two are stitched
+  /// together with the original-query terminal rung.
+  StatusOr<PreparedQuery> Prepare(const PersonalizeRequest& request) const;
+
+  /// The problem-dependent half: derives the per-problem view of
+  /// `prepared.space`, runs the algorithm + degradation ladder, constructs
+  /// the personalized query. `request` supplies problem, algorithm, budget,
+  /// fallback policy and eval cache; its sql/query fields are ignored in
+  /// favor of `prepared.query`. Bit-for-bit identical to Personalize() on
+  /// the same inputs, however `prepared` was obtained (cold or cached).
+  StatusOr<PersonalizeResult> Solve(const PreparedQuery& prepared,
+                                    const PersonalizeRequest& request) const;
 
   /// Fans `requests` across a fixed worker pool and blocks until every one
   /// has answered. Requests are fully independent: each gets its own
@@ -163,6 +214,26 @@ class Personalizer {
   const storage::Database& db() const { return *db_; }
 
  private:
+  struct ResolvedAlgorithm {
+    const cqp::Algorithm* algorithm = nullptr;
+    std::string name;
+    bool doi_objective = false;
+  };
+
+  /// Validates the problem and resolves "auto"/named algorithms; the error
+  /// ordering (problem first, then algorithm) is part of the API.
+  StatusOr<ResolvedAlgorithm> ResolveAlgorithm(
+      const PersonalizeRequest& request) const;
+
+  /// Prepare() after parsing: fingerprint, cache lookup, extraction.
+  StatusOr<PreparedQuery> PrepareParsed(
+      sql::SelectQuery query, const PersonalizeRequest& request) const;
+
+  /// Solve() after algorithm resolution: ladder + construction.
+  StatusOr<PersonalizeResult> SolveResolved(
+      const PreparedQuery& prepared, const PersonalizeRequest& request,
+      const ResolvedAlgorithm& resolved) const;
+
   const storage::Database* db_;
   const prefs::PersonalizationGraph* graph_;
   exec::CostModelParams cost_params_;

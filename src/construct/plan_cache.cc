@@ -1,0 +1,103 @@
+#include "construct/plan_cache.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace cqp::construct {
+
+PlanCache::PlanCache(size_t max_entries) : max_entries_(max_entries) {
+  CQP_CHECK_GT(max_entries_, 0u);
+}
+
+std::string PlanCache::MapKey(const Key& key) {
+  // '\n' cannot occur in profile ids or config strings built by the engine;
+  // the numeric fields make the concatenation unambiguous regardless.
+  return StrFormat("%llx\n%s\n%llu\n",
+                   static_cast<unsigned long long>(key.query_fingerprint),
+                   key.profile_id.c_str(),
+                   static_cast<unsigned long long>(key.profile_version)) +
+         key.config;
+}
+
+std::shared_ptr<const space::PreparedSpace> PlanCache::Find(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(MapKey(key));
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+void PlanCache::Insert(const Key& key,
+                       std::shared_ptr<const space::PreparedSpace> space) {
+  CQP_CHECK(space != nullptr);
+  std::string map_key = MapKey(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(map_key);
+  if (it != index_.end()) {
+    it->second->second = std::move(space);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= max_entries_) {
+    index_.erase(MapKey(lru_.back().first));
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(space));
+  index_.emplace(std::move(map_key), lru_.begin());
+}
+
+size_t PlanCache::InvalidateProfile(const std::string& profile_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.profile_id == profile_id) {
+      index_.erase(MapKey(it->first));
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += removed;
+  return removed;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  invalidations_ += lru_.size();
+  lru_.clear();
+  index_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.entries = lru_.size();
+  return s;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::vector<PlanCache::EntryInfo> PlanCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) {
+    out.push_back(EntryInfo{e.first, e.second->K()});
+  }
+  return out;
+}
+
+}  // namespace cqp::construct

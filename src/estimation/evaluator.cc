@@ -8,11 +8,11 @@
 
 namespace cqp::estimation {
 
-StateEvaluator::StateEvaluator(QueryBaseEstimate base,
-                               std::vector<ScoredPreference> prefs,
+StateEvaluator::StateEvaluator(const QueryBaseEstimate& base,
+                               const std::vector<ScoredPreference>& prefs,
                                prefs::ConjunctionModel model)
-    : base_(base), prefs_(std::move(prefs)), model_(model) {
-  for (const ScoredPreference& p : prefs_) {
+    : base_(base), prefs_(&prefs), model_(model) {
+  for (const ScoredPreference& p : *prefs_) {
     CQP_CHECK(prefs::IsValidDoi(p.doi));
     CQP_CHECK_GE(p.cost_ms, base_.cost_ms);
     CQP_CHECK_GE(p.selectivity, 0.0);
@@ -31,19 +31,19 @@ StateParams StateEvaluator::EmptyState() const {
 
 StateParams StateEvaluator::SupremeState() const {
   StateParams s = EmptyState();
-  for (size_t i = 0; i < prefs_.size(); ++i) {
+  for (size_t i = 0; i < prefs_->size(); ++i) {
     s = ExtendWith(s, static_cast<int32_t>(i));
   }
   return s;
 }
 
 StateParams StateEvaluator::Evaluate(const IndexSet& subset) const {
-  if (cache_ != nullptr && prefs_.size() < 64) {
+  if (cache_ != nullptr && prefs_->size() < 64) {
     return EvaluateBitsCached(subset.Bits(), nullptr);
   }
   StateParams s = EmptyState();
   for (int32_t i : subset) {
-    CQP_CHECK_LT(static_cast<size_t>(i), prefs_.size());
+    CQP_CHECK_LT(static_cast<size_t>(i), prefs_->size());
     s = ExtendWith(s, i);
   }
   return s;
@@ -53,7 +53,7 @@ StateParams StateEvaluator::EvaluateBits(uint64_t bits) const {
   StateParams s = EmptyState();
   while (bits != 0) {
     int32_t i = std::countr_zero(bits);
-    CQP_CHECK_LT(static_cast<size_t>(i), prefs_.size());
+    CQP_CHECK_LT(static_cast<size_t>(i), prefs_->size());
     s = ExtendWith(s, i);
     bits &= bits - 1;
   }
@@ -79,7 +79,7 @@ StateParams StateEvaluator::EvaluateBitsCached(uint64_t bits,
 
 StateParams StateEvaluator::ExtendWith(const StateParams& parent,
                                        int32_t i) const {
-  const ScoredPreference& p = prefs_[static_cast<size_t>(i)];
+  const ScoredPreference& p = (*prefs_)[static_cast<size_t>(i)];
   StateParams s;
   // Formula 6: the empty state's base-query cost is *replaced* by the first
   // sub-query's cost (which already includes scanning Q's relations).

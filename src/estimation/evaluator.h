@@ -41,15 +41,27 @@ struct StateParams {
 ///    (Formula 6): the base relations are re-scanned by every sub-query;
 ///  * size is size(Q) × Π selectivity_i;
 ///  * doi follows the configured ConjunctionModel (default Formula 10).
+///
+/// The evaluator BORROWS the preference array — each ScoredPreference embeds
+/// a SQL AST, and evaluators are built per Solve() rung, so copying here was
+/// the pipeline's hottest allocation. The borrowed vector (usually the prefs
+/// of a shared PreferenceSpaceResult artifact) must outlive the evaluator
+/// and must not be resized while it is alive; the rvalue overload is deleted
+/// so a temporary can never bind silently.
 class StateEvaluator {
  public:
-  StateEvaluator(QueryBaseEstimate base, std::vector<ScoredPreference> prefs,
+  StateEvaluator(const QueryBaseEstimate& base,
+                 const std::vector<ScoredPreference>& prefs,
                  prefs::ConjunctionModel model =
                      prefs::ConjunctionModel::kNoisyOr);
+  StateEvaluator(const QueryBaseEstimate& base,
+                 std::vector<ScoredPreference>&& prefs,
+                 prefs::ConjunctionModel model =
+                     prefs::ConjunctionModel::kNoisyOr) = delete;
 
-  size_t K() const { return prefs_.size(); }
-  const std::vector<ScoredPreference>& prefs() const { return prefs_; }
-  const ScoredPreference& pref(size_t i) const { return prefs_[i]; }
+  size_t K() const { return prefs_->size(); }
+  const std::vector<ScoredPreference>& prefs() const { return *prefs_; }
+  const ScoredPreference& pref(size_t i) const { return (*prefs_)[i]; }
   const QueryBaseEstimate& base() const { return base_; }
   prefs::ConjunctionModel conjunction_model() const { return model_; }
 
@@ -90,7 +102,7 @@ class StateEvaluator {
 
  private:
   QueryBaseEstimate base_;
-  std::vector<ScoredPreference> prefs_;
+  const std::vector<ScoredPreference>* prefs_;  ///< borrowed, never null
   prefs::ConjunctionModel model_;
   EvalCache* cache_ = nullptr;
 };

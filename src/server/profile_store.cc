@@ -26,11 +26,12 @@ Status ProfileStore::Put(const std::string& id, prefs::Profile profile) {
     slot.graph = std::move(shared);
     slot.version = next_version_++;
   }
-  // Drop the replaced version's caches. Correctness does not depend on
-  // this ordering: cache keys embed the snapshot version, so a request
-  // still holding the old graph can only touch old-version caches. The
-  // invalidation reclaims their memory.
+  // Drop the replaced version's caches and plans. Correctness does not
+  // depend on this ordering: cache keys embed the snapshot version, so a
+  // request still holding the old graph can only touch old-version
+  // entries. The invalidation reclaims their memory.
   caches_.InvalidateProfile(id);
+  plans_.InvalidateProfile(id);
   return Status::OK();
 }
 
@@ -42,6 +43,7 @@ Status ProfileStore::Remove(const std::string& id) {
     }
   }
   caches_.InvalidateProfile(id);
+  plans_.InvalidateProfile(id);
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "construct/plan_cache.h"
 #include "estimation/eval_cache.h"
 #include "prefs/graph.h"
 #include "prefs/profile.h"
@@ -23,9 +24,12 @@ namespace cqp::server {
 /// Graphs are handed out as shared_ptr<const …>: a hot-reload replacing a
 /// profile never invalidates the graph an in-flight request is using.
 ///
-/// The store owns an EvalCacheRegistry and invalidates a profile's caches
-/// on every Put/Remove — the invalidation hook that keeps the server's
-/// cross-request memoization coherent with profile updates.
+/// The store owns an EvalCacheRegistry and a PlanCache and invalidates a
+/// profile's entries in both on every Put/Remove — the invalidation hook
+/// that keeps the server's cross-request memoization coherent with profile
+/// updates. Both cache families additionally embed the snapshot version in
+/// their keys, so invalidation is a memory-reclaim, never a correctness
+/// dependency.
 ///
 /// Thread safety: all methods are thread-safe (shared_mutex; Find takes
 /// the shared lock).
@@ -86,9 +90,15 @@ class ProfileStore {
   /// across requests. Put/Remove invalidate per profile id automatically.
   estimation::EvalCacheRegistry& caches() { return caches_; }
 
+  /// The shared plan cache (PreparedSpace artifacts keyed by query
+  /// fingerprint + profile snapshot version). Same invalidation contract
+  /// as caches().
+  construct::PlanCache& plans() { return plans_; }
+
  private:
   const storage::Database* db_;
   estimation::EvalCacheRegistry caches_;
+  construct::PlanCache plans_;
   mutable std::shared_mutex mu_;
   std::map<std::string, Snapshot> graphs_;
   uint64_t next_version_ = 1;  ///< guarded by mu_

@@ -263,6 +263,7 @@ std::string SerializeResponse(const WireResponse& response) {
                JsonValue::Number(static_cast<double>(r.eval_cache_hits)));
     result.Set("cache_misses",
                JsonValue::Number(static_cast<double>(r.eval_cache_misses)));
+    result.Set("plan_cache_hit", JsonValue::Bool(r.plan_cache_hit));
     result.Set("server_ms", JsonValue::Number(r.server_ms));
     result.Set("attempts", StringsToJson(r.attempts));
     obj.Set("result", std::move(result));
@@ -338,6 +339,8 @@ StatusOr<WireResponse> ParseResponse(std::string_view line) {
     CQP_ASSIGN_OR_RETURN(double misses,
                          GetNumber(*result, "cache_misses", 0.0));
     r.eval_cache_misses = static_cast<uint64_t>(misses);
+    CQP_ASSIGN_OR_RETURN(r.plan_cache_hit,
+                         GetBool(*result, "plan_cache_hit", false));
     CQP_ASSIGN_OR_RETURN(r.server_ms, GetNumber(*result, "server_ms", 0.0));
     const JsonValue* attempts = result->Find("attempts");
     if (attempts != nullptr) {

@@ -72,6 +72,7 @@ struct PersonalizeResultPayload {
   double search_wall_ms = 0.0;
   uint64_t eval_cache_hits = 0;
   uint64_t eval_cache_misses = 0;
+  bool plan_cache_hit = false;  ///< Prepare() was served from the plan cache
   double server_ms = 0.0;  ///< admission-to-response latency on the server
   std::vector<std::string> attempts;  ///< degradation-ladder trail
 };

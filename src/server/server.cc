@@ -11,6 +11,8 @@
 #include <cstring>
 #include <utility>
 
+#include "space/prepared_space.h"
+
 namespace cqp::server {
 
 namespace {
@@ -257,6 +259,19 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
                     JsonValue::Number(static_cast<double>(
                         admission_.options().soft_pending)));
       response.extra.Set("admission", std::move(admission));
+      construct::PlanCacheStats plan_stats = profiles_->plans().stats();
+      JsonValue plans = JsonValue::Object();
+      plans.Set("hits",
+                JsonValue::Number(static_cast<double>(plan_stats.hits)));
+      plans.Set("misses",
+                JsonValue::Number(static_cast<double>(plan_stats.misses)));
+      plans.Set("evictions",
+                JsonValue::Number(static_cast<double>(plan_stats.evictions)));
+      plans.Set("invalidations", JsonValue::Number(static_cast<double>(
+                                     plan_stats.invalidations)));
+      plans.Set("entries",
+                JsonValue::Number(static_cast<double>(plan_stats.entries)));
+      response.extra.Set("plan_cache", std::move(plans));
       return conn->WriteLine(SerializeResponse(response));
     }
     case RequestOp::kProfiles: {
@@ -374,14 +389,26 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   budget.cancel = &conn->cancel_token();
   engine_request.budget = budget;
 
-  // Cross-request memoization: one EvalCache per (profile, query) pair,
-  // keyed additionally by the profile snapshot's version so a hot-reload
-  // can never serve values computed under the replaced graph.
+  // Cross-request memoization: one EvalCache per (profile, query, problem
+  // bounds) triple, keyed additionally by the profile snapshot's version
+  // so a hot-reload can never serve values computed under the replaced
+  // graph. The prune bounds participate because different cmax/smin yield
+  // different per-problem views of the prepared space — the cache indexes
+  // preferences by position in the view, so each view needs its own memo.
   std::shared_ptr<estimation::EvalCache> cache =
       profiles_->caches().GetOrCreate(
           payload.profile_id,
-          std::to_string(snapshot.version) + ":" + payload.sql);
+          std::to_string(snapshot.version) + ":" +
+              space::ProblemPruneKey(engine_request.problem) + ":" +
+              payload.sql);
   engine_request.eval_cache = cache.get();
+
+  // The shared plan cache: a repeated query skips parsing-to-extraction
+  // entirely. The snapshot version in the key makes stale plans
+  // unreachable the instant a profile is replaced.
+  engine_request.plan_cache = &profiles_->plans();
+  engine_request.profile_id = payload.profile_id;
+  engine_request.profile_version = snapshot.version;
 
   construct::Personalizer personalizer(db_, snapshot.graph.get());
   StatusOr<construct::PersonalizeResult> result =
@@ -409,10 +436,12 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   out.search_wall_ms = r.metrics.wall_ms;
   out.eval_cache_hits = r.metrics.eval_cache_hits;
   out.eval_cache_misses = r.metrics.eval_cache_misses;
+  out.plan_cache_hit = r.plan_cache_hit;
   out.server_ms = latency_ms;
   out.attempts = r.attempts;
   response.personalize = std::move(out);
 
+  stats_.OnPlanLookup(r.plan_cache_hit);
   stats_.OnRequestDone(/*ok=*/true, r.degraded(), latency_ms,
                        r.metrics.eval_cache_hits, r.metrics.eval_cache_misses,
                        r.metrics.states_examined);

@@ -109,6 +109,11 @@ void ServerStats::OnRequestDone(bool ok, bool degraded_answer,
   latency_.Record(latency_ms);
 }
 
+void ServerStats::OnPlanLookup(bool hit) {
+  (hit ? plan_hits_total_ : plan_misses_total_)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
 JsonValue ServerStats::ToJson() const {
   auto n = [](uint64_t v) { return JsonValue::Number(static_cast<double>(v)); };
   JsonValue obj = JsonValue::Object();
@@ -129,6 +134,10 @@ JsonValue ServerStats::ToJson() const {
   obj.Set("cache_hits", n(cache_hits_total_.load(std::memory_order_relaxed)));
   obj.Set("cache_misses",
           n(cache_misses_total_.load(std::memory_order_relaxed)));
+  obj.Set("plan_cache_hits",
+          n(plan_hits_total_.load(std::memory_order_relaxed)));
+  obj.Set("plan_cache_misses",
+          n(plan_misses_total_.load(std::memory_order_relaxed)));
   obj.Set("states_examined",
           n(states_total_.load(std::memory_order_relaxed)));
   obj.Set("latency", latency_.ToJson());

@@ -55,6 +55,10 @@ class ServerStats {
                      uint64_t cache_hits, uint64_t cache_misses,
                      uint64_t states_examined);
 
+  /// One plan-cache lookup outcome (a request whose Prepare() was served
+  /// from — or had to populate — the shared PreparedSpace cache).
+  void OnPlanLookup(bool hit);
+
   uint64_t requests_total() const {
     return requests_total_.load(std::memory_order_relaxed);
   }
@@ -91,6 +95,8 @@ class ServerStats {
   std::atomic<uint64_t> degraded_answers_total_{0};
   std::atomic<uint64_t> cache_hits_total_{0};
   std::atomic<uint64_t> cache_misses_total_{0};
+  std::atomic<uint64_t> plan_hits_total_{0};
+  std::atomic<uint64_t> plan_misses_total_{0};
   std::atomic<uint64_t> states_total_{0};
 };
 

@@ -51,6 +51,8 @@ constexpr const char* kHelp = R"(commands:
   .batch [n=N] [threads=T] QUERY
                               personalize N copies of QUERY on a worker
                               pool (default n=8, threads=hardware)
+  .plans [clear]              show the session plan cache (hits, misses,
+                              entries), or drop every cached plan
   .serve [port]               serve this database/profile over TCP
                               (port 0 or omitted = ephemeral; see docs/server.md)
   .serve stop                 stop the embedded server
@@ -235,6 +237,7 @@ Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
     return HandleQuery(args, /*execute=*/false, out);
   }
   if (command == ".batch") return HandleBatch(args, out);
+  if (command == ".plans") return HandlePlans(args, out);
   if (command == ".serve") return HandleServe(args, out);
   if (command == ".connect") return HandleConnect(args, out);
   if (command == ".disconnect") {
@@ -307,8 +310,7 @@ Status CqpShell::HandleProfile(const std::string& args, std::ostream& out) {
   }
   if (EqualsIgnoreCase(sub, "clear")) {
     profile_ = prefs::Profile();
-    graph_.reset();
-    return Status::OK();
+    return RebuildGraph();  // drops graph_ and invalidates cached plans
   }
   if (EqualsIgnoreCase(sub, "add")) {
     CQP_ASSIGN_OR_RETURN(prefs::Profile parsed, prefs::Profile::Parse(rest));
@@ -437,6 +439,11 @@ Status CqpShell::HandleFailpoints(const std::string& args, std::ostream& out) {
 
 Status CqpShell::RebuildGraph() {
   graph_.reset();
+  // Any profile or database change invalidates every prepared plan: bump
+  // the session version (stale keys can no longer match) and drop the
+  // entries eagerly so their PreparedSpace memory is freed now.
+  ++profile_version_;
+  plan_cache_.InvalidateProfile("shell");
   if (db_ == nullptr || profile_.empty()) return Status::OK();
   CQP_ASSIGN_OR_RETURN(
       prefs::PersonalizationGraph graph,
@@ -594,6 +601,9 @@ Status CqpShell::HandleBatch(const std::string& args, std::ostream& out) {
   request.budget = MakeBudget();
   request.space_options = space_options_;
   request.eval_cache = &cache;
+  request.plan_cache = &plan_cache_;
+  request.profile_id = "shell";
+  request.profile_version = profile_version_;
   std::vector<construct::PersonalizeRequest> requests(
       static_cast<size_t>(n), request);
   construct::BatchOptions options;
@@ -628,11 +638,40 @@ Status CqpShell::HandleBatch(const std::string& args, std::ostream& out) {
                    : 100.0 * static_cast<double>(batch.eval_cache_hits) /
                          static_cast<double>(lookups),
       cache.size());
+  out << StrFormat("plan cache: %llu of %lld prepares served from cache\n",
+                   static_cast<unsigned long long>(batch.plan_cache_hits),
+                   static_cast<long long>(n));
   for (const auto& result : batch.results) {
     if (!result.ok()) {
       out << "first error: " << result.status().ToString() << "\n";
       break;
     }
+  }
+  return Status::OK();
+}
+
+Status CqpShell::HandlePlans(const std::string& args, std::ostream& out) {
+  if (EqualsIgnoreCase(args, "clear")) {
+    plan_cache_.Clear();
+    out << "plan cache cleared\n";
+    return Status::OK();
+  }
+  if (!args.empty()) return InvalidArgument(".plans takes no argument or 'clear'");
+  construct::PlanCacheStats stats = plan_cache_.stats();
+  out << StrFormat(
+      "plan cache: %llu hits / %llu lookups (%.0f%% hit rate)\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.hits + stats.misses),
+      100.0 * stats.hit_rate());
+  out << StrFormat(
+      "%zu entries, %llu evictions, %llu invalidations\n", stats.entries,
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.invalidations));
+  for (const construct::PlanCache::EntryInfo& entry : plan_cache_.Entries()) {
+    out << StrFormat("  fp=%016llx v%llu K=%zu\n",
+                     static_cast<unsigned long long>(entry.key.query_fingerprint),
+                     static_cast<unsigned long long>(entry.key.profile_version),
+                     entry.k);
   }
   return Status::OK();
 }
@@ -677,10 +716,14 @@ Status CqpShell::HandleQuery(const std::string& sql, bool execute,
   request.algorithm = algorithm_;
   request.budget = MakeBudget();
   request.space_options = space_options_;
+  request.plan_cache = &plan_cache_;
+  request.profile_id = "shell";
+  request.profile_version = profile_version_;
   CQP_ASSIGN_OR_RETURN(construct::PersonalizeResult result,
                        personalizer.Personalize(request));
 
-  out << "preference space: K=" << result.space.K() << "\n";
+  out << "preference space: K=" << result.space->K()
+      << (result.plan_cache_hit ? " (plan cache hit)" : "") << "\n";
   if (result.degraded()) {
     out << "degraded answer (rung: "
         << construct::FallbackRungName(result.rung) << ")\n";
@@ -693,7 +736,7 @@ Status CqpShell::HandleQuery(const std::string& sql, bool execute,
   } else {
     out << "chosen preferences:\n";
     for (int32_t i : result.solution.chosen) {
-      const auto& p = result.space.prefs[static_cast<size_t>(i)];
+      const auto& p = result.space->prefs[static_cast<size_t>(i)];
       out << StrFormat("  doi=%.3f cost=%.1fms  %s\n", p.doi, p.cost_ms,
                        p.pref.ConditionString().c_str());
     }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/budget.h"
+#include "construct/plan_cache.h"
 #include "cqp/problem.h"
 #include "prefs/graph.h"
 #include "server/client.h"
@@ -46,6 +47,7 @@ namespace cqp::shell {
 ///   .batch [n=N] [threads=T] QUERY
 ///                               personalize N copies of QUERY on a worker
 ///                               pool, print throughput/latency/cache stats
+///   .plans [clear]              show (or empty) the session plan cache
 ///   .serve [port]               serve this database/profile over TCP
 ///   .serve stop                 stop the embedded server
 ///   .connect host:port          route queries to a remote server
@@ -73,6 +75,7 @@ class CqpShell {
   Status HandleFailpoints(const std::string& args, std::ostream& out);
   Status HandleQuery(const std::string& sql, bool execute, std::ostream& out);
   Status HandleBatch(const std::string& args, std::ostream& out);
+  Status HandlePlans(const std::string& args, std::ostream& out);
   Status HandleRawSql(const std::string& sql, std::ostream& out);
   Status HandleServe(const std::string& args, std::ostream& out);
   Status HandleConnect(const std::string& args, std::ostream& out);
@@ -89,6 +92,11 @@ class CqpShell {
   cqp::ProblemSpec problem_;
   std::string algorithm_ = "C-Boundaries";
   space::PreferenceSpaceOptions space_options_;
+  /// Session plan cache: PreparedSpace artifacts keyed by query fingerprint
+  /// and `profile_version_`, which RebuildGraph bumps whenever the profile
+  /// or database changes so stale plans can never be served.
+  construct::PlanCache plan_cache_;
+  uint64_t profile_version_ = 0;
   /// Per-query budget knobs (0 = unlimited); the absolute deadline is
   /// derived fresh for every query.
   double budget_deadline_ms_ = 0.0;

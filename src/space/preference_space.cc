@@ -64,9 +64,8 @@ bool PathAcyclicWith(const std::vector<AtomicJoin>& joins,
 StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
     const sql::SelectQuery& q, const prefs::PersonalizationGraph& graph,
     const estimation::ParameterEstimator& estimator,
-    const cqp::ProblemSpec& problem, const PreferenceSpaceOptions& options) {
+    const PreferenceSpaceOptions& options) {
   CQP_FAILPOINT("space.extract");
-  CQP_RETURN_IF_ERROR(problem.Validate());
 
   PreferenceSpaceResult result;
   result.query = q;
@@ -119,12 +118,6 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
 
       CQP_ASSIGN_OR_RETURN(PreferenceEstimate est,
                            estimator.EstimatePreference(result.base, c.pref));
-      // Monotone constraint pruning: a preference whose own sub-query
-      // violates the cost bound (Formula 7) or whose size already undershoots
-      // smin (Formula 8) can never appear in a feasible personalized query.
-      if (problem.cmax_ms && est.cost_ms > *problem.cmax_ms) continue;
-      if (problem.smin && est.size < *problem.smin) continue;
-
       ScoredPreference scored;
       scored.pref = c.pref;
       scored.pref.doi = c.doi;
@@ -134,15 +127,6 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
       scored.selectivity = est.selectivity;
       prefs.push_back(std::move(scored));
       continue;
-    }
-
-    // Partial join path: a completing selection adds no further relation,
-    // and extensions only add relations, so a path already violating the
-    // cost bound can be pruned outright (Formula 7).
-    if (problem.cmax_ms) {
-      CQP_ASSIGN_OR_RETURN(double cost,
-                           estimator.PathCost(result.base, c.joins));
-      if (cost > *problem.cmax_ms) continue;
     }
 
     const std::string tail = c.TailRelation();
@@ -184,6 +168,50 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
     }
   }
   return result;
+}
+
+bool PrunedByProblem(const ScoredPreference& pref,
+                     const cqp::ProblemSpec& problem) {
+  // Monotone constraint pruning: a preference whose own sub-query violates
+  // the cost bound (Formula 7) or whose size already undershoots smin
+  // (Formula 8) can never appear in a feasible personalized query.
+  if (problem.cmax_ms && pref.cost_ms > *problem.cmax_ms) return true;
+  if (problem.smin && pref.size < *problem.smin) return true;
+  return false;
+}
+
+PreferenceSpaceResult PruneSpaceForProblem(const PreferenceSpaceResult& space,
+                                           const cqp::ProblemSpec& problem) {
+  PreferenceSpaceResult view;
+  view.query = space.query;
+  view.base = space.base;
+  view.conjunction_model = space.conjunction_model;
+  view.prefs.reserve(space.prefs.size());
+  for (const ScoredPreference& p : space.prefs) {
+    if (!PrunedByProblem(p, problem)) view.prefs.push_back(p);
+  }
+  // Filtering a doi-descending list keeps it doi-descending, so the view
+  // satisfies the D = identity requirement of the search algorithms. C/S are
+  // rebuilt only when the source space carried them (build_cost_size_vectors).
+  if (!space.C.empty()) {
+    BuildPointerVectors(view.prefs, &view.D, &view.C, &view.S);
+  } else {
+    view.D.resize(view.prefs.size());
+    for (size_t i = 0; i < view.prefs.size(); ++i) {
+      view.D[i] = static_cast<int32_t>(i);
+    }
+  }
+  return view;
+}
+
+StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
+    const sql::SelectQuery& q, const prefs::PersonalizationGraph& graph,
+    const estimation::ParameterEstimator& estimator,
+    const cqp::ProblemSpec& problem, const PreferenceSpaceOptions& options) {
+  CQP_RETURN_IF_ERROR(problem.Validate());
+  CQP_ASSIGN_OR_RETURN(PreferenceSpaceResult unpruned,
+                       ExtractPreferenceSpace(q, graph, estimator, options));
+  return PruneSpaceForProblem(unpruned, problem);
 }
 
 void BuildPointerVectors(const std::vector<ScoredPreference>& prefs,

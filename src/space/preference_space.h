@@ -46,13 +46,18 @@ struct PreferenceSpaceResult {
 
   /// Builds a StateEvaluator over this preference space. `cache`, when
   /// given, memoizes full evaluations; it must hold entries for this
-  /// (query, profile) pair only and must outlive the evaluator.
+  /// (query, profile, prune-bounds) triple only and must outlive the
+  /// evaluator. The evaluator borrows `prefs` — it is only callable on an
+  /// lvalue space that outlives it (calling on a temporary is a compile
+  /// error; the deep copy that used to make that silent is gone).
   estimation::StateEvaluator MakeEvaluator(
-      estimation::EvalCache* cache = nullptr) const {
+      estimation::EvalCache* cache = nullptr) const& {
     estimation::StateEvaluator evaluator(base, prefs, conjunction_model);
     evaluator.set_cache(cache);
     return evaluator;
   }
+  estimation::StateEvaluator MakeEvaluator(
+      estimation::EvalCache* cache = nullptr) const&& = delete;
 
   /// Pointer vectors (0-based indices into `prefs`):
   /// D: doi descending (identity by construction, kept for symmetry),
@@ -75,18 +80,43 @@ void BuildPointerVectors(const std::vector<estimation::ScoredPreference>& prefs,
                          std::vector<int32_t>* d, std::vector<int32_t>* c,
                          std::vector<int32_t>* s);
 
-/// Extracts the preference space for query `q` from `graph`.
+/// Extracts the preference space for query `q` from `graph`, independent of
+/// any concrete ProblemSpec.
 ///
 /// Implements the best-first traversal of Fig. 3: candidates are expanded in
 /// decreasing doi order (valid because f⊗ is non-increasing in path length,
-/// Formula 2), join paths are kept acyclic, and candidates that can never
-/// appear in a feasible personalized query under `problem`'s constraints are
-/// pruned (cost(Q∧p) > cmax, or size(Q∧p) < smin — both monotone).
-///
-/// Deviation from the paper's pseudocode: a candidate failing the
-/// constraints is *skipped* rather than terminating extraction, because cost
-/// and size are not monotone in doi (the queue order); the paper leaves
-/// these "details of such optimizations" unspecified.
+/// Formula 2) and join paths are kept acyclic. Constraint handling is NOT
+/// done here: cmax/smin pruning is problem-dependent, so it happens when a
+/// per-problem view is derived (PruneSpaceForProblem / PreparedSpace::
+/// ForProblem). Hoisting it out makes one extraction valid for all six
+/// Table 1 problem classes and lets the result be cached and shared.
+StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
+    const sql::SelectQuery& q, const prefs::PersonalizationGraph& graph,
+    const estimation::ParameterEstimator& estimator,
+    const PreferenceSpaceOptions& options = PreferenceSpaceOptions());
+
+/// True when `pref` can never appear in a feasible state of `problem`:
+/// cost(Q∧p) > cmax (state cost sums sub-query costs, Formula 6) or
+/// size(Q∧p) < smin (state size only shrinks as selectivities multiply,
+/// Formula 8). Both tests are monotone, so dropping such a preference never
+/// removes a feasible solution.
+bool PrunedByProblem(const estimation::ScoredPreference& pref,
+                     const cqp::ProblemSpec& problem);
+
+/// Derives the per-problem view of an extracted space: preferences pruned
+/// by `problem`'s monotone bounds are dropped, survivors are reindexed
+/// (doi order — and hence D = identity — is preserved, since filtering a
+/// doi-sorted sequence keeps it sorted) and the C/S pointer vectors are
+/// rebuilt. The view is itself a PreferenceSpaceResult, so every search
+/// algorithm runs on it unchanged.
+PreferenceSpaceResult PruneSpaceForProblem(const PreferenceSpaceResult& space,
+                                           const cqp::ProblemSpec& problem);
+
+/// Legacy single-problem entry point: unpruned extraction followed by
+/// PruneSpaceForProblem. Equivalent to the pre-refactor behavior except
+/// that `options.max_k` now caps the space BEFORE pruning (a candidate the
+/// problem rejects still occupies its doi-ranked slot, exactly as it does
+/// on the prepared path — both paths must agree bit for bit).
 StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
     const sql::SelectQuery& q, const prefs::PersonalizationGraph& graph,
     const estimation::ParameterEstimator& estimator,

@@ -1,0 +1,54 @@
+#include "space/prepared_space.h"
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace cqp::space {
+
+namespace {
+
+std::string BoundBits(const std::optional<double>& bound) {
+  if (!bound.has_value()) return "-";
+  return StrFormat("%llx", static_cast<unsigned long long>(
+                               std::bit_cast<uint64_t>(*bound)));
+}
+
+}  // namespace
+
+std::string ProblemPruneKey(const cqp::ProblemSpec& problem) {
+  return "c" + BoundBits(problem.cmax_ms) + ":s" + BoundBits(problem.smin);
+}
+
+std::shared_ptr<const PreparedSpace> PreparedSpace::Create(
+    PreferenceSpaceResult unpruned) {
+  return std::shared_ptr<const PreparedSpace>(
+      new PreparedSpace(std::move(unpruned)));
+}
+
+std::shared_ptr<const PreferenceSpaceResult> PreparedSpace::ForProblem(
+    const cqp::ProblemSpec& problem) const {
+  if (!problem.cmax_ms.has_value() && !problem.smin.has_value()) {
+    return unpruned_;  // no bound can prune: the full space IS the view
+  }
+  const std::string key = ProblemPruneKey(problem);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(key);
+  if (it != views_.end()) return it->second;
+  PreferenceSpaceResult view = PruneSpaceForProblem(*unpruned_, problem);
+  std::shared_ptr<const PreferenceSpaceResult> stored =
+      view.prefs.size() == unpruned_->prefs.size()
+          ? unpruned_  // bounds admitted everything: share, don't duplicate
+          : std::make_shared<const PreferenceSpaceResult>(std::move(view));
+  views_.emplace(key, stored);
+  return stored;
+}
+
+size_t PreparedSpace::view_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.size();
+}
+
+}  // namespace cqp::space

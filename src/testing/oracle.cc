@@ -9,6 +9,7 @@
 #include "common/str_util.h"
 #include "cqp/transitions.h"
 #include "estimation/eval_cache.h"
+#include "space/prepared_space.h"
 
 namespace cqp::testing {
 
@@ -598,6 +599,74 @@ CheckReport CheckInstance(const CqpInstance& instance,
                        "degraded solution " + b.chosen.ToString() + " = " +
                            P17(recheck) + " violates " +
                            instance.problem.ToString());
+          }
+        }
+      }
+    }
+  }
+
+  // (f) Prepared-space parity. The per-problem view of a shared
+  // PreparedSpace must keep exactly the prefs the monotone bounds allow
+  // (a pref with cost > cmax or size < smin can appear in no feasible
+  // state, so dropping it is answer-preserving), and Exhaustive on the
+  // view — cold and with a warm EvalCache — must reproduce the full-space
+  // oracle once the view's indices are mapped back.
+  if (options.check_prepared) {
+    std::shared_ptr<const space::PreparedSpace> prepared =
+        space::PreparedSpace::Create(instance.space);
+    std::shared_ptr<const space::PreferenceSpaceResult> view =
+        prepared->ForProblem(instance.problem);
+    std::vector<int32_t> back;  // view index -> full-space index
+    for (size_t i = 0; i < instance.K(); ++i) {
+      if (!space::PrunedByProblem(instance.space.prefs[i], instance.problem)) {
+        back.push_back(static_cast<int32_t>(i));
+      }
+    }
+    if (back.size() != view->K()) {
+      report.Add("prepared-view", "",
+                 StrFormat("view has K=%zu but %zu prefs survive the bounds",
+                           view->K(), back.size()));
+    } else {
+      bool fields_ok = true;
+      for (size_t i = 0; i < view->K() && fields_ok; ++i) {
+        const estimation::ScoredPreference& got = view->prefs[i];
+        const estimation::ScoredPreference& want =
+            instance.space.prefs[static_cast<size_t>(back[i])];
+        if (got.doi != want.doi || got.cost_ms != want.cost_ms ||
+            got.selectivity != want.selectivity || got.size != want.size) {
+          report.Add("prepared-view", "",
+                     StrFormat("view pref %zu is not full-space pref %d "
+                               "bit-for-bit",
+                               i, back[i]));
+          fields_ok = false;
+        }
+      }
+      if (fields_ok && have_oracle && view->K() <= options.max_oracle_k) {
+        auto algo = cqp::GetAlgorithm("Exhaustive");
+        if (algo.ok()) {
+          estimation::EvalCache cache;
+          for (const char* phase : {"cold", "warm"}) {
+            cqp::SearchContext ctx;
+            ctx.eval_cache = &cache;
+            auto solved = (*algo)->Solve(*view, instance.problem, ctx);
+            ++report.solves;
+            if (!solved.ok()) {
+              report.Add("prepared-oracle", "Exhaustive",
+                         std::string(phase) + ": " +
+                             std::string(solved.status().message()));
+              break;
+            }
+            cqp::Solution remapped = *solved;
+            std::vector<int32_t> mapped;
+            for (int32_t i : solved->chosen) {
+              mapped.push_back(back[static_cast<size_t>(i)]);
+            }
+            remapped.chosen = IndexSet::FromUnsorted(std::move(mapped));
+            std::string diff = DiffSolutions(remapped, oracle);
+            if (!diff.empty()) {
+              report.Add("prepared-oracle", "Exhaustive",
+                         std::string(phase) + ": " + diff);
+            }
           }
         }
       }

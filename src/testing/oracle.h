@@ -41,6 +41,9 @@ struct CheckOptions {
   bool check_cache_parity = true; ///< (d) EvalCache on/off, cold and warm
   bool check_budget = true;       ///< (e) tight budgets stay feasible+tagged
   bool check_determinism = true;  ///< same Solve() twice, field-for-field
+  bool check_prepared = true;     ///< (f) PreparedSpace per-problem view
+                                  ///< partitions P correctly and solves to
+                                  ///< the full-space optimum (remapped)
 
   /// Expansion cap for the tight-budget probe. Expansion counts are
   /// deterministic (unlike wall-clock deadlines), which keeps the shrinker's

@@ -180,7 +180,66 @@ PipelineCheckResult RunPipelineCheck(const PipelineCheckConfig& config) {
     }
   }
 
-  // Path 4: loopback server round trip. The wire response must reproduce
+  // Path 4: the split pipeline. Explicit Prepare()+Solve() — cold, then
+  // with the PreparedSpace served from a plan cache, then Personalize()
+  // with the same cache — must all be field-for-field identical to the
+  // direct Personalize() reference. This is the prepared-vs-direct parity
+  // contract: one extraction, any problem, bit-identical answers.
+  if (config.check_prepared) {
+    construct::PlanCache plan_cache;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      construct::PersonalizeRequest request = requests[i];
+      request.plan_cache = &plan_cache;
+      request.profile_id = users[i / queries->size()].id;
+      request.profile_version = 1;
+      bool failed = false;
+      for (const char* phase : {"cold", "warm"}) {
+        auto prepared = personalizer.Prepare(request);
+        if (!prepared.ok()) {
+          report.Add("prepared-parity", request_labels[i],
+                     std::string(phase) + " Prepare: " +
+                         std::string(prepared.status().message()));
+          failed = true;
+          break;
+        }
+        if ((std::string(phase) == "warm") != prepared->cache_hit) {
+          report.Add("prepared-parity", request_labels[i],
+                     StrFormat("%s Prepare reported cache_hit=%d", phase,
+                               prepared->cache_hit));
+        }
+        auto solved = personalizer.Solve(*prepared, request);
+        if (!solved.ok()) {
+          report.Add("prepared-parity", request_labels[i],
+                     std::string(phase) + " Solve: " +
+                         std::string(solved.status().message()));
+          failed = true;
+          break;
+        }
+        std::string diff = DiffResults(reference[i], *solved);
+        if (!diff.empty()) {
+          report.Add("prepared-parity", request_labels[i],
+                     std::string(phase) + ": " + diff);
+        }
+      }
+      if (failed) continue;
+      auto r = personalizer.Personalize(request);
+      if (!r.ok()) {
+        report.Add("prepared-parity", request_labels[i],
+                   "cached Personalize: " + std::string(r.status().message()));
+        continue;
+      }
+      if (!r->plan_cache_hit) {
+        report.Add("prepared-parity", request_labels[i],
+                   "cached Personalize missed the plan cache");
+      }
+      std::string diff = DiffResults(reference[i], *r);
+      if (!diff.empty()) {
+        report.Add("prepared-parity", request_labels[i], "cached: " + diff);
+      }
+    }
+  }
+
+  // Path 5: loopback server round trip. The wire response must reproduce
   // the direct result field for field, for every user and problem kind.
   if (config.check_server) {
     server::ProfileStore store(&*db);
@@ -260,7 +319,7 @@ PipelineCheckResult RunPipelineCheck(const PipelineCheckConfig& config) {
     server.Stop();
   }
 
-  // Path 5: injected faults + tight expansion budgets. Every request must
+  // Path 6: injected faults + tight expansion budgets. Every request must
   // still answer OK (the ladder's last rung always can); claimed-feasible
   // answers must verify against their bounds; non-Primary answers must be
   // tagged degraded.
@@ -288,8 +347,8 @@ PipelineCheckResult RunPipelineCheck(const PipelineCheckConfig& config) {
                      StrFormat("answered at rung %s but degraded() is false",
                                construct::FallbackRungName(r->rung)));
         }
-        if (r->solution.feasible && r->space.K() > 0) {
-          estimation::StateEvaluator evaluator = r->space.MakeEvaluator();
+        if (r->solution.feasible && r->space->K() > 0) {
+          estimation::StateEvaluator evaluator = r->space->MakeEvaluator();
           estimation::StateParams recheck =
               evaluator.Evaluate(r->solution.chosen);
           if (!request.problem.IsFeasible(recheck)) {

@@ -19,6 +19,8 @@ struct PipelineCheckConfig {
   bool check_shared_cache = true;///< private vs shared warm EvalCache
   bool check_server = true;      ///< direct vs loopback server round trip
   bool check_failpoints = true;  ///< injected faults + tight budgets degrade
+  bool check_prepared = true;    ///< Prepare()+Solve(), cold and plan-cached,
+                                 ///< vs direct Personalize()
 };
 
 struct PipelineCheckResult {
@@ -32,6 +34,7 @@ struct PipelineCheckResult {
 ///   * sequential Personalize() calls (the reference),
 ///   * PersonalizeBatch() over the same requests,
 ///   * Personalize() with a shared, pre-warmed EvalCache,
+///   * explicit Prepare()+Solve(), cold and with a warm plan cache,
 ///   * a loopback server round trip (JSON wire protocol),
 /// and — under injected failpoints plus tight expansion budgets — that
 /// every answer is still OK, feasible solutions verify against their

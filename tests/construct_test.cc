@@ -268,7 +268,7 @@ TEST_F(PersonalizerTest, EndToEndProblem2) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->solution.feasible);
   EXPECT_GT(result->solution.chosen.size(), 0u);
-  EXPECT_GT(result->space.K(), 0u);
+  EXPECT_GT(result->space->K(), 0u);
   EXPECT_NE(result->final_sql.find("SELECT"), std::string::npos);
 
   exec::ExecStats stats;
