@@ -24,14 +24,18 @@ import subprocess
 import sys
 
 # Metrics where a LOWER working-tree value is a regression.
-HIGHER_IS_BETTER = {"qps", "ok", "cache_hit_rate", "cache_hits"}
+HIGHER_IS_BETTER = {"qps", "ok", "cache_hit_rate", "cache_hits",
+                    "puts_per_sec", "records_per_sec"}
 # Metrics where a HIGHER working-tree value is a regression.
 LOWER_IS_BETTER = {"wall_ms", "p50_ms", "p99_ms", "degraded",
                    "transport_errors", "identity_mismatches", "cache_misses",
-                   "server_ms_avg", "search_ms_avg"}
+                   "server_ms_avg", "search_ms_avg",
+                   "put_avg_ms", "put_p50_ms", "put_p99_ms", "recovery_ms",
+                   "fsync_per_put"}
 # Measured values that are neither identity nor judged (counters that
 # legitimately move when the code under test changes).
-IGNORED = {"states", "requests", "identity_checked", "shed", "other"}
+IGNORED = {"states", "requests", "identity_checked", "shed", "other",
+           "journal_bytes", "group_commits"}
 
 
 def cell_identity(cell):

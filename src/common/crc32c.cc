@@ -1,0 +1,57 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace cqp::crc32c {
+
+namespace {
+
+/// Four 256-entry tables for slicing-by-4, generated once at startup from
+/// the reflected Castagnoli polynomial.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& TheTables() {
+  static const Tables* tables = new Tables();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const auto& t = TheTables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xff] ^ t[2][(crc >> 8) & 0xff] ^
+          t[1][(crc >> 16) & 0xff] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace cqp::crc32c

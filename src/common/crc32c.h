@@ -1,0 +1,37 @@
+#ifndef CQP_COMMON_CRC32C_H_
+#define CQP_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cqp::crc32c {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum used by the
+/// profile journal and snapshot files. Software slicing-by-4 table
+/// implementation: ~1 GB/s, far faster than any journal fsync, so there is
+/// no point gating a hardware path behind feature detection here.
+
+/// Extends `crc` with `data`. Start a fresh checksum with crc = 0.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of a buffer.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+/// Masked form (rotate + constant, after the scheme popularized by
+/// LevelDB): stored checksums are masked so that a file containing
+/// embedded CRCs of its own contents cannot accidentally verify.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace cqp::crc32c
+
+#endif  // CQP_COMMON_CRC32C_H_

@@ -5,9 +5,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "server/io_util.h"
 
 namespace cqp::server {
 
@@ -28,28 +33,79 @@ Client& Client::operator=(Client&& other) noexcept {
   return *this;
 }
 
-Status Client::Connect(const std::string& host, int port) {
-  Close();
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Internal(std::string("socket(): ") + std::strerror(errno));
+namespace {
+
+/// connect() errors worth retrying: the server may still be binding, its
+/// backlog may be momentarily full, or the route may be flapping. EINTR is
+/// handled separately (retried without consuming an attempt).
+bool TransientConnectError(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EAGAIN:
+      return true;
+    default:
+      return false;
   }
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, int port,
+                       const ConnectOptions& options) {
+  Close();
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
     return InvalidArgument("bad host '" + host + "' (use a dotted IPv4)");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status status = Internal("connect(" + host + ":" + std::to_string(port) +
-                             "): " + std::strerror(errno));
+
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  // splitmix64 over the seed: deterministic jitter without sharing any
+  // global RNG state (tests replay the exact schedule by fixing the seed).
+  uint64_t jitter_state = options.jitter_seed + 0x9e3779b97f4a7c15ull;
+  double backoff_ms = options.initial_backoff_ms;
+  Status last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      uint64_t z = jitter_state += 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      // Full jitter in [backoff/2, backoff]: desynchronizes a thundering
+      // herd of clients without making the worst-case wait unbounded.
+      double jitter = 0.5 + 0.5 * (static_cast<double>(z >> 11) /
+                                   static_cast<double>(1ull << 53));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms * jitter));
+      backoff_ms = std::min(backoff_ms * 2.0, options.max_backoff_ms);
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Internal(std::string("socket(): ") + std::strerror(errno));
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      fd_ = fd;
+      buffer_.clear();
+      return Status::OK();
+    }
+    int err = errno;
     ::close(fd);
-    return status;
+    last_error = Internal("connect(" + host + ":" + std::to_string(port) +
+                          "): " + std::strerror(err) + " (attempt " +
+                          std::to_string(attempt + 1) + "/" +
+                          std::to_string(attempts) + ")");
+    if (!TransientConnectError(err)) return last_error;
   }
-  fd_ = fd;
-  buffer_.clear();
-  return Status::OK();
+  return last_error;
 }
 
 void Client::Close() {
@@ -69,17 +125,10 @@ StatusOr<std::string> Client::CallRaw(const std::string& line) {
   if (fd_ < 0) return FailedPrecondition("not connected");
   std::string frame = line;
   frame.push_back('\n');
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    ssize_t n =
-        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status status = Internal(std::string("send(): ") + std::strerror(errno));
-      Close();
-      return status;
-    }
-    sent += static_cast<size_t>(n);
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    Status status = Internal(std::string("send(): ") + std::strerror(errno));
+    Close();
+    return status;
   }
   return ReadLine();
 }
@@ -97,8 +146,7 @@ StatusOr<std::string> Client::ReadLine() {
       Close();
       return Internal("response frame exceeds the 1 MiB protocol cap");
     }
-    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
+    ssize_t n = ReadSome(fd_, chunk, sizeof(chunk));
     if (n <= 0) {
       Close();
       return Internal("connection closed by server while awaiting response");

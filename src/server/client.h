@@ -8,6 +8,19 @@
 
 namespace cqp::server {
 
+/// Connect() retry policy. Transient failures (ECONNREFUSED while the
+/// server finishes binding, ECONNRESET from a full backlog, routing
+/// hiccups) are retried with capped exponential backoff plus deterministic
+/// jitter; permanent errors (bad address) fail immediately.
+struct ConnectOptions {
+  /// Total connect() attempts (1 = no retry).
+  int max_attempts = 4;
+  double initial_backoff_ms = 25.0;
+  double max_backoff_ms = 400.0;
+  /// Seeds the jitter so tests replay the exact same sleep schedule.
+  uint64_t jitter_seed = 0;
+};
+
 /// Minimal blocking client for the line-delimited JSON protocol. One
 /// request in flight at a time (Call = write one line, read one line);
 /// used by the shell's `.connect`, the load bench and the e2e tests.
@@ -22,8 +35,10 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connects to host:port. kInternal on connection failure.
-  Status Connect(const std::string& host, int port);
+  /// Connects to host:port, retrying transient failures per `options`.
+  /// kInternal when every attempt failed, kInvalidArgument for a bad host.
+  Status Connect(const std::string& host, int port,
+                 const ConnectOptions& options = ConnectOptions());
 
   bool connected() const { return fd_ >= 0; }
   void Close();

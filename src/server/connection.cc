@@ -5,6 +5,8 @@
 
 #include <cerrno>
 
+#include "server/io_util.h"
+
 namespace cqp::server {
 
 Connection::Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
@@ -18,18 +20,12 @@ bool Connection::WriteLine(const std::string& line) {
   if (write_failed_) return false;
   std::string frame = line;
   frame.push_back('\n');
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    // MSG_NOSIGNAL: a vanished peer yields EPIPE instead of killing the
-    // process with SIGPIPE.
-    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      write_failed_ = true;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
+  // SendAll owns the EINTR retry and the short-write loop: a signal landing
+  // mid-send, or a response larger than the socket buffer, must never tear
+  // a frame in half.
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    write_failed_ = true;
+    return false;
   }
   return true;
 }

@@ -1,0 +1,469 @@
+#include "server/durable_profile_store.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "storage/journal/coding.h"
+
+namespace cqp::server {
+
+namespace {
+
+using storage::journal::SnapshotData;
+using storage::journal::SnapshotEntry;
+
+/// Journal record payload (the framing + CRC live in journal::FrameRecord):
+///
+///   put:    'P' [version u64][id lpstring][profile text lpstring]
+///   remove: 'R' [version u64][id lpstring]
+constexpr char kOpPut = 'P';
+constexpr char kOpRemove = 'R';
+
+struct DecodedMutation {
+  char op = 0;
+  uint64_t version = 0;
+  std::string_view id;
+  std::string_view text;
+};
+
+std::string EncodeMutation(char op, uint64_t version, const std::string& id,
+                           const std::string& text) {
+  std::string payload;
+  payload.reserve(1 + 8 + 4 + id.size() + (op == kOpPut ? 4 + text.size() : 0));
+  payload.push_back(op);
+  storage::PutFixed64(&payload, version);
+  storage::PutLengthPrefixed(&payload, id);
+  if (op == kOpPut) storage::PutLengthPrefixed(&payload, text);
+  return payload;
+}
+
+bool DecodeMutation(std::string_view payload, DecodedMutation* out) {
+  if (payload.size() < 1 + 8) return false;
+  out->op = payload[0];
+  if (out->op != kOpPut && out->op != kOpRemove) return false;
+  out->version = storage::GetFixed64(payload.data() + 1);
+  size_t pos = 1 + 8;
+  if (!storage::GetLengthPrefixed(payload, &pos, &out->id)) return false;
+  if (out->op == kOpPut) {
+    if (!storage::GetLengthPrefixed(payload, &pos, &out->text)) return false;
+  }
+  return pos == payload.size();
+}
+
+/// Commit tokens pack (epoch, journal end offset) so a waiter can tell a
+/// compaction (which resets offsets but IS a durability point) from its
+/// own fsync. 0 is the "nothing to wait for" sentinel.
+constexpr int kEpochShift = 40;
+constexpr uint64_t kOffsetMask = (1ull << kEpochShift) - 1;
+
+}  // namespace
+
+DurableProfileStore::DurableProfileStore(const storage::Database* db,
+                                         DurabilityOptions options)
+    : ProfileStore(db),
+      options_(std::move(options)),
+      fs_(options_.fs != nullptr ? options_.fs : &storage::PosixFileSystem()) {}
+
+StatusOr<std::unique_ptr<DurableProfileStore>> DurableProfileStore::Open(
+    const storage::Database* db, DurabilityOptions options) {
+  if (options.dir.empty()) {
+    return InvalidArgument("DurabilityOptions.dir must be set");
+  }
+  std::unique_ptr<DurableProfileStore> store(
+      new DurableProfileStore(db, std::move(options)));
+  CQP_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+DurableProfileStore::~DurableProfileStore() {
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    stop_flusher_ = true;
+    flusher_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  if (journal_ != nullptr) {
+    Flush();  // best effort; a wedged journal already reported its error
+    journal_->Close();
+  }
+}
+
+Status DurableProfileStore::Recover() {
+  Stopwatch timer;
+  CQP_RETURN_IF_ERROR(fs_->CreateDirs(options_.dir));
+
+  // 1. The snapshot (absent on first open). A crash mid-compaction leaves
+  // at most a stale snapshot.tmp, which the atomic-write protocol never
+  // exposes as the snapshot itself; drop it.
+  uint64_t snap_next = 1;
+  if (fs_->Exists(SnapshotPath())) {
+    CQP_ASSIGN_OR_RETURN(SnapshotData snap, storage::journal::ReadSnapshot(
+                                                *fs_, SnapshotPath()));
+    snap_next = snap.next_version;
+    for (SnapshotEntry& entry : snap.entries) {
+      StatusOr<prefs::Profile> profile = prefs::Profile::Parse(entry.value);
+      StatusOr<std::shared_ptr<const prefs::PersonalizationGraph>> graph =
+          profile.ok() ? BuildGraph(*std::move(profile))
+                       : StatusOr<std::shared_ptr<
+                             const prefs::PersonalizationGraph>>(
+                             profile.status());
+      if (!graph.ok()) {
+        // The checksum proved the bytes intact, so this is schema drift
+        // (the database no longer accepts the profile), not corruption:
+        // skip it but keep serving everything else.
+        std::fprintf(stderr,
+                     "durable profile store: snapshot profile '%s' no longer "
+                     "loads (%s); skipping\n",
+                     entry.key.c_str(), graph.status().ToString().c_str());
+        ++recovery_.unloadable_profiles;
+        continue;
+      }
+      RestorePut(entry.key, *std::move(graph), entry.version);
+      texts_[entry.key] = std::move(entry.value);
+      ++recovery_.snapshot_profiles;
+    }
+  }
+  fs_->Remove(SnapshotPath() + ".tmp");
+
+  // 2. Journal replay. Records already covered by the snapshot (version <
+  // snapshot next_version — possible when a crash hit between the snapshot
+  // rename and the journal truncation) are skipped; the torn/corrupt tail,
+  // if any, ends the log.
+  uint64_t max_next = snap_next;
+  CQP_ASSIGN_OR_RETURN(
+      storage::journal::ReplayResult replay,
+      storage::journal::Replay(
+          *fs_, JournalPath(), [&](std::string_view payload) -> Status {
+            DecodedMutation record;
+            if (!DecodeMutation(payload, &record)) {
+              return Internal(
+                  "journal record passed its checksum but does not decode — "
+                  "refusing to guess (journal format bug or external "
+                  "corruption)");
+            }
+            if (record.version < snap_next) {
+              ++recovery_.skipped_records;
+              return Status::OK();
+            }
+            if (record.op == kOpPut) {
+              std::string text(record.text);
+              StatusOr<prefs::Profile> profile = prefs::Profile::Parse(text);
+              StatusOr<std::shared_ptr<const prefs::PersonalizationGraph>>
+                  graph = profile.ok()
+                              ? BuildGraph(*std::move(profile))
+                              : StatusOr<std::shared_ptr<
+                                    const prefs::PersonalizationGraph>>(
+                                    profile.status());
+              if (!graph.ok()) {
+                std::fprintf(stderr,
+                             "durable profile store: journaled profile '%s' "
+                             "no longer loads (%s); skipping\n",
+                             std::string(record.id).c_str(),
+                             graph.status().ToString().c_str());
+                ++recovery_.unloadable_profiles;
+                return Status::OK();
+              }
+              std::string id(record.id);
+              RestorePut(id, *std::move(graph), record.version);
+              texts_[id] = std::move(text);
+            } else {
+              std::string id(record.id);
+              RestoreRemove(id);
+              texts_.erase(id);
+            }
+            if (record.version + 1 > max_next) max_next = record.version + 1;
+            ++recovery_.replayed_records;
+            return Status::OK();
+          }));
+  recovery_.torn_tail = replay.torn_tail;
+  recovery_.dropped_bytes = replay.dropped_bytes;
+  CQP_RETURN_IF_ERROR(
+      storage::journal::DropTornTail(*fs_, JournalPath(), replay));
+  SetNextVersion(max_next);
+
+  // 3. Reopen the append side at the clean tail.
+  CQP_ASSIGN_OR_RETURN(journal_,
+                       storage::journal::Writer::Open(*fs_, JournalPath()));
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    appended_end_ = journal_->end_offset();
+    durable_end_ = appended_end_;  // it survived; it is on disk
+  }
+
+  if (options_.group_commit_interval_ms > 0.0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+  recovery_.recovery_ms = timer.ElapsedMillis();
+  return Status::OK();
+}
+
+void DurableProfileStore::WedgeLocked(const Status& status) {
+  if (!wedged_) {
+    wedged_ = true;
+    wedge_status_ = Internal("profile journal wedged: " + status.ToString() +
+                             " (store is read-only; reopen to recover)");
+    std::fprintf(stderr, "%s\n", wedge_status_.message().c_str());
+  }
+}
+
+Status DurableProfileStore::WriteAheadLocked(const Mutation& mutation,
+                                             uint64_t* commit_token) {
+  *commit_token = 0;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    if (wedged_) return wedge_status_;
+  }
+  std::string text;
+  if (mutation.kind == Mutation::Kind::kPut) {
+    text = mutation.profile->ToText();
+  }
+  const std::string payload = EncodeMutation(
+      mutation.kind == Mutation::Kind::kPut ? kOpPut : kOpRemove,
+      mutation.version, mutation.id, text);
+
+  // Append. mu_ (held by the caller) serializes appends and protects the
+  // journal_ pointer; a failed append leaves an unknowable tail, so wedge.
+  Status appended = journal_->Append(payload);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  append_bytes_.fetch_add(payload.size() + storage::journal::kRecordHeaderBytes,
+                          std::memory_order_relaxed);
+  if (!appended.ok()) {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    WedgeLocked(appended);
+    commit_cv_.notify_all();
+    return appended;
+  }
+
+  if (options_.group_commit_interval_ms <= 0.0) {
+    // Inline commit: fsync before the map mutates, so an error here aborts
+    // the whole Put/Remove — error ⇒ not applied, OK ⇒ durable.
+    Status synced;
+    {
+      std::lock_guard<std::mutex> io(journal_io_mu_);
+      synced = journal_->Sync();
+    }
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (!synced.ok()) {
+      std::lock_guard<std::mutex> lock(commit_mu_);
+      WedgeLocked(synced);
+      commit_cv_.notify_all();
+      return synced;
+    }
+  }
+
+  // Mirror the text for compaction snapshots (same key set as graphs_,
+  // which the caller is about to update under the same lock).
+  if (mutation.kind == Mutation::Kind::kPut) {
+    texts_[mutation.id] = std::move(text);
+  } else {
+    texts_.erase(mutation.id);
+  }
+  journal_bytes_.store(journal_->end_offset(), std::memory_order_relaxed);
+
+  if (options_.group_commit_interval_ms > 0.0) {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    appended_end_ = journal_->end_offset();
+    CQP_CHECK(appended_end_ <= kOffsetMask) << "journal grew past 1 TiB";
+    ++commits_pending_;
+    flush_requested_ = true;
+    *commit_token = (epoch_ << kEpochShift) | appended_end_;
+    flusher_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status DurableProfileStore::WaitDurable(uint64_t commit_token) {
+  Status result = Status::OK();
+  if (commit_token != 0) {
+    const uint64_t epoch_at_append = commit_token >> kEpochShift;
+    const uint64_t offset = commit_token & kOffsetMask;
+    std::unique_lock<std::mutex> lock(commit_mu_);
+    commit_cv_.wait(lock, [&] {
+      return wedged_ || epoch_ > epoch_at_append || durable_end_ >= offset;
+    });
+    // A bumped epoch means a compaction made the whole map durable (the
+    // snapshot rename is itself a commit point), which covers this record.
+    if (wedged_ && epoch_ == epoch_at_append && durable_end_ < offset) {
+      result = wedge_status_;
+    }
+  }
+  // Amortized compaction: triggered by whoever pushes the journal past the
+  // threshold, after their own commit completed. A compaction failure must
+  // not fail the (already durable) mutation.
+  if (result.ok() &&
+      journal_bytes_.load(std::memory_order_relaxed) >
+          options_.compact_threshold_bytes) {
+    Status compacted = Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "durable profile store: compaction failed: %s\n",
+                   compacted.ToString().c_str());
+    }
+  }
+  return result;
+}
+
+void DurableProfileStore::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  while (!stop_flusher_) {
+    flusher_cv_.wait(lock,
+                     [&] { return stop_flusher_ || flush_requested_; });
+    if (stop_flusher_) break;
+    lock.unlock();
+    // The batching window: commits arriving while we sleep share the
+    // upcoming fsync.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.group_commit_interval_ms));
+
+    std::unique_lock<std::mutex> io(journal_io_mu_);
+    lock.lock();
+    if (wedged_) {
+      flush_requested_ = false;
+      io.unlock();
+      continue;
+    }
+    const uint64_t target = appended_end_;
+    const uint64_t epoch = epoch_;
+    const uint64_t batch = commits_pending_;
+    commits_pending_ = 0;
+    flush_requested_ = false;
+    lock.unlock();
+
+    Status synced = journal_->Sync();
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+
+    lock.lock();
+    if (!synced.ok()) {
+      WedgeLocked(synced);
+    } else if (epoch_ == epoch) {
+      // Epoch changed ⇒ a compaction reset the offsets while we synced the
+      // old file; its own commit protocol released the waiters.
+      if (batch > 1) group_commits_.fetch_add(1, std::memory_order_relaxed);
+      if (target > durable_end_) durable_end_ = target;
+    }
+    commit_cv_.notify_all();
+    io.unlock();
+  }
+}
+
+Status DurableProfileStore::Flush() {
+  std::unique_lock<std::mutex> io(journal_io_mu_);
+  uint64_t target = 0;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    if (wedged_) return wedge_status_;
+    target = appended_end_;
+    epoch = epoch_;
+  }
+  Status synced = journal_->Sync();
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!synced.ok()) {
+    WedgeLocked(synced);
+    commit_cv_.notify_all();
+    return synced;
+  }
+  if (epoch_ == epoch && target > durable_end_) durable_end_ = target;
+  commit_cv_.notify_all();
+  return Status::OK();
+}
+
+Status DurableProfileStore::Compact() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status DurableProfileStore::CompactLocked() {
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    if (wedged_) return wedge_status_;
+  }
+  if (journal_bytes_.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();  // raced with another compaction
+  }
+  SnapshotData data;
+  data.next_version = next_version_;
+  data.entries.reserve(texts_.size());
+  for (const auto& [id, text] : texts_) {
+    auto it = graphs_.find(id);
+    CQP_CHECK(it != graphs_.end()) << "texts_/graphs_ diverged for " << id;
+    data.entries.push_back(SnapshotEntry{id, it->second.version, text});
+  }
+
+  std::unique_lock<std::mutex> io(journal_io_mu_);
+  // The commit point: after this rename the snapshot holds every applied
+  // mutation (mu_ excludes concurrent appends). On error the old snapshot
+  // and the journal are both intact — compaction simply did not happen.
+  CQP_RETURN_IF_ERROR(
+      storage::journal::WriteSnapshot(*fs_, SnapshotPath(), data));
+  snapshot_bytes_.store(storage::journal::EncodeSnapshot(data).size(),
+                        std::memory_order_relaxed);
+
+  // Truncate the journal. If this fails, the stale records are harmless
+  // for recovery (their versions precede the snapshot's next_version and
+  // replay skips them) but the append offset would be unknowable — wedge.
+  journal_->Close();
+  Status truncated = fs_->Truncate(JournalPath(), 0);
+  StatusOr<std::unique_ptr<storage::journal::Writer>> reopened =
+      truncated.ok()
+          ? storage::journal::Writer::Open(*fs_, JournalPath())
+          : StatusOr<std::unique_ptr<storage::journal::Writer>>(truncated);
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  if (!reopened.ok()) {
+    WedgeLocked(reopened.status());
+    commit_cv_.notify_all();
+    return wedge_status_;
+  }
+  journal_ = *std::move(reopened);
+  journal_bytes_.store(0, std::memory_order_relaxed);
+  appended_end_ = 0;
+  durable_end_ = 0;
+  commits_pending_ = 0;
+  ++epoch_;  // releases every waiter on a pre-compaction record
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  commit_cv_.notify_all();
+  return Status::OK();
+}
+
+std::optional<DurabilityStats> DurableProfileStore::durability_stats() const {
+  DurabilityStats stats;
+  stats.appends = appends_.load(std::memory_order_relaxed);
+  stats.append_bytes = append_bytes_.load(std::memory_order_relaxed);
+  stats.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  stats.group_commits = group_commits_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
+  stats.snapshot_bytes = snapshot_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    stats.wedged = wedged_;
+  }
+  stats.recovered_profiles =
+      recovery_.snapshot_profiles + recovery_.replayed_records;
+  stats.replayed_records = recovery_.replayed_records;
+  stats.dropped_bytes = recovery_.dropped_bytes;
+  stats.torn_tail_recovered = recovery_.torn_tail;
+  stats.recovery_ms = recovery_.recovery_ms;
+  return stats;
+}
+
+std::vector<SnapshotEntry> DurableProfileStore::Contents() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(texts_.size());
+  for (const auto& [id, text] : texts_) {
+    auto it = graphs_.find(id);
+    out.push_back(
+        SnapshotEntry{id, it == graphs_.end() ? 0 : it->second.version, text});
+  }
+  return out;
+}
+
+bool DurableProfileStore::wedged() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return wedged_;
+}
+
+}  // namespace cqp::server

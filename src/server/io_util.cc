@@ -1,0 +1,31 @@
+#include "server/io_util.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cqp::server {
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ssize_t ReadSome(int fd, char* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+}  // namespace cqp::server

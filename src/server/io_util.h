@@ -1,0 +1,25 @@
+#ifndef CQP_SERVER_IO_UTIL_H_
+#define CQP_SERVER_IO_UTIL_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace cqp::server {
+
+/// Writes all `len` bytes of `data` to `fd`, retrying on EINTR and looping
+/// on short writes (send() is free to accept fewer bytes than asked — a
+/// signal or a full socket buffer must not tear a protocol frame). Uses
+/// MSG_NOSIGNAL so a vanished peer reports EPIPE instead of raising
+/// SIGPIPE. Returns true on success; on failure errno holds the cause.
+bool SendAll(int fd, const char* data, size_t len);
+
+/// read() with the EINTR retry folded in: returns the byte count (0 = EOF)
+/// or a negative value for any error other than EINTR (errno holds the
+/// cause). Partial reads are normal for sockets and are returned as-is —
+/// callers accumulate into their framing buffer.
+ssize_t ReadSome(int fd, char* buf, size_t len);
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_IO_UTIL_H_

@@ -13,15 +13,27 @@ ProfileStore::ProfileStore(const storage::Database* db) : db_(db) {
   CQP_CHECK(db_ != nullptr);
 }
 
-Status ProfileStore::Put(const std::string& id, prefs::Profile profile) {
-  if (id.empty()) return InvalidArgument("profile id must be non-empty");
+StatusOr<std::shared_ptr<const prefs::PersonalizationGraph>>
+ProfileStore::BuildGraph(prefs::Profile profile) const {
   CQP_ASSIGN_OR_RETURN(
       prefs::PersonalizationGraph graph,
       prefs::PersonalizationGraph::Build(std::move(profile), *db_));
-  auto shared =
-      std::make_shared<const prefs::PersonalizationGraph>(std::move(graph));
+  return std::make_shared<const prefs::PersonalizationGraph>(std::move(graph));
+}
+
+Status ProfileStore::Put(const std::string& id, prefs::Profile profile) {
+  if (id.empty()) return InvalidArgument("profile id must be non-empty");
+  // Build from a copy: the original profile outlives the graph build so
+  // the write-ahead hook can serialize it.
+  CQP_ASSIGN_OR_RETURN(
+      std::shared_ptr<const prefs::PersonalizationGraph> shared,
+      BuildGraph(profile));
+  uint64_t commit_token = 0;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    Mutation mutation{Mutation::Kind::kPut, id, &profile, next_version_};
+    // Write-ahead: journal first; an error aborts before the map changes.
+    CQP_RETURN_IF_ERROR(WriteAheadLocked(mutation, &commit_token));
     Snapshot& slot = graphs_[id];
     slot.graph = std::move(shared);
     slot.version = next_version_++;
@@ -32,19 +44,48 @@ Status ProfileStore::Put(const std::string& id, prefs::Profile profile) {
   // entries. The invalidation reclaims their memory.
   caches_.InvalidateProfile(id);
   plans_.InvalidateProfile(id);
-  return Status::OK();
+  return WaitDurable(commit_token);
 }
 
 Status ProfileStore::Remove(const std::string& id) {
+  uint64_t commit_token = 0;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    if (graphs_.erase(id) == 0) {
+    auto it = graphs_.find(id);
+    if (it == graphs_.end()) {
       return NotFound("no profile '" + id + "'");
     }
+    Mutation mutation{Mutation::Kind::kRemove, id, nullptr, next_version_};
+    CQP_RETURN_IF_ERROR(WriteAheadLocked(mutation, &commit_token));
+    // Removes consume a version too, so journal order equals version
+    // order and replay can key idempotence off the version alone.
+    ++next_version_;
+    graphs_.erase(it);
   }
   caches_.InvalidateProfile(id);
   plans_.InvalidateProfile(id);
-  return Status::OK();
+  return WaitDurable(commit_token);
+}
+
+void ProfileStore::RestorePut(
+    const std::string& id,
+    std::shared_ptr<const prefs::PersonalizationGraph> graph,
+    uint64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Snapshot& slot = graphs_[id];
+  slot.graph = std::move(graph);
+  slot.version = version;
+  if (version >= next_version_) next_version_ = version + 1;
+}
+
+void ProfileStore::RestoreRemove(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  graphs_.erase(id);
+}
+
+void ProfileStore::SetNextVersion(uint64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (version > next_version_) next_version_ = version;
 }
 
 ProfileStore::Snapshot ProfileStore::FindSnapshot(const std::string& id) const {

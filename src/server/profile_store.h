@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -15,6 +16,25 @@
 #include "storage/database.h"
 
 namespace cqp::server {
+
+/// Counters exposed by a durable store (DurableProfileStore); the base
+/// in-memory store reports std::nullopt. Served by the stats wire op.
+struct DurabilityStats {
+  uint64_t appends = 0;        ///< journal records written
+  uint64_t append_bytes = 0;   ///< framed bytes appended
+  uint64_t fsyncs = 0;         ///< journal fsync calls
+  uint64_t group_commits = 0;  ///< fsyncs that committed >1 mutation
+  uint64_t compactions = 0;    ///< snapshot compactions completed
+  uint64_t journal_bytes = 0;  ///< current journal length
+  uint64_t snapshot_bytes = 0; ///< last written snapshot size
+  bool wedged = false;         ///< journal failed; store is read-only
+  /// Recovery at Open() time:
+  uint64_t recovered_profiles = 0;  ///< profiles restored (snapshot+journal)
+  uint64_t replayed_records = 0;    ///< journal records applied
+  uint64_t dropped_bytes = 0;       ///< torn/corrupt tail truncated
+  bool torn_tail_recovered = false;
+  double recovery_ms = 0.0;
+};
 
 /// In-memory id → user-profile registry for the personalization server.
 ///
@@ -31,23 +51,40 @@ namespace cqp::server {
 /// their keys, so invalidation is a memory-reclaim, never a correctness
 /// dependency.
 ///
+/// Durability: this base class is process-lifetime only. The write-ahead
+/// hooks (WriteAheadLocked / WaitDurable, no-ops here) let
+/// DurableProfileStore journal every mutation BEFORE it touches the map
+/// and block the caller until the record is fsynced — without the server
+/// or shell knowing which mode they run against.
+///
 /// Thread safety: all methods are thread-safe (shared_mutex; Find takes
 /// the shared lock).
 class ProfileStore {
  public:
   /// `db` must be Analyze()d and outlive the store.
   explicit ProfileStore(const storage::Database* db);
+  virtual ~ProfileStore() = default;
 
   ProfileStore(const ProfileStore&) = delete;
   ProfileStore& operator=(const ProfileStore&) = delete;
 
   /// Validates `profile` against the database, builds its graph and stores
   /// it under `id` (replacing any previous version). Invalidates the id's
-  /// evaluation caches.
-  Status Put(const std::string& id, prefs::Profile profile);
+  /// evaluation caches. In a durable store, OK additionally means the
+  /// mutation is journaled and fsynced (it survives a crash).
+  virtual Status Put(const std::string& id, prefs::Profile profile);
 
   /// Removes `id` (and its caches). NotFound when absent.
-  Status Remove(const std::string& id);
+  virtual Status Remove(const std::string& id);
+
+  /// Forces any buffered journal writes to disk. No-op for the in-memory
+  /// store. Called by Server::Stop() as part of graceful shutdown.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// Journal/fsync counters when durable; nullopt for the in-memory store.
+  virtual std::optional<DurabilityStats> durability_stats() const {
+    return std::nullopt;
+  }
 
   /// One consistent view of a stored profile: the graph plus the version
   /// stamped at Put time. The version participates in evaluation-cache
@@ -95,14 +132,60 @@ class ProfileStore {
   /// as caches().
   construct::PlanCache& plans() { return plans_; }
 
+ protected:
+  /// One mutation, as seen by the write-ahead hook. `profile` is null for
+  /// removes; `version` is the version the mutation will be stamped with.
+  struct Mutation {
+    enum class Kind { kPut, kRemove };
+    Kind kind;
+    const std::string& id;
+    const prefs::Profile* profile;
+    uint64_t version;
+  };
+
+  /// Called under the exclusive lock BEFORE the in-memory map mutates.
+  /// A durable store appends the journal record here; an error aborts the
+  /// mutation (write-ahead: nothing is applied that was not journaled).
+  /// `commit_token` is passed back to WaitDurable.
+  virtual Status WriteAheadLocked(const Mutation& mutation,
+                                  uint64_t* commit_token) {
+    (void)mutation;
+    *commit_token = 0;
+    return Status::OK();
+  }
+
+  /// Called after the map mutation, with the lock released. A durable
+  /// store blocks here until the journal record is fsynced (group commit);
+  /// an error means the mutation is applied in memory but its durability
+  /// is unknown — the store wedges and refuses further writes.
+  virtual Status WaitDurable(uint64_t commit_token) {
+    (void)commit_token;
+    return Status::OK();
+  }
+
+  /// Builds + validates a graph for `profile` (the Put-time half shared
+  /// with recovery).
+  StatusOr<std::shared_ptr<const prefs::PersonalizationGraph>> BuildGraph(
+      prefs::Profile profile) const;
+
+  /// Recovery-path mutations: apply without journaling, invalidation or
+  /// version assignment (the journal record carries its version).
+  void RestorePut(const std::string& id,
+                  std::shared_ptr<const prefs::PersonalizationGraph> graph,
+                  uint64_t version);
+  void RestoreRemove(const std::string& id);
+  /// Raises next_version_ to at least `version`.
+  void SetNextVersion(uint64_t version);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Snapshot> graphs_;  ///< guarded by mu_
+  uint64_t next_version_ = 1;               ///< guarded by mu_
+
  private:
   const storage::Database* db_;
   estimation::EvalCacheRegistry caches_;
   construct::PlanCache plans_;
-  mutable std::shared_mutex mu_;
-  std::map<std::string, Snapshot> graphs_;
-  uint64_t next_version_ = 1;  ///< guarded by mu_
-  std::string directory_;      ///< guarded by mu_
+  std::string directory_;  ///< guarded by mu_
 };
 
 }  // namespace cqp::server

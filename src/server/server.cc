@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "server/io_util.h"
 #include "space/prepared_space.h"
 
 namespace cqp::server {
@@ -92,16 +93,30 @@ Status Server::Start() {
 void Server::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
 
-  // 1. Unblock and join the accept loop.
+  // 1. Unblock and join the accept loop. listen_fd_ is only overwritten
+  // after the join — the accept thread reads it unsynchronized at startup.
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
-    listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (stats_thread_.joinable()) stats_thread_.join();
+  listen_fd_ = -1;
 
-  // 2. Cancel in-flight searches and unblock every reader.
+  // 2. Drain: admitted requests get up to drain_deadline_ms to finish and
+  // answer before we cancel them. Connected-but-idle clients do not hold
+  // the drain open — only admitted work counts.
+  if (options_.drain_deadline_ms > 0.0) {
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options_.drain_deadline_ms));
+    while (admission_.pending() > 0 && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  // 3. Cancel whatever outlived the drain and unblock every reader.
   std::map<uint64_t, std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -117,13 +132,24 @@ void Server::Stop() {
     if (thread.joinable()) thread.join();
   }
 
-  // 3. Drain the worker pool (workers hold shared_ptr<Connection>, so the
+  // 4. Drain the worker pool (workers hold shared_ptr<Connection>, so the
   // sockets stay valid even though conns_ is about to be cleared; their
   // writes fail fast on the shut-down fds).
   pool_.reset();
 
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  conns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+
+  // 5. Make every acknowledged mutation durable before the process exits
+  // (no-op for the in-memory store; inline-fsync durable stores have
+  // nothing buffered either, but group commit may).
+  Status flushed = profiles_->Flush();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "cqp_serve: journal flush on shutdown failed: %s\n",
+                 flushed.ToString().c_str());
+  }
 }
 
 void Server::ReapFinishedReaders() {
@@ -144,10 +170,9 @@ void Server::ReapFinishedReaders() {
 }
 
 void Server::AcceptLoop() {
-  // listen_fd_ is fixed for the lifetime of this thread (Start() set it
-  // before spawning us; Stop() only overwrites it after shutdown(), which
-  // is what actually unblocks accept()), so snapshot it once instead of
-  // racing Stop()'s listen_fd_ = -1 store.
+  // listen_fd_ is fixed for the lifetime of this thread: Start() set it
+  // before spawning us, and Stop() only overwrites it after joining us
+  // (shutdown()/close() on the fd, not the overwrite, unblock accept()).
   const int listen_fd = listen_fd_;
   while (running_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
@@ -183,8 +208,7 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
   char chunk[4096];
   bool close_requested = false;
   while (!close_requested) {
-    ssize_t n = ::read(conn->fd(), chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
+    ssize_t n = ReadSome(conn->fd(), chunk, sizeof(chunk));
     if (n <= 0) break;  // peer closed, or Shutdown() during Stop()
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
@@ -272,6 +296,35 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
       plans.Set("entries",
                 JsonValue::Number(static_cast<double>(plan_stats.entries)));
       response.extra.Set("plan_cache", std::move(plans));
+      if (std::optional<DurabilityStats> ds = profiles_->durability_stats()) {
+        JsonValue journal = JsonValue::Object();
+        journal.Set("appends",
+                    JsonValue::Number(static_cast<double>(ds->appends)));
+        journal.Set("append_bytes",
+                    JsonValue::Number(static_cast<double>(ds->append_bytes)));
+        journal.Set("fsyncs",
+                    JsonValue::Number(static_cast<double>(ds->fsyncs)));
+        journal.Set("group_commits", JsonValue::Number(static_cast<double>(
+                                         ds->group_commits)));
+        journal.Set("compactions",
+                    JsonValue::Number(static_cast<double>(ds->compactions)));
+        journal.Set("journal_bytes", JsonValue::Number(static_cast<double>(
+                                         ds->journal_bytes)));
+        journal.Set("snapshot_bytes", JsonValue::Number(static_cast<double>(
+                                          ds->snapshot_bytes)));
+        journal.Set("wedged", JsonValue::Bool(ds->wedged));
+        journal.Set("recovered_profiles",
+                    JsonValue::Number(
+                        static_cast<double>(ds->recovered_profiles)));
+        journal.Set("replayed_records", JsonValue::Number(static_cast<double>(
+                                            ds->replayed_records)));
+        journal.Set("dropped_bytes", JsonValue::Number(static_cast<double>(
+                                         ds->dropped_bytes)));
+        journal.Set("torn_tail_recovered",
+                    JsonValue::Bool(ds->torn_tail_recovered));
+        journal.Set("recovery_ms", JsonValue::Number(ds->recovery_ms));
+        response.extra.Set("journal", std::move(journal));
+      }
       return conn->WriteLine(SerializeResponse(response));
     }
     case RequestOp::kProfiles: {

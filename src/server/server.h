@@ -35,6 +35,10 @@ struct ServerOptions {
   AdmissionOptions admission;
   /// Seconds between periodic stats log lines on stderr; 0 disables.
   double stats_interval_s = 0.0;
+  /// Graceful-shutdown budget: Stop() stops accepting immediately, then
+  /// gives in-flight (admitted) requests up to this long to finish before
+  /// cancelling them. 0 cancels immediately (the pre-drain behavior).
+  double drain_deadline_ms = 1000.0;
   /// Problem applied when a request carries no constraint bounds.
   cqp::ProblemSpec default_problem = cqp::ProblemSpec::Problem2(400.0);
   /// Algorithm used when a request names none ("auto" = match objective).
@@ -61,8 +65,10 @@ struct ServerOptions {
 ///    connection unwind at the next ShouldStop() poll.
 ///
 /// Stop() is graceful and idempotent: close the listener, join the accept
-/// thread, cancel + shut down every connection, join the readers, drain
-/// the worker pool.
+/// thread, let admitted requests finish within drain_deadline_ms, cancel
+/// + shut down every connection, join the readers, drain the worker pool,
+/// and flush the profile store's journal (a no-op for the in-memory
+/// store) so a durable deployment loses nothing on a clean shutdown.
 class Server {
  public:
   /// `db` must be Analyze()d and outlive the server; `profiles` supplies

@@ -1,0 +1,58 @@
+#ifndef CQP_STORAGE_JOURNAL_CODING_H_
+#define CQP_STORAGE_JOURNAL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cqp::storage {
+
+/// Little-endian fixed-width encoding shared by the journal record framing,
+/// the snapshot file format and the profile mutation records. Explicit
+/// byte-by-byte encoding keeps the on-disk format independent of host
+/// endianness.
+
+inline void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* out, uint64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t GetFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+}
+
+inline uint64_t GetFixed64(const char* p) {
+  return static_cast<uint64_t>(GetFixed32(p)) |
+         (static_cast<uint64_t>(GetFixed32(p + 4)) << 32);
+}
+
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Reads a length-prefixed string at *pos; advances *pos past it. Returns
+/// false when the buffer is too short.
+inline bool GetLengthPrefixed(std::string_view buf, size_t* pos,
+                              std::string_view* out) {
+  if (buf.size() - *pos < 4) return false;
+  uint32_t n = GetFixed32(buf.data() + *pos);
+  *pos += 4;
+  if (buf.size() - *pos < n) return false;
+  *out = buf.substr(*pos, n);
+  *pos += n;
+  return true;
+}
+
+}  // namespace cqp::storage
+
+#endif  // CQP_STORAGE_JOURNAL_CODING_H_

@@ -1,0 +1,196 @@
+#include "storage/journal/faulty_file.h"
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+
+namespace cqp::storage {
+
+struct FaultyFileSystem::FaultState {
+  mutable std::mutex mu;
+  bool crash_armed = false;
+  uint64_t crash_budget = 0;  ///< persisted bytes until the crash fires
+  bool crashed = false;
+  uint64_t total_written = 0;
+
+  Status CrashStatus() const {
+    return Internal("simulated crash (fault injection)");
+  }
+};
+
+/// One fault-injecting file. Shares the filesystem's fault state so the
+/// crash budget spans every open file (journal + snapshot together, as a
+/// real power loss would).
+class FaultyFile : public File {
+ public:
+  FaultyFile(std::unique_ptr<File> base,
+             std::shared_ptr<FaultyFileSystem::FaultState> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+
+    // Failpoint-driven partial failures (deterministic, seeded).
+    if (failpoint::Maybe("storage.file.append.torn")) {
+      Persist(data.substr(0, data.size() / 2));
+      return Internal("injected torn append");
+    }
+    if (failpoint::Maybe("storage.file.append.enospc")) {
+      Persist(data.substr(0, data.size() / 2));
+      return ResourceExhausted("injected ENOSPC");
+    }
+
+    // Crash-at-offset: tear the write that crosses the budget.
+    if (state_->crash_armed && state_->crash_budget < data.size()) {
+      Persist(data.substr(0, state_->crash_budget));
+      state_->crashed = true;
+      return state_->CrashStatus();
+    }
+
+    if (failpoint::Maybe("storage.file.append.split") && data.size() > 1) {
+      // Two underlying writes: proves callers survive short writes.
+      Status first = Persist(data.substr(0, data.size() / 2));
+      if (!first.ok()) return first;
+      return Persist(data.substr(data.size() / 2));
+    }
+    return Persist(data);
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+    if (failpoint::Maybe("storage.file.sync.fail")) {
+      return Internal("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+  uint64_t offset() const override { return base_->offset(); }
+
+ private:
+  /// Writes through to the base file and charges the crash budget.
+  /// Caller holds state_->mu.
+  Status Persist(std::string_view data) {
+    if (data.empty()) return Status::OK();
+    Status status = base_->Append(data);
+    if (status.ok()) {
+      state_->total_written += data.size();
+      if (state_->crash_armed) {
+        state_->crash_budget -= std::min<uint64_t>(state_->crash_budget,
+                                                   data.size());
+      }
+    }
+    return status;
+  }
+
+  std::unique_ptr<File> base_;
+  std::shared_ptr<FaultyFileSystem::FaultState> state_;
+};
+
+FaultyFileSystem::FaultyFileSystem(FileSystem& base)
+    : base_(base), state_(std::make_shared<FaultState>()) {}
+
+FaultyFileSystem::~FaultyFileSystem() = default;
+
+void FaultyFileSystem::CrashAfterBytes(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->crash_armed = true;
+  state_->crash_budget = budget;
+  state_->crashed = false;
+}
+
+bool FaultyFileSystem::crashed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->crashed;
+}
+
+void FaultyFileSystem::ClearCrash() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->crash_armed = false;
+  state_->crashed = false;
+}
+
+uint64_t FaultyFileSystem::bytes_written() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->total_written;
+}
+
+StatusOr<std::unique_ptr<File>> FaultyFileSystem::OpenAppend(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  CQP_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       base_.OpenAppend(path, truncate));
+  return std::unique_ptr<File>(new FaultyFile(std::move(file), state_));
+}
+
+StatusOr<std::string> FaultyFileSystem::ReadFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.ReadFile(path);
+}
+
+Status FaultyFileSystem::Rename(const std::string& from,
+                                const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  if (failpoint::Maybe("storage.file.rename.fail")) {
+    return Internal("injected rename failure");
+  }
+  return base_.Rename(from, to);
+}
+
+Status FaultyFileSystem::Remove(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.Remove(path);
+}
+
+Status FaultyFileSystem::Truncate(const std::string& path, uint64_t size) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.Truncate(path, size);
+}
+
+StatusOr<uint64_t> FaultyFileSystem::FileSize(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.FileSize(path);
+}
+
+bool FaultyFileSystem::Exists(const std::string& path) {
+  return base_.Exists(path);
+}
+
+Status FaultyFileSystem::SyncDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.SyncDir(path);
+}
+
+Status FaultyFileSystem::CreateDirs(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.CreateDirs(path);
+}
+
+}  // namespace cqp::storage

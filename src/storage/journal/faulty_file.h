@@ -1,0 +1,76 @@
+#ifndef CQP_STORAGE_JOURNAL_FAULTY_FILE_H_
+#define CQP_STORAGE_JOURNAL_FAULTY_FILE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/journal/file.h"
+
+namespace cqp::storage {
+
+/// Fault-injecting FileSystem decorator. All writes pass through a shared
+/// fault state, which supports two kinds of injection:
+///
+/// 1. Failpoint sites (armed via CQP_FAILPOINTS or failpoint::Configure,
+///    same deterministic seeded machinery as the search failpoints):
+///
+///      storage.file.append.torn    persist ~half the bytes, fail Internal
+///      storage.file.append.enospc  persist ~half, fail ResourceExhausted
+///      storage.file.append.split   split the append into two underlying
+///                                  writes (success; exercises the callers'
+///                                  short-write/EINTR loops)
+///      storage.file.sync.fail      fsync fails Internal (fsyncgate: the
+///                                  handle must be treated as poisoned)
+///      storage.file.rename.fail    rename fails Internal
+///
+/// 2. Crash-at-offset (CrashAfterBytes): a byte budget across all writes
+///    through this filesystem. The write that crosses the budget persists
+///    only up to the budget (a torn write, as when power fails mid-write),
+///    and every subsequent operation fails with "simulated crash". The
+///    crash fuzzer uses this to kill the store at arbitrary points and
+///    check recovery against an oracle.
+///
+/// Thread-safe. Used by tools/cqp_crashfuzz and tests; production code
+/// always talks to PosixFileSystem() directly.
+class FaultyFileSystem : public FileSystem {
+ public:
+  /// `base` must outlive this filesystem and all files opened through it.
+  explicit FaultyFileSystem(FileSystem& base);
+  ~FaultyFileSystem() override;
+
+  /// Arms the crash: after `budget` more persisted bytes, tear the
+  /// in-flight write and fail everything from then on.
+  void CrashAfterBytes(uint64_t budget);
+
+  /// True once the armed crash has fired.
+  bool crashed() const;
+
+  /// Disarms the crash and clears the crashed flag (the byte counter is
+  /// untouched).
+  void ClearCrash();
+
+  /// Total bytes actually persisted through this filesystem so far.
+  uint64_t bytes_written() const;
+
+  StatusOr<std::unique_ptr<File>> OpenAppend(const std::string& path,
+                                             bool truncate) override;
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+
+  struct FaultState;  ///< shared between the filesystem and its open files
+
+ private:
+  FileSystem& base_;
+  std::shared_ptr<FaultState> state_;
+};
+
+}  // namespace cqp::storage
+
+#endif  // CQP_STORAGE_JOURNAL_FAULTY_FILE_H_

@@ -1,0 +1,205 @@
+#include "storage/journal/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace cqp::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  std::string msg = what + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) return ResourceExhausted(std::move(msg));
+  if (err == ENOENT) return NotFound(std::move(msg));
+  return Internal(std::move(msg));
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), offset_(size) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return FailedPrecondition("append to closed file " + path_);
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;  // signal mid-write: retry
+        // A prefix may already be on disk; account for it so offset()
+        // keeps matching the physical end of the file.
+        offset_.fetch_add(written, std::memory_order_relaxed);
+        return ErrnoStatus("write(" + path_ + ")", errno);
+      }
+      written += static_cast<size_t>(n);  // short write: loop
+    }
+    offset_.fetch_add(written, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return FailedPrecondition("sync of closed file " + path_);
+    while (::fsync(fd_) != 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("fsync(" + path_ + ")", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close(" + path_ + ")", errno);
+    return Status::OK();
+  }
+
+  uint64_t offset() const override {
+    return offset_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int fd_;
+  const std::string path_;
+  std::atomic<uint64_t> offset_;
+};
+
+class PosixFileSystemImpl : public FileSystem {
+ public:
+  StatusOr<std::unique_ptr<File>> OpenAppend(const std::string& path,
+                                             bool truncate) override {
+    int flags = O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open(" + path + ")", errno);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      Status status = ErrnoStatus("fstat(" + path + ")", errno);
+      ::close(fd);
+      return status;
+    }
+    return std::unique_ptr<File>(
+        new PosixFile(fd, path, static_cast<uint64_t>(st.st_size)));
+  }
+
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open(" + path + ")", errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = ErrnoStatus("read(" + path + ")", errno);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename(" + from + " -> " + to + ")", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink(" + path + ")", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    while (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("truncate(" + path + ")", errno);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat(" + path + ")", errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open dir(" + path + ")", errno);
+    Status status = Status::OK();
+    while (::fsync(fd) != 0) {
+      if (errno == EINTR) continue;
+      // Some filesystems refuse fsync on directories (EINVAL); treat that
+      // as best-effort rather than failing the commit.
+      if (errno == EINVAL) break;
+      status = ErrnoStatus("fsync dir(" + path + ")", errno);
+      break;
+    }
+    ::close(fd);
+    return status;
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Internal("mkdir -p " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+};
+
+std::string ParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace
+
+FileSystem& PosixFileSystem() {
+  static PosixFileSystemImpl* fs = new PosixFileSystemImpl();
+  return *fs;
+}
+
+Status AtomicWriteFile(FileSystem& fs, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  CQP_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       fs.OpenAppend(tmp, /*truncate=*/true));
+  Status status = file->Append(contents);
+  if (status.ok()) status = file->Sync();
+  Status closed = file->Close();
+  if (status.ok()) status = closed;
+  if (!status.ok()) {
+    fs.Remove(tmp);  // best effort; a stale .tmp is ignored by readers
+    return status;
+  }
+  CQP_RETURN_IF_ERROR(fs.Rename(tmp, path));
+  return fs.SyncDir(ParentDir(path));
+}
+
+}  // namespace cqp::storage

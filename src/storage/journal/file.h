@@ -1,0 +1,91 @@
+#ifndef CQP_STORAGE_JOURNAL_FILE_H_
+#define CQP_STORAGE_JOURNAL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cqp::storage {
+
+/// An open append-only file handle. All durable state (the profile journal
+/// and its snapshots) is written through this interface so that fault
+/// injection can sit between the caller and the kernel — FaultyFile wraps
+/// any File and simulates short writes, ENOSPC, fsync failure and
+/// crash-at-offset without touching the callers.
+///
+/// Thread safety: Append() calls must be externally serialized, but one
+/// thread may Append() while another calls Sync() (the group-commit
+/// flusher does exactly that).
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `data` at the end of the file. Handles EINTR and short
+  /// writes internally: returns OK only when every byte was accepted by
+  /// the kernel. On error some prefix of `data` may have been written —
+  /// the caller must treat the file tail as torn.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// fsync(): on OK every previously Append()ed byte is durable. A sync
+  /// failure poisons the handle (dirty pages may have been dropped — the
+  /// kernel gives no way to retry), so callers must stop writing and
+  /// recover by reopening.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+
+  /// Logical end offset: bytes in the file after all Append()s so far.
+  virtual uint64_t offset() const = 0;
+};
+
+/// Minimal filesystem surface for the durability layer. One process-wide
+/// Posix implementation exists (PosixFileSystem()); tests and the crash
+/// fuzzer wrap it in a FaultyFileSystem.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it when missing; the returned
+  /// File's offset() starts at the existing size (0 when `truncate`).
+  virtual StatusOr<std::unique_ptr<File>> OpenAppend(const std::string& path,
+                                                     bool truncate) = 0;
+
+  /// Whole-file read. NotFound when the file does not exist.
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  /// rename(2): atomic replacement of `to` — the commit point of snapshot
+  /// compaction.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// truncate(2) to `size` bytes — how recovery drops a torn journal tail.
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// fsync() on the directory itself, making renames/creates durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+};
+
+/// The process-wide Posix filesystem.
+FileSystem& PosixFileSystem();
+
+/// Atomically replaces `path` with `contents`: write `path`.tmp, fsync it,
+/// rename over `path`, fsync the parent directory. After OK the file holds
+/// exactly `contents`; after an error the previous `path` (if any) is
+/// intact — a crash can never leave a half-written `path`.
+Status AtomicWriteFile(FileSystem& fs, const std::string& path,
+                       std::string_view contents);
+
+}  // namespace cqp::storage
+
+#endif  // CQP_STORAGE_JOURNAL_FILE_H_

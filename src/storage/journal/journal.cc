@@ -1,0 +1,74 @@
+#include "storage/journal/journal.h"
+
+#include "common/crc32c.h"
+#include "storage/journal/coding.h"
+
+namespace cqp::storage::journal {
+
+std::string FrameRecord(std::string_view payload) {
+  CQP_CHECK(payload.size() <= kMaxRecordBytes) << "journal record too large";
+  std::string frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = crc32c::Value(frame.data(), 4);
+  crc = crc32c::Extend(crc, payload.data(), payload.size());
+  PutFixed32(&frame, crc32c::Mask(crc));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+StatusOr<ReplayResult> ReplayBuffer(
+    std::string_view buffer,
+    const std::function<Status(std::string_view payload)>& apply) {
+  ReplayResult result;
+  size_t pos = 0;
+  while (pos < buffer.size()) {
+    if (buffer.size() - pos < kRecordHeaderBytes) break;  // torn header
+    uint32_t len = GetFixed32(buffer.data() + pos);
+    uint32_t stored = GetFixed32(buffer.data() + pos + 4);
+    if (len > kMaxRecordBytes) break;  // corrupt length field
+    if (buffer.size() - pos - kRecordHeaderBytes < len) break;  // torn payload
+    std::string_view payload = buffer.substr(pos + kRecordHeaderBytes, len);
+    uint32_t crc = crc32c::Value(buffer.data() + pos, 4);
+    crc = crc32c::Extend(crc, payload.data(), payload.size());
+    if (crc32c::Mask(crc) != stored) break;  // corrupt record
+    CQP_RETURN_IF_ERROR(apply(payload));
+    pos += kRecordHeaderBytes + len;
+    ++result.records;
+  }
+  result.valid_bytes = pos;
+  result.dropped_bytes = buffer.size() - pos;
+  result.torn_tail = result.dropped_bytes > 0;
+  return result;
+}
+
+StatusOr<ReplayResult> Replay(
+    FileSystem& fs, const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply) {
+  if (!fs.Exists(path)) return ReplayResult{};
+  CQP_ASSIGN_OR_RETURN(std::string buffer, fs.ReadFile(path));
+  return ReplayBuffer(buffer, apply);
+}
+
+Status DropTornTail(FileSystem& fs, const std::string& path,
+                    const ReplayResult& result) {
+  if (!result.torn_tail) return Status::OK();
+  return fs.Truncate(path, result.valid_bytes);
+}
+
+StatusOr<std::unique_ptr<Writer>> Writer::Open(FileSystem& fs,
+                                               const std::string& path) {
+  CQP_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       fs.OpenAppend(path, /*truncate=*/false));
+  return std::unique_ptr<Writer>(new Writer(std::move(file)));
+}
+
+Status Writer::Append(std::string_view payload) {
+  return file_->Append(FrameRecord(payload));
+}
+
+Status Writer::Sync() { return file_->Sync(); }
+
+Status Writer::Close() { return file_->Close(); }
+
+}  // namespace cqp::storage::journal

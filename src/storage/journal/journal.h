@@ -1,0 +1,103 @@
+#ifndef CQP_STORAGE_JOURNAL_JOURNAL_H_
+#define CQP_STORAGE_JOURNAL_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/journal/file.h"
+
+namespace cqp::storage::journal {
+
+/// Write-ahead log of opaque byte records with per-record CRC32C.
+///
+/// On-disk record framing (little-endian):
+///
+///   [payload length : u32][masked crc32c(length || payload) : u32][payload]
+///
+/// The checksum covers the length field too, so a corrupted length cannot
+/// send the reader off into garbage that happens to checksum clean; the
+/// mask (crc32c.h) keeps a journal that embeds other checksums honest.
+///
+/// Torn-tail policy: a crash (or ENOSPC) can leave a partial record at the
+/// end of the journal — a truncated header, a truncated payload, or a
+/// checksum mismatch. Replay() treats the first such record as the end of
+/// the log: everything before it is applied, everything from it on is
+/// reported as droppable, and recovery truncates the file there. A record
+/// that was never acknowledged as fsynced is allowed to vanish; a record
+/// in the clean prefix is never lost.
+
+/// Per-record framing overhead.
+inline constexpr size_t kRecordHeaderBytes = 8;
+
+/// Sanity cap on a single record (a length field above this is treated as
+/// corruption, not as a 4 GiB allocation request).
+inline constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+/// Frames one payload as a journal record.
+std::string FrameRecord(std::string_view payload);
+
+/// What Replay() found.
+struct ReplayResult {
+  uint64_t records = 0;       ///< intact records applied
+  uint64_t valid_bytes = 0;   ///< length of the clean prefix
+  uint64_t dropped_bytes = 0; ///< torn/corrupt bytes past the clean prefix
+  bool torn_tail = false;     ///< true when dropped_bytes > 0
+};
+
+/// Replays the journal at `path`, calling `apply` on every intact record
+/// payload in order. A missing file is an empty journal. Stops (without
+/// error) at the first torn or checksum-corrupt record. An error from
+/// `apply` aborts the replay and is returned as-is.
+StatusOr<ReplayResult> Replay(
+    FileSystem& fs, const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply);
+
+/// Same record scan as Replay, over an in-memory buffer (for tests and
+/// corpus replay).
+StatusOr<ReplayResult> ReplayBuffer(
+    std::string_view buffer,
+    const std::function<Status(std::string_view payload)>& apply);
+
+/// Truncates `path` to `result.valid_bytes` — the recovery step that drops
+/// a torn tail so the journal can be appended to again. No-op when the
+/// tail was clean.
+Status DropTornTail(FileSystem& fs, const std::string& path,
+                    const ReplayResult& result);
+
+/// Append side of the log. Appends are buffered by the OS; Sync() is the
+/// durability point. Not thread-safe for concurrent Append(), but Append()
+/// and Sync() may race (the group-commit flusher syncs while writers
+/// append; fsync simply covers whatever has reached the file).
+class Writer {
+ public:
+  /// Opens `path` for appending (creating it if missing). Run Replay() +
+  /// DropTornTail() first — appending after a torn tail would bury valid
+  /// records behind garbage.
+  static StatusOr<std::unique_ptr<Writer>> Open(FileSystem& fs,
+                                                const std::string& path);
+
+  /// Appends one framed record. On error the journal tail must be assumed
+  /// torn: the caller must stop appending (wedge) and recover by reopening.
+  Status Append(std::string_view payload);
+
+  Status Sync();
+  Status Close();
+
+  /// File size after all appends so far — the commit token for group
+  /// commit (a record is durable once a successful Sync() happened at or
+  /// past its end offset).
+  uint64_t end_offset() const { return file_->offset(); }
+
+ private:
+  explicit Writer(std::unique_ptr<File> file) : file_(std::move(file)) {}
+
+  std::unique_ptr<File> file_;
+};
+
+}  // namespace cqp::storage::journal
+
+#endif  // CQP_STORAGE_JOURNAL_JOURNAL_H_

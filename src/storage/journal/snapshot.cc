@@ -1,0 +1,90 @@
+#include "storage/journal/snapshot.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "storage/journal/coding.h"
+
+namespace cqp::storage::journal {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'Q', 'P', 'S', 'N', 'A', 'P', '1'};
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotData& data) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed64(&out, data.next_version);
+  PutFixed64(&out, static_cast<uint64_t>(data.entries.size()));
+  for (const SnapshotEntry& entry : data.entries) {
+    PutLengthPrefixed(&out, entry.key);
+    PutFixed64(&out, entry.version);
+    PutLengthPrefixed(&out, entry.value);
+  }
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(out)));
+  return out;
+}
+
+Status WriteSnapshot(FileSystem& fs, const std::string& path,
+                     const SnapshotData& data) {
+  return AtomicWriteFile(fs, path, EncodeSnapshot(data));
+}
+
+StatusOr<SnapshotData> ReadSnapshot(FileSystem& fs, const std::string& path) {
+  if (!fs.Exists(path)) {
+    return NotFound("no snapshot at " + path);
+  }
+  CQP_ASSIGN_OR_RETURN(std::string raw, fs.ReadFile(path));
+  const size_t kMinBytes = sizeof(kMagic) + 8 + 8 + 4;
+  if (raw.size() < kMinBytes) {
+    return Internal("snapshot " + path + " truncated (" +
+                    std::to_string(raw.size()) + " bytes)");
+  }
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Internal("snapshot " + path + " has bad magic");
+  }
+  uint32_t stored = GetFixed32(raw.data() + raw.size() - 4);
+  uint32_t actual = crc32c::Mask(crc32c::Value(raw.data(), raw.size() - 4));
+  if (stored != actual) {
+    return Internal("snapshot " + path + " checksum mismatch");
+  }
+  std::string_view body(raw.data(), raw.size() - 4);
+  size_t pos = sizeof(kMagic);
+  SnapshotData data;
+  data.next_version = GetFixed64(body.data() + pos);
+  pos += 8;
+  uint64_t count = GetFixed64(body.data() + pos);
+  pos += 8;
+  data.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SnapshotEntry entry;
+    std::string_view key, value;
+    if (!GetLengthPrefixed(body, &pos, &key)) {
+      return Internal("snapshot " + path + " entry " + std::to_string(i) +
+                      ": truncated key");
+    }
+    if (body.size() - pos < 8) {
+      return Internal("snapshot " + path + " entry " + std::to_string(i) +
+                      ": truncated version");
+    }
+    entry.version = GetFixed64(body.data() + pos);
+    pos += 8;
+    if (!GetLengthPrefixed(body, &pos, &value)) {
+      return Internal("snapshot " + path + " entry " + std::to_string(i) +
+                      ": truncated value");
+    }
+    entry.key.assign(key);
+    entry.value.assign(value);
+    data.entries.push_back(std::move(entry));
+  }
+  if (pos != body.size()) {
+    return Internal("snapshot " + path + ": " +
+                    std::to_string(body.size() - pos) +
+                    " trailing bytes after last entry");
+  }
+  return data;
+}
+
+}  // namespace cqp::storage::journal

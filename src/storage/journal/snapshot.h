@@ -1,0 +1,62 @@
+#ifndef CQP_STORAGE_JOURNAL_SNAPSHOT_H_
+#define CQP_STORAGE_JOURNAL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/journal/file.h"
+
+namespace cqp::storage::journal {
+
+/// Compaction snapshot: the full versioned key→value state of a durable
+/// store at one instant, written atomically (AtomicWriteFile: tmp + fsync
+/// + rename + dir fsync) so a crash during compaction can never be seen —
+/// readers find either the old snapshot or the new one, both intact.
+///
+/// On-disk format (little-endian):
+///
+///   "CQPSNAP1"                              8-byte magic + format version
+///   next_version : u64                      the store's version counter
+///   count : u64
+///   count × { key : lpstring, version : u64, value : lpstring }
+///   masked crc32c(everything above) : u32
+///
+/// where lpstring = [len : u32][bytes]. The trailing whole-file checksum
+/// makes any external corruption (or a non-atomic writer) detectable:
+/// ReadSnapshot fails loudly instead of loading half a state.
+
+struct SnapshotEntry {
+  std::string key;
+  uint64_t version = 0;
+  std::string value;
+};
+
+struct SnapshotData {
+  /// The store's next mutation version at snapshot time. Journal records
+  /// with version < next_version are already reflected in the entries —
+  /// replay skips them. Persisting this also keeps version numbering
+  /// monotonic across restarts, which is what snapshot-version-keyed
+  /// caches (EvalCacheRegistry, PlanCache) assume.
+  uint64_t next_version = 1;
+  std::vector<SnapshotEntry> entries;
+};
+
+/// Serializes `data` (for tests; WriteSnapshot uses this internally).
+std::string EncodeSnapshot(const SnapshotData& data);
+
+/// Atomically replaces the snapshot at `path`.
+Status WriteSnapshot(FileSystem& fs, const std::string& path,
+                     const SnapshotData& data);
+
+/// Loads and verifies the snapshot. NotFound when `path` does not exist
+/// (an empty store); kInternal with a precise message on bad magic,
+/// truncation or checksum mismatch — a snapshot is only ever produced by
+/// an atomic rename, so corruption here is NOT a normal crash artifact
+/// and refusing to guess is the safe behavior.
+StatusOr<SnapshotData> ReadSnapshot(FileSystem& fs, const std::string& path);
+
+}  // namespace cqp::storage::journal
+
+#endif  // CQP_STORAGE_JOURNAL_SNAPSHOT_H_

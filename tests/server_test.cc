@@ -5,10 +5,14 @@
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +25,7 @@
 #include "prefs/profile.h"
 #include "server/admission.h"
 #include "server/client.h"
+#include "server/io_util.h"
 #include "server/profile_store.h"
 #include "server/server.h"
 #include "server/server_stats.h"
@@ -322,6 +327,162 @@ TEST_F(ServerTest, HotReloadServesUpdatedProfileWithoutStaleCacheHits) {
   ASSERT_TRUE(expected.ok());
   EXPECT_EQ(after->personalize->final_sql, expected->final_sql);
   EXPECT_EQ(after->personalize->doi, expected->solution.params.doi);
+}
+
+TEST_F(ServerTest, StopDrainsInFlightRequestBeforeCancelling) {
+  ServerOptions options;
+  options.num_threads = 1;
+  options.drain_deadline_ms = 5000.0;
+  StartServer(options);
+
+  // One request in flight while Stop() runs: the drain must let it finish
+  // and answer instead of cancelling it.
+  Client client = Connect();
+  StatusOr<WireResponse> response = FailedPrecondition("never ran");
+  std::thread caller([&] {
+    response = client.Call(PersonalizeRequestFor(kQuery));
+  });
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->admission().admitted_total() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->Stop();
+  caller.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok()) << response->status.ToString();
+  ASSERT_TRUE(response->personalize.has_value());
+}
+
+// ------------------------------------------------ io_util (regression)
+
+std::atomic<int> g_usr1_count{0};
+void OnUsr1(int) { g_usr1_count.fetch_add(1); }
+
+TEST(IoUtil, SendAllSurvivesSignalsAndShortWrites) {
+  // The regression this pins: a signal landing mid-send used to be able to
+  // tear a frame (EINTR), and a frame larger than the socket buffer forces
+  // short writes. SendAll must deliver every byte anyway.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+
+  // SIGUSR1 WITHOUT SA_RESTART, so blocked sends actually return EINTR.
+  struct sigaction action {};
+  action.sa_handler = OnUsr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &old), 0);
+
+  const std::string payload = [] {
+    std::string s;
+    for (int i = 0; i < 1 << 20; ++i) s.push_back(static_cast<char>('a' + i % 26));
+    return s;
+  }();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    EXPECT_TRUE(SendAll(fds[0], payload.data(), payload.size()));
+    done.store(true);
+    ::shutdown(fds[0], SHUT_WR);
+  });
+  // Pepper the writer with signals the whole time it is sending.
+  pthread_t writer_handle = writer.native_handle();
+  std::thread signaler([&] {
+    while (!done.load()) {
+      ::pthread_kill(writer_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::string received;
+  char chunk[8192];
+  for (;;) {
+    ssize_t n = ReadSome(fds[1], chunk, sizeof(chunk));
+    ASSERT_GE(n, 0) << std::strerror(errno);
+    if (n == 0) break;
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  writer.join();
+  signaler.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ::sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_GT(g_usr1_count.load(), 0) << "test never actually interrupted";
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);  // intact, in order, nothing torn
+}
+
+// --------------------------------------------- client connect retries
+
+TEST(ClientRetry, GivesUpAfterMaxAttemptsOnDeadPort) {
+  // Bind (without listen) to reserve a port nothing will ever accept on,
+  // yielding deterministic ECONNREFUSED.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  int port = ntohs(addr.sin_port);
+  ::close(probe);  // freed: connect() now refuses fast
+
+  ConnectOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 1.0;
+  options.max_backoff_ms = 4.0;
+  Client client;
+  Status status = client.Connect("127.0.0.1", port, options);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("attempt 3/3"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ClientRetry, ConnectsOnceTheServerShowsUp) {
+  // The race Connect()'s backoff exists for: the client starts before the
+  // server is listening. Reserve a port, start listening only after a
+  // delay, and the retried connect must land.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  int port = ntohs(addr.sin_port);
+
+  std::thread delayed_listen([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_EQ(::listen(listener, 1), 0);
+  });
+
+  ConnectOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_ms = 10.0;
+  options.max_backoff_ms = 50.0;
+  Client client;
+  Status status = client.Connect("127.0.0.1", port, options);
+  delayed_listen.join();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(client.connected());
+  ::close(listener);
+}
+
+TEST(ClientRetry, PermanentErrorsFailImmediately) {
+  Client client;
+  Status status = client.Connect("not-an-ipv4", 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 // ------------------------------------------------- admission (unit level)

@@ -1,0 +1,429 @@
+// cqp_crashfuzz — fault-injected crash/recovery fuzzer for the durable
+// profile store (docs/durability.md).
+//
+//   $ cqp_crashfuzz --campaigns 1000 --seed 7
+//   1000 campaigns: 612 crashes, 389 torn tails recovered, ... OK
+//
+// Each campaign runs a seeded random Put/Remove workload against a
+// DurableProfileStore on a FaultyFileSystem, kills the store at a random
+// byte offset (or with probabilistic failpoint faults: torn appends,
+// ENOSPC, fsync failures, rename failures, split writes), then reopens the
+// directory and checks the recovered state against a shadow in-memory
+// oracle — the same differential pattern as src/testing, aimed at the
+// durability layer.
+//
+// The acknowledgement rule under test: if Put/Remove returned OK, the
+// mutation MUST survive the crash; the one mutation in flight when the
+// fault hit MAY be present (its record reached the disk) or absent (torn),
+// but nothing else may change and nothing acknowledged may be lost. With a
+// single-threaded workload the recovered state must therefore equal the
+// oracle either before or after the failed operation — any other state is
+// data loss or corruption and fails the campaign.
+//
+// Recovery is also re-run a second time per campaign (recovery must be
+// idempotent: recovering a recovered directory changes nothing), and a
+// post-recovery Put must succeed with a version above everything
+// recovered (persisted snapshot-version monotonicity — the property that
+// keeps version-keyed caches coherent across restarts).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "server/durable_profile_store.h"
+#include "storage/journal/faulty_file.h"
+#include "storage/journal/file.h"
+#include "workload/movie_gen.h"
+#include "workload/profile_gen.h"
+
+namespace {
+
+using cqp::Status;
+using cqp::StatusOr;
+using cqp::server::DurabilityOptions;
+using cqp::server::DurableProfileStore;
+using cqp::storage::FaultyFileSystem;
+
+/// splitmix64: cheap deterministic per-campaign randomness.
+uint64_t Mix(uint64_t& state) {
+  uint64_t z = state += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Flags {
+  uint64_t campaigns = 1000;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// The shadow oracle: id → (version, profile text), plus the version
+/// counter the store should be at. Mirrors exactly what an OK Put/Remove
+/// promises to persist.
+struct Oracle {
+  std::map<std::string, std::pair<uint64_t, std::string>> entries;
+  uint64_t next_version = 1;
+
+  void Put(const std::string& id, const std::string& text) {
+    entries[id] = {next_version++, text};
+  }
+  void Remove(const std::string& id) {
+    entries.erase(id);
+    ++next_version;
+  }
+  bool operator==(const Oracle& other) const {
+    return entries == other.entries;
+  }
+};
+
+std::string Describe(const Oracle& oracle) {
+  std::string out = "{";
+  for (const auto& [id, entry] : oracle.entries) {
+    out += id + "@v" + std::to_string(entry.first) + " ";
+  }
+  return out + "}";
+}
+
+Oracle RecoveredState(const DurableProfileStore& store) {
+  Oracle state;
+  for (const auto& entry : store.Contents()) {
+    state.entries[entry.key] = {entry.version, entry.value};
+  }
+  return state;
+}
+
+struct CampaignTally {
+  uint64_t crashes = 0;
+  uint64_t wedges = 0;
+  uint64_t torn_tails = 0;
+  uint64_t compactions = 0;
+  uint64_t records_replayed = 0;
+  uint64_t failures = 0;
+};
+
+/// One generated profile: the object (for Put) plus its canonical text
+/// (what the journal will persist — the oracle compares against this).
+struct PoolEntry {
+  cqp::prefs::Profile profile;
+  std::string text;
+};
+
+bool RunCampaign(uint64_t campaign, const Flags& flags,
+                 const cqp::storage::Database& db,
+                 const std::vector<PoolEntry>& pool,
+                 const std::string& base_dir, uint64_t calibrated_bytes,
+                 CampaignTally* tally) {
+  uint64_t rng = flags.seed * 0x100000001b3ull + campaign * 2654435761ull;
+  const std::string dir =
+      base_dir + "/campaign" + std::to_string(campaign);
+
+  FaultyFileSystem fs(cqp::storage::PosixFileSystem());
+  DurabilityOptions options;
+  options.dir = dir;
+  options.fs = &fs;
+  // Even campaigns fsync inline; odd campaigns group-commit with a short
+  // window so the flusher thread and commit tokens are in play.
+  options.group_commit_interval_ms = (campaign % 2 == 0) ? 0.0 : 0.2;
+  // Small threshold: compaction (snapshot write + journal swap) happens
+  // mid-workload, so crashes land inside it too.
+  options.compact_threshold_bytes = 1500 + Mix(rng) % 6000;
+
+  // Fault schedule: mostly crash-at-offset, some failpoint-driven partial
+  // failures, and a few clean (sanity) runs.
+  const uint64_t mode = Mix(rng) % 10;
+  bool armed_crash = false;
+  if (mode < 6) {
+    fs.CrashAfterBytes(1 + Mix(rng) % (calibrated_bytes +
+                                       calibrated_bytes / 4 + 1));
+    armed_crash = true;
+  } else if (mode < 9) {
+    uint64_t fp_seed = Mix(rng);
+    std::string spec =
+        "storage.file.append.torn=0.03:" + std::to_string(fp_seed) +
+        ",storage.file.append.enospc=0.02:" + std::to_string(fp_seed + 1) +
+        ",storage.file.sync.fail=0.03:" + std::to_string(fp_seed + 2) +
+        ",storage.file.rename.fail=0.05:" + std::to_string(fp_seed + 3) +
+        ",storage.file.append.split=0.20:" + std::to_string(fp_seed + 4);
+    Status configured = cqp::failpoint::Configure(spec);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "campaign %llu: bad failpoint spec: %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   configured.ToString().c_str());
+      return false;
+    }
+  }  // else: clean run
+
+  Oracle oracle;
+  Oracle after_failed_op;  ///< oracle with the failed op applied anyway
+  bool fault_hit = false;
+
+  {
+    auto opened = DurableProfileStore::Open(&db, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "campaign %llu: fresh open failed: %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   opened.status().ToString().c_str());
+      cqp::failpoint::Reset();
+      return false;
+    }
+    DurableProfileStore& store = **opened;
+
+    const uint64_t n_ops = 10 + Mix(rng) % 40;
+    for (uint64_t op = 0; op < n_ops; ++op) {
+      const std::string id = "u" + std::to_string(Mix(rng) % 4);
+      Status result;
+      after_failed_op = oracle;
+      if (Mix(rng) % 10 < 7) {
+        const PoolEntry& entry = pool[Mix(rng) % pool.size()];
+        after_failed_op.Put(id, entry.text);
+        result = store.Put(id, entry.profile);
+        if (result.ok()) oracle.Put(id, entry.text);
+      } else {
+        after_failed_op.Remove(id);
+        result = store.Remove(id);
+        if (result.ok()) oracle.Remove(id);
+      }
+      if (result.ok()) continue;
+      if (result.code() == cqp::StatusCode::kNotFound) continue;  // no-op
+      // A fault (injected or crash) ended the workload: exactly one
+      // operation is in limbo.
+      fault_hit = true;
+      break;
+    }
+    if (!fault_hit) after_failed_op = oracle;
+
+    if (store.wedged()) ++tally->wedges;
+    if (auto stats = store.durability_stats()) {
+      tally->compactions += stats->compactions;
+    }
+    // The store is destroyed here — as after a kill, nothing more is
+    // written (the filesystem refuses everything once crashed anyway).
+  }
+  if (fs.crashed()) ++tally->crashes;
+
+  // ---- "Reboot": clear the fault machinery and recover. ----
+  cqp::failpoint::Reset();
+  fs.ClearCrash();
+
+  auto reopened = DurableProfileStore::Open(&db, options);
+  if (!reopened.ok()) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — recovery refused to start: %s\n",
+                 static_cast<unsigned long long>(campaign),
+                 reopened.status().ToString().c_str());
+    return false;
+  }
+  DurableProfileStore& recovered = **reopened;
+  if (recovered.recovery().torn_tail) ++tally->torn_tails;
+  tally->records_replayed += recovered.recovery().replayed_records;
+
+  Oracle state = RecoveredState(recovered);
+  const bool matches_acked = state == oracle;
+  const bool matches_next = state == after_failed_op;
+  if (!matches_acked && !matches_next) {
+    std::fprintf(
+        stderr,
+        "campaign %llu: FAIL — recovered state matches neither oracle\n"
+        "  acked:     %s\n  with-last: %s\n  recovered: %s\n  dir: %s\n",
+        static_cast<unsigned long long>(campaign), Describe(oracle).c_str(),
+        Describe(after_failed_op).c_str(), Describe(state).c_str(),
+        dir.c_str());
+    return false;  // keep the directory for post-mortem
+  }
+
+  // Version monotonicity across the restart: a fresh Put must land above
+  // everything recovered, or version-keyed caches could alias pre-crash
+  // state.
+  uint64_t max_recovered = 0;
+  for (const auto& [id, entry] : state.entries) {
+    max_recovered = std::max(max_recovered, entry.first);
+  }
+  Status final_put = recovered.Put("post", pool[0].profile);
+  if (!final_put.ok()) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — post-recovery Put failed: %s\n",
+                 static_cast<unsigned long long>(campaign),
+                 final_put.ToString().c_str());
+    return false;
+  }
+  uint64_t post_version = recovered.FindSnapshot("post").version;
+  if (post_version <= max_recovered) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — post-recovery version %llu not "
+                 "above recovered max %llu\n",
+                 static_cast<unsigned long long>(campaign),
+                 static_cast<unsigned long long>(post_version),
+                 static_cast<unsigned long long>(max_recovered));
+    return false;
+  }
+
+  // Recovery idempotence: reopening the (now clean) directory again must
+  // reproduce the exact same state, torn-tail-free.
+  Oracle expected_second = state;
+  expected_second.entries["post"] = {post_version, pool[0].text};
+  {
+    auto third = DurableProfileStore::Open(&db, options);
+    if (!third.ok()) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — second recovery failed: %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   third.status().ToString().c_str());
+      return false;
+    }
+    if ((*third)->recovery().torn_tail) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — second recovery still sees a "
+                   "torn tail (truncation did not stick)\n",
+                   static_cast<unsigned long long>(campaign));
+      return false;
+    }
+    Oracle second_state = RecoveredState(**third);
+    if (!(second_state == expected_second)) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — recovery not idempotent\n"
+                   "  first+put: %s\n  second:    %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   Describe(expected_second).c_str(),
+                   Describe(second_state).c_str());
+      return false;
+    }
+  }
+
+  if (flags.verbose) {
+    std::fprintf(stderr,
+                 "campaign %llu ok: mode=%s fault=%d crash=%d torn=%d "
+                 "replayed=%zu\n",
+                 static_cast<unsigned long long>(campaign),
+                 mode < 6 ? "crash" : (mode < 9 ? "failpoints" : "clean"),
+                 fault_hit ? 1 : 0, fs.crashed() ? 1 : 0,
+                 recovered.recovery().torn_tail ? 1 : 0,
+                 recovered.recovery().replayed_records);
+  }
+  (void)armed_crash;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--campaigns N] [--seed N] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--campaigns" && i + 1 < argc) {
+      flags.campaigns = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      flags.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--verbose") {
+      flags.verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // A small database + tiny profiles keep one campaign in the hundreds of
+  // microseconds: the adversarial coverage comes from the fault schedule,
+  // not from profile size.
+  cqp::workload::MovieDbConfig movie_config;
+  movie_config.n_movies = 150;
+  movie_config.n_directors = 15;
+  movie_config.n_actors = 30;
+  auto db = cqp::workload::BuildMovieDatabase(movie_config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "movie db: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<PoolEntry> pool;
+  for (uint64_t i = 0; i < 6; ++i) {
+    cqp::workload::ProfileGenConfig config;
+    config.seed = flags.seed * 131 + i;
+    config.n_genre_prefs = 2 + static_cast<int>(i % 3);
+    config.n_director_prefs = 2;
+    config.n_actor_prefs = 2;
+    config.n_year_prefs = 1 + static_cast<int>(i % 2);
+    config.n_duration_prefs = 1;
+    auto profile = cqp::workload::GenerateProfile(config, movie_config);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "profile gen: %s\n",
+                   profile.status().ToString().c_str());
+      return 1;
+    }
+    std::string text = profile->ToText();
+    pool.push_back(PoolEntry{*std::move(profile), std::move(text)});
+  }
+
+  char dir_template[] = "/tmp/cqp_crashfuzz.XXXXXX";
+  char* base = ::mkdtemp(dir_template);
+  if (base == nullptr) {
+    std::fprintf(stderr, "mkdtemp: %s\n", std::strerror(errno));
+    return 1;
+  }
+  const std::string base_dir = base;
+
+  // Calibration: one clean max-length workload measures how many bytes a
+  // campaign writes, so crash offsets can cover the whole range (including
+  // "never fires" at the top — a clean-run control).
+  uint64_t calibrated_bytes = 4096;
+  {
+    FaultyFileSystem fs(cqp::storage::PosixFileSystem());
+    DurabilityOptions options;
+    options.dir = base_dir + "/calibrate";
+    options.fs = &fs;
+    auto store = DurableProfileStore::Open(&*db, options);
+    if (store.ok()) {
+      for (int op = 0; op < 50; ++op) {
+        (void)(*store)->Put("u" + std::to_string(op % 4),
+                            pool[op % pool.size()].profile);
+      }
+      calibrated_bytes = std::max<uint64_t>(fs.bytes_written(), 4096);
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+  }
+
+  CampaignTally tally;
+  for (uint64_t campaign = 0; campaign < flags.campaigns; ++campaign) {
+    if (!RunCampaign(campaign, flags, *db, pool, base_dir, calibrated_bytes,
+                     &tally)) {
+      ++tally.failures;
+    }
+  }
+
+  std::printf(
+      "%llu campaigns: %llu crashes, %llu wedges, %llu torn tails "
+      "recovered, %llu compactions, %llu records replayed, %llu failures "
+      "— %s\n",
+      static_cast<unsigned long long>(flags.campaigns),
+      static_cast<unsigned long long>(tally.crashes),
+      static_cast<unsigned long long>(tally.wedges),
+      static_cast<unsigned long long>(tally.torn_tails),
+      static_cast<unsigned long long>(tally.compactions),
+      static_cast<unsigned long long>(tally.records_replayed),
+      static_cast<unsigned long long>(tally.failures),
+      tally.failures == 0 ? "OK" : "FAIL");
+  if (tally.failures == 0) {
+    std::error_code ec;
+    std::filesystem::remove_all(base_dir, ec);
+  } else {
+    std::fprintf(stderr, "failing campaign dirs kept under %s\n",
+                 base_dir.c_str());
+  }
+  return tally.failures == 0 ? 0 : 1;
+}

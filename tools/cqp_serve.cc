@@ -7,13 +7,27 @@
 // --profiles it serves one generated profile under the id "default", so a
 // fresh checkout can talk to a live server in two commands. Reads stdin:
 // 'stats' prints a stats snapshot, 'quit' (or EOF) shuts down gracefully.
+// SIGTERM and SIGINT trigger the same graceful shutdown (drain in-flight
+// requests, flush the journal), so `kill` and Ctrl-C never lose data.
+//
+// With --data-dir the profile store is durable (docs/durability.md):
+// every Put/Remove is journaled + fsynced before it is acknowledged and
+// the directory's snapshot + journal are replayed on startup.
 
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "server/durable_profile_store.h"
 #include "server/profile_store.h"
 #include "server/server.h"
 #include "workload/movie_gen.h"
@@ -21,6 +35,31 @@
 #include "workload/tourist_gen.h"
 
 namespace {
+
+/// Self-pipe for async-signal-safe shutdown: the handler only write()s one
+/// byte; the main loop polls the read end next to stdin.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int) {
+  char byte = 1;
+  // The pipe is non-blocking; if it is somehow full the first byte already
+  // queued a shutdown, so a failed write is fine to ignore.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool InstallSignalHandlers() {
+  if (::pipe(g_signal_pipe) != 0) return false;
+  for (int fd : g_signal_pipe) {
+    int fl = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  }
+  struct sigaction action {};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  return ::sigaction(SIGTERM, &action, nullptr) == 0 &&
+         ::sigaction(SIGINT, &action, nullptr) == 0;
+}
 
 struct Flags {
   int port = 7433;
@@ -35,6 +74,10 @@ struct Flags {
   double cmax_ms = 400.0;
   size_t max_k = 20;
   std::string algorithm = "auto";
+  std::string data_dir;  ///< durable mode when non-empty
+  double group_commit_ms = 0.0;
+  double compact_mb = 4.0;
+  double drain_deadline_ms = 1000.0;
 };
 
 int Usage(const char* argv0) {
@@ -43,7 +86,9 @@ int Usage(const char* argv0) {
                "          [--profiles DIR] [--threads N]\n"
                "          [--max-pending N] [--soft-pending N]\n"
                "          [--degraded-deadline-ms MS] [--stats-interval S]\n"
-               "          [--cmax MS] [--k N] [--algorithm NAME]\n",
+               "          [--cmax MS] [--k N] [--algorithm NAME]\n"
+               "          [--data-dir DIR] [--group-commit-ms MS]\n"
+               "          [--compact-mb MB] [--drain-deadline-ms MS]\n",
                argv0);
   return 2;
 }
@@ -82,6 +127,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->cmax_ms = value;
     } else if (arg == "--k" && next(&value)) {
       flags->max_k = static_cast<size_t>(value);
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      flags->data_dir = argv[++i];
+    } else if (arg == "--group-commit-ms" && next(&value)) {
+      flags->group_commit_ms = value;
+    } else if (arg == "--compact-mb" && next(&value)) {
+      flags->compact_mb = value;
+    } else if (arg == "--drain-deadline-ms" && next(&value)) {
+      flags->drain_deadline_ms = value;
     } else {
       return false;
     }
@@ -120,8 +173,35 @@ int main(int argc, char** argv) {
     db = *std::move(built);
   }
 
-  // 2. The profiles.
-  server::ProfileStore profiles(&db);
+  // 2. The profiles: in-memory by default, journaled + snapshotted when
+  // --data-dir names a directory (docs/durability.md).
+  std::unique_ptr<server::ProfileStore> owned;
+  if (flags.data_dir.empty()) {
+    owned = std::make_unique<server::ProfileStore>(&db);
+  } else {
+    server::DurabilityOptions durability;
+    durability.dir = flags.data_dir;
+    durability.group_commit_interval_ms = flags.group_commit_ms;
+    durability.compact_threshold_bytes =
+        static_cast<uint64_t>(flags.compact_mb * 1024.0 * 1024.0);
+    auto opened = server::DurableProfileStore::Open(&db, durability);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "data dir %s: %s\n", flags.data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    const server::DurableProfileStore::RecoveryInfo& recovery =
+        (*opened)->recovery();
+    std::fprintf(stderr,
+                 "recovered %zu profiles from %s (%zu snapshot, %zu journal "
+                 "records%s) in %.1f ms\n",
+                 (*opened)->size(), flags.data_dir.c_str(),
+                 recovery.snapshot_profiles, recovery.replayed_records,
+                 recovery.torn_tail ? ", torn tail truncated" : "",
+                 recovery.recovery_ms);
+    owned = *std::move(opened);
+  }
+  server::ProfileStore& profiles = *owned;
   if (!flags.profiles_dir.empty()) {
     auto loaded = profiles.LoadDirectory(flags.profiles_dir);
     if (!loaded.ok()) {
@@ -131,14 +211,14 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "loaded %zu profiles from %s\n", *loaded,
                  flags.profiles_dir.c_str());
-  } else if (!flags.tourist) {
+  } else if (!flags.tourist && profiles.size() == 0) {
     auto profile = workload::GenerateProfile({}, movie_config);
     if (!profile.ok() || !profiles.Put("default", *profile).ok()) {
       std::fprintf(stderr, "cannot build the default profile\n");
       return 1;
     }
     std::fprintf(stderr, "serving one generated profile as 'default'\n");
-  } else {
+  } else if (flags.tourist && profiles.size() == 0) {
     std::fprintf(stderr,
                  "warning: --tourist without --profiles serves no profile; "
                  "personalize requests will fail with NotFound\n");
@@ -155,6 +235,7 @@ int main(int argc, char** argv) {
   options.default_problem = ::cqp::cqp::ProblemSpec::Problem2(flags.cmax_ms);
   options.default_algorithm = flags.algorithm;
   options.default_max_k = flags.max_k;
+  options.drain_deadline_ms = flags.drain_deadline_ms;
 
   server::Server server(&db, &profiles, options);
   Status started = server.Start();
@@ -166,12 +247,32 @@ int main(int argc, char** argv) {
               profiles.size());
   std::fflush(stdout);
 
+  if (!InstallSignalHandlers()) {
+    std::fprintf(stderr, "warning: signal handlers not installed (%s); "
+                 "SIGTERM will not drain\n", std::strerror(errno));
+  }
+
+  // Wait for 'quit' on stdin, stdin EOF, or SIGTERM/SIGINT via the
+  // self-pipe — whichever comes first triggers the same graceful Stop().
+  bool shutdown = false;
   std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line == "quit" || line == "stop" || line == "exit") break;
-    if (line == "stats") {
-      std::printf("%s\n", server.stats().ToJsonString().c_str());
-      std::fflush(stdout);
+  while (!shutdown) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;  // handler ran; the pipe byte is queued
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      std::fprintf(stderr, "shutdown signal received; draining\n");
+      break;
+    }
+    if (fds[0].revents & (POLLIN | POLLHUP)) {
+      if (!std::getline(std::cin, line)) break;  // EOF, as before
+      if (line == "quit" || line == "stop" || line == "exit") shutdown = true;
+      if (line == "stats") {
+        std::printf("%s\n", server.stats().ToJsonString().c_str());
+        std::fflush(stdout);
+      }
     }
   }
   server.Stop();
