@@ -52,6 +52,16 @@ IndexSet IndexSet::FromUnsorted(std::vector<int32_t> indices) {
   return set;
 }
 
+IndexSet IndexSet::FromBits(uint64_t bits) {
+  IndexSet set;
+  set.indices_.reserve(static_cast<size_t>(std::popcount(bits)));
+  for (uint64_t rest = bits; rest != 0; rest &= rest - 1) {
+    set.indices_.push_back(std::countr_zero(rest));
+  }
+  set.SyncBits();
+  return set;
+}
+
 int32_t IndexSet::Max() const {
   CQP_CHECK(!empty());
   return indices_.back();

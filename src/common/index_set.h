@@ -26,6 +26,8 @@ class IndexSet {
   IndexSet(std::initializer_list<int32_t> indices);
   /// Builds a set from an arbitrary vector, which is sorted and deduped.
   static IndexSet FromUnsorted(std::vector<int32_t> indices);
+  /// Builds a set from a Bits()-style member bitmask (inverse of Bits()).
+  static IndexSet FromBits(uint64_t bits);
 
   bool empty() const { return indices_.empty(); }
   size_t size() const { return indices_.size(); }

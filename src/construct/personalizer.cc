@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "estimation/batch_evaluator.h"
 #include "estimation/eval_cache.h"
 #include "exec/executor.h"
 #include "sql/fingerprint.h"
@@ -222,6 +223,15 @@ StatusOr<PersonalizeResult> Personalizer::SolveResolved(
   estimation::EvalCache local_cache;
   ctx.eval_cache =
       request.eval_cache != nullptr ? request.eval_cache : &local_cache;
+  ctx.allow_batch_eval = !request.disable_batch_eval;
+  // The shared SoA artifact rides on the PreparedSpace next to the view it
+  // was built over (same ProblemPruneKey memo), so its prefs_identity()
+  // matches `view` and every rung below can trust it.
+  std::shared_ptr<const estimation::BatchEvaluator> shared_batch;
+  if (ctx.allow_batch_eval) {
+    shared_batch = prepared.space->BatchForProblem(request.problem);
+    ctx.batch_eval = shared_batch.get();
+  }
   bool answered = false;
 
   // ---- Rung 1: the requested algorithm ----
@@ -369,6 +379,9 @@ BatchResult Personalizer::PersonalizeBatch(
       batch.states_examined += r.metrics.states_examined;
       batch.eval_cache_hits += r.metrics.eval_cache_hits;
       batch.eval_cache_misses += r.metrics.eval_cache_misses;
+      batch.frontiers_evaluated += r.metrics.frontiers_evaluated;
+      batch.frontier_states += r.metrics.frontier_states;
+      batch.frontier_lanes_wasted += r.metrics.frontier_lanes_wasted;
       if (r.plan_cache_hit) ++batch.plan_cache_hits;
       if (r.degraded()) ++batch.degraded;
     }

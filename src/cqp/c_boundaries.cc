@@ -1,9 +1,79 @@
+#include <optional>
+
 #include "common/stopwatch.h"
 #include "cqp/algorithms.h"
 #include "cqp/search_util.h"
 #include "cqp/transitions.h"
+#include "estimation/batch_evaluator.h"
 
 namespace cqp::cqp {
+namespace {
+
+/// Phase 1 (FINDBOUNDARY) in the bitmask domain with batch evaluation:
+/// the traversal — pop order, bound decisions, boundary set — is exactly
+/// the scalar loop below, because states are evaluated by the bit-exact
+/// batch kernels and neighbors are generated in the same order; only the
+/// *representation* (uint64 + push-time frontier evaluation instead of
+/// IndexSet + pop-time cached evaluation) changes. On the profiled
+/// workload this removes the IndexSet hashing/allocation and the
+/// ~0%-hit-rate EvalCache probes that dominated the scalar loop.
+std::vector<IndexSet> FindBoundariesBatch(const SpaceView& view,
+                                          SearchContext& ctx) {
+  SearchMetrics& metrics = ctx.metrics;
+  const size_t k = view.K();
+  BitBoundaryStore boundaries(metrics);
+  BitVisitedSet visited(metrics, k);
+  BitStateQueue queue(metrics);
+  estimation::BatchEvaluator::Results results;
+  std::vector<uint64_t> pending;
+
+  uint64_t first = 1;
+  visited.CheckAndInsert(first);
+  view.EvaluateFrontierBits(&first, 1, &results, metrics);
+  queue.PushBack(BitState{first, results.Get(0)});
+
+  while (!queue.empty()) {
+    if (ctx.ShouldStop()) break;
+    const BitState state = queue.PopFront();
+    if (boundaries.DominatesAny(state.bits)) continue;
+    if (view.WithinBound(state.params)) {
+      boundaries.Add(state.bits);
+      ++metrics.transitions;
+      if (uint64_t h = HorizontalBits(state.bits, k)) {
+        if (!visited.CheckAndInsert(h)) {
+          view.EvaluateFrontierBits(&h, 1, &results, metrics);
+          queue.PushBack(BitState{h, results.Get(0)});
+        }
+      }
+    } else {
+      pending.clear();
+      VerticalNeighborsBits(state.bits, k, &pending);
+      metrics.transitions += pending.size();
+      size_t kept = 0;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const uint64_t v = pending[i];
+        if (visited.CheckAndInsert(v)) continue;
+        if (boundaries.DominatesAny(v)) continue;
+        pending[kept++] = v;
+      }
+      pending.resize(kept);
+      if (!pending.empty()) {
+        // One frontier of sibling states per pop. The scalar loop pushes
+        // each survivor to the front as it is generated, so front-pushing
+        // in the same generation order reproduces its queue layout (the
+        // last-generated neighbor ends up front-most either way).
+        view.EvaluateFrontierBits(pending.data(), pending.size(), &results,
+                                  metrics);
+        for (size_t i = 0; i < pending.size(); ++i) {
+          queue.PushFront(BitState{pending[i], results.Get(i)});
+        }
+      }
+    }
+  }
+  return boundaries.DescendingBySize();
+}
+
+}  // namespace
 
 bool CBoundariesAlgorithm::Supports(const ProblemSpec& problem) const {
   return problem.Validate().ok() &&
@@ -27,14 +97,19 @@ StatusOr<Solution> CBoundariesAlgorithm::Solve(
   SearchMetrics& metrics = ctx.metrics;
   estimation::StateEvaluator evaluator = space.MakeEvaluator(ctx.eval_cache);
   SpaceView view = SpaceView::ForKind(&evaluator, &problem, kind, space);
+  std::optional<estimation::BatchEvaluator> local_batch;
+  view.set_batch(ResolveBatchEvaluator(space, ctx, local_batch));
   const size_t k = view.K();
 
   // ---- Phase 1: FINDBOUNDARY (paper Fig. 5) ----
   // Breadth-first over groups: Vertical neighbors are pushed to the front
   // (finish the current group), Horizontal successors to the back (start
   // the next group).
-  BoundaryStore boundaries(metrics);
-  if (k > 0) {
+  std::vector<IndexSet> boundary_list;
+  if (k > 0 && view.batch_enabled()) {
+    boundary_list = FindBoundariesBatch(view, ctx);
+  } else if (k > 0) {
+    BoundaryStore boundaries(metrics);
     VisitedSet visited(metrics);
     StateQueue queue(metrics);
     IndexSet first({0});
@@ -63,11 +138,11 @@ StatusOr<Solution> CBoundariesAlgorithm::Solve(
         }
       }
     }
+    boundary_list = boundaries.DescendingBySize();
   }
 
   // ---- Phase 2: C_FINDMAXDOI ----
-  Solution best =
-      BestFeasibleBelowBoundaries(view, boundaries.DescendingBySize(), ctx);
+  Solution best = BestFeasibleBelowBoundaries(view, boundary_list, ctx);
 
   best.degraded = ctx.exhausted();
   metrics.wall_ms = timer.ElapsedMillis();

@@ -1,8 +1,11 @@
+#include <bit>
+#include <optional>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "cqp/algorithms.h"
 #include "cqp/search_util.h"
+#include "estimation/batch_evaluator.h"
 #include "estimation/eval_cache.h"
 
 namespace cqp::cqp {
@@ -12,6 +15,10 @@ namespace {
 /// 2^K grows past interactive use beyond this; callers wanting larger K
 /// should use the boundary or chain algorithms.
 constexpr size_t kMaxExhaustiveK = 25;
+
+/// Tail width of the batch enumeration: each prefix spawns one frontier of
+/// 2^L sibling leaves evaluated in a single batch call.
+constexpr size_t kBatchTailBits = 6;
 
 struct ExhaustiveState {
   const estimation::StateEvaluator* evaluator;
@@ -66,6 +73,79 @@ void Recurse(ExhaustiveState& st, size_t i,
   st.current.pop_back();
 }
 
+/// Batch tail machinery: the DFS leaves below a prefix of K-L include
+/// decisions form one frontier of 2^L sibling states over the last L
+/// preferences, evaluated in a single EvaluateSequence call. Lane l maps
+/// to the l-th leaf in the scalar DFS order (exclude-before-include, so
+/// seq position j is included iff bit L-1-j of l is set); scanning lanes
+/// in ascending order therefore examines leaves in the scalar order and
+/// preserves its first-best tie behavior.
+struct BatchTail {
+  const estimation::BatchEvaluator* batch = nullptr;
+  std::vector<int32_t> seq;          ///< tail P indices, ascending
+  std::vector<uint64_t> lane_masks;  ///< 2^L membership masks over seq
+  estimation::BatchEvaluator::Results results;
+};
+
+void BatchRecurse(ExhaustiveState& st, BatchTail& tail, size_t i,
+                  const estimation::StateParams& params) {
+  if (st.ctx->ShouldStop()) return;
+  const size_t K = st.evaluator->K();
+  const size_t L = tail.seq.size();
+  if (i + L == K) {
+    const size_t n = tail.lane_masks.size();
+    tail.batch->EvaluateSequence(params, tail.seq.data(), L,
+                                 tail.lane_masks.data(), n, &tail.results);
+    SearchMetrics& metrics = st.ctx->metrics;
+    metrics.states_examined += n;
+    ++metrics.frontiers_evaluated;
+    metrics.frontier_states += n;
+    metrics.frontier_lanes_wasted += tail.batch->PaddedLanes(n) - n;
+    for (size_t l = 0; l < n; ++l) {
+      estimation::StateParams leaf = tail.results.Get(l);
+      if (st.problem->IsFeasible(leaf) &&
+          (!st.best.feasible || st.problem->Better(leaf, st.best.params))) {
+        st.best.feasible = true;
+        st.best.params = leaf;
+        std::vector<int32_t> chosen = st.current;
+        for (uint64_t rest = tail.lane_masks[l]; rest != 0;
+             rest &= rest - 1) {
+          chosen.push_back(
+              static_cast<int32_t>(K - L + std::countr_zero(rest)));
+        }
+        st.best.chosen = IndexSet::FromUnsorted(std::move(chosen));
+      }
+    }
+    return;
+  }
+  // Exclude preference i.
+  BatchRecurse(st, tail, i + 1, params);
+  // Include preference i (scalar-identical incremental extension).
+  st.current.push_back(static_cast<int32_t>(i));
+  BatchRecurse(st, tail, i + 1,
+               tail.batch->ExtendWith(params, static_cast<int32_t>(i)));
+  st.current.pop_back();
+}
+
+BatchTail MakeBatchTail(const estimation::BatchEvaluator* batch, size_t K) {
+  BatchTail tail;
+  tail.batch = batch;
+  const size_t L = std::min(K, kBatchTailBits);
+  tail.seq.reserve(L);
+  for (size_t j = 0; j < L; ++j) {
+    tail.seq.push_back(static_cast<int32_t>(K - L + j));
+  }
+  tail.lane_masks.resize(size_t{1} << L);
+  for (size_t l = 0; l < tail.lane_masks.size(); ++l) {
+    uint64_t mask = 0;
+    for (size_t j = 0; j < L; ++j) {
+      if ((l >> (L - 1 - j)) & 1) mask |= uint64_t{1} << j;
+    }
+    tail.lane_masks[l] = mask;
+  }
+  return tail;
+}
+
 }  // namespace
 
 bool ExhaustiveAlgorithm::Supports(const ProblemSpec& problem) const {
@@ -93,10 +173,25 @@ StatusOr<Solution> ExhaustiveAlgorithm::Solve(
   st.ctx = &ctx;
   st.cache = ctx.eval_cache;
   st.best = InfeasibleSolution(evaluator);
-  // Note: Recurse visits states once each, evaluating incrementally; it
-  // visits the empty state first, so the fallback "original query" is
-  // always considered.
-  Recurse(st, 0, evaluator.EmptyState());
+  // When an EvalCache is attached the cached scalar recursion stays in
+  // charge — its memoized params feed other solves over the same space.
+  // Cacheless (the differential harness's default and the profile's cold
+  // path), the batched enumeration wins: nothing to share, so the leaves
+  // are evaluated as 2^L-wide frontiers instead.
+  std::optional<estimation::BatchEvaluator> local_batch;
+  const estimation::BatchEvaluator* batch =
+      ctx.eval_cache == nullptr
+          ? ResolveBatchEvaluator(space, ctx, local_batch)
+          : nullptr;
+  // Note: both recursions visit states once each, evaluating
+  // incrementally; they visit the empty state first, so the fallback
+  // "original query" is always considered.
+  if (batch != nullptr && space.K() > 0) {
+    BatchTail tail = MakeBatchTail(batch, space.K());
+    BatchRecurse(st, tail, 0, evaluator.EmptyState());
+  } else {
+    Recurse(st, 0, evaluator.EmptyState());
+  }
 
   st.best.degraded = ctx.exhausted();
   ctx.metrics.wall_ms = timer.ElapsedMillis();

@@ -1,13 +1,21 @@
 #include <algorithm>
+#include <bit>
+#include <optional>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "cqp/algorithms.h"
 #include "cqp/search_util.h"
+#include "estimation/batch_evaluator.h"
 
 namespace cqp::cqp {
 
 namespace {
+
+/// Tail width of the batched enumeration: once a node has this many order
+/// positions left, its whole subtree (2^4 = 16 subsets of the remaining
+/// preferences) is evaluated as one frontier instead of recursing.
+constexpr size_t kBbTailBits = 4;
 
 /// Shared context of the branch-and-bound recursion. Preferences are
 /// visited in cost-ascending order so that prefixes of the recursion tree
@@ -20,7 +28,46 @@ struct BbContext {
   std::vector<double> suffix_doi;   // doi of order[i..] combined
   Solution best;
   std::vector<int32_t> current;     // chosen P indices (recursion stack)
+  const estimation::BatchEvaluator* batch = nullptr;
+  std::vector<uint64_t> tail_masks;  // 16 membership masks; mask l == l
+  estimation::BatchEvaluator::Results results;
 };
+
+/// Evaluates the 2^kBbTailBits subsets of the remaining suffix in one
+/// batch call. The node has already passed the scalar prunes, which are
+/// admissible: every state they skip is provably no better than the final
+/// incumbent, so evaluating the full (unpruned) tail can change which
+/// equal-cost solution is recorded but never the objective value. Lane l's
+/// members are { order[i+j] : bit j of l }, applied in the same
+/// cost-ascending sequence the scalar recursion extends in, so each lane
+/// is bit-for-bit the scalar chain of that subset.
+void BbBatchTail(BbContext& ctx, size_t i,
+                 const estimation::StateParams& params) {
+  const size_t n = ctx.tail_masks.size();
+  ctx.batch->EvaluateSequence(params, &ctx.order[i], kBbTailBits,
+                              ctx.tail_masks.data(), n, &ctx.results);
+  SearchMetrics& metrics = ctx.ctx->metrics;
+  metrics.states_examined += n;
+  ++metrics.frontiers_evaluated;
+  metrics.frontier_states += n;
+  metrics.frontier_lanes_wasted += ctx.batch->PaddedLanes(n) - n;
+  const ProblemSpec& problem = *ctx.problem;
+  for (size_t l = 0; l < n; ++l) {
+    estimation::StateParams leaf = ctx.results.Get(l);
+    if (!problem.IsFeasible(leaf)) continue;
+    if (ctx.best.feasible && !problem.Better(leaf, ctx.best.params)) {
+      continue;
+    }
+    ctx.best.feasible = true;
+    ctx.best.params = leaf;
+    std::vector<int32_t> chosen = ctx.current;
+    for (uint64_t rest = ctx.tail_masks[l]; rest != 0; rest &= rest - 1) {
+      chosen.push_back(
+          ctx.order[i + static_cast<size_t>(std::countr_zero(rest))]);
+    }
+    ctx.best.chosen = IndexSet::FromUnsorted(std::move(chosen));
+  }
+}
 
 void BbRecurse(BbContext& ctx, size_t i,
                const estimation::StateParams& params) {
@@ -62,6 +109,14 @@ void BbRecurse(BbContext& ctx, size_t i,
   }
   if (problem.smin && params.size < *problem.smin * (1.0 - kFpSlack)) return;
 
+  // Batched tail: the prunes above have run for this node, so handing the
+  // whole remaining subtree to one frontier evaluation preserves the
+  // incumbent's objective (see BbBatchTail).
+  if (ctx.batch != nullptr && ctx.order.size() - i == kBbTailBits) {
+    BbBatchTail(ctx, i, params);
+    return;
+  }
+
   // Include order[i] first (cheapest-first tends to find good incumbents
   // early, tightening the cost bound).
   int32_t pref = ctx.order[i];
@@ -100,6 +155,16 @@ StatusOr<Solution> MinCostBranchBoundAlgorithm::Solve(
   ctx.problem = &problem;
   ctx.ctx = &search_ctx;
   ctx.best = InfeasibleSolution(evaluator);
+  std::optional<estimation::BatchEvaluator> local_batch;
+  ctx.batch = ResolveBatchEvaluator(space, search_ctx, local_batch);
+  if (ctx.batch != nullptr) {
+    // Lane l's mask over the 4-preference suffix is l itself (bit j of
+    // lane l selects order[i+j]).
+    ctx.tail_masks.resize(size_t{1} << kBbTailBits);
+    for (size_t l = 0; l < ctx.tail_masks.size(); ++l) {
+      ctx.tail_masks[l] = static_cast<uint64_t>(l);
+    }
+  }
   ctx.order.resize(evaluator.K());
   for (size_t i = 0; i < ctx.order.size(); ++i) {
     ctx.order[i] = static_cast<int32_t>(i);

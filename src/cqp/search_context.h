@@ -8,6 +8,7 @@
 #include "cqp/metrics.h"
 
 namespace cqp::estimation {
+class BatchEvaluator;
 class EvalCache;
 }  // namespace cqp::estimation
 
@@ -97,6 +98,18 @@ class SearchContext {
   /// NOT cleared by ResetForRetry() — every rung of a fallback chain
   /// serves the same pair, so warm entries stay valid across rungs.
   estimation::EvalCache* eval_cache = nullptr;
+
+  /// Optional shared SoA batch-evaluation artifact for this run's pruned
+  /// space (space::PreparedSpace::BatchForProblem), built once at Prepare
+  /// time and reused across solves. Algorithms only trust it when its
+  /// prefs_identity() matches the space they were handed (see
+  /// search_util's ResolveBatchEvaluator) and build a local one otherwise.
+  const estimation::BatchEvaluator* batch_eval = nullptr;
+
+  /// Escape hatch for differential testing: false forces every algorithm
+  /// onto the per-state scalar StateEvaluator path (the harness oracle),
+  /// exactly as if no batch evaluator existed.
+  bool allow_batch_eval = true;
 
  private:
   /// Deadline checks read the clock only every this many ShouldStop() calls;

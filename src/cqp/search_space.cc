@@ -1,5 +1,8 @@
 #include "cqp/search_space.h"
 
+#include <bit>
+#include <limits>
+
 #include "common/logging.h"
 
 namespace cqp::cqp {
@@ -130,6 +133,85 @@ bool SpaceView::GreedyPhase2Exact() const {
       return false;  // phase-2 swaps are not used in the doi space
   }
   return false;
+}
+
+uint64_t SpaceView::PositionsToPrefBits(uint64_t pos_bits) const {
+  uint64_t bits = 0;
+  for (uint64_t rest = pos_bits; rest != 0; rest &= rest - 1) {
+    bits |= uint64_t{1}
+            << order_[static_cast<size_t>(std::countr_zero(rest))];
+  }
+  return bits;
+}
+
+void SpaceView::BumpFrontierCounters(size_t n, SearchMetrics& metrics) const {
+  metrics.states_examined += n;
+  ++metrics.frontiers_evaluated;
+  metrics.frontier_states += n;
+  metrics.frontier_lanes_wasted += batch_->PaddedLanes(n) - n;
+}
+
+void SpaceView::EvaluateFrontierBits(
+    const uint64_t* pos_bits, size_t n,
+    estimation::BatchEvaluator::Results* out, SearchMetrics& metrics) const {
+  CQP_CHECK(batch_enabled());
+  frontier_scratch_.resize(n);
+  for (size_t l = 0; l < n; ++l) {
+    frontier_scratch_[l] = PositionsToPrefBits(pos_bits[l]);
+  }
+  batch_->EvaluateMasks(frontier_scratch_.data(), n, out);
+  BumpFrontierCounters(n, metrics);
+}
+
+void SpaceView::ExtendFrontier(const estimation::StateParams& parent,
+                               const int32_t* positions, size_t n,
+                               estimation::BatchEvaluator::Results* out,
+                               SearchMetrics& metrics) const {
+  CQP_CHECK(batch_enabled());
+  extend_scratch_.resize(n);
+  for (size_t l = 0; l < n; ++l) {
+    extend_scratch_[l] = order_[static_cast<size_t>(positions[l])];
+  }
+  batch_->ExtendBatch(parent, extend_scratch_.data(), n, out);
+  metrics.transitions += n;
+  BumpFrontierCounters(n, metrics);
+}
+
+FrontierMasks ClassifyFrontier(const SpaceView& view,
+                               const estimation::BatchEvaluator::Results& r) {
+  CQP_CHECK_LE(r.n, size_t{64});
+  const ProblemSpec& problem = view.problem();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double cmax = problem.cmax_ms.value_or(inf);
+  const double dmin = problem.dmin.value_or(-inf);
+  const double smin = problem.smin.value_or(-inf);
+  const double smax = problem.smax.value_or(inf);
+  double bound_cmax = inf;
+  double bound_smin = -inf;
+  switch (view.kind()) {
+    case SpaceKind::kCost:
+      bound_cmax = cmax;
+      break;
+    case SpaceKind::kSize:
+      bound_smin = smin;
+      break;
+    case SpaceKind::kDoi:
+      bound_cmax = cmax;
+      bound_smin = smin;
+      break;
+  }
+  FrontierMasks masks;
+  for (size_t l = 0; l < r.n; ++l) {
+    const double cost = r.cost_ms[l];
+    const double doi = r.doi[l];
+    const double size = r.size[l];
+    const bool feasible =
+        cost <= cmax && doi >= dmin && size >= smin && size <= smax;
+    const bool within = cost <= bound_cmax && size >= bound_smin;
+    masks.feasible |= static_cast<uint64_t>(feasible) << l;
+    masks.within_bound |= static_cast<uint64_t>(within) << l;
+  }
+  return masks;
 }
 
 double SpaceView::BestExpectedDoi(size_t n) const {

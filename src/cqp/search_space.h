@@ -7,6 +7,7 @@
 #include "common/index_set.h"
 #include "cqp/metrics.h"
 #include "cqp/problem.h"
+#include "estimation/batch_evaluator.h"
 #include "estimation/evaluator.h"
 #include "space/preference_space.h"
 
@@ -87,12 +88,63 @@ class SpaceView {
   /// the n best preferences of P (P is doi-sorted).
   double BestExpectedDoi(size_t n) const;
 
+  // --- SoA/SIMD batch evaluation (docs/simd.md) ---------------------------
+
+  /// Attaches a batch evaluator built over the same preference space (see
+  /// search_util's ResolveBatchEvaluator). nullptr detaches. A view is
+  /// single-solve/single-threaded, so the frontier scratch is per-view.
+  void set_batch(const estimation::BatchEvaluator* batch) { batch_ = batch; }
+  const estimation::BatchEvaluator* batch() const { return batch_; }
+
+  /// True when batch entry points below may be used: a batch evaluator is
+  /// attached and states fit in a uint64 position mask.
+  bool batch_enabled() const { return batch_ != nullptr && K() < 64; }
+
+  /// Translates a position bitmask into the P-index bitmask it denotes.
+  uint64_t PositionsToPrefBits(uint64_t pos_bits) const;
+
+  /// Batch-evaluates `n` sibling states given as position bitmasks, each in
+  /// canonical ascending P-index order (bit-for-bit equal to Evaluate()).
+  /// Bumps states_examined and the frontier counters; the batch path is
+  /// cacheless by design, so eval_cache_hits/misses stay untouched.
+  void EvaluateFrontierBits(const uint64_t* pos_bits, size_t n,
+                            estimation::BatchEvaluator::Results* out,
+                            SearchMetrics& metrics) const;
+
+  /// Batch ExtendWith: lane l is `parent` ⊕ positions[l] (bit-for-bit equal
+  /// to ExtendWith per lane). Bumps states_examined/transitions per lane
+  /// plus the frontier counters.
+  void ExtendFrontier(const estimation::StateParams& parent,
+                      const int32_t* positions, size_t n,
+                      estimation::BatchEvaluator::Results* out,
+                      SearchMetrics& metrics) const;
+
  private:
+  void BumpFrontierCounters(size_t n, SearchMetrics& metrics) const;
+
   const estimation::StateEvaluator* evaluator_;
   const ProblemSpec* problem_;
   SpaceKind kind_;
   std::vector<int32_t> order_;
+  const estimation::BatchEvaluator* batch_ = nullptr;
+  mutable std::vector<uint64_t> frontier_scratch_;  ///< pref-bit masks
+  mutable std::vector<int32_t> extend_scratch_;     ///< pref indices
 };
+
+/// Lane bitmasks classifying a batch of evaluated states; bit l refers to
+/// lane l of `results` (requires results.n <= 64 — frontiers are bounded
+/// by K or by the tail width, both < 64).
+struct FrontierMasks {
+  uint64_t feasible = 0;      ///< ProblemSpec::IsFeasible per lane
+  uint64_t within_bound = 0;  ///< SpaceView::WithinBound per lane
+};
+
+/// Branchless feasibility/bound classification of a frontier. The
+/// comparisons are the exact ones IsFeasible/WithinBound perform (absent
+/// constraints resolve to ±infinity), so the masks agree with the scalar
+/// predicates on every lane including exact-boundary hits.
+FrontierMasks ClassifyFrontier(const SpaceView& view,
+                               const estimation::BatchEvaluator::Results& r);
 
 }  // namespace cqp::cqp
 

@@ -58,6 +58,18 @@ StatusOr<SpaceKind> BoundSpaceKindFor(const ProblemSpec& problem) {
       problem.ToString());
 }
 
+const estimation::BatchEvaluator* ResolveBatchEvaluator(
+    const space::PreferenceSpaceResult& space, SearchContext& ctx,
+    std::optional<estimation::BatchEvaluator>& local) {
+  if (!ctx.allow_batch_eval || space.prefs.size() >= 64) return nullptr;
+  if (ctx.batch_eval != nullptr &&
+      ctx.batch_eval->prefs_identity() == &space.prefs) {
+    return ctx.batch_eval;
+  }
+  local.emplace(space.base, space.prefs, space.conjunction_model);
+  return &*local;
+}
+
 FillResult GreedyFill(const SpaceView& view, IndexSet state,
                       estimation::StateParams params,
                       const std::vector<bool>* banned, SearchContext& ctx) {
@@ -76,6 +88,43 @@ FillResult GreedyFill(const SpaceView& view, IndexSet state,
     }
   }
   return FillResult{std::move(state), params};
+}
+
+BitFillResult GreedyFillBits(const SpaceView& view, uint64_t bits,
+                             estimation::StateParams params,
+                             SearchContext& ctx) {
+  CQP_CHECK(view.batch_enabled());
+  const size_t k = view.K();
+  const uint64_t universe = (uint64_t{1} << k) - 1;
+  // A few lanes per probe: candidates are tried in increasing position
+  // order and the expected accept distance is short, so huge batches would
+  // mostly waste lanes past the accepted candidate.
+  constexpr size_t kChunk = 8;
+  int32_t candidates[kChunk];
+  estimation::BatchEvaluator::Results results;
+  bool extended = true;
+  while (extended && !ctx.ShouldStop()) {
+    extended = false;
+    uint64_t free = universe & ~bits;
+    while (free != 0 && !extended) {
+      size_t n = 0;
+      for (uint64_t rest = free; rest != 0 && n < kChunk; rest &= rest - 1) {
+        candidates[n++] = std::countr_zero(rest);
+      }
+      for (size_t i = 0; i < n; ++i) free &= free - 1;
+      view.ExtendFrontier(params, candidates, n, &results, ctx.metrics);
+      for (size_t l = 0; l < n; ++l) {
+        estimation::StateParams next = results.Get(l);
+        if (view.WithinBound(next)) {
+          bits |= uint64_t{1} << candidates[l];
+          params = next;
+          extended = true;
+          break;
+        }
+      }
+    }
+  }
+  return BitFillResult{bits, params};
 }
 
 namespace {
@@ -101,6 +150,47 @@ void RegionScan(const SpaceView& view, const IndexSet& boundary,
       ++ctx.metrics.transitions;
       if (visited.CheckAndInsert(v)) continue;
       queue.PushBack(std::move(v));
+    }
+  }
+}
+
+/// RegionScan in the bitmask domain: identical traversal (BFS, neighbors
+/// enqueued in generation order), with each pop's accepted neighbors
+/// evaluated as one frontier at push time.
+void RegionScanBits(const SpaceView& view, uint64_t boundary,
+                    BitVisitedSet& visited, SearchContext& ctx,
+                    Solution* best) {
+  if (visited.CheckAndInsert(boundary)) return;  // cone already scanned
+  BitStateQueue queue(ctx.metrics);
+  estimation::BatchEvaluator::Results results;
+  std::vector<uint64_t> pending;
+  view.EvaluateFrontierBits(&boundary, 1, &results, ctx.metrics);
+  queue.PushBack(BitState{boundary, results.Get(0)});
+  while (!queue.empty()) {
+    if (ctx.ShouldStop()) break;
+    const BitState state = queue.PopFront();
+    if (view.Feasible(state.params)) {
+      if (!best->feasible ||
+          view.problem().Better(state.params, best->params)) {
+        *best = MakeSolution(view, IndexSet::FromBits(state.bits),
+                             state.params);
+      }
+    }
+    pending.clear();
+    const size_t before = pending.size();
+    VerticalNeighborsBits(state.bits, view.K(), &pending);
+    ctx.metrics.transitions += pending.size() - before;
+    size_t kept = 0;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!visited.CheckAndInsert(pending[i])) pending[kept++] = pending[i];
+    }
+    pending.resize(kept);
+    if (!pending.empty()) {
+      view.EvaluateFrontierBits(pending.data(), pending.size(), &results,
+                                ctx.metrics);
+      for (size_t i = 0; i < pending.size(); ++i) {
+        queue.PushBack(BitState{pending[i], results.Get(i)});
+      }
     }
   }
 }
@@ -133,6 +223,8 @@ Solution BestFeasibleBelowBoundaries(const SpaceView& view,
 
   const bool greedy_exact = view.GreedyPhase2Exact();
   VisitedSet region_visited(ctx.metrics);
+  BitVisitedSet bit_region_visited(ctx.metrics, view.K());
+  const bool batch = view.batch_enabled();
   size_t current_group = SIZE_MAX;
   double group_bound = 1.0;
 
@@ -168,7 +260,11 @@ Solution BestFeasibleBelowBoundaries(const SpaceView& view,
     if (best.feasible && !view.problem().Better(greedy_params, best.params)) {
       continue;
     }
-    RegionScan(view, boundary, region_visited, ctx, &best);
+    if (batch) {
+      RegionScanBits(view, boundary.Bits(), bit_region_visited, ctx, &best);
+    } else {
+      RegionScan(view, boundary, region_visited, ctx, &best);
+    }
   }
   best.degraded = ctx.exhausted();
   return best;

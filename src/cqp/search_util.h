@@ -1,14 +1,17 @@
 #ifndef CQP_CQP_SEARCH_UTIL_H_
 #define CQP_CQP_SEARCH_UTIL_H_
 
+#include <bit>
 #include <deque>
 #include <map>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "common/index_set.h"
 #include "cqp/algorithm.h"
 #include "cqp/search_space.h"
+#include "estimation/batch_evaluator.h"
 
 namespace cqp::cqp {
 
@@ -113,6 +116,173 @@ class BoundaryStore {
   SearchMetrics& metrics_;
 };
 
+// --- Bitmask-domain companions for the batch-evaluation search loops ----
+//
+// The gprof profile of the C-Boundaries hot path showed ~75% of the time
+// in IndexSet hashing/allocation, EvalCache probes on a ~0%-hit cold path
+// and Dominates() calls — not in Formula evaluation. The batch search
+// loops therefore keep the whole phase-1 working set in the uint64
+// position-bitmask domain (k < 64): states are plain uint64s carried next
+// to their already-evaluated StateParams, visited sets hash an integer,
+// and domination is a couple of countr_zero loops. docs/simd.md.
+
+/// A frontier work item: the state as a position bitmask plus its batch-
+/// evaluated parameters (evaluated at push time — evaluation is a pure
+/// function of the state, so push-time vs pop-time changes nothing).
+struct BitState {
+  uint64_t bits = 0;
+  estimation::StateParams params;
+};
+
+/// Deque of BitStates with the same memory accounting role as StateQueue.
+class BitStateQueue {
+ public:
+  explicit BitStateQueue(SearchMetrics& metrics) : metrics_(metrics) {}
+  ~BitStateQueue() { metrics_.memory.Release(queue_.size() * kEntryBytes); }
+
+  void PushBack(BitState state) {
+    metrics_.memory.Allocate(kEntryBytes);
+    queue_.push_back(state);
+  }
+  void PushFront(BitState state) {
+    metrics_.memory.Allocate(kEntryBytes);
+    queue_.push_front(state);
+  }
+  BitState PopFront() {
+    BitState out = queue_.front();
+    queue_.pop_front();
+    metrics_.memory.Release(kEntryBytes);
+    return out;
+  }
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+ private:
+  static constexpr size_t kEntryBytes = sizeof(BitState);
+  std::deque<BitState> queue_;
+  SearchMetrics& metrics_;
+};
+
+/// Visited set over bitmask states, with memory accounting. For k up to
+/// kDenseMaxK the whole 2^k state universe fits a direct bitmap (one bit
+/// per state, 2 MiB at the cap), making CheckAndInsert a test-and-set —
+/// the profiled scalar loop spent ~50% of its time hashing and rehashing
+/// visited states, and the dense form removes that entirely. Larger k
+/// (only reachable in synthetic tests) falls back to a hash set.
+class BitVisitedSet {
+ public:
+  static constexpr size_t kDenseMaxK = 24;
+
+  BitVisitedSet(SearchMetrics& metrics, size_t k) : metrics_(metrics) {
+    if (k <= kDenseMaxK) {
+      dense_.assign(((size_t{1} << k) + 63) / 64, 0);
+      metrics_.memory.Allocate(dense_.size() * sizeof(uint64_t));
+    }
+  }
+  ~BitVisitedSet() {
+    metrics_.memory.Release((dense_.size() + set_.size()) *
+                            sizeof(uint64_t));
+  }
+
+  /// Returns true if `state` was already present; inserts it otherwise.
+  bool CheckAndInsert(uint64_t state) {
+    if (!dense_.empty()) {
+      uint64_t& word = dense_[state >> 6];
+      const uint64_t bit = uint64_t{1} << (state & 63);
+      if ((word & bit) != 0) return true;
+      word |= bit;
+      ++dense_count_;
+      return false;
+    }
+    auto [it, inserted] = set_.insert(state);
+    if (inserted) metrics_.memory.Allocate(sizeof(uint64_t));
+    return !inserted;
+  }
+
+  size_t size() const {
+    return dense_.empty() ? set_.size() : dense_count_;
+  }
+
+ private:
+  std::vector<uint64_t> dense_;  ///< bit s set <=> state s visited
+  size_t dense_count_ = 0;
+  std::unordered_set<uint64_t> set_;  ///< k > kDenseMaxK fallback
+  SearchMetrics& metrics_;
+};
+
+/// IndexSet::Dominates over equal-popcount bitmasks: true iff the j-th
+/// smallest member of `a` is <= the j-th smallest member of `b` for all j.
+inline bool DominatesBits(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    if (std::countr_zero(a) > std::countr_zero(b)) return false;
+    a &= a - 1;
+    b &= b - 1;
+  }
+  return true;
+}
+
+/// BoundaryStore over bitmask states: same maximal-boundary maintenance
+/// and queries, same boundaries_found accounting, uint64 domination.
+class BitBoundaryStore {
+ public:
+  explicit BitBoundaryStore(SearchMetrics& metrics) : metrics_(metrics) {}
+  ~BitBoundaryStore() {
+    for (const auto& [size, group] : by_size_) {
+      metrics_.memory.Release(group.size() * sizeof(uint64_t));
+    }
+  }
+
+  void Add(uint64_t boundary) {
+    std::vector<uint64_t>& group =
+        by_size_[static_cast<size_t>(std::popcount(boundary))];
+    for (size_t i = group.size(); i-- > 0;) {
+      if (DominatesBits(boundary, group[i])) {
+        metrics_.memory.Release(sizeof(uint64_t));
+        group.erase(group.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+    group.push_back(boundary);
+    metrics_.memory.Allocate(sizeof(uint64_t));
+    ++metrics_.boundaries_found;
+  }
+
+  bool DominatesAny(uint64_t state) const {
+    auto it = by_size_.find(static_cast<size_t>(std::popcount(state)));
+    if (it == by_size_.end()) return false;
+    for (uint64_t b : it->second) {
+      if (b == state) continue;
+      if (DominatesBits(b, state)) return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return by_size_.empty(); }
+
+  /// All boundaries as IndexSets, ordered by decreasing group size —
+  /// drop-in replacement for BoundaryStore::DescendingBySize().
+  std::vector<IndexSet> DescendingBySize() const {
+    std::vector<IndexSet> out;
+    for (auto it = by_size_.rbegin(); it != by_size_.rend(); ++it) {
+      for (uint64_t b : it->second) out.push_back(IndexSet::FromBits(b));
+    }
+    return out;
+  }
+
+ private:
+  std::map<size_t, std::vector<uint64_t>> by_size_;
+  SearchMetrics& metrics_;
+};
+
+/// Resolves the batch evaluator a Solve() should use for `space`: the
+/// shared artifact from ctx when it was built over the same preference
+/// vector (PreparedSpace::BatchForProblem hands out the pruned space's
+/// arrays), else one constructed into `local`. Returns nullptr — meaning
+/// "stay on the scalar path" — when ctx.allow_batch_eval is false or the
+/// space does not fit a uint64 mask.
+const estimation::BatchEvaluator* ResolveBatchEvaluator(
+    const space::PreferenceSpaceResult& space, SearchContext& ctx,
+    std::optional<estimation::BatchEvaluator>& local);
+
 /// The paper's C_FINDMAXDOI slot-swap: the maximum-doi state dominated by
 /// `boundary` (positions), exact under SpaceView::GreedyPhase2Exact().
 /// Returns a position-set.
@@ -152,6 +322,20 @@ struct FillResult {
 FillResult GreedyFill(const SpaceView& view, IndexSet state,
                       estimation::StateParams params,
                       const std::vector<bool>* banned, SearchContext& ctx);
+
+/// Bitmask result of a batch greedy Horizontal2 fill.
+struct BitFillResult {
+  uint64_t bits = 0;
+  estimation::StateParams params;
+};
+
+/// GreedyFill in the bitmask domain, requires view.batch_enabled():
+/// candidates are batch-extended in chunks of a few lanes and the first
+/// in-bound one (in the same increasing-position order as GreedyFill) is
+/// accepted per round, so the fill reaches the same maximal state.
+BitFillResult GreedyFillBits(const SpaceView& view, uint64_t bits,
+                             estimation::StateParams params,
+                             SearchContext& ctx);
 
 /// The infeasible sentinel (no state satisfies the constraints).
 Solution InfeasibleSolution(const estimation::StateEvaluator& evaluator);

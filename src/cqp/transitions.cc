@@ -1,5 +1,7 @@
 #include "cqp/transitions.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace cqp::cqp {
@@ -20,6 +22,25 @@ std::vector<IndexSet> VerticalNeighbors(const IndexSet& state, size_t k) {
     out.push_back(state.WithReplaced(member, next));
   }
   return out;
+}
+
+uint64_t HorizontalBits(uint64_t state, size_t k) {
+  CQP_CHECK(state != 0) << "Horizontal requires a non-empty state";
+  const int max = 63 - std::countl_zero(state);
+  if (max + 1 >= static_cast<int>(k)) return 0;
+  return state | (uint64_t{1} << (max + 1));
+}
+
+void VerticalNeighborsBits(uint64_t state, size_t k,
+                           std::vector<uint64_t>* out) {
+  for (uint64_t rest = state; rest != 0; rest &= rest - 1) {
+    const int member = std::countr_zero(rest);
+    const int next = member + 1;
+    if (next >= static_cast<int>(k)) continue;
+    if ((state >> next) & 1) continue;
+    out->push_back((state ^ (uint64_t{1} << member)) |
+                   (uint64_t{1} << next));
+  }
 }
 
 std::vector<int32_t> Horizontal2Candidates(const IndexSet& state, size_t k) {

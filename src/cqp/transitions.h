@@ -35,6 +35,19 @@ std::vector<IndexSet> VerticalNeighbors(const IndexSet& state, size_t k);
 /// candidate that satisfies the bound (greedy maximal fill).
 std::vector<int32_t> Horizontal2Candidates(const IndexSet& state, size_t k);
 
+// Bitmask fast paths of the same transitions, for the batch-evaluation
+// search loops (k < 64; a state is a uint64 of position bits). They visit
+// neighbors in the same order as their IndexSet counterparts.
+
+/// Horizontal for a non-empty bitmask state; 0 when the largest member is
+/// already K-1 (0 is never a valid successor — it would be the empty set).
+uint64_t HorizontalBits(uint64_t state, size_t k);
+
+/// VerticalNeighbors for a bitmask state, appended to `out` in increasing
+/// replaced-position order.
+void VerticalNeighborsBits(uint64_t state, size_t k,
+                           std::vector<uint64_t>* out);
+
 }  // namespace cqp::cqp
 
 #endif  // CQP_CQP_TRANSITIONS_H_

@@ -1,0 +1,164 @@
+#ifndef CQP_ESTIMATION_BATCH_KERNEL_IMPL_H_
+#define CQP_ESTIMATION_BATCH_KERNEL_IMPL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace cqp::estimation::internal {
+
+/// Argument block of one batch-evaluation call. One "lane" is one sibling
+/// state of the frontier; the preference sequence is shared by every lane
+/// and each lane's membership is a bitmask over sequence *positions*
+/// (bit j of lane_masks[l] set ⇔ lane l integrates seq[j]).
+///
+/// Kernels walk the sequence in order and apply the exact Formula 6/8/10
+/// update of StateEvaluator::ExtendWith to the member lanes, so each lane
+/// executes the same floating-point op sequence on the same values as the
+/// scalar chain EmptyState()/parent → ExtendWith(seq[j0]) → ... — results
+/// are bit-for-bit identical, not merely close (docs/simd.md).
+struct KernelArgs {
+  // SoA preference arrays, indexed by P index (BatchEvaluator owns them).
+  const double* cost_ms = nullptr;
+  const double* selectivity = nullptr;
+  const double* doi = nullptr;
+  const double* one_minus_doi = nullptr;
+  // The shared extension sequence (P indices) and per-lane membership.
+  const int32_t* seq = nullptr;
+  size_t seq_len = 0;           ///< at most 64
+  const uint64_t* lane_masks = nullptr;
+  size_t n_lanes = 0;           ///< padded to a multiple of the lane width
+  // The parent state, broadcast into every lane.
+  double parent_doi = 0.0;
+  double parent_cost_ms = 0.0;
+  double parent_size = 0.0;
+  uint32_t parent_count = 0;
+  bool sum_capped = false;      ///< ConjunctionModel::kSumCapped vs kNoisyOr
+  // SoA outputs, n_lanes entries each.
+  double* out_doi = nullptr;
+  double* out_cost_ms = nullptr;
+  double* out_size = nullptr;
+  uint32_t* out_count = nullptr;
+};
+
+using KernelFn = void (*)(const KernelArgs&);
+
+/// A resolved kernel: function pointer, lane width, display name.
+struct KernelChoice {
+  KernelFn fn = nullptr;
+  size_t width = 1;
+  const char* name = "scalar";
+};
+
+/// The one kernel template. Every width — scalar, SSE2, AVX2 — is an
+/// instantiation over a Traits pack so the arithmetic cannot drift between
+/// them. Traits contract:
+///   kWidth          lanes per pack
+///   D / I / M       double pack, 64-bit int pack, lane-mask pack
+///   Broadcast(x)    D of x in every lane
+///   BroadcastI(v)   I of v in every lane
+///   LoadMasks(p)    I from kWidth consecutive uint64 membership masks
+///   TestBit(b, j)   M: all-ones lanes where bit j of the mask is set
+///   CountIsZero(c)  M: all-ones lanes where the count is 0
+///   Select(m, t, f) per-lane m ? t : f (m is all-ones/all-zeros)
+///   ZeroWhere(m, v) per-lane m ? 0.0 : v
+///   Add/Sub/Mul     lanewise double arithmetic
+///   Min(a, b)       lanewise a < b ? a : b (matches _mm_min_pd and the
+///                   scalar std::min(1.0, x) with 1.0 first)
+///   MaskSubI(c, m)  c - (m reinterpreted as int64: -1 or 0) == c + member
+///   Store(p, v) / StoreCount(p, c)
+template <typename Traits>
+void EvalSequenceImpl(const KernelArgs& a) {
+  using D = typename Traits::D;
+  using I = typename Traits::I;
+  using M = typename Traits::M;
+  const D one = Traits::Broadcast(1.0);
+  const D parent_doi = Traits::Broadcast(a.parent_doi);
+  const D parent_cost = Traits::Broadcast(a.parent_cost_ms);
+  const D parent_size = Traits::Broadcast(a.parent_size);
+  const I parent_count =
+      Traits::BroadcastI(static_cast<int64_t>(a.parent_count));
+  for (size_t lane = 0; lane < a.n_lanes; lane += Traits::kWidth) {
+    const I bits = Traits::LoadMasks(a.lane_masks + lane);
+    D doi = parent_doi;
+    D cost = parent_cost;
+    D size = parent_size;
+    I count = parent_count;
+    for (size_t j = 0; j < a.seq_len; ++j) {
+      const size_t p = static_cast<size_t>(a.seq[j]);
+      const M member = Traits::TestBit(bits, j);
+      // Formula 6: the first member *replaces* the base-query cost.
+      const M first = Traits::CountIsZero(count);
+      const D cost_ext = Traits::Add(Traits::ZeroWhere(first, cost),
+                                     Traits::Broadcast(a.cost_ms[p]));
+      cost = Traits::Select(member, cost_ext, cost);
+      // Formula 8: size multiplies by the member's selectivity.
+      const D size_ext = Traits::Mul(size, Traits::Broadcast(a.selectivity[p]));
+      size = Traits::Select(member, size_ext, size);
+      // Formula 10 (noisy-or) or the capped-sum model.
+      D doi_ext;
+      if (a.sum_capped) {
+        doi_ext = Traits::Min(Traits::Add(doi, Traits::Broadcast(a.doi[p])),
+                              one);
+      } else {
+        doi_ext = Traits::Sub(
+            one, Traits::Mul(Traits::Sub(one, doi),
+                             Traits::Broadcast(a.one_minus_doi[p])));
+      }
+      doi = Traits::Select(member, doi_ext, doi);
+      count = Traits::MaskSubI(count, member);
+    }
+    Traits::Store(a.out_doi + lane, doi);
+    Traits::Store(a.out_cost_ms + lane, cost);
+    Traits::Store(a.out_size + lane, size);
+    Traits::StoreCount(a.out_count + lane, count);
+  }
+}
+
+/// Portable width-1 instantiation: masks are uint64 bit patterns and the
+/// blends are bitwise, so the scalar fallback is branch-free and literally
+/// the same template as the SIMD kernels.
+struct ScalarTraits {
+  static constexpr size_t kWidth = 1;
+  using D = double;
+  using I = uint64_t;
+  using M = uint64_t;  ///< 0 or ~0
+
+  static uint64_t ToBits(double v) {
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  }
+  static double FromBits(uint64_t u) {
+    double v;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+  }
+
+  static D Broadcast(double v) { return v; }
+  static I BroadcastI(int64_t v) { return static_cast<uint64_t>(v); }
+  static I LoadMasks(const uint64_t* p) { return *p; }
+  static M TestBit(I bits, size_t j) {
+    return ((bits >> j) & 1u) != 0 ? ~uint64_t{0} : uint64_t{0};
+  }
+  static M CountIsZero(I count) {
+    return count == 0 ? ~uint64_t{0} : uint64_t{0};
+  }
+  static D Select(M m, D t, D f) {
+    return FromBits((m & ToBits(t)) | (~m & ToBits(f)));
+  }
+  static D ZeroWhere(M m, D v) { return FromBits(~m & ToBits(v)); }
+  static D Add(D x, D y) { return x + y; }
+  static D Sub(D x, D y) { return x - y; }
+  static D Mul(D x, D y) { return x * y; }
+  static D Min(D x, D y) { return x < y ? x : y; }
+  static I MaskSubI(I count, M m) { return count - m; }
+  static void Store(double* p, D v) { *p = v; }
+  static void StoreCount(uint32_t* p, I count) {
+    *p = static_cast<uint32_t>(count);
+  }
+};
+
+}  // namespace cqp::estimation::internal
+
+#endif  // CQP_ESTIMATION_BATCH_KERNEL_IMPL_H_

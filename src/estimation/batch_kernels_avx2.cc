@@ -1,0 +1,64 @@
+// Four-lane AVX2 instantiation of the batch-evaluation kernel template.
+//
+// This is the ONLY translation unit compiled with -mavx2; it must stay
+// free of code reachable on non-AVX2 machines (dispatch happens in
+// batch_evaluator.cc via __builtin_cpu_supports). It is compiled with
+// -ffp-contract=off so `1.0 - a*b` can never fuse into an FMA — fusing
+// would change the last ulp and break the bit-for-bit parity contract
+// with the scalar StateEvaluator (docs/simd.md).
+
+#include <immintrin.h>
+
+#include "estimation/batch_kernel_impl.h"
+
+namespace cqp::estimation::internal {
+namespace {
+
+struct Avx2Traits {
+  static constexpr size_t kWidth = 4;
+  using D = __m256d;
+  using I = __m256i;
+  using M = __m256d;
+
+  static D Broadcast(double v) { return _mm256_set1_pd(v); }
+  static I BroadcastI(int64_t v) { return _mm256_set1_epi64x(v); }
+  static I LoadMasks(const uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static M TestBit(I bits, size_t j) {
+    const __m256i bit =
+        _mm256_set1_epi64x(static_cast<int64_t>(uint64_t{1} << j));
+    return _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_and_si256(bits, bit), bit));
+  }
+  static M CountIsZero(I count) {
+    return _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(count, _mm256_setzero_si256()));
+  }
+  static D Select(M m, D t, D f) { return _mm256_blendv_pd(f, t, m); }
+  static D ZeroWhere(M m, D v) { return _mm256_andnot_pd(m, v); }
+  static D Add(D x, D y) { return _mm256_add_pd(x, y); }
+  static D Sub(D x, D y) { return _mm256_sub_pd(x, y); }
+  static D Mul(D x, D y) { return _mm256_mul_pd(x, y); }
+  static D Min(D x, D y) { return _mm256_min_pd(x, y); }
+  static I MaskSubI(I count, M m) {
+    return _mm256_sub_epi64(count, _mm256_castpd_si256(m));
+  }
+  static void Store(double* p, D v) { _mm256_storeu_pd(p, v); }
+  static void StoreCount(uint32_t* p, I count) {
+    alignas(32) uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), count);
+    p[0] = static_cast<uint32_t>(tmp[0]);
+    p[1] = static_cast<uint32_t>(tmp[1]);
+    p[2] = static_cast<uint32_t>(tmp[2]);
+    p[3] = static_cast<uint32_t>(tmp[3]);
+  }
+};
+
+}  // namespace
+
+KernelChoice GetAvx2Kernel() {
+  return {&EvalSequenceImpl<Avx2Traits>, Avx2Traits::kWidth, "avx2"};
+}
+
+}  // namespace cqp::estimation::internal

@@ -5,10 +5,23 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "estimation/batch_evaluator.h"
 
 namespace cqp::space {
 
 namespace {
+
+/// Owner of a shared BatchEvaluator: the evaluator borrows the view's
+/// preference vector, so the two must live and die together. Handed out
+/// via an aliasing shared_ptr pointing at `batch`.
+struct BatchHolder {
+  std::shared_ptr<const PreferenceSpaceResult> view;
+  estimation::BatchEvaluator batch;
+
+  explicit BatchHolder(std::shared_ptr<const PreferenceSpaceResult> v)
+      : view(std::move(v)),
+        batch(view->base, view->prefs, view->conjunction_model) {}
+};
 
 std::string BoundBits(const std::optional<double>& bound) {
   if (!bound.has_value()) return "-";
@@ -44,6 +57,21 @@ std::shared_ptr<const PreferenceSpaceResult> PreparedSpace::ForProblem(
           : std::make_shared<const PreferenceSpaceResult>(std::move(view));
   views_.emplace(key, stored);
   return stored;
+}
+
+std::shared_ptr<const estimation::BatchEvaluator>
+PreparedSpace::BatchForProblem(const cqp::ProblemSpec& problem) const {
+  std::shared_ptr<const PreferenceSpaceResult> view = ForProblem(problem);
+  if (view->prefs.size() >= 64) return nullptr;
+  const std::string key = ProblemPruneKey(problem);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = batch_evals_.find(key);
+  if (it != batch_evals_.end()) return it->second;
+  auto holder = std::make_shared<BatchHolder>(std::move(view));
+  std::shared_ptr<const estimation::BatchEvaluator> batch(holder,
+                                                          &holder->batch);
+  batch_evals_.emplace(key, batch);
+  return batch;
 }
 
 size_t PreparedSpace::view_count() const {

@@ -9,6 +9,10 @@
 #include "cqp/problem.h"
 #include "space/preference_space.h"
 
+namespace cqp::estimation {
+class BatchEvaluator;
+}  // namespace cqp::estimation
+
 namespace cqp::space {
 
 /// Canonical key of the monotone prune bounds a ProblemSpec applies to a
@@ -49,6 +53,15 @@ class PreparedSpace {
   std::shared_ptr<const PreferenceSpaceResult> ForProblem(
       const cqp::ProblemSpec& problem) const;
 
+  /// Shared SoA batch evaluator over the `problem`-admitted view
+  /// (docs/simd.md), memoized per ProblemPruneKey next to the view itself
+  /// so concurrent solves of equal-bound problems reuse one set of arrays.
+  /// Returns nullptr when the admitted space does not fit a uint64 state
+  /// mask (K >= 64). The returned pointer keeps the view it was built
+  /// over alive.
+  std::shared_ptr<const estimation::BatchEvaluator> BatchForProblem(
+      const cqp::ProblemSpec& problem) const;
+
   /// Number of distinct pruned views materialized so far (diagnostics).
   size_t view_count() const;
 
@@ -61,6 +74,9 @@ class PreparedSpace {
   mutable std::mutex mu_;
   mutable std::map<std::string, std::shared_ptr<const PreferenceSpaceResult>>
       views_;
+  mutable std::map<std::string,
+                   std::shared_ptr<const estimation::BatchEvaluator>>
+      batch_evals_;
 };
 
 }  // namespace cqp::space

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "cqp/transitions.h"
+#include "estimation/batch_evaluator.h"
 #include "estimation/eval_cache.h"
 #include "space/prepared_space.h"
 
@@ -310,6 +311,105 @@ void CheckEvaluatorInvariants(const CqpInstance& instance,
   }
 }
 
+/// Checks (g), kernel level: the SoA batch kernels against the scalar
+/// StateEvaluator, operator== on every field. The batch evaluator promises
+/// bit-for-bit parity (each lane runs the identical fp op sequence — see
+/// batch_evaluator.h), so no tolerance is involved anywhere here.
+void CheckBatchKernelParity(const CqpInstance& instance,
+                            const CheckOptions& options,
+                            CheckReport* report) {
+  const size_t k = instance.K();
+  if (k == 0 || k >= 64) return;
+  estimation::StateEvaluator evaluator = instance.space.MakeEvaluator();
+  estimation::BatchEvaluator batch(instance.space.base, instance.space.prefs,
+                                   instance.space.conjunction_model);
+  Rng rng(instance.seed * 0x9e3779b9u + 0xbeefULL);
+  estimation::BatchEvaluator::Results results;
+  const uint64_t full = (uint64_t{1} << k) - 1;
+
+  auto same = [](const estimation::StateParams& a,
+                 const estimation::StateParams& b) {
+    return a.doi == b.doi && a.cost_ms == b.cost_ms && a.size == b.size &&
+           a.count == b.count;
+  };
+
+  for (int trial = 0; trial < options.invariant_trials; ++trial) {
+    // EvaluateMasks over an odd-width frontier (exercising the kernel's
+    // padded tail lanes) that always contains the empty and supreme states.
+    std::vector<uint64_t> masks = {0, full};
+    const size_t extra = 1 + static_cast<size_t>(rng.Uniform(0, 4));
+    for (size_t i = 0; i < extra; ++i) {
+      masks.push_back(RandomSubset(rng, k).Bits());
+    }
+    batch.EvaluateMasks(masks.data(), masks.size(), &results);
+    for (size_t l = 0; l < masks.size(); ++l) {
+      estimation::StateParams want = evaluator.EvaluateBits(masks[l]);
+      if (!same(results.Get(l), want)) {
+        report->Add(
+            "batch-kernel", "",
+            StrFormat("[%s] EvaluateMasks lane %zu (mask %llx): %s != %s",
+                      batch.kernel_name(), l,
+                      static_cast<unsigned long long>(masks[l]),
+                      P17(results.Get(l)).c_str(), P17(want).c_str()));
+        return;  // one witness suffices; later lanes would just repeat it
+      }
+    }
+
+    // EvaluateSequence from a random parent over a shuffled sequence of
+    // non-members (shuffled because callers like MinCost-BB hand over
+    // cost-ordered, not index-ordered, sequences).
+    IndexSet parent_set = RandomSubset(rng, k, 0.3);
+    estimation::StateParams parent = evaluator.Evaluate(parent_set);
+    std::vector<int32_t> seq;
+    for (size_t i = 0; i < k; ++i) {
+      if (!parent_set.Contains(static_cast<int32_t>(i))) {
+        seq.push_back(static_cast<int32_t>(i));
+      }
+    }
+    rng.Shuffle(seq);
+    if (seq.size() > 8) seq.resize(8);
+    const uint64_t seq_full =
+        seq.empty() ? 0 : (uint64_t{1} << seq.size()) - 1;
+    std::vector<uint64_t> lane_masks = {0, seq_full};
+    for (int i = 0; i < 3; ++i) lane_masks.push_back(rng.Next() & seq_full);
+    batch.EvaluateSequence(parent, seq.data(), seq.size(), lane_masks.data(),
+                           lane_masks.size(), &results);
+    for (size_t l = 0; l < lane_masks.size(); ++l) {
+      estimation::StateParams want = parent;
+      for (size_t j = 0; j < seq.size(); ++j) {
+        if ((lane_masks[l] >> j) & 1) {
+          want = evaluator.ExtendWith(want, seq[j]);
+        }
+      }
+      if (!same(results.Get(l), want)) {
+        report->Add(
+            "batch-kernel", "",
+            StrFormat("[%s] EvaluateSequence lane %zu (mask %llx): %s != %s",
+                      batch.kernel_name(), l,
+                      static_cast<unsigned long long>(lane_masks[l]),
+                      P17(results.Get(l)).c_str(), P17(want).c_str()));
+        return;
+      }
+    }
+
+    // ExtendBatch lane l == ExtendWith(parent, seq[l]).
+    if (!seq.empty()) {
+      batch.ExtendBatch(parent, seq.data(), seq.size(), &results);
+      for (size_t l = 0; l < seq.size(); ++l) {
+        estimation::StateParams want = evaluator.ExtendWith(parent, seq[l]);
+        if (!same(results.Get(l), want)) {
+          report->Add("batch-kernel", "",
+                      StrFormat("[%s] ExtendBatch lane %zu (pref %d): %s != %s",
+                                batch.kernel_name(), l, seq[l],
+                                P17(results.Get(l)).c_str(),
+                                P17(want).c_str()));
+          return;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string Violation::ToString() const {
@@ -564,6 +664,53 @@ CheckReport CheckInstance(const CqpInstance& instance,
       }
     }
 
+    // (g) Batch-evaluation parity, solution level: `sol` above ran with the
+    // SoA/SIMD batch path enabled (the default cacheless context turns it
+    // on), so a forced-scalar re-solve must reproduce it. Field-for-field
+    // for every algorithm except MinCost-BB, whose batched tails evaluate
+    // states its scalar recursion prunes and may therefore record a
+    // different equal-cost incumbent; there feasibility (with the usual
+    // exact-boundary escape) and the canonical objective value are compared.
+    if (options.check_batch_parity && instance.K() < 64) {
+      cqp::SearchContext ctx;
+      ctx.allow_batch_eval = false;
+      auto scalar = algo->Solve(instance.space, instance.problem, ctx);
+      ++report.solves;
+      if (!scalar.ok()) {
+        report.Add("batch-parity", name,
+                   "forced-scalar solve failed: " +
+                       std::string(scalar.status().message()));
+      } else if (name == "MinCost-BB") {
+        const cqp::Solution& s = *scalar;
+        if (sol.feasible != s.feasible) {
+          const cqp::Solution& witness = sol.feasible ? sol : s;
+          double margin = BoundMargin(instance.problem,
+                                      evaluator.Evaluate(witness.chosen));
+          if (std::fabs(margin) > kUlpSlack) {
+            report.Add("batch-parity", name,
+                       StrFormat("batch feasible=%d scalar=%d (witness "
+                                 "margin %.3g)",
+                                 sol.feasible, s.feasible, margin));
+          }
+        } else if (sol.feasible) {
+          double got = instance.problem.ObjectiveValue(
+              evaluator.Evaluate(sol.chosen));
+          double want = instance.problem.ObjectiveValue(
+              evaluator.Evaluate(s.chosen));
+          if (got != want && !NearEq(got, want, kUlpSlack)) {
+            report.Add("batch-parity", name,
+                       StrFormat("batch objective %.17g (chosen %s) != "
+                                 "scalar %.17g (chosen %s)",
+                                 got, sol.chosen.ToString().c_str(), want,
+                                 s.chosen.ToString().c_str()));
+          }
+        }
+      } else {
+        std::string diff = DiffSolutions(sol, *scalar);
+        if (!diff.empty()) report.Add("batch-parity", name, diff);
+      }
+    }
+
     // (e) Tight budget: the solve must degrade (not error), stay feasible,
     // and be tagged; an untripped budget must not change the answer.
     if (options.check_budget) {
@@ -675,6 +822,9 @@ CheckReport CheckInstance(const CqpInstance& instance,
 
   if (options.check_invariants) {
     CheckEvaluatorInvariants(instance, options, &report);
+  }
+  if (options.check_batch_parity) {
+    CheckBatchKernelParity(instance, options, &report);
   }
   return report;
 }

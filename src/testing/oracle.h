@@ -44,6 +44,11 @@ struct CheckOptions {
   bool check_prepared = true;     ///< (f) PreparedSpace per-problem view
                                   ///< partitions P correctly and solves to
                                   ///< the full-space optimum (remapped)
+  bool check_batch_parity = true; ///< (g) SoA/SIMD batch evaluation path:
+                                  ///< kernels vs EvaluateBits/ExtendWith
+                                  ///< bit-for-bit, and each algorithm's
+                                  ///< batch solve vs its forced-scalar
+                                  ///< solve (docs/simd.md)
 
   /// Expansion cap for the tight-budget probe. Expansion counts are
   /// deterministic (unlike wall-clock deadlines), which keeps the shrinker's

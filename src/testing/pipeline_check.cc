@@ -366,6 +366,50 @@ PipelineCheckResult RunPipelineCheck(const PipelineCheckConfig& config) {
     failpoint::Reset();
   }
 
+  // Path 7: the SoA/SIMD batch evaluation core. The reference results above
+  // were produced with batch evaluation enabled (the default); re-solving
+  // with `disable_batch_eval` forces every algorithm onto the scalar
+  // StateEvaluator. Doi-maximization answers must agree field for field
+  // (the batch traversals replay the scalar ones exactly — docs/simd.md).
+  // Cost-minimization goes through MinCost-BB, whose batched tails preserve
+  // the objective value but may break `chosen` ties differently, so those
+  // are held to objective-level parity.
+  if (config.check_batch_eval) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      construct::PersonalizeRequest request = requests[i];
+      request.disable_batch_eval = true;
+      auto r = personalizer.Personalize(request);
+      if (!r.ok()) {
+        report.Add("batch-eval-parity", request_labels[i],
+                   "scalar re-solve: " + std::string(r.status().message()));
+        continue;
+      }
+      const construct::PersonalizeResult& want = reference[i];
+      std::string diff;
+      if (request.problem.objective == cqp::Objective::kMinimizeCost) {
+        if (r->rung != want.rung) {
+          diff = StrFormat("rung %s vs %s",
+                           construct::FallbackRungName(r->rung),
+                           construct::FallbackRungName(want.rung));
+        } else if (r->solution.feasible != want.solution.feasible) {
+          diff = StrFormat("feasible %d vs %d", r->solution.feasible,
+                           want.solution.feasible);
+        } else if (r->solution.feasible) {
+          double scalar_obj = request.problem.ObjectiveValue(r->solution.params);
+          double batch_obj = request.problem.ObjectiveValue(want.solution.params);
+          if (scalar_obj != batch_obj) {
+            diff = StrFormat("objective %.17g vs %.17g", scalar_obj, batch_obj);
+          }
+        }
+      } else {
+        diff = DiffResults(want, *r);
+      }
+      if (!diff.empty()) {
+        report.Add("batch-eval-parity", request_labels[i], diff);
+      }
+    }
+  }
+
   return result;
 }
 

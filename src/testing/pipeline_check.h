@@ -21,6 +21,8 @@ struct PipelineCheckConfig {
   bool check_failpoints = true;  ///< injected faults + tight budgets degrade
   bool check_prepared = true;    ///< Prepare()+Solve(), cold and plan-cached,
                                  ///< vs direct Personalize()
+  bool check_batch_eval = true;  ///< SoA/SIMD batch evaluation vs forced
+                                 ///< scalar (disable_batch_eval) answers
 };
 
 struct PipelineCheckResult {
@@ -36,6 +38,9 @@ struct PipelineCheckResult {
 ///   * Personalize() with a shared, pre-warmed EvalCache,
 ///   * explicit Prepare()+Solve(), cold and with a warm plan cache,
 ///   * a loopback server round trip (JSON wire protocol),
+///   * Personalize() with the SoA/SIMD batch evaluation path disabled
+///     (objective-level for cost minimization, where branch-and-bound
+///     tie-breaking may legitimately pick a different optimal set),
 /// and — under injected failpoints plus tight expansion budgets — that
 /// every answer is still OK, feasible solutions verify against their
 /// problem bounds, and non-Primary answers are tagged degraded.

@@ -6,6 +6,7 @@
 //   cqp_fuzz --replay a.cqprepro ...  re-check reproducer files
 //   cqp_fuzz --minimize a.cqprepro    shrink a failing reproducer further
 //   cqp_fuzz --pipeline               end-to-end path-parity sweep
+//   cqp_fuzz --batch-eval             only the SoA/SIMD batch-parity checks
 //
 // On a violation the instance is delta-debugged down and written as a
 // self-contained .cqprepro file (see docs/testing.md); exit status is the
@@ -70,8 +71,8 @@ void Usage() {
                "usage: cqp_fuzz [--seed N] [--count N] [--duration SECONDS]\n"
                "                [--class 1..6] [--k-min N] [--k-max N]\n"
                "                [--out DIR] [--no-shrink] [--verbose]\n"
-               "                [--pipeline] [--replay FILE...]\n"
-               "                [--minimize FILE]\n");
+               "                [--pipeline] [--batch-eval]\n"
+               "                [--replay FILE...] [--minimize FILE]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -119,6 +120,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out_dir = v;
     } else if (flag == "--pipeline") {
       args->pipeline = true;
+    } else if (flag == "--batch-eval") {
+      // Focused campaign for the SoA/SIMD batch evaluation core: only the
+      // kernel- and solve-level batch-vs-scalar parity checks (plus the
+      // feasibility recheck, which is what makes a wrong answer visible
+      // without the full oracle). Much faster per instance, so the same
+      // budget covers far more of the preference-space shapes the batch
+      // tail enumeration has to get right.
+      args->check = CheckOptions();
+      args->check.check_oracle = false;
+      args->check.check_invariants = false;
+      args->check.check_cache_parity = false;
+      args->check.check_budget = false;
+      args->check.check_determinism = false;
+      args->check.check_prepared = false;
+      args->check.check_feasibility = true;
+      args->check.check_batch_parity = true;
     } else if (flag == "--no-shrink") {
       args->no_shrink = true;
     } else if (flag == "--verbose") {
