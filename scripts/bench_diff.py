@@ -31,12 +31,20 @@ LOWER_IS_BETTER = {"wall_ms", "p50_ms", "p99_ms", "degraded",
                    "transport_errors", "identity_mismatches", "cache_misses",
                    "server_ms_avg", "search_ms_avg",
                    "put_avg_ms", "put_p50_ms", "put_p99_ms", "recovery_ms",
-                   "fsync_per_put"}
+                   "fsync_per_put",
+                   # Sharded tier (BENCH_shard.json): cold page-in latency,
+                   # memory held by resident graphs, and eviction churn.
+                   "p50_cold_ms", "p99_cold_ms", "resident_mb", "evictions"}
 # Measured values that are neither identity nor judged (counters that
 # legitimately move when the code under test changes).
 IGNORED = {"states", "requests", "identity_checked", "shed", "other",
            "journal_bytes", "group_commits", "frontiers", "frontier_states",
            "avg_frontier_width", "lanes_wasted",
+           # Sharded tier: traffic counters and environment readings that
+           # track workload shape, not quality. resident_within_budget is
+           # enforced by the bench itself (it fails the run).
+           "page_ins", "page_in_waits", "pinned_skips", "cold_finds",
+           "mixed_requests", "rss_mb", "open_ms", "build_ms",
            # EvalCache traffic of the throughput bench: the SoA/SIMD batch
            # path evaluates frontiers cachelessly by design (docs/simd.md),
            # so probe counts track code structure, not quality. The plan

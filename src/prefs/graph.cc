@@ -76,4 +76,29 @@ GraphCounts PersonalizationGraph::Counts() const {
   return c;
 }
 
+size_t PersonalizationGraph::ApproxMemoryBytes() const {
+  // Strings below SSO size still live inline in their owner; counting
+  // size() for them over-charges slightly, which errs on the safe side
+  // for a residency budget.
+  auto str = [](const std::string& s) { return s.size(); };
+  size_t bytes = sizeof(*this);
+  for (const AtomicSelection& p : profile_.selections()) {
+    bytes += sizeof(AtomicSelection) + str(p.relation) + str(p.attribute) +
+             p.value.ByteSize();
+  }
+  for (const AtomicJoin& p : profile_.joins()) {
+    bytes += sizeof(AtomicJoin) + str(p.from_relation) +
+             str(p.from_attribute) + str(p.to_relation) + str(p.to_attribute);
+  }
+  // Adjacency maps: node + key string + pointer vector per relation bucket.
+  constexpr size_t kMapNodeOverhead = 48;  // typical red-black tree node
+  for (const auto& [rel, edges] : selections_by_rel_) {
+    bytes += kMapNodeOverhead + str(rel) + edges.capacity() * sizeof(void*);
+  }
+  for (const auto& [rel, edges] : joins_by_rel_) {
+    bytes += kMapNodeOverhead + str(rel) + edges.capacity() * sizeof(void*);
+  }
+  return bytes;
+}
+
 }  // namespace cqp::prefs

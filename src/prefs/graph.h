@@ -52,6 +52,11 @@ class PersonalizationGraph {
 
   GraphCounts Counts() const;
 
+  /// Approximate resident heap footprint of this graph (owned profile
+  /// strings + adjacency indexes). Drives the demand-paging tier's
+  /// resident-bytes accounting, so it should track — not bound — reality.
+  size_t ApproxMemoryBytes() const;
+
  private:
   PersonalizationGraph() = default;
 

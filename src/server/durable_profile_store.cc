@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "server/profile_journal_codec.h"
 #include "storage/journal/coding.h"
 
 namespace cqp::server {
@@ -14,43 +15,10 @@ namespace {
 using storage::journal::SnapshotData;
 using storage::journal::SnapshotEntry;
 
-/// Journal record payload (the framing + CRC live in journal::FrameRecord):
-///
-///   put:    'P' [version u64][id lpstring][profile text lpstring]
-///   remove: 'R' [version u64][id lpstring]
-constexpr char kOpPut = 'P';
-constexpr char kOpRemove = 'R';
-
-struct DecodedMutation {
-  char op = 0;
-  uint64_t version = 0;
-  std::string_view id;
-  std::string_view text;
-};
-
-std::string EncodeMutation(char op, uint64_t version, const std::string& id,
-                           const std::string& text) {
-  std::string payload;
-  payload.reserve(1 + 8 + 4 + id.size() + (op == kOpPut ? 4 + text.size() : 0));
-  payload.push_back(op);
-  storage::PutFixed64(&payload, version);
-  storage::PutLengthPrefixed(&payload, id);
-  if (op == kOpPut) storage::PutLengthPrefixed(&payload, text);
-  return payload;
-}
-
-bool DecodeMutation(std::string_view payload, DecodedMutation* out) {
-  if (payload.size() < 1 + 8) return false;
-  out->op = payload[0];
-  if (out->op != kOpPut && out->op != kOpRemove) return false;
-  out->version = storage::GetFixed64(payload.data() + 1);
-  size_t pos = 1 + 8;
-  if (!storage::GetLengthPrefixed(payload, &pos, &out->id)) return false;
-  if (out->op == kOpPut) {
-    if (!storage::GetLengthPrefixed(payload, &pos, &out->text)) return false;
-  }
-  return pos == payload.size();
-}
+// Record payloads are the shared profile-journal codec
+// (profile_journal_codec.h), byte-identical with the sharded tier.
+constexpr char kOpPut = kJournalOpPut;
+constexpr char kOpRemove = kJournalOpRemove;
 
 /// Commit tokens pack (epoch, journal end offset) so a waiter can tell a
 /// compaction (which resets offsets but IS a durability point) from its
@@ -136,8 +104,8 @@ Status DurableProfileStore::Recover() {
       storage::journal::ReplayResult replay,
       storage::journal::Replay(
           *fs_, JournalPath(), [&](std::string_view payload) -> Status {
-            DecodedMutation record;
-            if (!DecodeMutation(payload, &record)) {
+            DecodedProfileMutation record;
+            if (!DecodeProfileMutation(payload, &record)) {
               return Internal(
                   "journal record passed its checksum but does not decode — "
                   "refusing to guess (journal format bug or external "
@@ -219,7 +187,7 @@ Status DurableProfileStore::WriteAheadLocked(const Mutation& mutation,
   if (mutation.kind == Mutation::Kind::kPut) {
     text = mutation.profile->ToText();
   }
-  const std::string payload = EncodeMutation(
+  const std::string payload = EncodeProfileMutation(
       mutation.kind == Mutation::Kind::kPut ? kOpPut : kOpRemove,
       mutation.version, mutation.id, text);
 

@@ -36,6 +36,43 @@ struct DurabilityStats {
   double recovery_ms = 0.0;
 };
 
+/// Per-shard counters of a sharded, demand-paged store
+/// (shard::ShardedProfileStore); served by the stats wire op and the
+/// shell's .stats display. All counters are cumulative since Open.
+struct ShardStats {
+  size_t shard = 0;                  ///< shard index
+  size_t profiles = 0;               ///< ids the shard knows (resident or not)
+  size_t resident_profiles = 0;      ///< graphs currently in memory
+  uint64_t resident_bytes = 0;       ///< accounted bytes of resident graphs
+  uint64_t resident_budget_bytes = 0;
+  uint64_t hits = 0;           ///< lookups served from a resident graph
+  uint64_t misses = 0;         ///< lookups for an unknown id
+  uint64_t page_ins = 0;       ///< cold graphs loaded from disk
+  uint64_t page_in_waits = 0;  ///< lookups that waited on another page-in
+  uint64_t page_in_errors = 0; ///< disk refs that failed to load
+  uint64_t evictions = 0;      ///< resident graphs dropped for budget
+  uint64_t pinned_skips = 0;   ///< eviction passes over an in-use graph
+  DurabilityStats journal;     ///< this shard's journal counters
+};
+
+/// The whole shard tier: per-shard counters plus precomputed sums (the
+/// stats op reports both; the sums are what dashboards watch).
+struct ShardTierStats {
+  size_t shards = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t resident_budget_bytes = 0;
+  size_t profiles = 0;
+  size_t resident_profiles = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t page_ins = 0;
+  uint64_t page_in_waits = 0;
+  uint64_t page_in_errors = 0;
+  uint64_t evictions = 0;
+  uint64_t pinned_skips = 0;
+  std::vector<ShardStats> per_shard;
+};
+
 /// In-memory id → user-profile registry for the personalization server.
 ///
 /// Each stored profile is kept as a fully built PersonalizationGraph
@@ -98,8 +135,8 @@ class ProfileStore {
   };
 
   /// The stored graph + version; Snapshot::graph is nullptr when `id` is
-  /// unknown.
-  Snapshot FindSnapshot(const std::string& id) const;
+  /// unknown. A demand-paged store may do disk I/O here (cold profile).
+  virtual Snapshot FindSnapshot(const std::string& id) const;
 
   /// The stored graph, or nullptr when `id` is unknown.
   std::shared_ptr<const prefs::PersonalizationGraph> Find(
@@ -119,9 +156,9 @@ class ProfileStore {
   StatusOr<size_t> Reload();
 
   /// Stored ids, sorted.
-  std::vector<std::string> Ids() const;
+  virtual std::vector<std::string> Ids() const;
 
-  size_t size() const;
+  virtual size_t size() const;
 
   /// The per-(profile, query) evaluation-cache registry the server shares
   /// across requests. Put/Remove invalidate per profile id automatically.
@@ -131,6 +168,29 @@ class ProfileStore {
   /// fingerprint + profile snapshot version). Same invalidation contract
   /// as caches().
   construct::PlanCache& plans() { return plans_; }
+
+  /// The cache registry / plan cache responsible for `id`. The base store
+  /// has one of each; a sharded store returns the owning shard's slice so
+  /// cache traffic and invalidation never cross a shard lock. Request
+  /// paths must use these, not caches()/plans(), to stay shard-correct.
+  virtual estimation::EvalCacheRegistry& caches_for(const std::string& id) {
+    (void)id;
+    return caches_;
+  }
+  virtual construct::PlanCache& plans_for(const std::string& id) {
+    (void)id;
+    return plans_;
+  }
+
+  /// Plan-cache counters summed over every shard slice (== plans().stats()
+  /// for the single-cache base store).
+  virtual construct::PlanCacheStats plan_stats() const { return plans_.stats(); }
+
+  /// Paging/residency counters when this store is a sharded tier; nullopt
+  /// otherwise.
+  virtual std::optional<ShardTierStats> shard_stats() const {
+    return std::nullopt;
+  }
 
  protected:
   /// One mutation, as seen by the write-ahead hook. `profile` is null for

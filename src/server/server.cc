@@ -272,59 +272,7 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
     case RequestOp::kStats: {
       WireResponse response;
       response.id = request.id;
-      response.extra = stats_.ToJson();
-      JsonValue admission = JsonValue::Object();
-      admission.Set("pending", JsonValue::Number(
-                                   static_cast<double>(admission_.pending())));
-      admission.Set("max_pending",
-                    JsonValue::Number(static_cast<double>(
-                        admission_.options().max_pending)));
-      admission.Set("soft_pending",
-                    JsonValue::Number(static_cast<double>(
-                        admission_.options().soft_pending)));
-      response.extra.Set("admission", std::move(admission));
-      construct::PlanCacheStats plan_stats = profiles_->plans().stats();
-      JsonValue plans = JsonValue::Object();
-      plans.Set("hits",
-                JsonValue::Number(static_cast<double>(plan_stats.hits)));
-      plans.Set("misses",
-                JsonValue::Number(static_cast<double>(plan_stats.misses)));
-      plans.Set("evictions",
-                JsonValue::Number(static_cast<double>(plan_stats.evictions)));
-      plans.Set("invalidations", JsonValue::Number(static_cast<double>(
-                                     plan_stats.invalidations)));
-      plans.Set("entries",
-                JsonValue::Number(static_cast<double>(plan_stats.entries)));
-      response.extra.Set("plan_cache", std::move(plans));
-      if (std::optional<DurabilityStats> ds = profiles_->durability_stats()) {
-        JsonValue journal = JsonValue::Object();
-        journal.Set("appends",
-                    JsonValue::Number(static_cast<double>(ds->appends)));
-        journal.Set("append_bytes",
-                    JsonValue::Number(static_cast<double>(ds->append_bytes)));
-        journal.Set("fsyncs",
-                    JsonValue::Number(static_cast<double>(ds->fsyncs)));
-        journal.Set("group_commits", JsonValue::Number(static_cast<double>(
-                                         ds->group_commits)));
-        journal.Set("compactions",
-                    JsonValue::Number(static_cast<double>(ds->compactions)));
-        journal.Set("journal_bytes", JsonValue::Number(static_cast<double>(
-                                         ds->journal_bytes)));
-        journal.Set("snapshot_bytes", JsonValue::Number(static_cast<double>(
-                                          ds->snapshot_bytes)));
-        journal.Set("wedged", JsonValue::Bool(ds->wedged));
-        journal.Set("recovered_profiles",
-                    JsonValue::Number(
-                        static_cast<double>(ds->recovered_profiles)));
-        journal.Set("replayed_records", JsonValue::Number(static_cast<double>(
-                                            ds->replayed_records)));
-        journal.Set("dropped_bytes", JsonValue::Number(static_cast<double>(
-                                         ds->dropped_bytes)));
-        journal.Set("torn_tail_recovered",
-                    JsonValue::Bool(ds->torn_tail_recovered));
-        journal.Set("recovery_ms", JsonValue::Number(ds->recovery_ms));
-        response.extra.Set("journal", std::move(journal));
-      }
+      response.extra = StatsJson();
       return conn->WriteLine(SerializeResponse(response));
     }
     case RequestOp::kProfiles: {
@@ -353,6 +301,83 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
     }
   }
   return true;
+}
+
+JsonValue Server::StatsJson() {
+  auto num = [](auto v) { return JsonValue::Number(static_cast<double>(v)); };
+  JsonValue out = stats_.ToJson();
+
+  JsonValue admission = JsonValue::Object();
+  admission.Set("pending", num(admission_.pending()));
+  admission.Set("max_pending", num(admission_.options().max_pending));
+  admission.Set("soft_pending", num(admission_.options().soft_pending));
+  out.Set("admission", std::move(admission));
+
+  construct::PlanCacheStats plan_stats = profiles_->plan_stats();
+  JsonValue plans = JsonValue::Object();
+  plans.Set("hits", num(plan_stats.hits));
+  plans.Set("misses", num(plan_stats.misses));
+  plans.Set("evictions", num(plan_stats.evictions));
+  plans.Set("invalidations", num(plan_stats.invalidations));
+  plans.Set("entries", num(plan_stats.entries));
+  out.Set("plan_cache", std::move(plans));
+
+  if (std::optional<DurabilityStats> ds = profiles_->durability_stats()) {
+    JsonValue journal = JsonValue::Object();
+    journal.Set("appends", num(ds->appends));
+    journal.Set("append_bytes", num(ds->append_bytes));
+    journal.Set("fsyncs", num(ds->fsyncs));
+    journal.Set("group_commits", num(ds->group_commits));
+    journal.Set("compactions", num(ds->compactions));
+    journal.Set("journal_bytes", num(ds->journal_bytes));
+    journal.Set("snapshot_bytes", num(ds->snapshot_bytes));
+    journal.Set("wedged", JsonValue::Bool(ds->wedged));
+    journal.Set("recovered_profiles", num(ds->recovered_profiles));
+    journal.Set("replayed_records", num(ds->replayed_records));
+    journal.Set("dropped_bytes", num(ds->dropped_bytes));
+    journal.Set("torn_tail_recovered", JsonValue::Bool(ds->torn_tail_recovered));
+    journal.Set("recovery_ms", JsonValue::Number(ds->recovery_ms));
+    out.Set("journal", std::move(journal));
+  }
+
+  // The demand-paged tier, when the store is sharded: tier aggregates plus
+  // one object per shard (paging counters + that shard's journal).
+  if (std::optional<ShardTierStats> tier = profiles_->shard_stats()) {
+    auto paging = [&num](const auto& s, JsonValue& obj) {
+      obj.Set("profiles", num(s.profiles));
+      obj.Set("resident_profiles", num(s.resident_profiles));
+      obj.Set("resident_bytes", num(s.resident_bytes));
+      obj.Set("resident_budget_bytes", num(s.resident_budget_bytes));
+      obj.Set("hits", num(s.hits));
+      obj.Set("misses", num(s.misses));
+      obj.Set("page_ins", num(s.page_ins));
+      obj.Set("page_in_waits", num(s.page_in_waits));
+      obj.Set("page_in_errors", num(s.page_in_errors));
+      obj.Set("evictions", num(s.evictions));
+      obj.Set("pinned_skips", num(s.pinned_skips));
+    };
+    JsonValue shard_tier = JsonValue::Object();
+    shard_tier.Set("shards", num(tier->shards));
+    paging(*tier, shard_tier);
+    JsonValue per_shard = JsonValue::Array();
+    for (const ShardStats& s : tier->per_shard) {
+      JsonValue one = JsonValue::Object();
+      one.Set("shard", num(s.shard));
+      paging(s, one);
+      JsonValue journal = JsonValue::Object();
+      journal.Set("appends", num(s.journal.appends));
+      journal.Set("fsyncs", num(s.journal.fsyncs));
+      journal.Set("compactions", num(s.journal.compactions));
+      journal.Set("journal_bytes", num(s.journal.journal_bytes));
+      journal.Set("snapshot_bytes", num(s.journal.snapshot_bytes));
+      journal.Set("wedged", JsonValue::Bool(s.journal.wedged));
+      one.Set("journal", std::move(journal));
+      per_shard.Append(std::move(one));
+    }
+    shard_tier.Set("per_shard", std::move(per_shard));
+    out.Set("shard_tier", std::move(shard_tier));
+  }
+  return out;
 }
 
 void Server::HandlePersonalize(const std::shared_ptr<Connection>& conn,
@@ -449,17 +474,18 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   // different per-problem views of the prepared space — the cache indexes
   // preferences by position in the view, so each view needs its own memo.
   std::shared_ptr<estimation::EvalCache> cache =
-      profiles_->caches().GetOrCreate(
+      profiles_->caches_for(payload.profile_id).GetOrCreate(
           payload.profile_id,
           std::to_string(snapshot.version) + ":" +
               space::ProblemPruneKey(engine_request.problem) + ":" +
               payload.sql);
   engine_request.eval_cache = cache.get();
 
-  // The shared plan cache: a repeated query skips parsing-to-extraction
-  // entirely. The snapshot version in the key makes stale plans
-  // unreachable the instant a profile is replaced.
-  engine_request.plan_cache = &profiles_->plans();
+  // The shared plan cache (this profile's shard slice when the store is
+  // sharded): a repeated query skips parsing-to-extraction entirely. The
+  // snapshot version in the key makes stale plans unreachable the instant
+  // a profile is replaced.
+  engine_request.plan_cache = &profiles_->plans_for(payload.profile_id);
   engine_request.profile_id = payload.profile_id;
   engine_request.profile_version = snapshot.version;
 
@@ -511,8 +537,7 @@ void Server::StatsLoop() {
     next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                               std::chrono::duration<double>(
                                   options_.stats_interval_s));
-    std::fprintf(stderr, "cqp_serve stats %s\n",
-                 stats_.ToJsonString().c_str());
+    std::fprintf(stderr, "cqp_serve stats %s\n", StatsJson().Dump().c_str());
   }
 }
 

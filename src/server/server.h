@@ -95,6 +95,12 @@ class Server {
   const ServerOptions& options() const { return options_; }
   AdmissionController& admission() { return admission_; }
 
+  /// The full stats document: server counters + admission + plan cache +
+  /// journal + shard tier (when the profile store is sharded). One
+  /// assembly shared by the stats wire op, the periodic stats log and the
+  /// shell's .stats display.
+  JsonValue StatsJson();
+
  private:
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);

@@ -58,6 +58,9 @@ constexpr const char* kHelp = R"(commands:
   .serve stop                 stop the embedded server
   .connect host:port          route queries to a remote cqp server
   .disconnect                 drop the remote connection
+  .stats                      server stats JSON (remote when connected,
+                              else the embedded .serve server; includes the
+                              shard tier when the store is sharded)
   QUERY                       personalize QUERY and execute
   .quit                       exit
 )";
@@ -240,6 +243,7 @@ Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
   if (command == ".plans") return HandlePlans(args, out);
   if (command == ".serve") return HandleServe(args, out);
   if (command == ".connect") return HandleConnect(args, out);
+  if (command == ".stats") return HandleStats(out);
   if (command == ".disconnect") {
     if (!client_.connected()) return FailedPrecondition("not connected");
     client_.Close();
@@ -498,6 +502,22 @@ Status CqpShell::HandleServe(const std::string& args, std::ostream& out) {
   profile_store_ = std::move(store);
   server_ = std::move(server);
   return Status::OK();
+}
+
+Status CqpShell::HandleStats(std::ostream& out) {
+  if (client_.connected()) {
+    server::WireRequest request;
+    request.op = server::RequestOp::kStats;
+    CQP_ASSIGN_OR_RETURN(server::WireResponse response, client_.Call(request));
+    if (!response.ok()) return response.status;
+    out << response.extra.Dump() << "\n";
+    return Status::OK();
+  }
+  if (server_ != nullptr) {
+    out << server_->StatsJson().Dump() << "\n";
+    return Status::OK();
+  }
+  return FailedPrecondition("no server (.serve or .connect first)");
 }
 
 Status CqpShell::HandleConnect(const std::string& args, std::ostream& out) {

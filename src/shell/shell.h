@@ -52,6 +52,7 @@ namespace cqp::shell {
 ///   .serve stop                 stop the embedded server
 ///   .connect host:port          route queries to a remote server
 ///   .disconnect                 go back to local personalization
+///   .stats                      server stats JSON (remote or embedded)
 ///   QUERY                       personalize QUERY and execute it
 ///   .quit                       leave the shell
 class CqpShell {
@@ -79,6 +80,10 @@ class CqpShell {
   Status HandleRawSql(const std::string& sql, std::ostream& out);
   Status HandleServe(const std::string& args, std::ostream& out);
   Status HandleConnect(const std::string& args, std::ostream& out);
+  /// Prints the stats JSON: the remote server's when .connect-ed, else the
+  /// embedded .serve server's (admission + plan cache + journal + shard
+  /// tier when present).
+  Status HandleStats(std::ostream& out);
   /// Sends the query to the `.connect`-ed server and prints the response.
   Status HandleRemoteQuery(const std::string& sql, std::ostream& out);
   Status RebuildGraph();

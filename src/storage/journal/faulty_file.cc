@@ -137,6 +137,15 @@ StatusOr<std::string> FaultyFileSystem::ReadFile(const std::string& path) {
   return base_.ReadFile(path);
 }
 
+StatusOr<std::string> FaultyFileSystem::ReadAt(const std::string& path,
+                                               uint64_t offset, size_t length) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) return state_->CrashStatus();
+  }
+  return base_.ReadAt(path, offset, length);
+}
+
 Status FaultyFileSystem::Rename(const std::string& from,
                                 const std::string& to) {
   {

@@ -56,6 +56,8 @@ class FaultyFileSystem : public FileSystem {
   StatusOr<std::unique_ptr<File>> OpenAppend(const std::string& path,
                                              bool truncate) override;
   StatusOr<std::string> ReadFile(const std::string& path) override;
+  StatusOr<std::string> ReadAt(const std::string& path, uint64_t offset,
+                               size_t length) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
   Status Truncate(const std::string& path, uint64_t size) override;

@@ -112,6 +112,36 @@ class PosixFileSystemImpl : public FileSystem {
     return out;
   }
 
+  StatusOr<std::string> ReadAt(const std::string& path, uint64_t offset,
+                               size_t length) override {
+    // Open-per-call is deliberate: ReadAt serves the cold page-in path,
+    // where one extra open() is noise next to parsing + graph build, and
+    // a cached fd would dangle across journal truncation/compaction.
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open(" + path + ")", errno);
+    std::string out(length, '\0');
+    size_t done = 0;
+    while (done < length) {
+      ssize_t n = ::pread(fd, out.data() + done, length - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = ErrnoStatus("pread(" + path + ")", errno);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) {
+        ::close(fd);
+        return OutOfRange("pread(" + path + "): file ends at " +
+                          std::to_string(offset + done) + ", wanted " +
+                          std::to_string(offset + length));
+      }
+      done += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    return out;
+  }
+
   Status Rename(const std::string& from, const std::string& to) override {
     if (::rename(from.c_str(), to.c_str()) != 0) {
       return ErrnoStatus("rename(" + from + " -> " + to + ")", errno);

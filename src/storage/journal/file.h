@@ -56,6 +56,13 @@ class FileSystem {
   /// Whole-file read. NotFound when the file does not exist.
   virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
 
+  /// Positional read: exactly `length` bytes starting at `offset`
+  /// (pread(2)). kOutOfRange when the file ends before offset+length —
+  /// the demand-paging path reads values whose extent it recorded at
+  /// write time, so a short read means the ref and the file diverged.
+  virtual StatusOr<std::string> ReadAt(const std::string& path,
+                                       uint64_t offset, size_t length) = 0;
+
   /// rename(2): atomic replacement of `to` — the commit point of snapshot
   /// compaction.
   virtual Status Rename(const std::string& from, const std::string& to) = 0;

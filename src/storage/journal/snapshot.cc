@@ -13,23 +13,31 @@ constexpr char kMagic[8] = {'C', 'Q', 'P', 'S', 'N', 'A', 'P', '1'};
 
 }  // namespace
 
-std::string EncodeSnapshot(const SnapshotData& data) {
+std::string EncodeSnapshot(const SnapshotData& data,
+                           std::vector<uint64_t>* value_offsets) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   PutFixed64(&out, data.next_version);
   PutFixed64(&out, static_cast<uint64_t>(data.entries.size()));
+  if (value_offsets != nullptr) {
+    value_offsets->clear();
+    value_offsets->reserve(data.entries.size());
+  }
   for (const SnapshotEntry& entry : data.entries) {
     PutLengthPrefixed(&out, entry.key);
     PutFixed64(&out, entry.version);
-    PutLengthPrefixed(&out, entry.value);
+    PutFixed32(&out, static_cast<uint32_t>(entry.value.size()));
+    if (value_offsets != nullptr) value_offsets->push_back(out.size());
+    out.append(entry.value);
   }
   PutFixed32(&out, crc32c::Mask(crc32c::Value(out)));
   return out;
 }
 
 Status WriteSnapshot(FileSystem& fs, const std::string& path,
-                     const SnapshotData& data) {
-  return AtomicWriteFile(fs, path, EncodeSnapshot(data));
+                     const SnapshotData& data,
+                     std::vector<uint64_t>* value_offsets) {
+  return AtomicWriteFile(fs, path, EncodeSnapshot(data, value_offsets));
 }
 
 StatusOr<SnapshotData> ReadSnapshot(FileSystem& fs, const std::string& path) {
@@ -77,6 +85,7 @@ StatusOr<SnapshotData> ReadSnapshot(FileSystem& fs, const std::string& path) {
     }
     entry.key.assign(key);
     entry.value.assign(value);
+    entry.value_offset = pos - value.size();
     data.entries.push_back(std::move(entry));
   }
   if (pos != body.size()) {

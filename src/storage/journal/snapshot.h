@@ -31,6 +31,11 @@ struct SnapshotEntry {
   std::string key;
   uint64_t version = 0;
   std::string value;
+  /// Byte offset of the value (past its length prefix) within the
+  /// snapshot file. Filled by ReadSnapshot and by the offset-returning
+  /// WriteSnapshot overload; ignored by the encoder. Demand paging uses
+  /// it to pread a single profile back without loading the whole file.
+  uint64_t value_offset = 0;
 };
 
 struct SnapshotData {
@@ -44,11 +49,18 @@ struct SnapshotData {
 };
 
 /// Serializes `data` (for tests; WriteSnapshot uses this internally).
-std::string EncodeSnapshot(const SnapshotData& data);
+/// When `value_offsets` is non-null it receives, per entry, the byte
+/// offset of the entry's value within the encoded file.
+std::string EncodeSnapshot(const SnapshotData& data,
+                           std::vector<uint64_t>* value_offsets = nullptr);
 
-/// Atomically replaces the snapshot at `path`.
+/// Atomically replaces the snapshot at `path`. The optional
+/// `value_offsets` out-parameter mirrors EncodeSnapshot's: shard
+/// compaction uses it to refresh its paged entries' disk refs without
+/// re-reading the file it just wrote.
 Status WriteSnapshot(FileSystem& fs, const std::string& path,
-                     const SnapshotData& data);
+                     const SnapshotData& data,
+                     std::vector<uint64_t>* value_offsets = nullptr);
 
 /// Loads and verifies the snapshot. NotFound when `path` does not exist
 /// (an empty store); kInternal with a precise message on bad magic,

@@ -29,6 +29,7 @@
 #include "server/profile_store.h"
 #include "server/server.h"
 #include "server/server_stats.h"
+#include "server/shard/sharded_profile_store.h"
 #include "test_util.h"
 
 namespace cqp::server {
@@ -179,6 +180,88 @@ TEST_F(ServerTest, ResponsesAreBitIdenticalToDirectPersonalize) {
   auto snapshot = client.Call(stats);
   ASSERT_TRUE(snapshot.ok());
   EXPECT_GT(snapshot->extra.Find("cache_hits")->number_value(), 0.0);
+}
+
+TEST_F(ServerTest, ShardedTierServesIdenticalAnswersAndShardStats) {
+  // The sharded, demand-paged tier behind the same server: a 1-byte
+  // resident budget forces a page-in on (almost) every request, and the
+  // answers must still be bit-identical to the direct engine.
+  namespace stdfs = std::filesystem;
+  const std::string dir =
+      (stdfs::path(::testing::TempDir()) / "cqp_server_test_shards").string();
+  std::error_code ec;
+  stdfs::remove_all(dir, ec);
+  shard::ShardedStoreOptions options;
+  options.dir = dir;
+  options.num_shards = 3;
+  options.resident_budget_bytes = 1;
+  auto store = shard::ShardedProfileStore::Open(&db_, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::vector<std::string> ids = {"default", "user0", "user1", "user2"};
+  for (const std::string& id : ids) {
+    ASSERT_TRUE((*store)->Put(id, TestProfile()).ok());
+  }
+  server_ = std::make_unique<Server>(&db_, store->get(), ServerOptions());
+  ASSERT_TRUE(server_->Start().ok());
+  construct::PersonalizeResult expected = DirectResult(kQuery);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Client client;
+        if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          WireRequest request;
+          request.op = RequestOp::kPersonalize;
+          request.personalize.sql = kQuery;
+          // Every profile carries the same text, so every id — wherever
+          // it shards — must produce the same personalized answer.
+          request.personalize.profile_id = ids[(c + i) % ids.size()];
+          auto response = client.Call(request);
+          if (!response.ok() || !response->ok() ||
+              !response->personalize.has_value() ||
+              response->personalize->final_sql != expected.final_sql ||
+              response->personalize->doi != expected.solution.params.doi) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // The stats op surfaces the tier: shard count, paging counters, and one
+  // journal object per shard.
+  Client client = Connect();
+  WireRequest stats;
+  stats.op = RequestOp::kStats;
+  auto snapshot = client.Call(stats);
+  ASSERT_TRUE(snapshot.ok());
+  const JsonValue* tier = snapshot->extra.Find("shard_tier");
+  ASSERT_NE(tier, nullptr);
+  EXPECT_EQ(tier->Find("shards")->number_value(), 3.0);
+  EXPECT_EQ(tier->Find("profiles")->number_value(),
+            static_cast<double>(ids.size()));
+  EXPECT_GT(tier->Find("page_ins")->number_value(), 0.0);
+  ASSERT_TRUE(tier->Find("per_shard")->is_array());
+  ASSERT_EQ(tier->Find("per_shard")->array_items().size(), 3u);
+  for (const JsonValue& per_shard : tier->Find("per_shard")->array_items()) {
+    EXPECT_NE(per_shard.Find("journal"), nullptr);
+    EXPECT_EQ(per_shard.Find("journal")->Find("wedged")->bool_value(), false);
+  }
+
+  // The server must be stopped before the store it points into dies.
+  server_->Stop();
+  server_.reset();
+  stdfs::remove_all(dir, ec);
 }
 
 TEST_F(ServerTest, MalformedFrameGetsTypedErrorAndConnectionSurvives) {

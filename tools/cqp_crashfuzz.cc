@@ -25,6 +25,14 @@
 // post-recovery Put must succeed with a version above everything
 // recovered (persisted snapshot-version monotonicity — the property that
 // keeps version-keyed caches coherent across restarts).
+//
+// --sharded runs the same differential campaigns against the sharded,
+// demand-paged tier (ShardedProfileStore) instead: 1–4 shards over one
+// FaultyFileSystem, a tiny resident budget so paging/eviction runs inside
+// the workload, and interleaved Find()s checked against the oracle. A
+// crash lands mid-write on ONE shard; recovery must keep every other
+// shard's acknowledged state intact (shard independence), and version
+// monotonicity is checked per shard — each shard owns its own counter.
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +47,7 @@
 #include "common/failpoint.h"
 #include "common/status.h"
 #include "server/durable_profile_store.h"
+#include "server/shard/sharded_profile_store.h"
 #include "storage/journal/faulty_file.h"
 #include "storage/journal/file.h"
 #include "workload/movie_gen.h"
@@ -64,6 +73,7 @@ struct Flags {
   uint64_t campaigns = 1000;
   uint64_t seed = 1;
   bool verbose = false;
+  bool sharded = false;  ///< fuzz ShardedProfileStore instead
 };
 
 /// The shadow oracle: id → (version, profile text), plus the version
@@ -85,12 +95,18 @@ struct Oracle {
   }
 };
 
-std::string Describe(const Oracle& oracle) {
+using EntryMap = std::map<std::string, std::pair<uint64_t, std::string>>;
+
+std::string DescribeEntries(const EntryMap& entries) {
   std::string out = "{";
-  for (const auto& [id, entry] : oracle.entries) {
+  for (const auto& [id, entry] : entries) {
     out += id + "@v" + std::to_string(entry.first) + " ";
   }
   return out + "}";
+}
+
+std::string Describe(const Oracle& oracle) {
+  return DescribeEntries(oracle.entries);
 }
 
 Oracle RecoveredState(const DurableProfileStore& store) {
@@ -107,6 +123,8 @@ struct CampaignTally {
   uint64_t torn_tails = 0;
   uint64_t compactions = 0;
   uint64_t records_replayed = 0;
+  uint64_t page_ins = 0;    ///< sharded mode only
+  uint64_t evictions = 0;   ///< sharded mode only
   uint64_t failures = 0;
 };
 
@@ -314,8 +332,309 @@ bool RunCampaign(uint64_t campaign, const Flags& flags,
   return true;
 }
 
+using cqp::server::shard::ShardedProfileStore;
+using cqp::server::shard::ShardedStoreOptions;
+
+/// Oracle for the sharded tier. Versions are PER SHARD — each shard
+/// persists its own counter — so the oracle routes ids exactly like the
+/// store (same FNV hash) and keeps one counter per shard.
+struct ShardedOracle {
+  explicit ShardedOracle(size_t shards)
+      : num_shards(shards), next_version(shards, 1) {}
+
+  size_t ShardOf(const std::string& id) const {
+    return ShardedProfileStore::ShardIndexForId(id, num_shards);
+  }
+  void Put(const std::string& id, const std::string& text) {
+    entries[id] = {next_version[ShardOf(id)]++, text};
+  }
+  void Remove(const std::string& id) {
+    entries.erase(id);
+    ++next_version[ShardOf(id)];
+  }
+
+  size_t num_shards;
+  EntryMap entries;
+  std::vector<uint64_t> next_version;
+};
+
+bool RunShardedCampaign(uint64_t campaign, const Flags& flags,
+                        const cqp::storage::Database& db,
+                        const std::vector<PoolEntry>& pool,
+                        const std::string& base_dir, uint64_t calibrated_bytes,
+                        CampaignTally* tally) {
+  uint64_t rng = flags.seed * 0x100000001b3ull + campaign * 2654435761ull;
+  const std::string dir = base_dir + "/campaign" + std::to_string(campaign);
+  const size_t num_shards = 1 + Mix(rng) % 4;  // 1 covers the PR 6 layout
+
+  FaultyFileSystem fs(cqp::storage::PosixFileSystem());
+  ShardedStoreOptions options;
+  options.dir = dir;
+  options.num_shards = num_shards;
+  options.fs = &fs;
+  options.compact_threshold_bytes = 1500 + Mix(rng) % 6000;
+  // Mostly tiny budgets, so page-outs and cold Find()s run INSIDE the
+  // fault window; a quarter of campaigns keep everything resident as the
+  // control.
+  options.resident_budget_bytes =
+      (Mix(rng) % 4 == 0) ? (64ull << 20) : (1 + Mix(rng) % 32768);
+
+  const uint64_t mode = Mix(rng) % 10;
+  if (mode < 6) {
+    fs.CrashAfterBytes(1 + Mix(rng) % (calibrated_bytes +
+                                       calibrated_bytes / 4 + 1));
+  } else if (mode < 9) {
+    uint64_t fp_seed = Mix(rng);
+    std::string spec =
+        "storage.file.append.torn=0.03:" + std::to_string(fp_seed) +
+        ",storage.file.append.enospc=0.02:" + std::to_string(fp_seed + 1) +
+        ",storage.file.sync.fail=0.03:" + std::to_string(fp_seed + 2) +
+        ",storage.file.rename.fail=0.05:" + std::to_string(fp_seed + 3) +
+        ",storage.file.append.split=0.20:" + std::to_string(fp_seed + 4);
+    Status configured = cqp::failpoint::Configure(spec);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "campaign %llu: bad failpoint spec: %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   configured.ToString().c_str());
+      return false;
+    }
+  }  // else: clean run
+
+  ShardedOracle oracle(num_shards);
+  ShardedOracle after_failed_op(num_shards);
+  bool fault_hit = false;
+
+  {
+    auto opened = ShardedProfileStore::Open(&db, options);
+    if (!opened.ok()) {
+      // Open writes the MANIFEST and creates N journals, so an armed fault
+      // can kill setup itself. That is a legal crash point: recovery must
+      // then produce an EMPTY store. A clean-mode open failure is a bug.
+      if (mode >= 9) {
+        std::fprintf(stderr, "campaign %llu: clean open failed: %s\n",
+                     static_cast<unsigned long long>(campaign),
+                     opened.status().ToString().c_str());
+        cqp::failpoint::Reset();
+        return false;
+      }
+      fault_hit = false;  // nothing was ever acknowledged
+    } else {
+      ShardedProfileStore& store = **opened;
+      // 8 ids over 1–4 shards: every shard sees traffic, and the same id
+      // keeps revisiting its shard so versions stack up.
+      const uint64_t n_ops = 10 + Mix(rng) % 40;
+      for (uint64_t op = 0; op < n_ops; ++op) {
+        const std::string id = "u" + std::to_string(Mix(rng) % 8);
+        const uint64_t action = Mix(rng) % 10;
+        // A crash can fire inside the background compaction of an ACKED
+        // Put (the Put rightly returned OK; the snapshot rewrite died).
+        // From that point reads fail too, so the workload is over — with
+        // no operation in limbo.
+        if (fs.crashed()) break;
+        if (action >= 8) {
+          // Read check: no fault has fired yet (the crash case broke out
+          // above, failpoints only trip writes), so Find must agree with
+          // the oracle exactly — paging in from disk when the id went
+          // cold.
+          cqp::server::ProfileStore::Snapshot snap = store.FindSnapshot(id);
+          auto it = oracle.entries.find(id);
+          if (it == oracle.entries.end()) {
+            if (snap.graph != nullptr) {
+              std::fprintf(stderr,
+                           "campaign %llu: FAIL — Find(%s) returned a "
+                           "profile the oracle does not have\n",
+                           static_cast<unsigned long long>(campaign),
+                           id.c_str());
+              cqp::failpoint::Reset();
+              return false;
+            }
+          } else if (snap.graph == nullptr ||
+                     snap.version != it->second.first) {
+            std::fprintf(stderr,
+                         "campaign %llu: FAIL — Find(%s) gave v%llu/%s, "
+                         "oracle has v%llu\n",
+                         static_cast<unsigned long long>(campaign),
+                         id.c_str(),
+                         static_cast<unsigned long long>(snap.version),
+                         snap.graph == nullptr ? "null" : "graph",
+                         static_cast<unsigned long long>(it->second.first));
+            cqp::failpoint::Reset();
+            return false;
+          }
+          continue;
+        }
+        Status result;
+        after_failed_op.entries = oracle.entries;
+        after_failed_op.next_version = oracle.next_version;
+        if (action < 6) {
+          const PoolEntry& entry = pool[Mix(rng) % pool.size()];
+          after_failed_op.Put(id, entry.text);
+          result = store.Put(id, entry.profile);
+          if (result.ok()) oracle.Put(id, entry.text);
+        } else {
+          after_failed_op.Remove(id);
+          result = store.Remove(id);
+          if (result.ok()) oracle.Remove(id);
+        }
+        if (result.ok()) continue;
+        if (result.code() == cqp::StatusCode::kNotFound) continue;  // no-op
+        fault_hit = true;
+        break;
+      }
+      if (!fault_hit) {
+        after_failed_op.entries = oracle.entries;
+        after_failed_op.next_version = oracle.next_version;
+      }
+
+      if (store.wedged()) ++tally->wedges;
+      if (auto stats = store.durability_stats()) {
+        tally->compactions += stats->compactions;
+      }
+      if (auto tier = store.shard_stats()) {
+        tally->page_ins += tier->page_ins;
+        tally->evictions += tier->evictions;
+      }
+    }
+  }
+  if (fs.crashed()) ++tally->crashes;
+
+  // ---- "Reboot": clear the fault machinery and recover every shard. ----
+  cqp::failpoint::Reset();
+  fs.ClearCrash();
+
+  auto reopened = ShardedProfileStore::Open(&db, options);
+  if (!reopened.ok()) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — sharded recovery refused: %s\n",
+                 static_cast<unsigned long long>(campaign),
+                 reopened.status().ToString().c_str());
+    return false;
+  }
+  ShardedProfileStore& recovered = **reopened;
+  if (auto ds = recovered.durability_stats()) {
+    if (ds->torn_tail_recovered) ++tally->torn_tails;
+    tally->records_replayed += ds->replayed_records;
+  }
+
+  auto contents = recovered.Contents();
+  if (!contents.ok()) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — recovered contents unreadable: %s\n",
+                 static_cast<unsigned long long>(campaign),
+                 contents.status().ToString().c_str());
+    return false;
+  }
+  EntryMap state;
+  for (const auto& entry : *contents) {
+    state[entry.key] = {entry.version, entry.value};
+  }
+  // A crash interrupts exactly one shard's write; every other shard must
+  // hold exactly its acknowledged state, so globally the recovered map is
+  // the acked oracle with or without the one in-limbo mutation.
+  const bool matches_acked = state == oracle.entries;
+  const bool matches_next = state == after_failed_op.entries;
+  if (!matches_acked && !matches_next) {
+    std::fprintf(
+        stderr,
+        "campaign %llu: FAIL — recovered state matches neither oracle\n"
+        "  acked:     %s\n  with-last: %s\n  recovered: %s\n  dir: %s\n",
+        static_cast<unsigned long long>(campaign),
+        DescribeEntries(oracle.entries).c_str(),
+        DescribeEntries(after_failed_op.entries).c_str(),
+        DescribeEntries(state).c_str(), dir.c_str());
+    return false;  // keep the directory for post-mortem
+  }
+
+  // Version monotonicity is a PER-SHARD property: a fresh Put must land
+  // above everything recovered on ITS shard (other shards' counters are
+  // independent and may be higher).
+  const size_t post_shard =
+      ShardedProfileStore::ShardIndexForId("post", num_shards);
+  uint64_t max_recovered = 0;
+  for (const auto& [id, entry] : state) {
+    if (ShardedProfileStore::ShardIndexForId(id, num_shards) == post_shard) {
+      max_recovered = std::max(max_recovered, entry.first);
+    }
+  }
+  Status final_put = recovered.Put("post", pool[0].profile);
+  if (!final_put.ok()) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — post-recovery Put failed: %s\n",
+                 static_cast<unsigned long long>(campaign),
+                 final_put.ToString().c_str());
+    return false;
+  }
+  uint64_t post_version = recovered.FindSnapshot("post").version;
+  if (post_version <= max_recovered) {
+    std::fprintf(stderr,
+                 "campaign %llu: FAIL — post-recovery version %llu not "
+                 "above shard %zu's recovered max %llu\n",
+                 static_cast<unsigned long long>(campaign),
+                 static_cast<unsigned long long>(post_version), post_shard,
+                 static_cast<unsigned long long>(max_recovered));
+    return false;
+  }
+
+  // Recovery idempotence, shard by shard: a third open of the (now clean)
+  // directory reproduces the state exactly and sees no torn tail.
+  EntryMap expected_second = state;
+  expected_second["post"] = {post_version, pool[0].text};
+  {
+    auto third = ShardedProfileStore::Open(&db, options);
+    if (!third.ok()) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — second recovery failed: %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   third.status().ToString().c_str());
+      return false;
+    }
+    if (auto ds = (*third)->durability_stats();
+        ds && ds->torn_tail_recovered) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — second recovery still sees a "
+                   "torn tail (truncation did not stick)\n",
+                   static_cast<unsigned long long>(campaign));
+      return false;
+    }
+    auto second = (*third)->Contents();
+    if (!second.ok()) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — second contents unreadable: %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   second.status().ToString().c_str());
+      return false;
+    }
+    EntryMap second_state;
+    for (const auto& entry : *second) {
+      second_state[entry.key] = {entry.version, entry.value};
+    }
+    if (second_state != expected_second) {
+      std::fprintf(stderr,
+                   "campaign %llu: FAIL — recovery not idempotent\n"
+                   "  first+put: %s\n  second:    %s\n",
+                   static_cast<unsigned long long>(campaign),
+                   DescribeEntries(expected_second).c_str(),
+                   DescribeEntries(second_state).c_str());
+      return false;
+    }
+  }
+
+  if (flags.verbose) {
+    std::fprintf(stderr,
+                 "campaign %llu ok: shards=%zu mode=%s fault=%d crash=%d\n",
+                 static_cast<unsigned long long>(campaign), num_shards,
+                 mode < 6 ? "crash" : (mode < 9 ? "failpoints" : "clean"),
+                 fault_hit ? 1 : 0, fs.crashed() ? 1 : 0);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return true;
+}
+
 int Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--campaigns N] [--seed N] [--verbose]\n",
+  std::fprintf(stderr,
+               "usage: %s [--campaigns N] [--seed N] [--sharded] "
+               "[--verbose]\n",
                argv0);
   return 2;
 }
@@ -330,6 +649,8 @@ int main(int argc, char** argv) {
       flags.campaigns = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && i + 1 < argc) {
       flags.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--sharded") {
+      flags.sharded = true;
     } else if (arg == "--verbose") {
       flags.verbose = true;
     } else {
@@ -381,7 +702,23 @@ int main(int argc, char** argv) {
   // campaign writes, so crash offsets can cover the whole range (including
   // "never fires" at the top — a clean-run control).
   uint64_t calibrated_bytes = 4096;
-  {
+  if (flags.sharded) {
+    FaultyFileSystem fs(cqp::storage::PosixFileSystem());
+    cqp::server::shard::ShardedStoreOptions options;
+    options.dir = base_dir + "/calibrate";
+    options.num_shards = 4;  // the fuzz maximum — upper-bounds the bytes
+    options.fs = &fs;
+    auto store = cqp::server::shard::ShardedProfileStore::Open(&*db, options);
+    if (store.ok()) {
+      for (int op = 0; op < 50; ++op) {
+        (void)(*store)->Put("u" + std::to_string(op % 8),
+                            pool[op % pool.size()].profile);
+      }
+      calibrated_bytes = std::max<uint64_t>(fs.bytes_written(), 4096);
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+  } else {
     FaultyFileSystem fs(cqp::storage::PosixFileSystem());
     DurabilityOptions options;
     options.dir = base_dir + "/calibrate";
@@ -400,22 +737,28 @@ int main(int argc, char** argv) {
 
   CampaignTally tally;
   for (uint64_t campaign = 0; campaign < flags.campaigns; ++campaign) {
-    if (!RunCampaign(campaign, flags, *db, pool, base_dir, calibrated_bytes,
-                     &tally)) {
-      ++tally.failures;
-    }
+    const bool ok =
+        flags.sharded
+            ? RunShardedCampaign(campaign, flags, *db, pool, base_dir,
+                                 calibrated_bytes, &tally)
+            : RunCampaign(campaign, flags, *db, pool, base_dir,
+                          calibrated_bytes, &tally);
+    if (!ok) ++tally.failures;
   }
 
   std::printf(
-      "%llu campaigns: %llu crashes, %llu wedges, %llu torn tails "
-      "recovered, %llu compactions, %llu records replayed, %llu failures "
-      "— %s\n",
+      "%llu%s campaigns: %llu crashes, %llu wedges, %llu torn tails "
+      "recovered, %llu compactions, %llu records replayed, %llu page-ins, "
+      "%llu evictions, %llu failures — %s\n",
       static_cast<unsigned long long>(flags.campaigns),
+      flags.sharded ? " sharded" : "",
       static_cast<unsigned long long>(tally.crashes),
       static_cast<unsigned long long>(tally.wedges),
       static_cast<unsigned long long>(tally.torn_tails),
       static_cast<unsigned long long>(tally.compactions),
       static_cast<unsigned long long>(tally.records_replayed),
+      static_cast<unsigned long long>(tally.page_ins),
+      static_cast<unsigned long long>(tally.evictions),
       static_cast<unsigned long long>(tally.failures),
       tally.failures == 0 ? "OK" : "FAIL");
   if (tally.failures == 0) {

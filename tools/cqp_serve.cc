@@ -12,7 +12,10 @@
 //
 // With --data-dir the profile store is durable (docs/durability.md):
 // every Put/Remove is journaled + fsynced before it is acknowledged and
-// the directory's snapshot + journal are replayed on startup.
+// the directory's snapshot + journal are replayed on startup. Adding
+// --shards N switches to the sharded, demand-paged tier (docs/server.md):
+// N independent shard directories under --data-dir, cold profiles paged
+// in on demand, resident graph memory bounded by --resident-mb.
 
 #include <fcntl.h>
 #include <poll.h>
@@ -30,6 +33,7 @@
 #include "server/durable_profile_store.h"
 #include "server/profile_store.h"
 #include "server/server.h"
+#include "server/shard/sharded_profile_store.h"
 #include "workload/movie_gen.h"
 #include "workload/profile_gen.h"
 #include "workload/tourist_gen.h"
@@ -78,6 +82,8 @@ struct Flags {
   double group_commit_ms = 0.0;
   double compact_mb = 4.0;
   double drain_deadline_ms = 1000.0;
+  size_t shards = 0;        ///< >0 = sharded, demand-paged tier
+  double resident_mb = 256.0;  ///< total resident-graph budget (sharded)
 };
 
 int Usage(const char* argv0) {
@@ -88,7 +94,8 @@ int Usage(const char* argv0) {
                "          [--degraded-deadline-ms MS] [--stats-interval S]\n"
                "          [--cmax MS] [--k N] [--algorithm NAME]\n"
                "          [--data-dir DIR] [--group-commit-ms MS]\n"
-               "          [--compact-mb MB] [--drain-deadline-ms MS]\n",
+               "          [--compact-mb MB] [--drain-deadline-ms MS]\n"
+               "          [--shards N] [--resident-mb MB]\n",
                argv0);
   return 2;
 }
@@ -135,6 +142,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->compact_mb = value;
     } else if (arg == "--drain-deadline-ms" && next(&value)) {
       flags->drain_deadline_ms = value;
+    } else if (arg == "--shards" && next(&value)) {
+      flags->shards = static_cast<size_t>(value);
+    } else if (arg == "--resident-mb" && next(&value)) {
+      flags->resident_mb = value;
     } else {
       return false;
     }
@@ -176,7 +187,38 @@ int main(int argc, char** argv) {
   // 2. The profiles: in-memory by default, journaled + snapshotted when
   // --data-dir names a directory (docs/durability.md).
   std::unique_ptr<server::ProfileStore> owned;
-  if (flags.data_dir.empty()) {
+  // A directory with a MANIFEST is a sharded tier even without --shards:
+  // opening it as a single-dir store would silently serve zero profiles.
+  // num_shards = 0 adopts the manifest's count.
+  const bool sharded_dir =
+      !flags.data_dir.empty() &&
+      ::access((flags.data_dir + "/MANIFEST").c_str(), F_OK) == 0;
+  if (flags.shards > 0 || sharded_dir) {
+    if (flags.data_dir.empty()) {
+      std::fprintf(stderr, "--shards requires --data-dir\n");
+      return Usage(argv[0]);
+    }
+    server::shard::ShardedStoreOptions sharded;
+    sharded.dir = flags.data_dir;
+    sharded.num_shards = flags.shards;
+    sharded.resident_budget_bytes =
+        static_cast<uint64_t>(flags.resident_mb * 1024.0 * 1024.0);
+    sharded.compact_threshold_bytes =
+        static_cast<uint64_t>(flags.compact_mb * 1024.0 * 1024.0);
+    auto opened = server::shard::ShardedProfileStore::Open(&db, sharded);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "data dir %s: %s\n", flags.data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    auto ds = (*opened)->durability_stats();
+    std::fprintf(stderr,
+                 "opened %zu shards under %s (%zu profiles indexed, lazily "
+                 "paged) in %.1f ms\n",
+                 (*opened)->num_shards(), flags.data_dir.c_str(),
+                 (*opened)->size(), ds ? ds->recovery_ms : 0.0);
+    owned = *std::move(opened);
+  } else if (flags.data_dir.empty()) {
     owned = std::make_unique<server::ProfileStore>(&db);
   } else {
     server::DurabilityOptions durability;
@@ -270,7 +312,7 @@ int main(int argc, char** argv) {
       if (!std::getline(std::cin, line)) break;  // EOF, as before
       if (line == "quit" || line == "stop" || line == "exit") shutdown = true;
       if (line == "stats") {
-        std::printf("%s\n", server.stats().ToJsonString().c_str());
+        std::printf("%s\n", server.StatsJson().Dump().c_str());
         std::fflush(stdout);
       }
     }
