@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,15 +52,23 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/stopwatch.h"
 #include "construct/personalizer.h"
 #include "server/client.h"
+#include "server/io_util.h"
 #include "server/json.h"
+#include "server/protocol.h"
 #include "server/profile_store.h"
 #include "server/server.h"
 #include "server/shard/sharded_profile_store.h"
@@ -237,6 +246,236 @@ server::JsonValue CellToJson(const CellResult& cell) {
           JsonValue::Number(static_cast<double>(cell.identity_checked)));
   obj.Set("identity_mismatches",
           JsonValue::Number(static_cast<double>(cell.identity_mismatches)));
+  return obj;
+}
+
+// ------------------------------------------------------- multiplexed sweep
+
+/// One multiplexed bench connection: nonblocking fd, a pipelined outbox,
+/// and send timestamps for per-request latency under pipelining.
+struct MuxConn {
+  int fd = -1;
+  std::string outbox;
+  std::string inbox;
+  std::deque<double> send_times;
+  size_t sent = 0;
+  size_t received = 0;
+};
+
+struct MuxCellResult {
+  size_t connections = 0;
+  size_t pipeline = 0;
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t errors = 0;  ///< typed wire errors + unparsable frames
+  size_t connect_failures = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Drives `connections` pipelined connections from ONE thread with poll():
+/// each keeps `pipeline` requests in flight until it has sent
+/// `requests_per_conn`. This is how the sweep reaches 1024 concurrent
+/// connections on a box where 1024 blocking client threads would be the
+/// bottleneck, not the server. Every response is fully parsed (a real
+/// client would), so driver-side parse cost is included in the clock —
+/// honest, since driver and server share the host.
+MuxCellResult RunMuxCell(int port, size_t connections, size_t pipeline,
+                         size_t requests_per_conn, bool personalize) {
+  MuxCellResult cell;
+  cell.connections = connections;
+  cell.pipeline = pipeline;
+
+  std::vector<MuxConn> conns(connections);
+  for (MuxConn& conn : conns) {
+    conn.fd = ConnectLoopback(port);
+    if (conn.fd < 0) {
+      ++cell.connect_failures;
+      continue;
+    }
+    server::SetNonBlocking(conn.fd, true);
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(connections * requests_per_conn);
+  Stopwatch wall;
+
+  size_t query_cursor = 0;
+  auto enqueue = [&](MuxConn& conn) {
+    server::WireRequest request;
+    if (personalize) {
+      request.op = server::RequestOp::kPersonalize;
+      request.personalize.sql =
+          BenchQueries()[query_cursor++ % BenchQueries().size()];
+    } else {
+      request.op = server::RequestOp::kPing;
+    }
+    conn.outbox += server::SerializeRequest(request) + "\n";
+    conn.send_times.push_back(wall.ElapsedMillis());
+    ++conn.sent;
+  };
+  for (MuxConn& conn : conns) {
+    if (conn.fd < 0) continue;
+    for (size_t i = 0; i < std::min(pipeline, requests_per_conn); ++i) {
+      enqueue(conn);
+    }
+  }
+
+  std::vector<pollfd> pfds(connections);
+  for (;;) {
+    bool live = false;
+    for (size_t i = 0; i < connections; ++i) {
+      MuxConn& conn = conns[i];
+      pfds[i].fd = conn.fd;
+      pfds[i].events = 0;
+      pfds[i].revents = 0;
+      if (conn.fd < 0) continue;
+      if (conn.received < conn.sent) pfds[i].events |= POLLIN;
+      if (!conn.outbox.empty()) pfds[i].events |= POLLOUT;
+      if (pfds[i].events != 0) live = true;
+    }
+    if (!live) break;
+    if (::poll(pfds.data(), pfds.size(), 10000) <= 0) break;
+
+    for (size_t i = 0; i < connections; ++i) {
+      MuxConn& conn = conns[i];
+      if (conn.fd < 0 || pfds[i].revents == 0) continue;
+
+      if ((pfds[i].revents & POLLOUT) != 0 && !conn.outbox.empty()) {
+        ssize_t n = ::send(conn.fd, conn.outbox.data(), conn.outbox.size(),
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+          conn.outbox.erase(0, static_cast<size_t>(n));
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          cell.errors += conn.sent - conn.received;
+          ::close(conn.fd);
+          conn.fd = -1;
+          continue;
+        }
+      }
+
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        char chunk[16384];
+        ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          cell.errors += conn.sent - conn.received;
+          ::close(conn.fd);
+          conn.fd = -1;
+          continue;
+        }
+        if (n < 0) continue;
+        conn.inbox.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = conn.inbox.find('\n')) != std::string::npos) {
+          std::string line = conn.inbox.substr(0, nl);
+          conn.inbox.erase(0, nl + 1);
+          if (!conn.send_times.empty()) {
+            latencies.push_back(wall.ElapsedMillis() - conn.send_times.front());
+            conn.send_times.pop_front();
+          }
+          auto response = server::ParseResponse(line);
+          if (response.ok() && response->ok()) {
+            ++cell.ok;
+          } else {
+            ++cell.errors;
+          }
+          ++conn.received;
+          if (conn.sent < requests_per_conn) enqueue(conn);
+        }
+      }
+    }
+  }
+
+  cell.wall_ms = wall.ElapsedMillis();
+  for (MuxConn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  cell.requests = cell.ok + cell.errors;
+  cell.qps = cell.wall_ms > 0.0
+                 ? 1000.0 * static_cast<double>(cell.requests) / cell.wall_ms
+                 : 0.0;
+  cell.p50_ms = Percentile(latencies, 0.50);
+  cell.p99_ms = Percentile(latencies, 0.99);
+  return cell;
+}
+
+server::JsonValue MuxCellToJson(const char* op, const MuxCellResult& cell) {
+  using server::JsonValue;
+  JsonValue obj = JsonValue::Object();
+  obj.Set("op", JsonValue::Str(op));
+  obj.Set("connections",
+          JsonValue::Number(static_cast<double>(cell.connections)));
+  obj.Set("pipeline", JsonValue::Number(static_cast<double>(cell.pipeline)));
+  obj.Set("requests", JsonValue::Number(static_cast<double>(cell.requests)));
+  obj.Set("ok", JsonValue::Number(static_cast<double>(cell.ok)));
+  obj.Set("errors", JsonValue::Number(static_cast<double>(cell.errors)));
+  obj.Set("connect_failures",
+          JsonValue::Number(static_cast<double>(cell.connect_failures)));
+  obj.Set("wall_ms", JsonValue::Number(cell.wall_ms));
+  obj.Set("qps", JsonValue::Number(cell.qps));
+  obj.Set("p50_ms", JsonValue::Number(cell.p50_ms));
+  obj.Set("p99_ms", JsonValue::Number(cell.p99_ms));
+  return obj;
+}
+
+/// Held-connections phase: open as many idle connections as the fd
+/// rlimit allows toward `target` (client and server fds share one process
+/// here, so each connection costs two), then measure ping latency through
+/// the noise — the epoll loops must not degrade because thousands of
+/// idle fds sit in their interest sets.
+server::JsonValue RunHeldConnections(int port, size_t target) {
+  using server::JsonValue;
+  rlimit limit{};
+  ::getrlimit(RLIMIT_NOFILE, &limit);
+  // Reserve headroom for the db, journals, epoll/eventfds and the probe.
+  size_t max_held = 0;
+  if (limit.rlim_cur > 1024) {
+    max_held = (static_cast<size_t>(limit.rlim_cur) - 1024) / 2;
+  }
+  const size_t goal = std::min(target, max_held);
+
+  std::vector<int> held;
+  held.reserve(goal);
+  while (held.size() < goal) {
+    int fd = ConnectLoopback(port);
+    if (fd < 0) break;
+    held.push_back(fd);
+  }
+
+  // A quick pipelined ping probe while the held fds idle in the loops.
+  MuxCellResult probe = RunMuxCell(port, 32, 4, 64, /*personalize=*/false);
+
+  JsonValue obj = JsonValue::Object();
+  obj.Set("target", JsonValue::Number(static_cast<double>(target)));
+  obj.Set("held", JsonValue::Number(static_cast<double>(held.size())));
+  obj.Set("rlimit_nofile",
+          JsonValue::Number(static_cast<double>(limit.rlim_cur)));
+  obj.Set("rlimit_capped", JsonValue::Bool(goal < target));
+  obj.Set("probe", MuxCellToJson("ping", probe));
+  std::printf(
+      "held connections: %zu/%zu idle (rlimit %llu, client+server share "
+      "the fd table), probe p50 %.2f ms p99 %.2f ms, %zu/%zu ok\n",
+      held.size(), target, static_cast<unsigned long long>(limit.rlim_cur),
+      probe.p50_ms, probe.p99_ms, probe.ok, probe.requests);
+  for (int fd : held) ::close(fd);
   return obj;
 }
 
@@ -991,6 +1230,42 @@ int Run(bool smoke, const std::string& json_path,
       cells.Append(CellToJson(cell));
     }
   }
+  // ---- multiplexed pipelined sweep: one driver thread, poll()-driven,
+  // pushes connection counts far past what blocking client threads can.
+  std::printf("\nmultiplexed sweep (pipelined, %zu io loop%s)\n",
+              server.num_io_threads(),
+              server.num_io_threads() == 1 ? "" : "s");
+  std::printf("%6s %12s %5s %9s %10s %8s %8s %6s %6s\n", "conns", "op",
+              "pipe", "requests", "q/s", "p50_ms", "p99_ms", "ok", "err");
+  std::vector<size_t> mux_conns = smoke ? std::vector<size_t>{1, 8, 64}
+                                        : std::vector<size_t>{1, 8, 32, 256,
+                                                              1024};
+  server::JsonValue mux_cells = server::JsonValue::Array();
+  for (size_t conns : mux_conns) {
+    for (bool personalize : {false, true}) {
+      const size_t total = personalize ? (smoke ? 512 : 2048)
+                                       : (smoke ? 4096 : 32768);
+      const size_t per_conn = std::max<size_t>(personalize ? 4 : 16,
+                                               total / conns);
+      MuxCellResult cell = RunMuxCell(server.port(), conns,
+                                      /*pipeline=*/personalize ? 4 : 8,
+                                      per_conn, personalize);
+      std::printf("%6zu %12s %5zu %9zu %10.1f %8.2f %8.2f %6zu %6zu\n",
+                  cell.connections, personalize ? "personalize" : "ping",
+                  cell.pipeline, cell.requests, cell.qps, cell.p50_ms,
+                  cell.p99_ms, cell.ok, cell.errors);
+      mux_cells.Append(
+          MuxCellToJson(personalize ? "personalize" : "ping", cell));
+    }
+  }
+  std::printf("\n");
+
+  // ---- held-connections phase: thousands of idle fds must not slow the
+  // loops down.
+  server::JsonValue held_record =
+      RunHeldConnections(server.port(), smoke ? 1000 : 10000);
+  const size_t io_threads = server.num_io_threads();
+
   server.Stop();
   std::printf("\n");
 
@@ -1018,7 +1293,11 @@ int Run(bool smoke, const std::string& json_path,
   record.Set("hardware_threads",
              JsonValue::Number(std::thread::hardware_concurrency()));
   record.Set("smoke", JsonValue::Bool(smoke));
+  record.Set("io_threads",
+             JsonValue::Number(static_cast<double>(io_threads)));
   record.Set("cells", std::move(cells));
+  record.Set("mux_cells", std::move(mux_cells));
+  record.Set("held_connections", std::move(held_record));
   record.Set("shed_probe", std::move(shed_probe));
 
   if (!WriteJson(record, json_path)) return 1;

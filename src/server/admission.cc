@@ -19,4 +19,40 @@ void AdmissionController::Release() {
   pending_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
+AdmissionOptions SliceAdmissionOptions(const AdmissionOptions& options,
+                                       size_t num_slices) {
+  if (num_slices <= 1) return options;
+  auto ceil_div = [num_slices](size_t v) {
+    return v == 0 ? size_t{0} : (v + num_slices - 1) / num_slices;
+  };
+  AdmissionOptions slice = options;
+  slice.max_pending = ceil_div(options.max_pending);
+  slice.soft_pending = ceil_div(options.soft_pending);
+  return slice;
+}
+
+size_t AdmissionTotals::pending() const {
+  size_t sum = 0;
+  for (const AdmissionController* slice : slices_) sum += slice->pending();
+  return sum;
+}
+
+uint64_t AdmissionTotals::admitted_total() const {
+  uint64_t sum = 0;
+  for (const AdmissionController* s : slices_) sum += s->admitted_total();
+  return sum;
+}
+
+uint64_t AdmissionTotals::shed_total() const {
+  uint64_t sum = 0;
+  for (const AdmissionController* s : slices_) sum += s->shed_total();
+  return sum;
+}
+
+uint64_t AdmissionTotals::degraded_total() const {
+  uint64_t sum = 0;
+  for (const AdmissionController* s : slices_) sum += s->degraded_total();
+  return sum;
+}
+
 }  // namespace cqp::server

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace cqp::server {
 
@@ -70,6 +71,36 @@ class AdmissionController {
   std::atomic<uint64_t> admitted_total_{0};
   std::atomic<uint64_t> shed_total_{0};
   std::atomic<uint64_t> degraded_total_{0};
+};
+
+/// The per-loop slice of a whole-server admission budget. Watermarks divide
+/// (ceiling) across `num_slices` event loops so each loop admits against
+/// its own lock-free controller with zero cross-loop traffic; the ceiling
+/// means the summed hard watermark can exceed the configured one by up to
+/// num_slices - 1 — watermarks are load-shedding heuristics, not exact
+/// quotas, and an uncontended atomic per loop beats one contended gauge.
+/// A zero watermark stays zero (0 = shed everything / soft disabled).
+AdmissionOptions SliceAdmissionOptions(const AdmissionOptions& options,
+                                       size_t num_slices);
+
+/// Read-only aggregate over every loop's admission slice: the view the
+/// stats op, Stop()'s drain loop and the tests watch. options() returns
+/// the configured (unsliced) options.
+class AdmissionTotals {
+ public:
+  AdmissionTotals(std::vector<const AdmissionController*> slices,
+                  const AdmissionOptions* configured)
+      : slices_(std::move(slices)), configured_(configured) {}
+
+  size_t pending() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_total() const;
+  uint64_t degraded_total() const;
+  const AdmissionOptions& options() const { return *configured_; }
+
+ private:
+  std::vector<const AdmissionController*> slices_;
+  const AdmissionOptions* configured_;
 };
 
 }  // namespace cqp::server

@@ -1,35 +1,193 @@
 #include "server/connection.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <utility>
 
-#include "server/io_util.h"
+#include "server/event_loop.h"
 
 namespace cqp::server {
 
-Connection::Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
+namespace {
+/// Frames batched into one sendmsg. Enough to empty the queue in a call
+/// or two under pipelining without an unbounded stack iovec array.
+constexpr size_t kMaxIov = 64;
+}  // namespace
+
+Connection::Connection(int fd, uint64_t id, EventLoop* loop,
+                       size_t max_frame_bytes)
+    : fd_(fd), id_(id), loop_(loop), decoder_(max_frame_bytes) {}
 
 Connection::~Connection() {
   if (fd_ >= 0) ::close(fd_);
 }
 
 bool Connection::WriteLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(write_mu_);
-  if (write_failed_) return false;
-  std::string frame = line;
-  frame.push_back('\n');
-  // SendAll owns the EINTR retry and the short-write loop: a signal landing
-  // mid-send, or a response larger than the socket buffer, must never tear
-  // a frame in half.
-  if (!SendAll(fd_, frame.data(), frame.size())) {
-    write_failed_ = true;
-    return false;
+  if (closed_.load(std::memory_order_acquire)) return false;
+  if (loop_->OnLoopThread()) {
+    QueueFrame(line + "\n");
+    if (!closed_.load(std::memory_order_relaxed) && !in_read_batch_) {
+      FlushWrites();
+    }
+    return !closed_.load(std::memory_order_relaxed);
   }
+  // Worker thread: hand the frame to the owning loop. The eventfd wakeup
+  // inside Post is the only cross-thread signal; the loop does the actual
+  // queueing and I/O, so no connection state needs a lock.
+  loop_->Post([self = shared_from_this(), frame = line + "\n"]() mutable {
+    if (self->closed_.load(std::memory_order_relaxed)) return;
+    self->QueueFrame(std::move(frame));
+    if (!self->closed_.load(std::memory_order_relaxed)) self->FlushWrites();
+  });
   return true;
 }
 
-void Connection::Shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+void Connection::OnReadable() {
+  char chunk[16384];
+  in_read_batch_ = true;
+  while (!closed_.load(std::memory_order_relaxed) && !read_paused_ &&
+         !close_after_flush_) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      in_read_batch_ = false;
+      loop_->Teardown(shared_from_this());
+      return;
+    }
+    if (n == 0) {  // peer closed its end: nothing further to answer
+      in_read_batch_ = false;
+      loop_->Teardown(shared_from_this());
+      return;
+    }
+    LoopStats& ls = loop_->loop_stats();
+    ls.reads.fetch_add(1, std::memory_order_relaxed);
+    ls.read_bytes.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+    auto self = shared_from_this();
+    FrameDecoder::Result r = decoder_.Feed(
+        chunk, static_cast<size_t>(n), [&](std::string&& line) {
+          ls.frames.fetch_add(1, std::memory_order_relaxed);
+          return loop_->on_line_(self, std::move(line));
+        });
+    if (closed_.load(std::memory_order_relaxed)) {
+      // A handler tore us down mid-batch (e.g. write-queue overflow).
+      in_read_batch_ = false;
+      return;
+    }
+    if (r == FrameDecoder::Result::kFrameTooLong) {
+      // Same contract as the blocking reader: typed error, then close —
+      // but only after the error (and any pipelined answers) flush.
+      ls.frame_cap_closes.fetch_add(1, std::memory_order_relaxed);
+      QueueFrame(loop_->on_oversize_(loop_->options().max_frame_bytes) + "\n");
+      close_after_flush_ = true;
+    } else if (r == FrameDecoder::Result::kStop) {
+      close_after_flush_ = true;
+    }
+    // Backpressure: inline answers (admin ops, shed/typed errors) may have
+    // grown the write queue past the watermark — stop reading until the
+    // peer drains it. Short read ⇒ the socket is empty; stop asking.
+    if (queued_bytes_ > loop_->options().write_queue_watermark_bytes &&
+        !read_paused_) {
+      read_paused_ = true;
+      loop_->loop_stats().read_pauses.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (static_cast<size_t>(n) < sizeof(chunk)) break;
+  }
+  in_read_batch_ = false;
+  if (closed_.load(std::memory_order_relaxed)) return;
+  FlushWrites();
+}
+
+void Connection::OnWritable() { FlushWrites(); }
+
+void Connection::QueueFrame(std::string frame) {
+  if (closed_.load(std::memory_order_relaxed)) return;
+  if (queued_bytes_ + frame.size() >
+      loop_->options().write_queue_limit_bytes) {
+    // The peer stopped draining long ago (backpressure already stopped
+    // reads); buffering more only defers the inevitable at the cost of
+    // server memory. Disconnect the slow reader.
+    loop_->loop_stats().backpressure_closes.fetch_add(
+        1, std::memory_order_relaxed);
+    loop_->Teardown(shared_from_this());
+    return;
+  }
+  queued_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+}
+
+void Connection::FlushWrites() {
+  if (closed_.load(std::memory_order_relaxed)) return;
+  while (!write_queue_.empty()) {
+    iovec iov[kMaxIov];
+    size_t cnt = 0;
+    for (auto it = write_queue_.begin();
+         it != write_queue_.end() && cnt < kMaxIov; ++it, ++cnt) {
+      size_t off = (cnt == 0) ? write_offset_ : 0;
+      iov[cnt].iov_base = const_cast<char*>(it->data() + off);
+      iov[cnt].iov_len = it->size() - off;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    // sendmsg == writev + MSG_NOSIGNAL: a vanished peer reports EPIPE
+    // instead of raising SIGPIPE.
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      loop_->Teardown(shared_from_this());
+      return;
+    }
+    LoopStats& ls = loop_->loop_stats();
+    ls.writevs.fetch_add(1, std::memory_order_relaxed);
+    ls.write_bytes.fetch_add(static_cast<uint64_t>(n),
+                             std::memory_order_relaxed);
+    size_t sent = static_cast<size_t>(n);
+    queued_bytes_ -= sent;
+    while (sent > 0) {
+      size_t remaining = write_queue_.front().size() - write_offset_;
+      if (sent >= remaining) {
+        sent -= remaining;
+        write_offset_ = 0;
+        write_queue_.pop_front();
+      } else {
+        write_offset_ += sent;
+        sent = 0;
+      }
+    }
+  }
+  if (write_queue_.empty() && close_after_flush_) {
+    loop_->Teardown(shared_from_this());
+    return;
+  }
+  if (!read_paused_ &&
+      queued_bytes_ > loop_->options().write_queue_watermark_bytes) {
+    // Async worker responses can pile up while the peer idles: pause reads
+    // here too, not just in OnReadable, or a never-draining client keeps
+    // feeding new requests into an already-choked pipe.
+    read_paused_ = true;
+    loop_->loop_stats().read_pauses.fetch_add(1, std::memory_order_relaxed);
+  } else if (read_paused_ &&
+             queued_bytes_ <=
+                 loop_->options().write_queue_watermark_bytes) {
+    read_paused_ = false;  // the peer drained; resume reading
+  }
+  SyncInterest();
+}
+
+void Connection::SyncInterest() {
+  if (closed_.load(std::memory_order_relaxed)) return;
+  bool want_read = !read_paused_ && !close_after_flush_;
+  bool want_write = !write_queue_.empty();
+  if (want_read == reg_read_ && want_write == reg_write_) return;
+  loop_->UpdateInterest(this, want_read, want_write);
+  reg_read_ = want_read;
+  reg_write_ = want_write;
+}
 
 }  // namespace cqp::server

@@ -3,24 +3,30 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <deque>
+#include <memory>
 #include <string>
 
 #include "common/budget.h"
+#include "server/frame_decoder.h"
 
 namespace cqp::server {
 
-/// One accepted client socket. Owns the fd; thread-safe response writer
-/// (the reader thread answers administrative ops inline while worker
-/// threads stream personalize responses, so frames must not interleave).
+class EventLoop;
+
+/// One accepted non-blocking client socket, owned by exactly one
+/// EventLoop. All I/O state (frame decoder, write queue, epoll interest)
+/// is loop-thread-only; worker threads interact solely through
+/// WriteLine(), which posts the frame to the owning loop via its eventfd
+/// wakeup when called off-thread.
 ///
 /// The per-connection CancelToken is wired into every in-flight request's
-/// SearchBudget: when the peer disappears, the reader cancels the token
-/// and the searches unwind cooperatively instead of burning workers on
-/// answers nobody will read.
-class Connection {
+/// SearchBudget: teardown cancels it, so searches for a vanished peer
+/// unwind cooperatively instead of burning workers on answers nobody will
+/// read.
+class Connection : public std::enable_shared_from_this<Connection> {
  public:
-  Connection(int fd, uint64_t id);
+  Connection(int fd, uint64_t id, EventLoop* loop, size_t max_frame_bytes);
   ~Connection();  ///< closes the fd
 
   Connection(const Connection&) = delete;
@@ -28,29 +34,58 @@ class Connection {
 
   int fd() const { return fd_; }
   uint64_t id() const { return id_; }
+  EventLoop* loop() const { return loop_; }
 
   CancelToken& cancel_token() { return cancel_; }
 
-  /// Writes `line` plus '\n' atomically with respect to other WriteLine
-  /// calls. Returns false once the peer is gone (EPIPE and friends); the
-  /// error is latched, so later calls fail fast.
+  /// Queues `line` plus '\n' for delivery, never interleaving frames. On
+  /// the loop thread the frame is queued (and flushed unless inside a read
+  /// batch — responses to coalesced requests leave in one writev); from a
+  /// worker it is posted to the owning loop. Returns false once the
+  /// connection is torn down; a post that loses the race with teardown is
+  /// dropped there, which is indistinguishable from the peer vanishing a
+  /// moment later.
   bool WriteLine(const std::string& line);
 
-  /// shutdown(SHUT_RDWR): unblocks a reader stuck in read() so the server
-  /// can join it. The fd stays open until destruction.
-  void Shutdown();
-
-  /// True once the reader loop has exited (set by the server).
+  /// True once the owning loop tore the connection down.
   bool closed() const { return closed_.load(std::memory_order_acquire); }
-  void MarkClosed() { closed_.store(true, std::memory_order_release); }
 
  private:
+  friend class EventLoop;
+
+  // --- everything below runs on the owning loop's thread only ---
+
+  /// Drains the socket until EAGAIN (or EOF/error → teardown), feeding
+  /// the frame decoder; dispatches complete frames through the loop's
+  /// LineHandler. Applies read-side backpressure when the write queue
+  /// crosses the watermark.
+  void OnReadable();
+  /// EPOLLOUT: the socket drained, continue flushing the write queue.
+  void OnWritable();
+
+  void QueueFrame(std::string frame);
+  /// writev (sendmsg) as much of the write queue as the socket accepts;
+  /// resumes paused reads under the watermark, tears down on write error
+  /// or once drained with close_after_flush_ set.
+  void FlushWrites();
+  /// Reconciles desired epoll interest with what is registered.
+  void SyncInterest();
+
   const int fd_;
   const uint64_t id_;
+  EventLoop* const loop_;
   CancelToken cancel_;
-  std::mutex write_mu_;
-  bool write_failed_ = false;  ///< guarded by write_mu_
   std::atomic<bool> closed_{false};
+
+  FrameDecoder decoder_;
+  std::deque<std::string> write_queue_;
+  size_t write_offset_ = 0;  ///< bytes of write_queue_.front() already sent
+  size_t queued_bytes_ = 0;  ///< total unsent bytes across the queue
+  bool reg_read_ = true;     ///< EPOLLIN currently registered
+  bool reg_write_ = false;   ///< EPOLLOUT currently registered
+  bool read_paused_ = false; ///< backpressure: over the write watermark
+  bool close_after_flush_ = false;
+  bool in_read_batch_ = false;  ///< defer flushes until the read loop ends
 };
 
 }  // namespace cqp::server

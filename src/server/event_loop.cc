@@ -1,0 +1,265 @@
+#include "server/event_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cqp::server {
+
+namespace {
+constexpr int kMaxEvents = 128;
+}  // namespace
+
+EventLoop::EventLoop(size_t index, EventLoopOptions options, LoopStats* stats)
+    : index_(index),
+      options_(std::move(options)),
+      stats_(stats),
+      admission_(options_.admission) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  CQP_CHECK(epoll_fd_ >= 0);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  CQP_CHECK(wake_fd_ >= 0);
+}
+
+EventLoop::~EventLoop() {
+  Join();
+  CloseListener();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Listen(const std::string& host, int port) {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Every loop binds its own listener on the same port; the kernel
+  // load-balances incoming connections across them, so there is no shared
+  // accept fd (and no close race at shutdown).
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseListener();
+    return InvalidArgument("bad bind address '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Internal("bind(" + host + ":" + std::to_string(port) +
+                             "): " + std::strerror(errno));
+    CloseListener();
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    Status status = Internal(std::string("listen(): ") + std::strerror(errno));
+    CloseListener();
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+void EventLoop::Start(LineHandler on_line, ConnHandler on_open,
+                      ConnHandler on_close, OversizeHandler on_oversize,
+                      uint64_t id_base, uint64_t id_step) {
+  on_line_ = std::move(on_line);
+  on_open_ = std::move(on_open);
+  on_close_ = std::move(on_close);
+  on_oversize_ = std::move(on_oversize);
+  next_id_ = id_base;
+  id_step_ = id_step;
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (listen_fd_ >= 0) {
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  thread_ = std::thread([this] {
+    thread_id_.store(std::this_thread::get_id());
+    Run();
+  });
+}
+
+void EventLoop::StopAccepting() {
+  Post([this] { CloseListener(); });
+}
+
+void EventLoop::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  Post([] {});  // the wakeup is the point
+}
+
+void EventLoop::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  // The write can only fail with EAGAIN once the counter saturates, at
+  // which point the loop is already guaranteed a wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainTasks() {
+  uint64_t drained = 0;
+  [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  stats_->tasks.fetch_add(tasks.size(), std::memory_order_relaxed);
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: only possible at destruction
+    }
+    stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        DrainTasks();
+        continue;
+      }
+      if (fd == listen_fd_ && listen_fd_ >= 0) {
+        HandleAccept();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // torn down earlier in this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        // Half-closed peers still carry readable data; let the read path
+        // consume it and observe EOF/error itself.
+        conn->OnReadable();
+        if (conn->closed()) continue;
+      }
+      if (mask & EPOLLOUT) {
+        conn->OnWritable();
+        if (conn->closed()) continue;
+      }
+      if (mask & EPOLLIN) conn->OnReadable();
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Late tasks (worker responses posted during the drain window) run
+      // before teardown so their frames get a final flush attempt.
+      DrainTasks();
+      while (!conns_.empty()) {
+        Teardown(conns_.begin()->second);
+      }
+      CloseListener();
+      return;
+    }
+  }
+}
+
+void EventLoop::HandleAccept() {
+  for (;;) {
+    int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained; anything else: retry on next event
+    }
+    int one = 1;
+    // Responses are single writev batches; Nagle only adds latency here.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+    auto conn = std::make_shared<Connection>(fd, next_id_, this,
+                                             options_.max_frame_bytes);
+    next_id_ += id_step_;
+    conns_[fd] = conn;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    stats_->accepts.fetch_add(1, std::memory_order_relaxed);
+    stats_->connections.fetch_add(1, std::memory_order_relaxed);
+    if (on_open_) on_open_(conn);
+  }
+}
+
+void EventLoop::UpdateInterest(Connection* conn, bool want_read,
+                               bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+void EventLoop::Teardown(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // Cancel before anything else: in-flight searches for this peer must
+  // unwind at their next ShouldStop() poll, and queued ones short-circuit.
+  conn->cancel_token().Cancel();
+  // One best-effort flush so a graceful shutdown still delivers responses
+  // that were posted during the drain window (closed_ is already set, so
+  // the normal FlushWrites path cannot recurse back here).
+  if (!conn->write_queue_.empty()) {
+    std::vector<iovec> iov;
+    iov.reserve(conn->write_queue_.size());
+    size_t off = conn->write_offset_;
+    for (const std::string& frame : conn->write_queue_) {
+      if (iov.size() >= 64) break;  // best-effort; stay far under IOV_MAX
+      iov.push_back({const_cast<char*>(frame.data() + off),
+                     frame.size() - off});
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = iov.size();
+    [[maybe_unused]] ssize_t n = ::sendmsg(conn->fd(), &msg, MSG_NOSIGNAL);
+    conn->write_queue_.clear();
+    conn->queued_bytes_ = 0;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  ::shutdown(conn->fd(), SHUT_RDWR);
+  conns_.erase(conn->fd());
+  stats_->connections.fetch_sub(1, std::memory_order_relaxed);
+  if (on_close_) on_close_(conn);
+}
+
+void EventLoop::CloseListener() {
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace cqp::server

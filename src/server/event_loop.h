@@ -1,0 +1,158 @@
+#ifndef CQP_SERVER_EVENT_LOOP_H_
+#define CQP_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/admission.h"
+#include "server/connection.h"
+#include "server/server_stats.h"
+
+namespace cqp::server {
+
+/// Per-loop configuration, fixed at construction.
+struct EventLoopOptions {
+  /// Protocol frame cap fed to each connection's FrameDecoder.
+  size_t max_frame_bytes = 1u << 20;
+  /// Backpressure high watermark: once a connection's unsent response
+  /// bytes exceed this, the loop stops reading from it (drops EPOLLIN)
+  /// until the queue drains back under — a pipelining client that never
+  /// drains cannot turn the server into its unbounded buffer.
+  size_t write_queue_watermark_bytes = 256 * 1024;
+  /// Hard cap: a connection whose write queue would exceed this is a
+  /// slow-reader hazard (backpressure already stopped feeding it new
+  /// requests, so growth past the limit means already-admitted responses
+  /// alone overflowed it) and is disconnected.
+  size_t write_queue_limit_bytes = 4 * 1024 * 1024;
+  /// When > 0, shrink each accepted socket's SO_SNDBUF to this many bytes.
+  /// Tests use it to make the kernel buffer small enough that the write
+  /// queue watermarks trip deterministically.
+  int so_sndbuf = 0;
+  /// This loop's slice of the server-wide admission budget.
+  AdmissionOptions admission;
+};
+
+/// One epoll event-loop shard: owns its SO_REUSEPORT listener (the kernel
+/// load-balances incoming connections across loops), its epoll instance,
+/// an eventfd for cross-thread wakeups, and every connection it accepted.
+/// All connection I/O state is touched only from the loop thread; other
+/// threads communicate exclusively through Post().
+///
+/// Lifecycle: Listen() binds, Start() spawns the thread, StopAccepting()
+/// closes the listener (existing connections keep being served),
+/// RequestStop() drains the task queue, tears every connection down
+/// (cancelling its in-flight searches) and exits, Join() reaps the thread.
+/// Post() stays safe after the loop exits — tasks just accumulate and are
+/// destroyed with the loop, which is exactly what a worker finishing after
+/// shutdown needs.
+class EventLoop {
+ public:
+  /// Dispatches one decoded frame; returns false when the connection must
+  /// close once its pending responses flush.
+  using LineHandler =
+      std::function<bool(const std::shared_ptr<Connection>&, std::string&&)>;
+  using ConnHandler = std::function<void(const std::shared_ptr<Connection>&)>;
+  /// Builds the serialized typed-error frame sent before closing a
+  /// connection whose partial frame exceeded max_frame_bytes (keeps wire
+  /// protocol knowledge out of the I/O layer).
+  using OversizeHandler = std::function<std::string(size_t max_frame_bytes)>;
+
+  EventLoop(size_t index, EventLoopOptions options, LoopStats* stats);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates this loop's SO_REUSEPORT listener. All loops of one server
+  /// bind the same (host, port); pass the resolved port once loop 0 has
+  /// bound an ephemeral one.
+  Status Listen(const std::string& host, int port);
+  int bound_port() const { return bound_port_; }
+
+  /// Spawns the loop thread. Connection ids are id_base, id_base+id_step,
+  /// … so ids stay unique across loops without shared state.
+  void Start(LineHandler on_line, ConnHandler on_open, ConnHandler on_close,
+             OversizeHandler on_oversize, uint64_t id_base, uint64_t id_step);
+
+  /// Closes the listener (from any thread, via Post). Existing
+  /// connections continue to be served.
+  void StopAccepting();
+
+  /// Asks the loop to drain pending tasks, tear down every connection
+  /// (cancelling their CancelTokens) and exit.
+  void RequestStop();
+  void Join();
+
+  /// Enqueues `task` to run on the loop thread and wakes it via eventfd.
+  /// Thread-safe; callable before Start and after the loop exited.
+  void Post(std::function<void()> task);
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == thread_id_.load();
+  }
+
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+  const EventLoopOptions& options() const { return options_; }
+  LoopStats& loop_stats() { return *stats_; }
+  size_t index() const { return index_; }
+  size_t num_connections() const {
+    return stats_->connections.load(std::memory_order_relaxed) < 0
+               ? 0
+               : static_cast<size_t>(
+                     stats_->connections.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class Connection;
+
+  void Run();
+  void HandleAccept();
+  void DrainTasks();
+  /// EPOLL_CTL_MOD `conn` to the given interest set (loop thread only).
+  void UpdateInterest(Connection* conn, bool want_read, bool want_write);
+  /// Cancels, deregisters and forgets `conn` (loop thread only).
+  /// Idempotent. Attempts one final non-blocking flush of queued
+  /// responses first so a clean shutdown still delivers drained answers.
+  void Teardown(const std::shared_ptr<Connection>& conn);
+  void CloseListener();
+
+  const size_t index_;
+  const EventLoopOptions options_;
+  LoopStats* const stats_;
+  AdmissionController admission_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+  std::atomic<std::thread::id> thread_id_{};
+
+  LineHandler on_line_;
+  ConnHandler on_open_;
+  ConnHandler on_close_;
+  OversizeHandler on_oversize_;
+  uint64_t next_id_ = 1;
+  uint64_t id_step_ = 1;
+
+  /// Loop-thread-only: live connections keyed by fd (epoll events carry
+  /// the fd; a stale event after a same-batch teardown just misses here).
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;  ///< guarded by tasks_mu_
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,32 @@
+#include "server/frame_decoder.h"
+
+namespace cqp::server {
+
+FrameDecoder::Result FrameDecoder::Feed(
+    const char* data, size_t len,
+    const std::function<bool(std::string&&)>& on_line) {
+  buffer_.append(data, len);
+  size_t start = 0;
+  Result result = Result::kOk;
+  for (size_t nl = buffer_.find('\n', scan_pos_);
+       nl != std::string::npos; nl = buffer_.find('\n', scan_pos_)) {
+    size_t end = nl;
+    if (end > start && buffer_[end - 1] == '\r') --end;
+    std::string line = buffer_.substr(start, end - start);
+    start = nl + 1;
+    scan_pos_ = start;
+    if (!line.empty() && !on_line(std::move(line))) {
+      result = Result::kStop;
+      break;
+    }
+  }
+  if (result == Result::kOk) scan_pos_ = buffer_.size();
+  buffer_.erase(0, start);
+  scan_pos_ -= start;
+  if (result == Result::kOk && buffer_.size() > max_frame_bytes_) {
+    return Result::kFrameTooLong;
+  }
+  return result;
+}
+
+}  // namespace cqp::server

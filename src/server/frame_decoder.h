@@ -1,0 +1,53 @@
+#ifndef CQP_SERVER_FRAME_DECODER_H_
+#define CQP_SERVER_FRAME_DECODER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace cqp::server {
+
+/// Incremental decoder for the '\n'-delimited wire protocol, built for
+/// non-blocking sockets where a frame may arrive one byte at a time, split
+/// at any boundary, or coalesced with the next frame in a single read.
+///
+/// Semantics match the blocking reader it replaces exactly:
+///  * a complete line is everything up to (not including) '\n', with one
+///    trailing '\r' stripped (CRLF tolerance);
+///  * empty lines are silently skipped (a bare "\n" keepalive is free);
+///  * a line of exactly `max_frame_bytes` is legal; the decoder reports
+///    kFrameTooLong only once the *partial* frame exceeds the cap, so two
+///    coalesced half-cap frames never trip it.
+///
+/// Cost is linear in bytes fed: the scan position survives across Feed()
+/// calls, so a 1 MiB frame dribbled in 1-byte reads is still O(n) total,
+/// not O(n^2).
+class FrameDecoder {
+ public:
+  enum class Result {
+    kOk,            ///< all complete lines delivered, remainder buffered
+    kStop,          ///< on_line returned false; remaining bytes kept
+    kFrameTooLong,  ///< the buffered partial frame exceeds the cap
+  };
+
+  explicit FrameDecoder(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends `len` bytes and invokes `on_line` once per completed line, in
+  /// order. on_line returning false aborts the walk (kStop) — the caller
+  /// is closing the connection and any buffered tail is moot.
+  Result Feed(const char* data, size_t len,
+              const std::function<bool(std::string&&)>& on_line);
+
+  /// Bytes of the current partial frame (buffered, no '\n' seen yet).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t scan_pos_ = 0;  ///< first index of buffer_ not yet scanned for '\n'
+};
+
+}  // namespace cqp::server
+
+#endif  // CQP_SERVER_FRAME_DECODER_H_

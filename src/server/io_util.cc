@@ -1,5 +1,6 @@
 #include "server/io_util.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -26,6 +27,14 @@ ssize_t ReadSome(int fd, char* buf, size_t len) {
     if (n < 0 && errno == EINTR) continue;
     return n;
   }
+}
+
+bool SetNonBlocking(int fd, bool enable) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want == flags) return true;
+  return ::fcntl(fd, F_SETFL, want) == 0;
 }
 
 }  // namespace cqp::server

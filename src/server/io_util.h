@@ -20,6 +20,12 @@ bool SendAll(int fd, const char* data, size_t len);
 /// callers accumulate into their framing buffer.
 ssize_t ReadSome(int fd, char* buf, size_t len);
 
+/// Toggles O_NONBLOCK on `fd`. The event-loop path creates fds
+/// non-blocking at the source (SOCK_NONBLOCK / accept4), so this mainly
+/// serves tests and benches that flip a blocking client socket into
+/// non-blocking mode to probe backpressure. Returns false on fcntl error.
+bool SetNonBlocking(int fd, bool enable);
+
 }  // namespace cqp::server
 
 #endif  // CQP_SERVER_IO_UTIL_H_

@@ -1,17 +1,9 @@
 #include "server/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <utility>
 
-#include "server/io_util.h"
 #include "space/prepared_space.h"
 
 namespace cqp::server {
@@ -25,65 +17,113 @@ double MillisSince(Clock::time_point start) {
       .count();
 }
 
+/// Serializes `response`, guaranteeing the frame fits the protocol cap
+/// the peer will enforce. An engine error echoing a huge query (e.g. the
+/// SQL parser's `near "…"` context on a megabyte identifier) can push a
+/// response past kMaxFrameBytes — the client would reject the frame and
+/// see a hang instead of its typed error. Truncate the message first;
+/// if the frame is somehow still oversized, degrade to a minimal typed
+/// error with the same request id.
+std::string SerializeResponseBounded(WireResponse response) {
+  std::string frame = SerializeResponse(response);
+  if (frame.size() <= kMaxFrameBytes) return frame;
+  if (!response.status.ok()) {
+    std::string clipped = response.status.message().substr(0, 1024);
+    response.status =
+        Status(response.status.code(), clipped + " ... [truncated]");
+    frame = SerializeResponse(response);
+    if (frame.size() <= kMaxFrameBytes) return frame;
+  }
+  WireResponse fallback;
+  fallback.id = response.id;
+  fallback.status = Internal("response exceeded the frame cap");
+  return SerializeResponse(fallback);
+}
+
+size_t ResolveIoThreads(size_t requested) {
+  if (requested != 0) return requested;
+  size_t n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  // Past a handful of loops the bottleneck is the worker pool, not I/O;
+  // more loops just fragment the admission budget.
+  if (n > 8) n = 8;
+  return n;
+}
+
 }  // namespace
 
 Server::Server(const storage::Database* db, ProfileStore* profiles,
                ServerOptions options)
-    : db_(db),
-      profiles_(profiles),
-      options_(std::move(options)),
-      admission_(options_.admission) {
+    : db_(db), profiles_(profiles), options_(std::move(options)) {
   CQP_CHECK(db_ != nullptr);
   CQP_CHECK(profiles_ != nullptr);
 }
 
 Server::~Server() { Stop(); }
 
+AdmissionTotals Server::admission() const {
+  std::vector<const AdmissionController*> slices;
+  slices.reserve(loops_.size());
+  for (const auto& loop : loops_) slices.push_back(&loop->admission());
+  return AdmissionTotals(std::move(slices), &options_.admission);
+}
+
 Status Server::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return FailedPrecondition("server already running");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Internal(std::string("socket(): ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const size_t num_loops = ResolveIoThreads(options_.io_threads);
+  stats_.ConfigureLoops(num_loops);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return InvalidArgument("bad bind address '" + options_.host + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status status = Internal("bind(" + options_.host + ":" +
-                             std::to_string(options_.port) +
-                             "): " + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, SOMAXCONN) < 0) {
-    Status status =
-        Internal(std::string("listen(): ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
+  EventLoopOptions loop_options;
+  loop_options.max_frame_bytes = kMaxFrameBytes;
+  loop_options.write_queue_watermark_bytes =
+      options_.write_queue_watermark_bytes;
+  loop_options.write_queue_limit_bytes = options_.write_queue_limit_bytes;
+  loop_options.so_sndbuf = options_.so_sndbuf;
+  loop_options.admission =
+      SliceAdmissionOptions(options_.admission, num_loops);
+
+  loops_.clear();
+  loops_.reserve(num_loops);
+  for (size_t i = 0; i < num_loops; ++i) {
+    loops_.push_back(
+        std::make_unique<EventLoop>(i, loop_options, &stats_.loop(i)));
+    // Loop 0 resolves an ephemeral port; the rest bind the same one via
+    // SO_REUSEPORT so the kernel spreads connections across loops.
+    Status listened =
+        loops_[i]->Listen(options_.host, i == 0 ? options_.port : port_);
+    if (!listened.ok()) {
+      loops_.clear();
+      return listened;
+    }
+    if (i == 0) port_ = loops_[0]->bound_port();
   }
 
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  auto on_line = [this](const std::shared_ptr<Connection>& conn,
+                        std::string&& line) {
+    return HandleLine(conn, line);
+  };
+  auto on_open = [this](const std::shared_ptr<Connection>&) {
+    stats_.OnConnectionOpened();
+  };
+  auto on_close = [this](const std::shared_ptr<Connection>&) {
+    stats_.OnConnectionClosed();
+  };
+  auto on_oversize = [this](size_t cap) {
+    stats_.OnProtocolError();
+    WireResponse response;
+    response.status =
+        InvalidArgument("frame exceeds " + std::to_string(cap) + " bytes");
+    return SerializeResponse(response);
+  };
+  for (size_t i = 0; i < num_loops; ++i) {
+    loops_[i]->Start(on_line, on_open, on_close, on_oversize,
+                     /*id_base=*/i + 1, /*id_step=*/num_loops);
+  }
   if (options_.stats_interval_s > 0.0) {
     stats_thread_ = std::thread([this] { StatsLoop(); });
   }
@@ -93,54 +133,38 @@ Status Server::Start() {
 void Server::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
 
-  // 1. Unblock and join the accept loop. listen_fd_ is only overwritten
-  // after the join — the accept thread reads it unsynchronized at startup.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // 1. Stop accepting; existing connections keep being served while
+  // admitted work drains.
+  for (auto& loop : loops_) loop->StopAccepting();
   if (stats_thread_.joinable()) stats_thread_.join();
-  listen_fd_ = -1;
 
   // 2. Drain: admitted requests get up to drain_deadline_ms to finish and
   // answer before we cancel them. Connected-but-idle clients do not hold
-  // the drain open — only admitted work counts.
+  // the drain open — only admitted work counts. The loops are still live
+  // here, so responses posted by finishing workers flush to the wire.
   if (options_.drain_deadline_ms > 0.0) {
     Clock::time_point deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                options_.drain_deadline_ms));
-    while (admission_.pending() > 0 && Clock::now() < deadline) {
+    AdmissionTotals totals = admission();
+    while (totals.pending() > 0 && Clock::now() < deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   }
 
-  // 3. Cancel whatever outlived the drain and unblock every reader.
-  std::map<uint64_t, std::thread> readers;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& [id, conn] : conns_) {
-      conn->cancel_token().Cancel();
-      conn->Shutdown();
-    }
-    readers = std::move(readers_);
-    readers_.clear();
-    finished_readers_.clear();
-  }
-  for (auto& [id, thread] : readers) {
-    if (thread.joinable()) thread.join();
-  }
+  // 3. Stop the loops. Each runs its remaining posted tasks (late
+  // responses get a final flush attempt), then tears every connection
+  // down — cancelling its CancelToken so whatever outlived the drain
+  // unwinds at the next ShouldStop() poll.
+  for (auto& loop : loops_) loop->RequestStop();
+  for (auto& loop : loops_) loop->Join();
 
-  // 4. Drain the worker pool (workers hold shared_ptr<Connection>, so the
-  // sockets stay valid even though conns_ is about to be cleared; their
-  // writes fail fast on the shut-down fds).
+  // 4. Drain the worker pool. Workers hold shared_ptr<Connection>; their
+  // WriteLines fail fast (closed) or post to the stopped loops, where the
+  // tasks accumulate harmlessly until the loops are destroyed.
   pool_.reset();
-
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.clear();
-  }
+  loops_.clear();
 
   // 5. Make every acknowledged mutation durable before the process exits
   // (no-op for the in-memory store; inline-fsync durable stores have
@@ -149,99 +173,6 @@ void Server::Stop() {
   if (!flushed.ok()) {
     std::fprintf(stderr, "cqp_serve: journal flush on shutdown failed: %s\n",
                  flushed.ToString().c_str());
-  }
-}
-
-void Server::ReapFinishedReaders() {
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (uint64_t id : finished_readers_) {
-      auto it = readers_.find(id);
-      if (it == readers_.end()) continue;
-      done.push_back(std::move(it->second));
-      readers_.erase(it);
-    }
-    finished_readers_.clear();
-  }
-  for (std::thread& thread : done) {
-    if (thread.joinable()) thread.join();
-  }
-}
-
-void Server::AcceptLoop() {
-  // listen_fd_ is fixed for the lifetime of this thread: Start() set it
-  // before spawning us, and Stop() only overwrites it after joining us
-  // (shutdown()/close() on the fd, not the overwrite, unblock accept()).
-  const int listen_fd = listen_fd_;
-  while (running_.load(std::memory_order_acquire)) {
-    int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by Stop(), or fatal
-    }
-    stats_.OnConnectionOpened();
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    uint64_t id = next_conn_id_++;
-    auto conn = std::make_shared<Connection>(fd, id);
-    conns_[id] = conn;
-    readers_[id] = std::thread([this, conn] { ReaderLoop(conn); });
-    // Opportunistically join readers whose connection already ended, so a
-    // long-lived server does not accumulate dead thread handles.
-    std::vector<std::thread> done;
-    for (uint64_t fid : finished_readers_) {
-      auto it = readers_.find(fid);
-      if (it != readers_.end()) {
-        done.push_back(std::move(it->second));
-        readers_.erase(it);
-      }
-    }
-    finished_readers_.clear();
-    for (std::thread& thread : done) {
-      if (thread.joinable()) thread.join();
-    }
-  }
-}
-
-void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
-  std::string buffer;
-  char chunk[4096];
-  bool close_requested = false;
-  while (!close_requested) {
-    ssize_t n = ReadSome(conn->fd(), chunk, sizeof(chunk));
-    if (n <= 0) break;  // peer closed, or Shutdown() during Stop()
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      std::string line = buffer.substr(start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      start = nl + 1;
-      if (!line.empty() && !HandleLine(conn, line)) {
-        close_requested = true;
-        break;
-      }
-    }
-    buffer.erase(0, start);
-    if (buffer.size() > kMaxFrameBytes) {
-      stats_.OnProtocolError();
-      WireResponse response;
-      response.status = InvalidArgument(
-          "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes");
-      conn->WriteLine(SerializeResponse(response));
-      break;
-    }
-  }
-  // The peer is gone (or the server is stopping): cancel this connection's
-  // in-flight searches so workers stop burning CPU on unanswerable work.
-  conn->cancel_token().Cancel();
-  conn->Shutdown();
-  conn->MarkClosed();
-  stats_.OnConnectionClosed();
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.erase(conn->id());
-    finished_readers_.push_back(conn->id());
   }
 }
 
@@ -255,7 +186,7 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
     stats_.OnProtocolError();
     WireResponse response;
     response.status = parsed.status();
-    return conn->WriteLine(SerializeResponse(response));
+    return conn->WriteLine(SerializeResponseBounded(std::move(response)));
   }
   WireRequest request = *std::move(parsed);
   switch (request.op) {
@@ -267,13 +198,13 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
       response.id = request.id;
       response.extra = JsonValue::Object();
       response.extra.Set("pong", JsonValue::Bool(true));
-      return conn->WriteLine(SerializeResponse(response));
+      return conn->WriteLine(SerializeResponseBounded(std::move(response)));
     }
     case RequestOp::kStats: {
       WireResponse response;
       response.id = request.id;
       response.extra = StatsJson();
-      return conn->WriteLine(SerializeResponse(response));
+      return conn->WriteLine(SerializeResponseBounded(std::move(response)));
     }
     case RequestOp::kProfiles: {
       WireResponse response;
@@ -284,20 +215,26 @@ bool Server::HandleLine(const std::shared_ptr<Connection>& conn,
         ids.Append(JsonValue::Str(id));
       }
       response.extra.Set("profiles", std::move(ids));
-      return conn->WriteLine(SerializeResponse(response));
+      return conn->WriteLine(SerializeResponseBounded(std::move(response)));
     }
     case RequestOp::kReload: {
-      WireResponse response;
-      response.id = request.id;
-      StatusOr<size_t> reloaded = profiles_->Reload();
-      if (reloaded.ok()) {
-        response.extra = JsonValue::Object();
-        response.extra.Set(
-            "reloaded", JsonValue::Number(static_cast<double>(*reloaded)));
-      } else {
-        response.status = reloaded.status();
-      }
-      return conn->WriteLine(SerializeResponse(response));
+      // Reload hits disk and rebuilds graphs — far too slow for a loop
+      // thread (it used to only stall one blocking reader; here it would
+      // stall every connection on this loop). Run it on the pool.
+      pool_->Submit([this, conn, id = request.id] {
+        WireResponse response;
+        response.id = id;
+        StatusOr<size_t> reloaded = profiles_->Reload();
+        if (reloaded.ok()) {
+          response.extra = JsonValue::Object();
+          response.extra.Set(
+              "reloaded", JsonValue::Number(static_cast<double>(*reloaded)));
+        } else {
+          response.status = reloaded.status();
+        }
+        conn->WriteLine(SerializeResponseBounded(std::move(response)));
+      });
+      return true;
     }
   }
   return true;
@@ -307,11 +244,13 @@ JsonValue Server::StatsJson() {
   auto num = [](auto v) { return JsonValue::Number(static_cast<double>(v)); };
   JsonValue out = stats_.ToJson();
 
+  AdmissionTotals totals = admission();
   JsonValue admission = JsonValue::Object();
-  admission.Set("pending", num(admission_.pending()));
-  admission.Set("max_pending", num(admission_.options().max_pending));
-  admission.Set("soft_pending", num(admission_.options().soft_pending));
+  admission.Set("pending", num(totals.pending()));
+  admission.Set("max_pending", num(totals.options().max_pending));
+  admission.Set("soft_pending", num(totals.options().soft_pending));
   out.Set("admission", std::move(admission));
+  out.Set("io_threads", num(loops_.size()));
 
   construct::PlanCacheStats plan_stats = profiles_->plan_stats();
   JsonValue plans = JsonValue::Object();
@@ -382,17 +321,22 @@ JsonValue Server::StatsJson() {
 
 void Server::HandlePersonalize(const std::shared_ptr<Connection>& conn,
                                WireRequest request) {
-  AdmissionController::Ticket ticket = admission_.TryAdmit();
+  // Admission is sliced per loop: the owning loop's controller is
+  // uncontended (touched by this loop thread and this loop's workers'
+  // Releases only), so admitting costs one atomic RMW, no shared gauge.
+  AdmissionController& admission = conn->loop()->admission();
+  AdmissionController::Ticket ticket = admission.TryAdmit();
   if (!ticket.admitted) {
     // Shedding is always explicit on the wire — never a silent drop.
     stats_.OnShed();
     WireResponse response;
     response.id = request.id;
     response.status = ResourceExhausted(
-        "server overloaded: " + std::to_string(admission_.pending()) +
-        " requests pending (max " +
-        std::to_string(admission_.options().max_pending) + ")");
-    conn->WriteLine(SerializeResponse(response));
+        "server overloaded: " + std::to_string(admission.pending()) +
+        " requests pending on loop " +
+        std::to_string(conn->loop()->index()) + " (max " +
+        std::to_string(admission.options().max_pending) + ")");
+    conn->WriteLine(SerializeResponseBounded(std::move(response)));
     return;
   }
   stats_.OnAdmitted();
@@ -402,9 +346,9 @@ void Server::HandlePersonalize(const std::shared_ptr<Connection>& conn,
   Clock::time_point admitted_at = Clock::now();
   bool degrade = ticket.degrade;
   pool_->Submit([this, conn, request = std::move(request), admitted_at,
-                 degrade] {
+                 degrade, adm = &admission] {
     RunPersonalize(conn, request, admitted_at, degrade);
-    admission_.Release();
+    adm->Release();
   });
 }
 
@@ -428,7 +372,7 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   if (snapshot.graph == nullptr) {
     response.status = NotFound("no profile '" + payload.profile_id + "'");
     stats_.OnRequestDone(false, false, MillisSince(admitted_at), 0, 0, 0);
-    conn->WriteLine(SerializeResponse(response));
+    conn->WriteLine(SerializeResponseBounded(std::move(response)));
     return;
   }
 
@@ -454,9 +398,10 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
     // Above the soft watermark every request gets at most the degraded
     // deadline — this is what drives the PR 1 fallback ladder under load.
     Clock::time_point clamp =
-        admitted_at + std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double, std::milli>(
-                              admission_.options().degraded_deadline_ms));
+        admitted_at +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                conn->loop()->admission().options().degraded_deadline_ms));
     if (!budget.deadline.has_value() || clamp < *budget.deadline) {
       budget.deadline = clamp;
     }
@@ -497,7 +442,7 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   if (!result.ok()) {
     response.status = result.status();
     stats_.OnRequestDone(false, false, latency_ms, 0, 0, 0);
-    conn->WriteLine(SerializeResponse(response));
+    conn->WriteLine(SerializeResponseBounded(std::move(response)));
     return;
   }
 
@@ -524,7 +469,7 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   stats_.OnRequestDone(/*ok=*/true, r.degraded(), latency_ms,
                        r.metrics.eval_cache_hits, r.metrics.eval_cache_misses,
                        r.metrics.states_examined);
-  conn->WriteLine(SerializeResponse(response));
+  conn->WriteLine(SerializeResponseBounded(std::move(response)));
 }
 
 void Server::StatsLoop() {

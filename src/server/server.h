@@ -3,9 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +14,7 @@
 #include "cqp/problem.h"
 #include "server/admission.h"
 #include "server/connection.h"
+#include "server/event_loop.h"
 #include "server/profile_store.h"
 #include "server/protocol.h"
 #include "server/server_stats.h"
@@ -32,7 +31,20 @@ struct ServerOptions {
   int port = 0;
   /// Worker threads running searches; 0 = hardware_concurrency.
   size_t num_threads = 0;
+  /// Epoll event-loop (I/O) threads; 0 = hardware_concurrency clamped to
+  /// [1, 8]. Each loop owns a SO_REUSEPORT listener, an epoll instance
+  /// and a slice of the admission budget.
+  size_t io_threads = 0;
   AdmissionOptions admission;
+  /// Backpressure high watermark per connection: above this many unsent
+  /// response bytes the owning loop stops reading from the connection.
+  size_t write_queue_watermark_bytes = 256 * 1024;
+  /// Per-connection write-queue hard cap: exceeded means the peer stopped
+  /// draining entirely — the connection is dropped (slow-loris defense).
+  size_t write_queue_limit_bytes = 4 * 1024 * 1024;
+  /// When > 0, shrink accepted sockets' SO_SNDBUF (tests use this to trip
+  /// the write-queue watermarks deterministically).
+  int so_sndbuf = 0;
   /// Seconds between periodic stats log lines on stderr; 0 disables.
   double stats_interval_s = 0.0;
   /// Graceful-shutdown budget: Stop() stops accepting immediately, then
@@ -51,24 +63,29 @@ struct ServerOptions {
 /// TCP and answers them with the same engine (and bit-identical results)
 /// as a direct construct::Personalizer::Personalize() call.
 ///
-/// Threading model:
-///  * one accept thread;
-///  * one reader thread per connection (framing + inline administrative
-///    ops — ping/stats/profiles/reload are O(µs) and never queue);
-///  * personalize work runs on a shared ThreadPool, gated by the
-///    AdmissionController. The request's SearchBudget deadline is anchored
-///    at ADMISSION time, so queueing delay counts against the deadline and
-///    a request that waited too long degrades (or answers with its
-///    original query) instead of blowing its latency target.
-///  * Each request's budget carries the connection's CancelToken: when the
-///    peer drops, the reader cancels it and in-flight searches for that
+/// Threading model (thread-per-core I/O, PR 9):
+///  * a fixed set of epoll event loops, each with its own SO_REUSEPORT
+///    listener (the kernel spreads connections across loops), its own
+///    admission slice, non-blocking reads through an incremental frame
+///    decoder, and writev-batched responses from a bounded per-connection
+///    write queue with read-side backpressure;
+///  * administrative ops (ping/stats/profiles) are O(µs) and answered
+///    inline on the loop; reload and personalize work run on the shared
+///    ThreadPool. The request's SearchBudget deadline is anchored at
+///    ADMISSION time, so queueing delay counts against the deadline and a
+///    request that waited too long degrades (or answers with its original
+///    query) instead of blowing its latency target;
+///  * workers never touch sockets: a finished request posts its response
+///    frame back to the owning loop via an eventfd wakeup;
+///  * each request's budget carries the connection's CancelToken: when
+///    the peer drops, teardown cancels it and in-flight searches for that
 ///    connection unwind at the next ShouldStop() poll.
 ///
-/// Stop() is graceful and idempotent: close the listener, join the accept
-/// thread, let admitted requests finish within drain_deadline_ms, cancel
-/// + shut down every connection, join the readers, drain the worker pool,
-/// and flush the profile store's journal (a no-op for the in-memory
-/// store) so a durable deployment loses nothing on a clean shutdown.
+/// Stop() is graceful and idempotent: close the listeners, let admitted
+/// requests finish within drain_deadline_ms, stop the loops (which
+/// cancels and tears down every connection), drain the worker pool, and
+/// flush the profile store's journal (a no-op for the in-memory store) so
+/// a durable deployment loses nothing on a clean shutdown.
 class Server {
  public:
   /// `db` must be Analyze()d and outlive the server; `profiles` supplies
@@ -80,8 +97,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and spawns the accept loop. kInternal when the port is
-  /// taken, kInvalidArgument for a bad host.
+  /// Binds one SO_REUSEPORT listener per loop, then spawns the loops.
+  /// kInternal when the port is taken, kInvalidArgument for a bad host.
   Status Start();
 
   /// Graceful shutdown; safe to call twice, and from any thread.
@@ -93,19 +110,22 @@ class Server {
 
   ServerStats& stats() { return stats_; }
   const ServerOptions& options() const { return options_; }
-  AdmissionController& admission() { return admission_; }
+  /// Aggregate admission view across every loop's slice (pending,
+  /// admitted/shed/degraded totals); options() is the configured,
+  /// unsliced budget.
+  AdmissionTotals admission() const;
+  /// Number of event loops actually running (resolved from io_threads).
+  size_t num_io_threads() const { return loops_.size(); }
 
-  /// The full stats document: server counters + admission + plan cache +
-  /// journal + shard tier (when the profile store is sharded). One
-  /// assembly shared by the stats wire op, the periodic stats log and the
-  /// shell's .stats display.
+  /// The full stats document: server counters + per-loop gauges +
+  /// admission + plan cache + journal + shard tier (when the profile
+  /// store is sharded). One assembly shared by the stats wire op, the
+  /// periodic stats log and the shell's .stats display.
   JsonValue StatsJson();
 
  private:
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
-  /// Parses and dispatches one frame; returns false when the connection
-  /// must close (oversized frame or unwritable peer).
+  /// Parses and dispatches one frame on a loop thread; returns false when
+  /// the connection must close once pending responses flush.
   bool HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line);
   void HandlePersonalize(const std::shared_ptr<Connection>& conn,
@@ -116,26 +136,17 @@ class Server {
                       std::chrono::steady_clock::time_point admitted_at,
                       bool degrade);
   void StatsLoop();
-  void ReapFinishedReaders();
 
   const storage::Database* db_;
   ProfileStore* profiles_;
   const ServerOptions options_;
-  AdmissionController admission_;
   ServerStats stats_;
 
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
   int port_ = 0;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
   std::thread stats_thread_;
   std::unique_ptr<ThreadPool> pool_;
-
-  std::mutex conns_mu_;
-  uint64_t next_conn_id_ = 1;                 ///< guarded by conns_mu_
-  std::map<uint64_t, std::shared_ptr<Connection>> conns_;  ///< guarded
-  std::map<uint64_t, std::thread> readers_;   ///< guarded by conns_mu_
-  std::vector<uint64_t> finished_readers_;    ///< guarded by conns_mu_
 };
 
 }  // namespace cqp::server

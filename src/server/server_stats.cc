@@ -114,6 +114,14 @@ void ServerStats::OnPlanLookup(bool hit) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServerStats::ConfigureLoops(size_t n) {
+  loops_.clear();
+  loops_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<LoopStats>());
+  }
+}
+
 JsonValue ServerStats::ToJson() const {
   auto n = [](uint64_t v) { return JsonValue::Number(static_cast<double>(v)); };
   JsonValue obj = JsonValue::Object();
@@ -141,6 +149,34 @@ JsonValue ServerStats::ToJson() const {
   obj.Set("states_examined",
           n(states_total_.load(std::memory_order_relaxed)));
   obj.Set("latency", latency_.ToJson());
+  if (!loops_.empty()) {
+    JsonValue loops = JsonValue::Array();
+    for (size_t i = 0; i < loops_.size(); ++i) {
+      const LoopStats& ls = *loops_[i];
+      auto r = [](const std::atomic<uint64_t>& v) {
+        return JsonValue::Number(
+            static_cast<double>(v.load(std::memory_order_relaxed)));
+      };
+      JsonValue one = JsonValue::Object();
+      one.Set("loop", n(i));
+      one.Set("connections",
+              JsonValue::Number(static_cast<double>(
+                  ls.connections.load(std::memory_order_relaxed))));
+      one.Set("accepts", r(ls.accepts));
+      one.Set("frames", r(ls.frames));
+      one.Set("wakeups", r(ls.wakeups));
+      one.Set("tasks", r(ls.tasks));
+      one.Set("reads", r(ls.reads));
+      one.Set("read_bytes", r(ls.read_bytes));
+      one.Set("writevs", r(ls.writevs));
+      one.Set("write_bytes", r(ls.write_bytes));
+      one.Set("read_pauses", r(ls.read_pauses));
+      one.Set("backpressure_closes", r(ls.backpressure_closes));
+      one.Set("frame_cap_closes", r(ls.frame_cap_closes));
+      loops.Append(std::move(one));
+    }
+    obj.Set("loops", std::move(loops));
+  }
   return obj;
 }
 

@@ -4,11 +4,31 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "server/json.h"
 
 namespace cqp::server {
+
+/// Per-event-loop counters, one instance per epoll shard. All relaxed
+/// atomics: loops mutate their own instance almost exclusively, so these
+/// are effectively uncontended; the stats op reads a torn-but-usable view.
+struct LoopStats {
+  std::atomic<uint64_t> accepts{0};       ///< connections accepted
+  std::atomic<uint64_t> frames{0};        ///< complete frames decoded
+  std::atomic<uint64_t> wakeups{0};       ///< epoll_wait returns
+  std::atomic<uint64_t> tasks{0};         ///< posted tasks run (eventfd)
+  std::atomic<uint64_t> reads{0};         ///< read() calls returning data
+  std::atomic<uint64_t> read_bytes{0};
+  std::atomic<uint64_t> writevs{0};       ///< batched sendmsg calls
+  std::atomic<uint64_t> write_bytes{0};
+  std::atomic<uint64_t> read_pauses{0};   ///< backpressure: reads paused
+  std::atomic<uint64_t> backpressure_closes{0};  ///< slow readers dropped
+  std::atomic<uint64_t> frame_cap_closes{0};     ///< oversized-frame closes
+  std::atomic<int64_t> connections{0};    ///< live-connection gauge
+};
 
 /// Lock-free latency histogram: power-of-two buckets over microseconds.
 /// Bucket i counts samples in [2^i, 2^(i+1)) µs (bucket 0 additionally
@@ -77,6 +97,12 @@ class ServerStats {
 
   const LatencyHistogram& latency() const { return latency_; }
 
+  /// Allocates one LoopStats per event loop. Call before the loops spawn
+  /// (not thread-safe against concurrent readers); idempotent per Start.
+  void ConfigureLoops(size_t n);
+  size_t num_loops() const { return loops_.size(); }
+  LoopStats& loop(size_t i) { return *loops_[i]; }
+
   /// Full JSON snapshot (the `.stats` wire command and the periodic log
   /// line both emit exactly this object — benches scrape it).
   JsonValue ToJson() const;
@@ -98,6 +124,8 @@ class ServerStats {
   std::atomic<uint64_t> plan_hits_total_{0};
   std::atomic<uint64_t> plan_misses_total_{0};
   std::atomic<uint64_t> states_total_{0};
+  /// unique_ptr: LoopStats holds atomics and cannot be moved on resize.
+  std::vector<std::unique_ptr<LoopStats>> loops_;
 };
 
 }  // namespace cqp::server

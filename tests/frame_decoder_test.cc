@@ -1,0 +1,132 @@
+// Unit battery for the incremental non-blocking frame decoder: byte-wise
+// arrival, arbitrary split boundaries, coalesced frames, CRLF handling,
+// the 1 MiB cap (inclusive), and the kStop early-exit contract.
+
+#include "server/frame_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace cqp::server {
+namespace {
+
+/// Feeds `data` in chunks of `chunk` bytes, collecting delivered lines.
+struct Harness {
+  explicit Harness(size_t cap = kMaxFrameBytes) : decoder(cap) {}
+
+  FrameDecoder::Result Feed(const std::string& data, size_t chunk) {
+    FrameDecoder::Result last = FrameDecoder::Result::kOk;
+    for (size_t i = 0; i < data.size(); i += chunk) {
+      last = decoder.Feed(data.data() + i, std::min(chunk, data.size() - i),
+                          [&](std::string&& line) {
+                            lines.push_back(std::move(line));
+                            return true;
+                          });
+      if (last != FrameDecoder::Result::kOk) return last;
+    }
+    return last;
+  }
+
+  FrameDecoder decoder;
+  std::vector<std::string> lines;
+};
+
+TEST(FrameDecoder, OneByteAtATimeDeliversEveryFrameInOrder) {
+  Harness h;
+  EXPECT_EQ(h.Feed("alpha\nbeta\ngamma\n", 1), FrameDecoder::Result::kOk);
+  EXPECT_EQ(h.lines, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(h.decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, EverySplitBoundaryYieldsIdenticalFrames) {
+  const std::string payload = "first frame\r\nsecond\nthird one\n";
+  for (size_t split = 1; split <= payload.size(); ++split) {
+    Harness h;
+    ASSERT_EQ(h.Feed(payload.substr(0, split), payload.size()),
+              FrameDecoder::Result::kOk);
+    ASSERT_EQ(h.Feed(payload.substr(split), payload.size()),
+              FrameDecoder::Result::kOk);
+    EXPECT_EQ(h.lines,
+              (std::vector<std::string>{"first frame", "second", "third one"}))
+        << "split at " << split;
+  }
+}
+
+TEST(FrameDecoder, CoalescedFramesInOneFeedAllDeliver) {
+  Harness h;
+  EXPECT_EQ(h.Feed("a\nb\nc\npartial", 1 << 20), FrameDecoder::Result::kOk);
+  EXPECT_EQ(h.lines, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(h.decoder.buffered(), 7u);  // "partial" awaits its newline
+  EXPECT_EQ(h.Feed("\n", 1), FrameDecoder::Result::kOk);
+  EXPECT_EQ(h.lines.back(), "partial");
+}
+
+TEST(FrameDecoder, CrlfIsStrippedAndBlankLinesAreSkipped) {
+  Harness h;
+  EXPECT_EQ(h.Feed("one\r\n\n\r\ntwo\n", 3), FrameDecoder::Result::kOk);
+  // "\n" is empty, "\r\n" strips to empty: both are silent keepalives.
+  EXPECT_EQ(h.lines, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(FrameDecoder, LineOfExactlyTheCapIsLegal) {
+  Harness h(/*cap=*/64);
+  std::string line(64, 'x');
+  EXPECT_EQ(h.Feed(line + "\n", 7), FrameDecoder::Result::kOk);
+  ASSERT_EQ(h.lines.size(), 1u);
+  EXPECT_EQ(h.lines[0].size(), 64u);
+}
+
+TEST(FrameDecoder, PartialFrameOnePastTheCapTrips) {
+  Harness h(/*cap=*/64);
+  EXPECT_EQ(h.Feed(std::string(64, 'x'), 16), FrameDecoder::Result::kOk);
+  EXPECT_EQ(h.Feed("x", 1), FrameDecoder::Result::kFrameTooLong);
+  EXPECT_TRUE(h.lines.empty());
+}
+
+TEST(FrameDecoder, CoalescedHalfCapFramesDoNotTripTheCap) {
+  // Two complete 40-byte lines arrive in one 82-byte read against a
+  // 64-byte cap: only a *partial* frame counts against the cap.
+  Harness h(/*cap=*/64);
+  std::string two = std::string(40, 'a') + "\n" + std::string(40, 'b') + "\n";
+  EXPECT_EQ(h.Feed(two, two.size()), FrameDecoder::Result::kOk);
+  EXPECT_EQ(h.lines.size(), 2u);
+}
+
+TEST(FrameDecoder, StopHaltsDeliveryAndPreservesTheTail) {
+  FrameDecoder decoder(kMaxFrameBytes);
+  std::vector<std::string> lines;
+  std::string data = "one\ntwo\nthree\n";
+  FrameDecoder::Result r =
+      decoder.Feed(data.data(), data.size(), [&](std::string&& line) {
+        lines.push_back(std::move(line));
+        return lines.size() < 2;  // stop after "two"
+      });
+  EXPECT_EQ(r, FrameDecoder::Result::kStop);
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two"}));
+  // The undelivered tail stays buffered; a later Feed resumes cleanly.
+  r = decoder.Feed("", 0, [&](std::string&& line) {
+    lines.push_back(std::move(line));
+    return true;
+  });
+  EXPECT_EQ(r, FrameDecoder::Result::kOk);
+  EXPECT_EQ(lines.back(), "three");
+}
+
+TEST(FrameDecoder, ByteWiseMegabyteFrameStaysLinear) {
+  // A 1 MiB frame dribbled in small chunks must not re-scan the whole
+  // buffer per chunk (the persistent scan position makes this O(n)).
+  // 4 KiB chunks keep the test fast while still doing 256 Feed calls.
+  Harness h;
+  std::string big(kMaxFrameBytes - 1, 'q');
+  big += "\n";
+  EXPECT_EQ(h.Feed(big, 4096), FrameDecoder::Result::kOk);
+  ASSERT_EQ(h.lines.size(), 1u);
+  EXPECT_EQ(h.lines[0].size(), kMaxFrameBytes - 1);
+}
+
+}  // namespace
+}  // namespace cqp::server

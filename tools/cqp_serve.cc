@@ -71,6 +71,8 @@ struct Flags {
   bool tourist = false;
   std::string profiles_dir;
   size_t threads = 0;
+  size_t io_threads = 0;  ///< epoll event loops; 0 = auto
+  size_t write_queue_kb = 0;  ///< 0 = server default watermark
   size_t max_pending = 256;
   size_t soft_pending = 0;
   double degraded_deadline_ms = 25.0;
@@ -89,7 +91,8 @@ struct Flags {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--movies N | --tourist]\n"
-               "          [--profiles DIR] [--threads N]\n"
+               "          [--profiles DIR] [--threads N] [--io-threads N]\n"
+               "          [--write-queue-kb N]\n"
                "          [--max-pending N] [--soft-pending N]\n"
                "          [--degraded-deadline-ms MS] [--stats-interval S]\n"
                "          [--cmax MS] [--k N] [--algorithm NAME]\n"
@@ -122,6 +125,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->movies = static_cast<int64_t>(value);
     } else if (arg == "--threads" && next(&value)) {
       flags->threads = static_cast<size_t>(value);
+    } else if (arg == "--io-threads" && next(&value)) {
+      flags->io_threads = static_cast<size_t>(value);
+    } else if (arg == "--write-queue-kb" && next(&value)) {
+      flags->write_queue_kb = static_cast<size_t>(value);
     } else if (arg == "--max-pending" && next(&value)) {
       flags->max_pending = static_cast<size_t>(value);
     } else if (arg == "--soft-pending" && next(&value)) {
@@ -270,6 +277,13 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   options.port = flags.port;
   options.num_threads = flags.threads;
+  options.io_threads = flags.io_threads;
+  if (flags.write_queue_kb > 0) {
+    options.write_queue_watermark_bytes = flags.write_queue_kb * 1024;
+    // Keep the hard cap a multiple of the watermark so shrinking one
+    // shrinks the other coherently.
+    options.write_queue_limit_bytes = flags.write_queue_kb * 1024 * 16;
+  }
   options.admission.max_pending = flags.max_pending;
   options.admission.soft_pending = flags.soft_pending;
   options.admission.degraded_deadline_ms = flags.degraded_deadline_ms;
