@@ -25,7 +25,14 @@ import sys
 
 # Metrics where a LOWER working-tree value is a regression.
 HIGHER_IS_BETTER = {"qps", "ok", "cache_hit_rate", "cache_hits",
-                    "puts_per_sec", "records_per_sec", "states_per_sec"}
+                    "puts_per_sec", "records_per_sec", "states_per_sec",
+                    # Semantic rewrite layer (BENCH_rewrite.json): how much
+                    # of the admitted space / emitted cost the optimizer
+                    # removes, and its raw activity counters (the workload
+                    # is seeded, so fewer drops means the passes got weaker).
+                    "k_reduction_pct", "cost_reduction_pct",
+                    "size_reduction_pct", "conjuncts_dropped",
+                    "branches_eliminated", "prefs_pruned"}
 # Metrics where a HIGHER working-tree value is a regression.
 LOWER_IS_BETTER = {"wall_ms", "p50_ms", "p99_ms", "degraded",
                    "transport_errors", "identity_mismatches", "cache_misses",
@@ -34,7 +41,9 @@ LOWER_IS_BETTER = {"wall_ms", "p50_ms", "p99_ms", "degraded",
                    "fsync_per_put",
                    # Sharded tier (BENCH_shard.json): cold page-in latency,
                    # memory held by resident graphs, and eviction churn.
-                   "p50_cold_ms", "p99_cold_ms", "resident_mb", "evictions"}
+                   "p50_cold_ms", "p99_cold_ms", "resident_mb", "evictions",
+                   # Semantic rewrite layer: what is left after the passes.
+                   "states_after_prune", "cost_qx_ms"}
 # Measured values that are neither identity nor judged (counters that
 # legitimately move when the code under test changes).
 IGNORED = {"states", "requests", "identity_checked", "shed", "other",
@@ -49,7 +58,11 @@ IGNORED = {"states", "requests", "identity_checked", "shed", "other",
            # path evaluates frontiers cachelessly by design (docs/simd.md),
            # so probe counts track code structure, not quality. The plan
            # cache bench's `cache_hits` stays judged.
-           "eval_cache_hits", "eval_cache_misses", "eval_cache_hit_rate"}
+           "eval_cache_hits", "eval_cache_misses", "eval_cache_hit_rate",
+           # Rewrite bench: the unoptimized side of each delta (tracks the
+           # generated workload, judged only through the *_reduction_pct
+           # and the post-rewrite metrics above).
+           "k_baseline", "cost_baseline_ms", "size_baseline", "size_qx"}
 
 
 def cell_identity(cell):

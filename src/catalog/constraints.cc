@@ -1,0 +1,267 @@
+#include "catalog/constraints.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace cqp::catalog {
+
+namespace {
+
+/// Constraint-text rendering of a value. Doubles use %.17g so the text form
+/// round-trips exactly (Value::ToSqlLiteral's 6-decimal rendering does not).
+std::string ValueText(const Value& v) {
+  if (v.type() == ValueType::kDouble) return StrFormat("%.17g", v.AsDouble());
+  return v.ToSqlLiteral();
+}
+
+/// Parses an int, double or 'string' literal token.
+StatusOr<Value> ParseValueToken(std::string_view token) {
+  if (token.empty()) return InvalidArgument("empty constraint literal");
+  if (token.front() == '\'') {
+    if (token.size() < 2 || token.back() != '\'') {
+      return InvalidArgument("unterminated string literal: " +
+                             std::string(token));
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < token.size(); ++i) {
+      if (token[i] == '\'') {
+        if (i + 2 >= token.size() || token[i + 1] != '\'') {
+          return InvalidArgument("bad quote escape in: " + std::string(token));
+        }
+        ++i;
+      }
+      out += token[i];
+    }
+    return Value(std::move(out));
+  }
+  std::string s(token);
+  char* end = nullptr;
+  if (s.find('.') != std::string::npos || s.find('e') != std::string::npos ||
+      s.find('E') != std::string::npos) {
+    double d = std::strtod(s.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return InvalidArgument("bad numeric literal: " + s);
+    }
+    return Value(d);
+  }
+  long long i = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return InvalidArgument("bad integer literal: " + s);
+  }
+  return Value(static_cast<int64_t>(i));
+}
+
+/// Splits "REL.attr" (both parts non-empty).
+StatusOr<std::pair<std::string, std::string>> ParseColumn(
+    std::string_view token) {
+  size_t dot = token.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == token.size()) {
+    return InvalidArgument("expected REL.attr, got: " + std::string(token));
+  }
+  return std::make_pair(std::string(token.substr(0, dot)),
+                        std::string(token.substr(dot + 1)));
+}
+
+StatusOr<CompareOp> ParseOp(std::string_view token) {
+  if (token == "=") return CompareOp::kEq;
+  if (token == "<>") return CompareOp::kNe;
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLe;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGe;
+  return InvalidArgument("bad comparison operator: " + std::string(token));
+}
+
+/// Splits a line into whitespace-separated tokens, keeping quoted strings
+/// (with '' escapes) as single tokens and splitting off punctuation that the
+/// grammar treats as separators is NOT needed — the serializer always emits
+/// spaces around operators and after commas.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (line[i] == '\'') {
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\'') {
+          if (i + 1 < line.size() && line[i + 1] == '\'') {
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+    } else {
+      while (i < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+    }
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Status ParseKeyLine(const std::string& rest, ConstraintSet* out) {
+  // rest: "REL(a, b)"
+  size_t open = rest.find('(');
+  size_t close = rest.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return InvalidArgument("bad key constraint: key " + rest);
+  }
+  KeyConstraint key;
+  key.relation = std::string(StripWhitespace(rest.substr(0, open)));
+  for (const std::string& part :
+       Split(rest.substr(open + 1, close - open - 1), ',')) {
+    std::string attr(StripWhitespace(part));
+    if (attr.empty()) return InvalidArgument("empty key attribute: " + rest);
+    key.attributes.push_back(std::move(attr));
+  }
+  if (key.relation.empty() || key.attributes.empty()) {
+    return InvalidArgument("bad key constraint: key " + rest);
+  }
+  out->AddKey(std::move(key));
+  return Status::OK();
+}
+
+Status ParseDomainLine(const std::string& rest, ConstraintSet* out) {
+  // rest: "REL.attr in [lo, hi]"
+  std::vector<std::string> head = Tokenize(rest);
+  if (head.size() < 2 || !EqualsIgnoreCase(head[1], "in")) {
+    return InvalidArgument("bad domain constraint: domain " + rest);
+  }
+  size_t open = rest.find('[');
+  size_t close = rest.rfind(']');
+  size_t comma = rest.find(',', open == std::string::npos ? 0 : open);
+  if (open == std::string::npos || close == std::string::npos ||
+      comma == std::string::npos || !(open < comma && comma < close)) {
+    return InvalidArgument("bad domain range: domain " + rest);
+  }
+  DomainConstraint domain;
+  CQP_ASSIGN_OR_RETURN(auto column, ParseColumn(head[0]));
+  domain.relation = column.first;
+  domain.attribute = column.second;
+  std::string lo(StripWhitespace(rest.substr(open + 1, comma - open - 1)));
+  std::string hi(StripWhitespace(rest.substr(comma + 1, close - comma - 1)));
+  if (lo != "*") {
+    CQP_ASSIGN_OR_RETURN(Value v, ParseValueToken(lo));
+    domain.min = std::move(v);
+  }
+  if (hi != "*") {
+    CQP_ASSIGN_OR_RETURN(Value v, ParseValueToken(hi));
+    domain.max = std::move(v);
+  }
+  if (!domain.min.has_value() && !domain.max.has_value()) {
+    return InvalidArgument("unbounded domain constraint: domain " + rest);
+  }
+  out->AddDomain(std::move(domain));
+  return Status::OK();
+}
+
+Status ParseImplyLine(const std::string& rest, ConstraintSet* out) {
+  // rest: "REL.a = v => REL.b op w"
+  std::vector<std::string> tokens = Tokenize(rest);
+  if (tokens.size() != 7 || tokens[1] != "=" || tokens[3] != "=>") {
+    return InvalidArgument("bad implication constraint: imply " + rest);
+  }
+  ImplicationConstraint imp;
+  CQP_ASSIGN_OR_RETURN(auto lhs, ParseColumn(tokens[0]));
+  CQP_ASSIGN_OR_RETURN(imp.if_value, ParseValueToken(tokens[2]));
+  CQP_ASSIGN_OR_RETURN(auto rhs, ParseColumn(tokens[4]));
+  CQP_ASSIGN_OR_RETURN(imp.then_op, ParseOp(tokens[5]));
+  CQP_ASSIGN_OR_RETURN(imp.then_value, ParseValueToken(tokens[6]));
+  if (!EqualsIgnoreCase(lhs.first, rhs.first)) {
+    return InvalidArgument(
+        "implication constraints must stay within one relation: imply " +
+        rest);
+  }
+  imp.relation = lhs.first;
+  imp.if_attribute = lhs.second;
+  imp.then_attribute = rhs.second;
+  out->AddImplication(std::move(imp));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string KeyConstraint::ToText() const {
+  return "key " + relation + "(" + Join(attributes, ", ") + ")";
+}
+
+std::string DomainConstraint::ToText() const {
+  std::string lo = min.has_value() ? ValueText(*min) : "*";
+  std::string hi = max.has_value() ? ValueText(*max) : "*";
+  return "domain " + relation + "." + attribute + " in [" + lo + ", " + hi +
+         "]";
+}
+
+std::string ImplicationConstraint::ToText() const {
+  return "imply " + relation + "." + if_attribute + " = " +
+         ValueText(if_value) + " => " + relation + "." + then_attribute + " " +
+         CompareOpSql(then_op) + " " + ValueText(then_value);
+}
+
+std::vector<const DomainConstraint*> ConstraintSet::DomainsFor(
+    const std::string& relation, const std::string& attribute) const {
+  std::vector<const DomainConstraint*> out;
+  for (const DomainConstraint& d : domains_) {
+    if (EqualsIgnoreCase(d.relation, relation) &&
+        EqualsIgnoreCase(d.attribute, attribute)) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+std::vector<const ImplicationConstraint*> ConstraintSet::ImplicationsFor(
+    const std::string& relation) const {
+  std::vector<const ImplicationConstraint*> out;
+  for (const ImplicationConstraint& i : implications_) {
+    if (EqualsIgnoreCase(i.relation, relation)) out.push_back(&i);
+  }
+  return out;
+}
+
+std::string ConstraintSet::ToText() const {
+  std::string out;
+  for (const KeyConstraint& k : keys_) out += k.ToText() + "\n";
+  for (const DomainConstraint& d : domains_) out += d.ToText() + "\n";
+  for (const ImplicationConstraint& i : implications_) out += i.ToText() + "\n";
+  return out;
+}
+
+StatusOr<ConstraintSet> ParseConstraintSet(const std::string& text) {
+  ConstraintSet out;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return InvalidArgument("bad constraint line: " + line);
+    }
+    std::string kind = ToLower(line.substr(0, space));
+    std::string rest(StripWhitespace(line.substr(space + 1)));
+    if (kind == "key") {
+      CQP_RETURN_IF_ERROR(ParseKeyLine(rest, &out));
+    } else if (kind == "domain") {
+      CQP_RETURN_IF_ERROR(ParseDomainLine(rest, &out));
+    } else if (kind == "imply") {
+      CQP_RETURN_IF_ERROR(ParseImplyLine(rest, &out));
+    } else {
+      return InvalidArgument("unknown constraint kind: " + line);
+    }
+  }
+  return out;
+}
+
+}  // namespace cqp::catalog

@@ -1,0 +1,112 @@
+#ifndef CQP_CATALOG_CONSTRAINTS_H_
+#define CQP_CATALOG_CONSTRAINTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/compare.h"
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace cqp::catalog {
+
+/// A (possibly composite) key: no two rows of `relation` agree on all of
+/// `attributes`. Keys are recorded for the catalog's integrity model and
+/// validated by storage::CheckConstraints; the rewrite passes only consume
+/// domains and implications today.
+struct KeyConstraint {
+  std::string relation;
+  std::vector<std::string> attributes;
+
+  /// "key MOVIE(mid)"
+  std::string ToText() const;
+};
+
+/// A domain (range) constraint: every row of `relation` has
+/// min <= attribute <= max (each bound optional, inclusive). String domains
+/// use lexicographic order, matching Value::operator<.
+struct DomainConstraint {
+  std::string relation;
+  std::string attribute;
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  /// "domain MOVIE.year in [1930, 2005]" ("[1930, *]" for a missing bound).
+  std::string ToText() const;
+};
+
+/// An implication constraint within one relation:
+///   relation.if_attribute = if_value  ⇒  relation.then_attribute op value
+/// e.g. genre='horror' ⇒ rating>='R'. The antecedent is an equality (the
+/// form mined from categorical data); the consequent is any comparison.
+struct ImplicationConstraint {
+  std::string relation;
+  std::string if_attribute;
+  Value if_value;
+  std::string then_attribute;
+  CompareOp then_op = CompareOp::kEq;
+  Value then_value;
+
+  /// "imply GENRE.genre = 'horror' => GENRE.rating >= 'R'"
+  std::string ToText() const;
+};
+
+/// The declarative integrity constraints of a database: keys, domain ranges
+/// and value implications. Immutable once attached to a Database (swap the
+/// whole set via Database::SetConstraints, which bumps the constraint
+/// revision that keys plan-cache entries).
+class ConstraintSet {
+ public:
+  void AddKey(KeyConstraint key) { keys_.push_back(std::move(key)); }
+  void AddDomain(DomainConstraint domain) {
+    domains_.push_back(std::move(domain));
+  }
+  void AddImplication(ImplicationConstraint imp) {
+    implications_.push_back(std::move(imp));
+  }
+
+  const std::vector<KeyConstraint>& keys() const { return keys_; }
+  const std::vector<DomainConstraint>& domains() const { return domains_; }
+  const std::vector<ImplicationConstraint>& implications() const {
+    return implications_;
+  }
+
+  bool empty() const {
+    return keys_.empty() && domains_.empty() && implications_.empty();
+  }
+  size_t size() const {
+    return keys_.size() + domains_.size() + implications_.size();
+  }
+
+  /// Domain constraints on relation.attribute (names case-insensitive).
+  std::vector<const DomainConstraint*> DomainsFor(
+      const std::string& relation, const std::string& attribute) const;
+
+  /// Implication constraints anchored at `relation`.
+  std::vector<const ImplicationConstraint*> ImplicationsFor(
+      const std::string& relation) const;
+
+  /// One constraint per line, in the ParseConstraintSet grammar. Round
+  /// trips: ParseConstraintSet(set.ToText()) reproduces the set.
+  std::string ToText() const;
+
+ private:
+  std::vector<KeyConstraint> keys_;
+  std::vector<DomainConstraint> domains_;
+  std::vector<ImplicationConstraint> implications_;
+};
+
+/// Parses the line-oriented constraint language:
+///
+///   key REL(attr[, attr...])
+///   domain REL.attr in [lo, hi]         # either bound may be *
+///   imply REL.a = v => REL.b op w       # v/w: int, double or 'string'
+///
+/// Blank lines and lines starting with '#' are ignored. Both relations of
+/// an implication must coincide.
+StatusOr<ConstraintSet> ParseConstraintSet(const std::string& text);
+
+}  // namespace cqp::catalog
+
+#endif  // CQP_CATALOG_CONSTRAINTS_H_

@@ -116,17 +116,23 @@ std::string DoubleBits(double v) {
 
 /// Plan-cache config key: every knob extraction (and hence the cached
 /// artifact) depends on besides query and profile. Exact bit patterns, so
-/// "almost equal" configs never share an entry.
+/// "almost equal" configs never share an entry. The constraint-set revision
+/// joins the key because the pre-search pruning pass consults the
+/// constraints: SetConstraints() bumps the revision and all prior entries
+/// (extracted under the old constraints) become unreachable.
 std::string PlanConfigKey(const exec::CostModelParams& cost,
-                          const space::PreferenceSpaceOptions& options) {
-  return StrFormat("b%s:t%s:k%zu:j%zu:p%d:c%d:d%s:v%d",
+                          const space::PreferenceSpaceOptions& options,
+                          uint64_t constraint_revision) {
+  return StrFormat("b%s:t%s:k%zu:j%zu:p%d:c%d:d%s:v%d:x%d:r%llu",
                    DoubleBits(cost.millis_per_block).c_str(),
                    DoubleBits(cost.micros_per_tuple).c_str(), options.max_k,
                    options.max_path_joins,
                    static_cast<int>(options.path_composition),
                    static_cast<int>(options.conjunction_model),
                    DoubleBits(options.min_doi).c_str(),
-                   options.build_cost_size_vectors ? 1 : 0);
+                   options.build_cost_size_vectors ? 1 : 0,
+                   options.constraint_prune ? 1 : 0,
+                   static_cast<unsigned long long>(constraint_revision));
 }
 
 }  // namespace
@@ -158,12 +164,20 @@ StatusOr<PreparedQuery> Personalizer::PrepareParsed(
   prepared.query = std::move(query);
   prepared.fingerprint = sql::QueryFingerprint(prepared.query);
 
+  // Effective extraction options: the pruning pass reads the database's
+  // constraint set, and disable_rewrite turns the pass off wholesale.
+  space::PreferenceSpaceOptions space_options = request.space_options;
+  space_options.constraints = &db_->constraints();
+  space_options.constraint_prune =
+      space_options.constraint_prune && !request.disable_rewrite;
+
   PlanCache::Key key;
   if (request.plan_cache != nullptr) {
     key.query_fingerprint = prepared.fingerprint;
     key.profile_id = request.profile_id;
     key.profile_version = request.profile_version;
-    key.config = PlanConfigKey(cost_params_, request.space_options);
+    key.config = PlanConfigKey(cost_params_, space_options,
+                               db_->constraint_revision());
     if (auto cached = request.plan_cache->Find(key)) {
       prepared.space = std::move(cached);
       prepared.cache_hit = true;
@@ -176,8 +190,7 @@ StatusOr<PreparedQuery> Personalizer::PrepareParsed(
   estimation::ParameterEstimator estimator(db_, cost_params_);
   CQP_ASSIGN_OR_RETURN(space::PreferenceSpaceResult extracted,
                        space::ExtractPreferenceSpace(
-                           prepared.query, graph, estimator,
-                           request.space_options));
+                           prepared.query, graph, estimator, space_options));
   prepared.space = space::PreparedSpace::Create(std::move(extracted));
   if (request.plan_cache != nullptr) {
     request.plan_cache->Insert(key, prepared.space);
@@ -310,12 +323,14 @@ StatusOr<PersonalizeResult> Personalizer::SolveResolved(
     result.rung = FallbackRung::kOriginal;
   }
 
+  BuildOptions build_options = request.build_options;
+  build_options.optimize = build_options.optimize && !request.disable_rewrite;
   CQP_ASSIGN_OR_RETURN(
       result.personalized,
       BuildPersonalizedQuery(*db_, prepared.query, view.prefs,
                              result.solution.feasible ? result.solution.chosen
                                                       : IndexSet(),
-                             request.build_options));
+                             build_options));
   result.final_sql = result.personalized.ToSql();
   return result;
 }
@@ -341,10 +356,12 @@ StatusOr<PersonalizeResult> Personalizer::Personalize(
   result.attempts.push_back("extract: " + prepared.status().ToString());
   result.solution = OriginalQuerySolution();
   result.rung = FallbackRung::kOriginal;
+  BuildOptions build_options = request.build_options;
+  build_options.optimize = build_options.optimize && !request.disable_rewrite;
   CQP_ASSIGN_OR_RETURN(
       result.personalized,
       BuildPersonalizedQuery(*db_, query, result.space->prefs, IndexSet(),
-                             request.build_options));
+                             build_options));
   result.final_sql = result.personalized.ToSql();
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "prefs/doi.h"
+#include "rewrite/passes.h"
 
 namespace cqp::construct {
 
@@ -145,6 +146,33 @@ StatusOr<PersonalizedQuery> BuildPersonalizedQuery(
     out.subquery_prefs.push_back(group);
     out.dois.push_back(
         prefs::CombineConjunctionDoi(dois, prefs::ConjunctionModel::kNoisyOr));
+  }
+
+  if (options.optimize && !out.subqueries.empty()) {
+    rewrite::QueryIR ir;
+    ir.base = out.base;
+    ir.branches.reserve(out.subqueries.size());
+    for (size_t b = 0; b < out.subqueries.size(); ++b) {
+      rewrite::BranchIR branch;
+      branch.query = out.subqueries[b];
+      branch.prefs = out.subquery_prefs[b];
+      branch.doi = out.dois[b];
+      ir.branches.push_back(std::move(branch));
+    }
+    rewrite::RewriteStats stats;
+    ir = rewrite::OptimizeQueryIR(std::move(ir), db.constraints(), &stats);
+    if (stats.changed()) {
+      out.pre_rewrite_sql = out.ToSql();
+      out.subqueries.clear();
+      out.subquery_prefs.clear();
+      out.dois.clear();
+      for (rewrite::BranchIR& branch : ir.branches) {
+        out.subqueries.push_back(std::move(branch.query));
+        out.subquery_prefs.push_back(std::move(branch.prefs));
+        out.dois.push_back(branch.doi);
+      }
+    }
+    out.rewrite = stats;
   }
   return out;
 }

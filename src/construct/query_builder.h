@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "estimation/evaluator.h"
 #include "prefs/preference.h"
+#include "rewrite/ir.h"
 #include "sql/ast.h"
 #include "storage/database.h"
 
@@ -24,6 +25,13 @@ struct PersonalizedQuery {
   std::vector<std::vector<int32_t>> subquery_prefs;
   /// Combined doi of each sub-query's preferences (used for ranking).
   std::vector<double> dois;
+
+  /// What the semantic optimizer did to this rewriting (all zero when
+  /// BuildOptions.optimize is off or no pass fired).
+  rewrite::RewriteStats rewrite;
+  /// SQL text of the rewriting before optimization; set only when the
+  /// optimizer ran (for .explain / debugging). Empty otherwise.
+  std::string pre_rewrite_sql;
 
   size_t L() const { return subqueries.size(); }
 
@@ -48,6 +56,12 @@ struct BuildOptions {
   /// row; merging path preferences can change semantics (two genre
   /// preferences require two GENRE rows, not one).
   bool merge_compatible = false;
+  /// Run the semantic optimizer (docs/rewriting.md) over the assembled
+  /// rewriting: constraint-redundant conjuncts are dropped, contradicted
+  /// branches eliminated, and subsumed branches merged. Sound on databases
+  /// that satisfy db.constraints(); an empty constraint set still enables
+  /// the pure-logic passes (duplicate conjuncts, subsumption).
+  bool optimize = true;
 };
 
 /// Builds one sub-query integrating `pref` into `base`: base's FROM plus a

@@ -1,0 +1,15 @@
+#include "rewrite/ir.h"
+
+#include "common/str_util.h"
+
+namespace cqp::rewrite {
+
+AliasMap BuildAliasMap(const sql::SelectQuery& q) {
+  AliasMap out;
+  for (const sql::TableRef& t : q.from) {
+    out[ToUpper(t.EffectiveAlias())] = ToUpper(t.relation);
+  }
+  return out;
+}
+
+}  // namespace cqp::rewrite

@@ -1,0 +1,68 @@
+#ifndef CQP_REWRITE_PASSES_H_
+#define CQP_REWRITE_PASSES_H_
+
+#include <vector>
+
+#include "catalog/constraints.h"
+#include "rewrite/ir.h"
+#include "sql/ast.h"
+
+namespace cqp::rewrite {
+
+/// True when `conjuncts` ∧ the domain/implication constraints of the
+/// aliases' relations is provably unsatisfiable (some attribute's value
+/// range is empty). Join conjuncts are ignored (conservative); a provable
+/// contradiction means the conjunction returns zero rows on every
+/// constraint-valid database. This is the shared satisfiability core behind
+/// DropContradictedBranches and the pre-search preference pruning in
+/// space::ExtractPreferenceSpace.
+bool ConjunctsUnsatisfiable(const std::vector<sql::Predicate>& conjuncts,
+                            const AliasMap& aliases,
+                            const catalog::ConstraintSet& constraints);
+
+/// Pass 1 — conjunct redundancy elimination. Per branch, drops every
+/// conjunct implied by the remaining conjuncts plus the constraints:
+/// duplicates (selection or join, modulo the canonical mirror ordering),
+/// constraint tautologies (year >= 1900 under domain [1930, 2005]), and
+/// implication-constraint redundancies (rating >= 'PG' in a branch that
+/// already demands genre = 'horror' under horror ⇒ rating >= 'R').
+/// Result-preserving on constraint-valid data: an implied conjunct filters
+/// nothing. Pure IR → IR; counts into stats->conjuncts_dropped.
+QueryIR EliminateRedundantConjuncts(QueryIR ir,
+                                    const catalog::ConstraintSet& constraints,
+                                    RewriteStats* stats);
+
+/// Pass 2 — contradiction detection. Drops every branch whose conjunct set
+/// is unsatisfiable (on its own or against the constraints): the branch is
+/// vacuous — it returns zero rows on any constraint-valid database, so the
+/// preference it integrates cannot be delivered. Always drops whole
+/// branches, never the whole union: when every branch is contradicted the
+/// result has zero branches, which emits as the ORIGINAL query (the
+/// graceful degradation the fallback ladder also ends in). The pipeline
+/// never reaches that point — the pre-search pass prunes
+/// constraint-contradicted preferences before the search can choose them —
+/// so this pass is defense in depth for hand-built IRs.
+/// Counts into stats->branches_contradicted.
+QueryIR DropContradictedBranches(QueryIR ir,
+                                 const catalog::ConstraintSet& constraints,
+                                 RewriteStats* stats);
+
+/// Pass 3 — branch subsumption merging. When branch A's canonical FROM and
+/// conjunct sets are subsets of branch B's, A is the semantically WEAKER
+/// branch: rows(A) ⊇ rows(B), so under the intersection semantics of the
+/// rewriting A constrains nothing beyond B. A is dropped and folded into B
+/// — B inherits A's preference indices and the dois combine by noisy-or
+/// (Formula 10 is associative, so per-row delivery dois are unchanged) —
+/// and the union's implied HAVING COUNT drops by one. Exact duplicates
+/// (mutual subsumption, e.g. join-mirrored spellings of one branch) keep
+/// the earlier branch. Counts into stats->branches_subsumed.
+QueryIR MergeSubsumedBranches(QueryIR ir, RewriteStats* stats);
+
+/// The standard pass order: redundancy elimination (exposes subsumption),
+/// contradiction detection, subsumption merging.
+QueryIR OptimizeQueryIR(QueryIR ir, const catalog::ConstraintSet& constraints,
+                        RewriteStats* stats);
+
+}  // namespace cqp::rewrite
+
+#endif  // CQP_REWRITE_PASSES_H_

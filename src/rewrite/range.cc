@@ -1,0 +1,167 @@
+#include "rewrite/range.h"
+
+namespace cqp::rewrite {
+
+namespace {
+
+using catalog::CompareOp;
+using catalog::Value;
+using catalog::ValueType;
+
+bool IsNumeric(const Value& v) { return v.type() != ValueType::kString; }
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+std::optional<int> ValueRange::Compare(const Value& a, const Value& b) {
+  if (IsNumeric(a) != IsNumeric(b)) return std::nullopt;
+  if (!IsNumeric(a)) {
+    const std::string& sa = a.AsString();
+    const std::string& sb = b.AsString();
+    return sa < sb ? -1 : (sb < sa ? 1 : 0);
+  }
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    // Exact: int64s beyond 2^53 would lose ulps through the double path.
+    int64_t ia = a.AsInt();
+    int64_t ib = b.AsInt();
+    return ia < ib ? -1 : (ib < ia ? 1 : 0);
+  }
+  return Sign(a.AsNumeric() - b.AsNumeric());
+}
+
+std::optional<int> ValueRange::CompareOrPoison(const Value& a,
+                                               const Value& b) {
+  std::optional<int> c = Compare(a, b);
+  if (!c.has_value()) unusable_ = true;
+  return c;
+}
+
+void ValueRange::Intersect(CompareOp op, const Value& v) {
+  if (unusable_) return;
+  switch (op) {
+    case CompareOp::kEq:
+      Intersect(CompareOp::kGe, v);
+      Intersect(CompareOp::kLe, v);
+      return;
+    case CompareOp::kNe:
+      for (const Value& e : excluded_) {
+        std::optional<int> c = CompareOrPoison(e, v);
+        if (!c.has_value()) return;
+        if (*c == 0) return;  // already excluded
+      }
+      excluded_.push_back(v);
+      return;
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      const bool strict = op == CompareOp::kLt;
+      if (!hi_.has_value()) {
+        hi_ = v;
+        hi_strict_ = strict;
+        // Poison on conflict with the other bound, checked below.
+      } else {
+        std::optional<int> c = CompareOrPoison(v, *hi_);
+        if (!c.has_value()) return;
+        if (*c < 0 || (*c == 0 && strict)) {
+          hi_ = v;
+          hi_strict_ = strict;
+        }
+      }
+      break;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      const bool strict = op == CompareOp::kGt;
+      if (!lo_.has_value()) {
+        lo_ = v;
+        lo_strict_ = strict;
+      } else {
+        std::optional<int> c = CompareOrPoison(v, *lo_);
+        if (!c.has_value()) return;
+        if (*c > 0 || (*c == 0 && strict)) {
+          lo_ = v;
+          lo_strict_ = strict;
+        }
+      }
+      break;
+    }
+  }
+  // Cross-bound type check: a numeric lower bound with a string upper bound
+  // (or vice versa) proves nothing about anything.
+  if (lo_.has_value() && hi_.has_value()) CompareOrPoison(*lo_, *hi_);
+}
+
+bool ValueRange::Empty() const {
+  if (unusable_) return false;
+  if (lo_.has_value() && hi_.has_value()) {
+    std::optional<int> c = Compare(*lo_, *hi_);
+    if (c.has_value()) {
+      if (*c > 0) return true;
+      if (*c == 0 && (lo_strict_ || hi_strict_)) return true;
+      if (*c == 0) {
+        // Point range: empty exactly when the point is excluded.
+        for (const Value& e : excluded_) {
+          std::optional<int> ce = Compare(e, *lo_);
+          if (ce.has_value() && *ce == 0) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool ValueRange::MayContain(const Value& v) const {
+  if (unusable_) return true;
+  if (lo_.has_value()) {
+    std::optional<int> c = Compare(v, *lo_);
+    if (c.has_value() && (*c < 0 || (*c == 0 && lo_strict_))) return false;
+  }
+  if (hi_.has_value()) {
+    std::optional<int> c = Compare(v, *hi_);
+    if (c.has_value() && (*c > 0 || (*c == 0 && hi_strict_))) return false;
+  }
+  for (const Value& e : excluded_) {
+    std::optional<int> c = Compare(v, e);
+    if (c.has_value() && *c == 0) return false;
+  }
+  return true;
+}
+
+bool ValueRange::Implies(CompareOp op, const Value& v) const {
+  if (unusable_) return false;
+  if (Empty()) return true;
+  switch (op) {
+    case CompareOp::kEq: {
+      if (!lo_.has_value() || !hi_.has_value()) return false;
+      std::optional<int> cl = Compare(*lo_, v);
+      std::optional<int> ch = Compare(*hi_, v);
+      return cl.has_value() && ch.has_value() && *cl == 0 && *ch == 0 &&
+             !lo_strict_ && !hi_strict_;
+    }
+    case CompareOp::kNe:
+      return !MayContain(v);
+    case CompareOp::kLt: {
+      if (!hi_.has_value()) return false;
+      std::optional<int> c = Compare(*hi_, v);
+      return c.has_value() && (*c < 0 || (*c == 0 && hi_strict_));
+    }
+    case CompareOp::kLe: {
+      if (!hi_.has_value()) return false;
+      std::optional<int> c = Compare(*hi_, v);
+      return c.has_value() && *c <= 0;
+    }
+    case CompareOp::kGt: {
+      if (!lo_.has_value()) return false;
+      std::optional<int> c = Compare(*lo_, v);
+      return c.has_value() && (*c > 0 || (*c == 0 && lo_strict_));
+    }
+    case CompareOp::kGe: {
+      if (!lo_.has_value()) return false;
+      std::optional<int> c = Compare(*lo_, v);
+      return c.has_value() && *c >= 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace cqp::rewrite

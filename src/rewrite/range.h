@@ -1,0 +1,61 @@
+#ifndef CQP_REWRITE_RANGE_H_
+#define CQP_REWRITE_RANGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "catalog/compare.h"
+#include "catalog/value.h"
+
+namespace cqp::rewrite {
+
+/// The set of values one attribute may take, as far as a conjunction of
+/// `attr op literal` facts (query conjuncts + integrity constraints) can
+/// prove: an interval with optional open/closed bounds plus excluded points
+/// from `<>` facts.
+///
+/// Ints and doubles compare numerically (int64s outside the exact double
+/// range compare as integers when both sides are ints), strings
+/// lexicographically. A numeric/string type conflict poisons the range —
+/// it then proves nothing (neither emptiness nor implication), keeping
+/// every rewrite decision conservative.
+class ValueRange {
+ public:
+  /// Intersects with {x : x op v}.
+  void Intersect(catalog::CompareOp op, const catalog::Value& v);
+
+  /// True when a type conflict made the range unusable.
+  bool unusable() const { return unusable_; }
+
+  /// True when the range is provably empty (an unsatisfiable conjunction).
+  /// Never true for an unusable range.
+  bool Empty() const;
+
+  /// True when every value of the range satisfies `x op v` — i.e. the
+  /// accumulated facts imply the conjunct. Vacuously true for a provably
+  /// empty range; never true for an unusable one.
+  bool Implies(catalog::CompareOp op, const catalog::Value& v) const;
+
+  /// True when `v` may lie in the range (false only when provably outside).
+  bool MayContain(const catalog::Value& v) const;
+
+ private:
+  /// Three-way compare, or nullopt on a numeric/string mismatch.
+  static std::optional<int> Compare(const catalog::Value& a,
+                                    const catalog::Value& b);
+
+  /// Compare `v` against the bound; poisons the range on type mismatch.
+  std::optional<int> CompareOrPoison(const catalog::Value& a,
+                                     const catalog::Value& b);
+
+  std::optional<catalog::Value> lo_;
+  bool lo_strict_ = false;
+  std::optional<catalog::Value> hi_;
+  bool hi_strict_ = false;
+  std::vector<catalog::Value> excluded_;  ///< from `<>` facts
+  bool unusable_ = false;
+};
+
+}  // namespace cqp::rewrite
+
+#endif  // CQP_REWRITE_RANGE_H_

@@ -466,6 +466,10 @@ void Server::RunPersonalize(const std::shared_ptr<Connection>& conn,
   response.personalize = std::move(out);
 
   stats_.OnPlanLookup(r.plan_cache_hit);
+  stats_.OnRewrite(r.personalized.rewrite.conjuncts_dropped,
+                   r.personalized.rewrite.branches_contradicted,
+                   r.personalized.rewrite.branches_subsumed,
+                   r.space != nullptr ? r.space->constraint_pruned : 0);
   stats_.OnRequestDone(/*ok=*/true, r.degraded(), latency_ms,
                        r.metrics.eval_cache_hits, r.metrics.eval_cache_misses,
                        r.metrics.states_examined);

@@ -114,6 +114,19 @@ void ServerStats::OnPlanLookup(bool hit) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServerStats::OnRewrite(uint64_t conjuncts_dropped,
+                            uint64_t branches_contradicted,
+                            uint64_t branches_subsumed,
+                            uint64_t prefs_pruned) {
+  conjuncts_dropped_total_.fetch_add(conjuncts_dropped,
+                                     std::memory_order_relaxed);
+  branches_contradicted_total_.fetch_add(branches_contradicted,
+                                         std::memory_order_relaxed);
+  branches_subsumed_total_.fetch_add(branches_subsumed,
+                                     std::memory_order_relaxed);
+  prefs_pruned_total_.fetch_add(prefs_pruned, std::memory_order_relaxed);
+}
+
 void ServerStats::ConfigureLoops(size_t n) {
   loops_.clear();
   loops_.reserve(n);
@@ -148,6 +161,20 @@ JsonValue ServerStats::ToJson() const {
           n(plan_misses_total_.load(std::memory_order_relaxed)));
   obj.Set("states_examined",
           n(states_total_.load(std::memory_order_relaxed)));
+  JsonValue rewrite = JsonValue::Object();
+  rewrite.Set("conjuncts_dropped",
+              n(conjuncts_dropped_total_.load(std::memory_order_relaxed)));
+  rewrite.Set("branches_contradicted",
+              n(branches_contradicted_total_.load(std::memory_order_relaxed)));
+  rewrite.Set("branches_subsumed",
+              n(branches_subsumed_total_.load(std::memory_order_relaxed)));
+  rewrite.Set(
+      "branches_eliminated",
+      n(branches_contradicted_total_.load(std::memory_order_relaxed) +
+        branches_subsumed_total_.load(std::memory_order_relaxed)));
+  rewrite.Set("prefs_pruned",
+              n(prefs_pruned_total_.load(std::memory_order_relaxed)));
+  obj.Set("rewrite", std::move(rewrite));
   obj.Set("latency", latency_.ToJson());
   if (!loops_.empty()) {
     JsonValue loops = JsonValue::Array();

@@ -79,6 +79,13 @@ class ServerStats {
   /// from — or had to populate — the shared PreparedSpace cache).
   void OnPlanLookup(bool hit);
 
+  /// Semantic-rewrite work done by one successful request (docs/
+  /// rewriting.md): conjuncts dropped as constraint-redundant, union
+  /// branches eliminated (contradicted or subsumed), and preference-space
+  /// candidates pruned before the search.
+  void OnRewrite(uint64_t conjuncts_dropped, uint64_t branches_contradicted,
+                 uint64_t branches_subsumed, uint64_t prefs_pruned);
+
   uint64_t requests_total() const {
     return requests_total_.load(std::memory_order_relaxed);
   }
@@ -124,6 +131,10 @@ class ServerStats {
   std::atomic<uint64_t> plan_hits_total_{0};
   std::atomic<uint64_t> plan_misses_total_{0};
   std::atomic<uint64_t> states_total_{0};
+  std::atomic<uint64_t> conjuncts_dropped_total_{0};
+  std::atomic<uint64_t> branches_contradicted_total_{0};
+  std::atomic<uint64_t> branches_subsumed_total_{0};
+  std::atomic<uint64_t> prefs_pruned_total_{0};
   /// unique_ptr: LoopStats holds atomics and cannot be moved on resize.
   std::vector<std::unique_ptr<LoopStats>> loops_;
 };

@@ -14,6 +14,7 @@
 #include "construct/personalizer.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
+#include "storage/constraints.h"
 #include "storage/csv.h"
 #include "workload/movie_gen.h"
 #include "workload/tourist_gen.h"
@@ -46,8 +47,13 @@ constexpr const char* kHelp = R"(commands:
   .failpoints [SPEC|off]      fault injection, e.g.
                                 .failpoints space.extract=1.0:42
   .settings                   show problem/algorithm/K/budget
+  .constraints                show the catalog integrity constraints
+  .constraints derive         mine keys/domains/implications from the data
+  .constraints load FILE      load a constraint file (key/domain/imply lines)
+  .constraints clear          drop all constraints
   .sql QUERY                  run QUERY without personalization
-  .explain QUERY              personalize, show plan only
+  .explain QUERY              personalize, show plan only (with the
+                              pre-rewrite SQL when the optimizer fired)
   .batch [n=N] [threads=T] QUERY
                               personalize N copies of QUERY on a worker
                               pool (default n=8, threads=hardware)
@@ -233,6 +239,7 @@ Status CqpShell::HandleCommand(const std::string& line, std::ostream& out) {
     out << "budget    : " << MakeBudget().ToString() << "\n";
     return Status::OK();
   }
+  if (command == ".constraints") return HandleConstraints(args, out);
   if (command == ".budget") return HandleBudget(args, out);
   if (command == ".failpoints") return HandleFailpoints(args, out);
   if (command == ".sql") return HandleRawSql(args, out);
@@ -335,6 +342,54 @@ Status CqpShell::HandleProfile(const std::string& args, std::ostream& out) {
     return RebuildGraph();
   }
   return InvalidArgument(".profile expects show|clear|add|load");
+}
+
+Status CqpShell::HandleConstraints(const std::string& args,
+                                   std::ostream& out) {
+  if (db_ == nullptr) {
+    return FailedPrecondition("no database loaded (.gen or .load first)");
+  }
+  auto [sub, rest] = SplitCommand(args);
+  if (sub.empty()) {
+    const catalog::ConstraintSet& constraints = db_->constraints();
+    if (constraints.empty()) {
+      out << "no constraints (try .constraints derive)\n";
+    } else {
+      out << constraints.ToText();
+    }
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(sub, "derive")) {
+    CQP_ASSIGN_OR_RETURN(catalog::ConstraintSet derived,
+                         storage::DeriveConstraints(*db_));
+    // Derived constraints hold by construction; the check guards against
+    // estimator-statistics drift (it would indicate a bug, not bad data).
+    CQP_RETURN_IF_ERROR(storage::CheckConstraints(*db_, derived));
+    out << StrFormat("derived %zu keys, %zu domains, %zu implications\n",
+                     derived.keys().size(), derived.domains().size(),
+                     derived.implications().size());
+    db_->SetConstraints(std::move(derived));
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(sub, "load")) {
+    std::ifstream in(rest);
+    if (!in) return NotFound("cannot open " + rest);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    CQP_ASSIGN_OR_RETURN(catalog::ConstraintSet parsed,
+                         catalog::ParseConstraintSet(buffer.str()));
+    // A constraint the data violates would make the rewrite passes unsound
+    // (they drop conjuncts the constraints prove redundant) — refuse it.
+    CQP_RETURN_IF_ERROR(storage::CheckConstraints(*db_, parsed));
+    out << StrFormat("loaded %zu constraints\n", parsed.size());
+    db_->SetConstraints(std::move(parsed));
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(sub, "clear")) {
+    db_->SetConstraints(catalog::ConstraintSet());
+    return Status::OK();
+  }
+  return InvalidArgument(".constraints expects derive|load|clear or no args");
 }
 
 Status CqpShell::HandleProblem(const std::string& args) {
@@ -767,6 +822,21 @@ Status CqpShell::HandleQuery(const std::string& sql, bool execute,
                      static_cast<unsigned long long>(
                          result.metrics.states_examined),
                      result.metrics.wall_ms);
+  }
+  const rewrite::RewriteStats& rw = result.personalized.rewrite;
+  if (rw.changed() || result.space->constraint_pruned > 0) {
+    out << StrFormat(
+        "rewrite: %llu conjuncts dropped, %llu branches eliminated "
+        "(%llu contradicted, %llu subsumed), %llu candidates pruned\n",
+        static_cast<unsigned long long>(rw.conjuncts_dropped),
+        static_cast<unsigned long long>(rw.branches_eliminated()),
+        static_cast<unsigned long long>(rw.branches_contradicted),
+        static_cast<unsigned long long>(rw.branches_subsumed),
+        static_cast<unsigned long long>(result.space->constraint_pruned));
+  }
+  if (!execute && !result.personalized.pre_rewrite_sql.empty()) {
+    out << "sql (before rewrite):\n"
+        << result.personalized.pre_rewrite_sql << "\n";
   }
   out << "sql:\n" << result.final_sql << "\n";
   if (!execute) return Status::OK();

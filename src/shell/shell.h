@@ -42,8 +42,10 @@ namespace cqp::shell {
 ///   .budget [spec|off]          show or set the per-query search budget
 ///   .failpoints [spec|off]      show or arm fault-injection points
 ///   .settings                   show problem/algorithm/K/budget
+///   .constraints [sub]          show/derive/load/clear integrity constraints
 ///   .sql QUERY                  run QUERY directly (no personalization)
 ///   .explain QUERY              personalize QUERY, show the plan only
+///                               (before/after SQL when the rewriter fired)
 ///   .batch [n=N] [threads=T] QUERY
 ///                               personalize N copies of QUERY on a worker
 ///                               pool, print throughput/latency/cache stats
@@ -72,6 +74,10 @@ class CqpShell {
   Status HandleLoad(const std::string& args);
   Status HandleProfile(const std::string& args, std::ostream& out);
   Status HandleProblem(const std::string& args);
+  /// The `.constraints` family: show / derive-from-data / load-file / clear.
+  /// Derive and load both verify the set against the data before installing
+  /// it (SetConstraints bumps the revision, detaching stale cached plans).
+  Status HandleConstraints(const std::string& args, std::ostream& out);
   Status HandleBudget(const std::string& args, std::ostream& out);
   Status HandleFailpoints(const std::string& args, std::ostream& out);
   Status HandleQuery(const std::string& sql, bool execute, std::ostream& out);

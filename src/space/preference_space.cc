@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/str_util.h"
+#include "rewrite/passes.h"
 
 namespace cqp::space {
 
@@ -103,6 +104,9 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
 
   std::set<std::string> seen_conditions;
   std::vector<ScoredPreference> prefs;
+  static const catalog::ConstraintSet kNoConstraints;
+  const catalog::ConstraintSet& constraints =
+      options.constraints != nullptr ? *options.constraints : kNoConstraints;
 
   while (!qp.empty() && prefs.size() < options.max_k) {
     Candidate c = qp.top();
@@ -115,6 +119,16 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
     if (c.complete) {
       std::string key = ToUpper(c.pref.ConditionString());
       if (!seen_conditions.insert(key).second) continue;
+
+      // Pre-search semantic pruning: a preference whose branch provably
+      // contradicts Q's own conjuncts or the integrity constraints can only
+      // produce a vacuous branch — keep it out of P (it occupies no
+      // max_k slot either; the next-best candidate takes its place).
+      if (options.constraint_prune &&
+          PreferenceContradictsQuery(q, c.pref, constraints)) {
+        ++result.constraint_pruned;
+        continue;
+      }
 
       CQP_ASSIGN_OR_RETURN(PreferenceEstimate est,
                            estimator.EstimatePreference(result.base, c.pref));
@@ -170,6 +184,37 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
   return result;
 }
 
+bool PreferenceContradictsQuery(const sql::SelectQuery& q,
+                                const ImplicitPreference& pref,
+                                const catalog::ConstraintSet& constraints) {
+  // Mirror construct::BuildSubQuery's shape without building it: the base
+  // FROM aliases plus one fresh alias per path relation, the base WHERE
+  // conjuncts plus the preference's final selection on the path tail (the
+  // join edges contribute nothing to the single-attribute range analysis).
+  rewrite::AliasMap aliases;
+  for (const sql::TableRef& t : q.from) {
+    aliases[ToUpper(t.EffectiveAlias())] = ToUpper(t.relation);
+  }
+  std::string tail_alias;
+  for (const sql::TableRef& t : q.from) {
+    if (EqualsIgnoreCase(t.relation, pref.AnchorRelation())) {
+      tail_alias = ToUpper(t.EffectiveAlias());
+      break;
+    }
+  }
+  if (tail_alias.empty()) return false;  // not related to Q; nothing to prove
+  for (size_t j = 0; j < pref.joins.size(); ++j) {
+    tail_alias = StrFormat("P%zu_%s", j,
+                           ToUpper(pref.joins[j].to_relation).c_str());
+    aliases[tail_alias] = ToUpper(pref.joins[j].to_relation);
+  }
+  std::vector<sql::Predicate> conjuncts = q.where;
+  conjuncts.push_back(sql::Predicate::Selection(
+      sql::ColumnRef{tail_alias, pref.selection.attribute}, pref.selection.op,
+      pref.selection.value));
+  return rewrite::ConjunctsUnsatisfiable(conjuncts, aliases, constraints);
+}
+
 bool PrunedByProblem(const ScoredPreference& pref,
                      const cqp::ProblemSpec& problem) {
   // Monotone constraint pruning: a preference whose own sub-query violates
@@ -186,6 +231,7 @@ PreferenceSpaceResult PruneSpaceForProblem(const PreferenceSpaceResult& space,
   view.query = space.query;
   view.base = space.base;
   view.conjunction_model = space.conjunction_model;
+  view.constraint_pruned = space.constraint_pruned;
   view.prefs.reserve(space.prefs.size());
   for (const ScoredPreference& p : space.prefs) {
     if (!PrunedByProblem(p, problem)) view.prefs.push_back(p);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "catalog/constraints.h"
 #include "common/status.h"
 #include "cqp/problem.h"
 #include "estimation/estimate.h"
@@ -32,6 +33,17 @@ struct PreferenceSpaceOptions {
   /// D_PrefSelTime configuration in Fig. 12(b)); if true, the cost and
   /// size vectors C and S are ranked as well (C_PrefSelTime).
   bool build_cost_size_vectors = true;
+  /// Pre-search semantic pruning (docs/rewriting.md): a candidate whose
+  /// integrated branch would provably contradict the query's own conjuncts
+  /// or the catalog constraints is never admitted to P — it could only ever
+  /// produce a vacuous (zero-row) union branch, and excluding it shrinks K
+  /// before the search starts. The flag is part of the plan-cache config
+  /// key; the constraint-set revision joins the key separately.
+  bool constraint_prune = true;
+  /// Integrity constraints consulted by the pruning pass; nullptr means
+  /// "no catalog constraints" (query-self-contradictions are still caught).
+  /// Borrowed for the duration of the extraction call only.
+  const catalog::ConstraintSet* constraints = nullptr;
 };
 
 /// The output of the Preference Space module (paper Fig. 3): the set P of
@@ -65,6 +77,10 @@ struct PreferenceSpaceResult {
   std::vector<int32_t> D;
   std::vector<int32_t> C;
   std::vector<int32_t> S;
+
+  /// Candidates rejected by the pre-search constraint pruning pass (they
+  /// occupied no slot of max_k). Copied into every per-problem view.
+  uint64_t constraint_pruned = 0;
 
   size_t K() const { return prefs.size(); }
 };
@@ -102,6 +118,17 @@ StatusOr<PreferenceSpaceResult> ExtractPreferenceSpace(
 /// removes a feasible solution.
 bool PrunedByProblem(const estimation::ScoredPreference& pref,
                      const cqp::ProblemSpec& problem);
+
+/// True when integrating `pref` into `q` yields a union branch whose
+/// conjuncts (q's WHERE plus the preference's final selection, under the
+/// domain/implication constraints of the involved relations) are provably
+/// unsatisfiable — the branch would return zero rows on every
+/// constraint-valid database. Used by the pre-search pruning pass and
+/// exposed for the fuzz harness's vacuity oracle (a pruned preference's
+/// branch must execute to zero rows).
+bool PreferenceContradictsQuery(const sql::SelectQuery& q,
+                                const prefs::ImplicitPreference& pref,
+                                const catalog::ConstraintSet& constraints);
 
 /// Derives the per-problem view of an extracted space: preferences pruned
 /// by `problem`'s monotone bounds are dropped, survivors are reindexed

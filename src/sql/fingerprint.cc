@@ -104,6 +104,15 @@ std::string CanonicalPredicate(const Predicate& p, const QualifierMap& quals) {
   return lhs + catalog::CompareOpSql(op) + rhs;
 }
 
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (unsigned char ch : text) {
+    h ^= ch;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
 }  // namespace
 
 std::string CanonicalQueryText(const SelectQuery& q) {
@@ -147,13 +156,63 @@ std::string CanonicalQueryText(const SelectQuery& q) {
 }
 
 uint64_t QueryFingerprint(const SelectQuery& q) {
-  std::string text = CanonicalQueryText(q);
-  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
-  for (unsigned char ch : text) {
-    h ^= ch;
-    h *= 1099511628211ull;  // FNV prime
+  return Fnv1a(CanonicalQueryText(q));
+}
+
+std::string CanonicalQueryText(const UnionGroupQuery& q) {
+  // The outer select list is unqualified output columns; no qualifier map
+  // applies. Branch texts are sorted: the UNION ALL inputs feed a grouped
+  // intersection, so their order carries no semantics.
+  std::string out = "UNION";
+  for (size_t i = 0; i < q.select_list.size(); ++i) {
+    out += i == 0 ? " " : ",";
+    out += ToUpper(q.select_list[i].attribute);
   }
-  return h;
+  out += StrFormat("|HAVING %lld", static_cast<long long>(q.having_count));
+  std::vector<std::string> branches;
+  branches.reserve(q.branches.size());
+  for (const SelectQuery& b : q.branches) {
+    branches.push_back(CanonicalQueryText(b));
+  }
+  std::sort(branches.begin(), branches.end());
+  for (const std::string& b : branches) out += "|BRANCH " + b;
+  return out;
+}
+
+uint64_t QueryFingerprint(const UnionGroupQuery& q) {
+  return Fnv1a(CanonicalQueryText(q));
+}
+
+std::vector<std::string> CanonicalWhereConjuncts(const SelectQuery& q) {
+  QualifierMap quals(q.from);
+  std::vector<std::string> out;
+  out.reserve(q.where.size());
+  for (const Predicate& p : q.where) {
+    out.push_back(CanonicalPredicate(p, quals));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> CanonicalFromRelations(const SelectQuery& q) {
+  QualifierMap quals(q.from);
+  std::vector<std::string> out;
+  out.reserve(q.from.size());
+  for (const TableRef& t : q.from) {
+    out.push_back(quals.Resolve(t.EffectiveAlias()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string CanonicalSelectText(const SelectQuery& q) {
+  QualifierMap quals(q.from);
+  std::string out;
+  for (size_t i = 0; i < q.select_list.size(); ++i) {
+    if (i != 0) out += ",";
+    out += CanonicalRef(q.select_list[i], quals);
+  }
+  return out;
 }
 
 }  // namespace cqp::sql

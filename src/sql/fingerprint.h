@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sql/ast.h"
 
@@ -29,6 +30,28 @@ std::string CanonicalQueryText(const SelectQuery& q);
 /// 64-bit FNV-1a hash of CanonicalQueryText(q): the plan-cache key
 /// component identifying "the same query modulo spelling".
 uint64_t QueryFingerprint(const SelectQuery& q);
+
+/// Canonical serialization of a §4.2 union rewriting. Branches are
+/// rendered with CanonicalQueryText and SORTED, so two rewritings that
+/// differ only in branch order (UNION ALL inputs under the HAVING COUNT
+/// grouping are order-insensitive) collapse to one string — the PlanCache
+/// dedupes them.
+std::string CanonicalQueryText(const UnionGroupQuery& q);
+uint64_t QueryFingerprint(const UnionGroupQuery& q);
+
+/// Canonical texts of q's WHERE conjuncts — qualifiers resolved the same
+/// way CanonicalQueryText resolves them (an alias of a uniquely-occurring
+/// relation becomes the relation name) and =/<> join sides mirror-ordered —
+/// returned sorted. Two branches' conjunct sets compare with std::includes:
+/// the subset branch is the semantically weaker one (superset of rows),
+/// which is what the rewrite layer's subsumption pass consumes.
+std::vector<std::string> CanonicalWhereConjuncts(const SelectQuery& q);
+
+/// Canonical qualifiers of q's FROM entries, sorted.
+std::vector<std::string> CanonicalFromRelations(const SelectQuery& q);
+
+/// Canonical text of q's select list (alias-resolved, written order).
+std::string CanonicalSelectText(const SelectQuery& q);
 
 }  // namespace cqp::sql
 

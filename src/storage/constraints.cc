@@ -1,0 +1,239 @@
+#include "storage/constraints.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace cqp::storage {
+
+namespace {
+
+using catalog::CompareOp;
+using catalog::ConstraintSet;
+using catalog::DomainConstraint;
+using catalog::ImplicationConstraint;
+using catalog::KeyConstraint;
+using catalog::Value;
+using catalog::ValueType;
+
+bool IsNumeric(const Value& v) { return v.type() != ValueType::kString; }
+
+/// Type-tolerant comparison: ints and doubles compare numerically, strings
+/// lexicographically; a numeric/string mix never holds (and never crashes —
+/// catalog::EvalCompare checks type equality, so it cannot be used on a
+/// constraint whose literal type differs from the column's).
+bool HoldsCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (IsNumeric(lhs) != IsNumeric(rhs)) return false;
+  if (IsNumeric(lhs)) {
+    double a = lhs.AsNumeric();
+    double b = rhs.AsNumeric();
+    switch (op) {
+      case CompareOp::kEq: return a == b;
+      case CompareOp::kNe: return a != b;
+      case CompareOp::kLt: return a < b;
+      case CompareOp::kLe: return a <= b;
+      case CompareOp::kGt: return a > b;
+      case CompareOp::kGe: return a >= b;
+    }
+    return false;
+  }
+  return catalog::EvalCompare(lhs, op, rhs);
+}
+
+/// Exact per-attribute min/max over a table's rows (nullopt when empty).
+struct MinMax {
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  void Update(const Value& v) {
+    if (!min.has_value() || v < *min) min = v;
+    if (!max.has_value() || *max < v) max = v;
+  }
+};
+
+std::vector<MinMax> ScanMinMax(const Table& table) {
+  std::vector<MinMax> out(table.schema().arity());
+  for (const Tuple& row : table.rows()) {
+    for (size_t i = 0; i < out.size(); ++i) out[i].Update(row.at(i));
+  }
+  return out;
+}
+
+/// True when the attribute's values may appear in derived range constraints
+/// (all numerics; strings only when low-cardinality).
+bool RangeEligible(const catalog::AttributeDef& attr,
+                   const catalog::AttributeStats& stats,
+                   const DeriveOptions& options) {
+  if (attr.type != ValueType::kString) return true;
+  return stats.ndv() <= options.max_string_domain_ndv;
+}
+
+void DeriveImplicationsFor(const Table& table,
+                           const catalog::RelationStats& stats,
+                           const std::vector<MinMax>& overall,
+                           const DeriveOptions& options, ConstraintSet* out) {
+  const catalog::RelationDef& schema = table.schema();
+  const size_t n = schema.arity();
+  size_t emitted = 0;
+  for (size_t a = 0; a < n && emitted < options.max_implications_per_relation;
+       ++a) {
+    const catalog::AttributeStats& astats = stats.attributes[a];
+    if (astats.ndv() == 0 || astats.ndv() > options.max_antecedent_ndv) {
+      continue;
+    }
+    // Per-value bounds of every other attribute, keyed by the antecedent
+    // value (std::map keeps the emission order deterministic).
+    std::map<Value, std::vector<MinMax>> groups;
+    for (const Tuple& row : table.rows()) {
+      std::vector<MinMax>& bounds = groups[row.at(a)];
+      if (bounds.empty()) bounds.resize(n);
+      for (size_t b = 0; b < n; ++b) bounds[b].Update(row.at(b));
+    }
+    for (const auto& [value, bounds] : groups) {
+      for (size_t b = 0; b < n; ++b) {
+        if (b == a) continue;
+        if (!RangeEligible(schema.attribute(b), stats.attributes[b],
+                           options)) {
+          continue;
+        }
+        if (emitted >= options.max_implications_per_relation) return;
+        const MinMax& local = bounds[b];
+        const MinMax& global = overall[b];
+        if (!local.min.has_value()) continue;
+        ImplicationConstraint imp;
+        imp.relation = schema.name();
+        imp.if_attribute = schema.attribute(a).name;
+        imp.if_value = value;
+        imp.then_attribute = schema.attribute(b).name;
+        if (*local.min == *local.max) {
+          // The antecedent pins the consequent to one value exactly.
+          imp.then_op = CompareOp::kEq;
+          imp.then_value = *local.min;
+          out->AddImplication(imp);
+          ++emitted;
+          continue;
+        }
+        // Emit each side only when strictly tighter than the whole-relation
+        // domain (otherwise the domain constraint already carries the fact).
+        if (global.min.has_value() && *global.min < *local.min) {
+          imp.then_op = CompareOp::kGe;
+          imp.then_value = *local.min;
+          out->AddImplication(imp);
+          ++emitted;
+          if (emitted >= options.max_implications_per_relation) return;
+        }
+        if (global.max.has_value() && *local.max < *global.max) {
+          imp.then_op = CompareOp::kLe;
+          imp.then_value = *local.max;
+          out->AddImplication(imp);
+          ++emitted;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<ConstraintSet> DeriveConstraints(const Database& db,
+                                          const DeriveOptions& options) {
+  ConstraintSet out;
+  for (const std::string& name : db.TableNames()) {
+    CQP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    CQP_ASSIGN_OR_RETURN(const catalog::RelationStats* stats,
+                         db.GetStats(name));
+    const catalog::RelationDef& schema = table->schema();
+    if (table->row_count() == 0) continue;
+    const std::vector<MinMax> overall = ScanMinMax(*table);
+    if (options.derive_keys) {
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        if (stats->attributes[i].ndv() == table->row_count()) {
+          out.AddKey(KeyConstraint{schema.name(), {schema.attribute(i).name}});
+        }
+      }
+    }
+    if (options.derive_domains) {
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        if (!RangeEligible(schema.attribute(i), stats->attributes[i],
+                           options)) {
+          continue;
+        }
+        DomainConstraint domain;
+        domain.relation = schema.name();
+        domain.attribute = schema.attribute(i).name;
+        domain.min = overall[i].min;
+        domain.max = overall[i].max;
+        out.AddDomain(std::move(domain));
+      }
+    }
+    if (options.derive_implications) {
+      DeriveImplicationsFor(*table, *stats, overall, options, &out);
+    }
+  }
+  return out;
+}
+
+Status CheckConstraints(const Database& db, const ConstraintSet& set) {
+  for (const KeyConstraint& key : set.keys()) {
+    CQP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(key.relation));
+    std::vector<int> positions;
+    for (const std::string& attr : key.attributes) {
+      CQP_ASSIGN_OR_RETURN(int pos, table->schema().AttributeIndex(attr));
+      positions.push_back(pos);
+    }
+    std::map<std::vector<Value>, int> seen;
+    for (const Tuple& row : table->rows()) {
+      std::vector<Value> projected;
+      projected.reserve(positions.size());
+      for (int pos : positions) {
+        projected.push_back(row.at(static_cast<size_t>(pos)));
+      }
+      if (++seen[std::move(projected)] > 1) {
+        return FailedPrecondition("key violated: " + key.ToText());
+      }
+    }
+  }
+  for (const DomainConstraint& domain : set.domains()) {
+    CQP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(domain.relation));
+    CQP_ASSIGN_OR_RETURN(int pos,
+                         table->schema().AttributeIndex(domain.attribute));
+    for (const Tuple& row : table->rows()) {
+      const Value& v = row.at(static_cast<size_t>(pos));
+      if (domain.min.has_value() &&
+          !HoldsCompare(v, CompareOp::kGe, *domain.min)) {
+        return FailedPrecondition("domain violated by " + v.ToString() + ": " +
+                                  domain.ToText());
+      }
+      if (domain.max.has_value() &&
+          !HoldsCompare(v, CompareOp::kLe, *domain.max)) {
+        return FailedPrecondition("domain violated by " + v.ToString() + ": " +
+                                  domain.ToText());
+      }
+    }
+  }
+  for (const ImplicationConstraint& imp : set.implications()) {
+    CQP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(imp.relation));
+    CQP_ASSIGN_OR_RETURN(int if_pos,
+                         table->schema().AttributeIndex(imp.if_attribute));
+    CQP_ASSIGN_OR_RETURN(int then_pos,
+                         table->schema().AttributeIndex(imp.then_attribute));
+    for (const Tuple& row : table->rows()) {
+      if (!HoldsCompare(row.at(static_cast<size_t>(if_pos)), CompareOp::kEq,
+                        imp.if_value)) {
+        continue;
+      }
+      if (!HoldsCompare(row.at(static_cast<size_t>(then_pos)), imp.then_op,
+                        imp.then_value)) {
+        return FailedPrecondition(
+            "implication violated by " +
+            row.at(static_cast<size_t>(then_pos)).ToString() + ": " +
+            imp.ToText());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cqp::storage

@@ -1,0 +1,51 @@
+#ifndef CQP_STORAGE_CONSTRAINTS_H_
+#define CQP_STORAGE_CONSTRAINTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/constraints.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace cqp::storage {
+
+/// Knobs of DeriveConstraints().
+struct DeriveOptions {
+  /// Emit "key REL(attr)" for single attributes whose exact NDV equals the
+  /// table's row count.
+  bool derive_keys = true;
+  /// Emit "domain REL.attr in [min, max]" per attribute (exact, from the
+  /// data). String attributes participate when their NDV is at most
+  /// `max_string_domain_ndv` (lexicographic bounds on free-text columns are
+  /// true but useless to the optimizer).
+  bool derive_domains = true;
+  uint64_t max_string_domain_ndv = 64;
+  /// Mine "imply REL.a = v => REL.b >= lo / <= hi" implications: for every
+  /// categorical attribute a (NDV <= max_antecedent_ndv) and every other
+  /// attribute b, the per-value min/max of b. Only implications strictly
+  /// tighter than b's whole-relation domain are kept.
+  bool derive_implications = true;
+  uint64_t max_antecedent_ndv = 32;
+  /// Hard cap on mined implications per relation (tightest-first would need
+  /// a quality metric; the cap simply stops pathological catalogs).
+  size_t max_implications_per_relation = 256;
+};
+
+/// Derives a ConstraintSet that provably holds on `db`'s current contents:
+/// exact domains, single-attribute keys, and mined per-value implications.
+/// Requires a prior Analyze() (NDV comes from stats); scans the rows for
+/// the per-value bounds. Deterministic in the database contents.
+StatusOr<catalog::ConstraintSet> DeriveConstraints(
+    const Database& db, const DeriveOptions& options = DeriveOptions());
+
+/// Validates that every constraint in `set` holds on `db`'s current
+/// contents; the first violation (or a reference to a missing
+/// relation/attribute) is returned as an error. The semantic rewrite layer
+/// assumes constraint-valid data, so fuzz harnesses check derived (and
+/// hand-written) sets with this before trusting the optimizer.
+Status CheckConstraints(const Database& db, const catalog::ConstraintSet& set);
+
+}  // namespace cqp::storage
+
+#endif  // CQP_STORAGE_CONSTRAINTS_H_

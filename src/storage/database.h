@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/constraints.h"
 #include "catalog/schema.h"
 #include "catalog/stats.h"
 #include "common/status.h"
@@ -46,11 +47,29 @@ class Database {
   StatusOr<const catalog::RelationStats*> GetStats(
       const std::string& name) const;
 
+  /// The declarative integrity constraints the semantic rewrite layer may
+  /// assume hold on this database (docs/rewriting.md). Empty by default.
+  const catalog::ConstraintSet& constraints() const { return constraints_; }
+
+  /// Replaces the constraint set and bumps the constraint revision. The
+  /// revision joins the plan-cache config key, so prepared artifacts built
+  /// under the old constraints become unreachable (never served stale).
+  void SetConstraints(catalog::ConstraintSet constraints) {
+    constraints_ = std::move(constraints);
+    ++constraint_revision_;
+  }
+
+  /// Monotone counter, bumped by every SetConstraints() call. Starts at 0
+  /// (the empty, constraint-free catalog).
+  uint64_t constraint_revision() const { return constraint_revision_; }
+
  private:
   static std::string Key(const std::string& name);
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, catalog::RelationStats> stats_;
+  catalog::ConstraintSet constraints_;
+  uint64_t constraint_revision_ = 0;
 };
 
 /// Computes ANALYZE statistics for one table (exposed for tests).

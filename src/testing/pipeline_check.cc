@@ -1,5 +1,7 @@
 #include "testing/pipeline_check.h"
 
+#include <cmath>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "common/str_util.h"
 #include "construct/personalizer.h"
 #include "estimation/eval_cache.h"
+#include "exec/executor.h"
 #include "prefs/graph.h"
 #include "server/client.h"
 #include "server/profile_store.h"
@@ -406,6 +409,73 @@ PipelineCheckResult RunPipelineCheck(const PipelineCheckConfig& config) {
       }
       if (!diff.empty()) {
         report.Add("batch-eval-parity", request_labels[i], diff);
+      }
+    }
+  }
+
+  // Path 8: the semantic rewrite layer (docs/rewriting.md). Re-emitting the
+  // reference answer's OWN chosen solution with the optimizer off must
+  // execute to the identical personalized result set — the fixed solution
+  // isolates the emission-level passes from the (legitimately answer-
+  // changing) pre-search pruning. Dois are compared with an epsilon:
+  // subsumption merges regroup the noisy-or product, which can perturb the
+  // last floating-point bits.
+  if (config.check_rewrite) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const construct::PersonalizeResult& want = reference[i];
+      construct::BuildOptions unopt_options;
+      unopt_options.optimize = false;
+      auto unopt = construct::BuildPersonalizedQuery(
+          *db, want.space->query, want.space->prefs,
+          want.solution.feasible ? want.solution.chosen : IndexSet(),
+          unopt_options);
+      if (!unopt.ok()) {
+        report.Add("rewrite-parity", request_labels[i],
+                   "unoptimized emission: " +
+                       std::string(unopt.status().message()));
+        continue;
+      }
+      exec::ExecStats stats;
+      auto rows_opt = personalizer.Execute(want, &stats);
+      construct::PersonalizeResult unopt_result = want;
+      unopt_result.personalized = *std::move(unopt);
+      auto rows_unopt = personalizer.Execute(unopt_result, &stats);
+      if (!rows_opt.ok() || !rows_unopt.ok()) {
+        report.Add("rewrite-parity", request_labels[i],
+                   "execution: " + (rows_opt.ok()
+                                        ? rows_unopt.status().ToString()
+                                        : rows_opt.status().ToString()));
+        continue;
+      }
+      auto keyed = [](const exec::PersonalizedResultSet& rows) {
+        std::map<std::string, double> out;
+        for (const exec::PersonalizedRow& row : rows.rows) {
+          out[row.row.ToString()] = row.doi;
+        }
+        return out;
+      };
+      std::map<std::string, double> opt_rows = keyed(*rows_opt);
+      std::map<std::string, double> unopt_rows = keyed(*rows_unopt);
+      if (opt_rows.size() != unopt_rows.size()) {
+        report.Add("rewrite-parity", request_labels[i],
+                   StrFormat("%zu rows optimized vs %zu unoptimized",
+                             opt_rows.size(), unopt_rows.size()));
+        continue;
+      }
+      auto a = opt_rows.begin();
+      auto b = unopt_rows.begin();
+      for (; a != opt_rows.end(); ++a, ++b) {
+        if (a->first != b->first) {
+          report.Add("rewrite-parity", request_labels[i],
+                     "row '" + a->first + "' vs '" + b->first + "'");
+          break;
+        }
+        if (std::fabs(a->second - b->second) > 1e-9) {
+          report.Add("rewrite-parity", request_labels[i],
+                     StrFormat("doi %.17g vs %.17g for row '%s'", a->second,
+                               b->second, a->first.c_str()));
+          break;
+        }
       }
     }
   }

@@ -23,6 +23,10 @@ struct PipelineCheckConfig {
                                  ///< vs direct Personalize()
   bool check_batch_eval = true;  ///< SoA/SIMD batch evaluation vs forced
                                  ///< scalar (disable_batch_eval) answers
+  bool check_rewrite = true;     ///< optimized vs unoptimized emission of the
+                                 ///< SAME chosen solution executes to the
+                                 ///< same personalized result set
+                                 ///< (docs/rewriting.md)
 };
 
 struct PipelineCheckResult {

@@ -1,0 +1,49 @@
+#ifndef CQP_TESTING_REWRITE_CHECK_H_
+#define CQP_TESTING_REWRITE_CHECK_H_
+
+#include <cstdint>
+
+#include "testing/oracle.h"
+
+namespace cqp::testing {
+
+/// Configuration of the semantic-rewrite metamorphic sweep (docs/
+/// rewriting.md). One run builds a synthetic database, mines its integrity
+/// constraints, personalizes a generated workload with the rewrite layer on,
+/// and checks the three soundness obligations below.
+struct RewriteCheckConfig {
+  uint64_t seed = 1;
+  size_t n_queries = 5;
+  size_t n_profiles = 2;
+  size_t max_k = 10;
+  /// Metamorphic equivalence: for every request, re-emit the SAME chosen
+  /// solution with the optimizer off and require the executed result sets to
+  /// match row for row (dois within 1e-9 — noisy-or regrouping is the only
+  /// permitted difference).
+  bool check_equivalence = true;
+  /// Vacuity oracle: every preference the pre-search pruning pass would
+  /// reject must build a sub-query that executes to ZERO rows on the
+  /// (constraint-valid, because constraints were mined from it) data.
+  bool check_vacuity = true;
+  /// Constraint-revision invalidation: SetConstraints() must detach cached
+  /// plans (next Prepare misses) and the re-solve under identical
+  /// constraints must answer identically.
+  bool check_revision = true;
+};
+
+struct RewriteCheckResult {
+  CheckReport report;
+  size_t requests = 0;          ///< personalization requests checked
+  uint64_t conjuncts_dropped = 0;
+  uint64_t branches_eliminated = 0;
+  uint64_t prefs_pruned = 0;    ///< candidates rejected pre-search
+  uint64_t vacuity_probes = 0;  ///< pruned-candidate zero-row executions
+};
+
+/// Runs the sweep; an empty report means every obligation held.
+RewriteCheckResult RunRewriteCheck(
+    const RewriteCheckConfig& config = RewriteCheckConfig());
+
+}  // namespace cqp::testing
+
+#endif  // CQP_TESTING_REWRITE_CHECK_H_

@@ -7,6 +7,11 @@
 //   cqp_fuzz --minimize a.cqprepro    shrink a failing reproducer further
 //   cqp_fuzz --pipeline               end-to-end path-parity sweep
 //   cqp_fuzz --batch-eval             only the SoA/SIMD batch-parity checks
+//   cqp_fuzz --rewrite                semantic-rewrite metamorphic campaign
+//                                     (optimized vs unoptimized equality,
+//                                     vacuity of pruned candidates,
+//                                     constraint-revision invalidation);
+//                                     --count scales the seeds swept
 //
 // On a violation the instance is delta-debugged down and written as a
 // self-contained .cqprepro file (see docs/testing.md); exit status is the
@@ -28,6 +33,7 @@
 #include "testing/isolation.h"
 #include "testing/oracle.h"
 #include "testing/pipeline_check.h"
+#include "testing/rewrite_check.h"
 #include "testing/shrinker.h"
 
 namespace {
@@ -60,6 +66,7 @@ struct Args {
   CheckOptions check;
   std::string out_dir = ".";
   bool pipeline = false;
+  bool rewrite = false;
   bool no_shrink = false;
   std::vector<std::string> replay;
   std::string minimize;
@@ -71,7 +78,7 @@ void Usage() {
                "usage: cqp_fuzz [--seed N] [--count N] [--duration SECONDS]\n"
                "                [--class 1..6] [--k-min N] [--k-max N]\n"
                "                [--out DIR] [--no-shrink] [--verbose]\n"
-               "                [--pipeline] [--batch-eval]\n"
+               "                [--pipeline] [--batch-eval] [--rewrite]\n"
                "                [--replay FILE...] [--minimize FILE]\n");
 }
 
@@ -120,6 +127,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out_dir = v;
     } else if (flag == "--pipeline") {
       args->pipeline = true;
+    } else if (flag == "--rewrite") {
+      args->rewrite = true;
     } else if (flag == "--batch-eval") {
       // Focused campaign for the SoA/SIMD batch evaluation core: only the
       // kernel- and solve-level batch-vs-scalar parity checks (plus the
@@ -262,6 +271,61 @@ int RunPipeline(const Args& args) {
   return 0;
 }
 
+/// The --rewrite campaign: RunRewriteCheck over `count` consecutive seeds
+/// (each seed is a fresh database + mined constraints + workload), so one
+/// invocation covers many constraint shapes. Instance counts scale the
+/// per-seed workload only implicitly — the sweep is seed-parallelizable by
+/// splitting the seed range across invocations.
+int RunRewrite(const Args& args) {
+  // Each seed personalizes n_profiles * n_queries requests; size the sweep
+  // so --count roughly equals the number of requests checked.
+  cqp::testing::RewriteCheckConfig config;
+  uint64_t per_seed =
+      static_cast<uint64_t>(config.n_profiles * config.n_queries);
+  uint64_t seeds = (args.count + per_seed - 1) / per_seed;
+  if (seeds == 0) seeds = 1;
+  size_t requests = 0;
+  uint64_t conjuncts_dropped = 0, branches_eliminated = 0, prefs_pruned = 0,
+           vacuity_probes = 0;
+  int failures = 0;
+  for (uint64_t s = 0; s < seeds; ++s) {
+    config.seed = args.seed + s;
+    cqp::testing::RewriteCheckResult result =
+        cqp::testing::RunRewriteCheck(config);
+    requests += result.requests;
+    conjuncts_dropped += result.conjuncts_dropped;
+    branches_eliminated += result.branches_eliminated;
+    prefs_pruned += result.prefs_pruned;
+    vacuity_probes += result.vacuity_probes;
+    if (!result.report.ok()) {
+      std::fprintf(stderr, "FAIL seed=%llu\n%s",
+                   static_cast<unsigned long long>(config.seed),
+                   result.report.ToString().c_str());
+      ++failures;
+      if (failures >= 20) {
+        std::fprintf(stderr, "too many failures; stopping early\n");
+        break;
+      }
+    }
+    if (args.verbose || (s + 1) % 50 == 0) {
+      std::printf("... %llu/%llu seeds, %zu requests, %d failing\n",
+                  static_cast<unsigned long long>(s + 1),
+                  static_cast<unsigned long long>(seeds), requests, failures);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "rewrite sweep: %llu seeds, %zu requests, %llu conjuncts dropped, "
+      "%llu branches eliminated, %llu candidates pruned "
+      "(%llu vacuity probes), %d failing\n",
+      static_cast<unsigned long long>(seeds), requests,
+      static_cast<unsigned long long>(conjuncts_dropped),
+      static_cast<unsigned long long>(branches_eliminated),
+      static_cast<unsigned long long>(prefs_pruned),
+      static_cast<unsigned long long>(vacuity_probes), failures);
+  return failures;
+}
+
 int RunFuzz(const Args& args) {
   auto start = std::chrono::steady_clock::now();
   auto deadline = start + std::chrono::duration_cast<
@@ -329,6 +393,8 @@ int main(int argc, char** argv) {
     return RunMinimize(args);
   } else if (args.pipeline) {
     return RunPipeline(args);
+  } else if (args.rewrite) {
+    failures = RunRewrite(args);
   } else {
     failures = RunFuzz(args);
   }
